@@ -1,0 +1,40 @@
+//! Criterion: latency of the MCI three-step interface exchange end to end
+//! on the virtual network (communicator setup amortized).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nkg_mci::{InterfaceLink, Universe};
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mci/three_step_exchange");
+    for members in [2usize, 4, 8] {
+        g.bench_function(BenchmarkId::new("members_per_side", members), |b| {
+            b.iter(|| {
+                let u = Universe::new(2 * members);
+                u.run(move |world| {
+                    let domain = world.rank() / members;
+                    let l3 = world.split(Some(domain), world.rank()).unwrap();
+                    let l4 = l3.split(Some(0), l3.rank()).unwrap();
+                    let peer_root = if domain == 0 { members } else { 0 };
+                    let link = InterfaceLink {
+                        l4,
+                        peer_root_world: peer_root,
+                        tag: 3,
+                    };
+                    let mine = vec![world.rank() as f64; 128];
+                    for _ in 0..16 {
+                        let got = link.exchange(&world, &mine, 128);
+                        std::hint::black_box(got.len());
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_exchange
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: throughput of the matrix-free SEM Helmholtz operator (the
+//! hot kernel whose cost the Table 3-4 model parameterizes) at several
+//! polynomial orders, plus a full CG Poisson solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nkg_mesh::quad::QuadMesh;
+use nkg_sem::space2d::Space2d;
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sem/helmholtz_apply");
+    for p in [4usize, 8, 12] {
+        let mesh = QuadMesh::rectangle(4, 4, 0.0, 2.0, 0.0, 1.0);
+        let space = Space2d::new(mesh, p, false);
+        let u: Vec<f64> = (0..space.nglobal).map(|i| (i as f64 * 0.01).sin()).collect();
+        let mut out = vec![0.0; space.nglobal];
+        g.bench_function(BenchmarkId::new("P", p), |b| {
+            b.iter(|| space.apply_helmholtz(1.0, &u, &mut out))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let pi = std::f64::consts::PI;
+    let mesh = QuadMesh::rectangle(3, 3, 0.0, 2.0, 0.0, 1.0);
+    let space = Space2d::new(mesh, 6, false);
+    let rhs = space.weak_rhs(move |x, y| pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin());
+    let bnd = space.boundary_dofs(|_| true);
+    let zeros = vec![0.0; bnd.len()];
+    c.bench_function("sem/poisson_solve_p6", |b| {
+        b.iter(|| space.solve_helmholtz(0.0, &rhs, &bnd, &zeros, 1e-10, 4000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_apply, bench_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion measurement behind Table 1: scalar vs vectorized vs SSE2
+//! versions of the three basic kernels on aligned buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nkg_simd::kernels::*;
+use nkg_simd::AlignedVec;
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 65_536;
+    let x = AlignedVec::from_fn(n, |i| (i as f64 * 0.001).sin());
+    let y = AlignedVec::from_fn(n, |i| (i as f64 * 0.002).cos() + 1.5);
+    let z = AlignedVec::from_fn(n, |i| 1.0 / (1.0 + i as f64));
+    let mut out = AlignedVec::zeros(n);
+
+    let mut g = c.benchmark_group("table1/mul");
+    g.bench_function(BenchmarkId::new("scalar", n), |b| {
+        b.iter(|| mul_scalar(&mut out, &x, &y))
+    });
+    g.bench_function(BenchmarkId::new("vec", n), |b| {
+        b.iter(|| mul_vec(&mut out, &x, &y))
+    });
+    #[cfg(target_arch = "x86_64")]
+    g.bench_function(BenchmarkId::new("sse", n), |b| {
+        b.iter(|| sse::mul_sse(&mut out, &x, &y))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("table1/triple_dot");
+    g.bench_function(BenchmarkId::new("scalar", n), |b| {
+        b.iter(|| triple_dot_scalar(&x, &y, &z))
+    });
+    g.bench_function(BenchmarkId::new("vec", n), |b| {
+        b.iter(|| triple_dot_vec(&x, &y, &z))
+    });
+    #[cfg(target_arch = "x86_64")]
+    g.bench_function(BenchmarkId::new("sse", n), |b| {
+        b.iter(|| sse::triple_dot_sse(&x, &y, &z))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("table1/wdot");
+    g.bench_function(BenchmarkId::new("scalar", n), |b| {
+        b.iter(|| wdot_scalar(&x, &y))
+    });
+    g.bench_function(BenchmarkId::new("vec", n), |b| {
+        b.iter(|| wdot_vec(&x, &y))
+    });
+    #[cfg(target_arch = "x86_64")]
+    g.bench_function(BenchmarkId::new("sse", n), |b| {
+        b.iter(|| sse::wdot_sse(&x, &y))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: CG preconditioner choices for the SEM elliptic solves
+//! (DESIGN.md item 6). The paper's solvers use a "scalable low-energy
+//! preconditioner"; here we quantify what preconditioning buys on the
+//! matrix-free Helmholtz operator: none vs Jacobi (assembled diagonal).
+
+use nkg_bench::header;
+use nkg_mesh::quad::QuadMesh;
+use nkg_sem::cg::pcg;
+use nkg_sem::space2d::Space2d;
+
+fn solve_with(space: &Space2d, lambda: f64, jacobi: bool) -> usize {
+    let pi = std::f64::consts::PI;
+    let rhs = space.weak_rhs(move |x, y| pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin());
+    let bnd = space.boundary_dofs(|_| true);
+    let mut is_bc = vec![false; space.nglobal];
+    for &d in &bnd {
+        is_bc[d] = true;
+    }
+    let diag = space.helmholtz_diagonal(lambda);
+    let b: Vec<f64> = rhs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if is_bc[i] { 0.0 } else { v })
+        .collect();
+    let mut x = vec![0.0; space.nglobal];
+    let res = pcg(
+        |p, out| {
+            let mut pm = p.to_vec();
+            for (i, m) in pm.iter_mut().enumerate() {
+                if is_bc[i] {
+                    *m = 0.0;
+                }
+            }
+            space.apply_helmholtz(lambda, &pm, out);
+            for (i, o) in out.iter_mut().enumerate() {
+                if is_bc[i] {
+                    *o = 0.0;
+                }
+            }
+        },
+        |r, z| {
+            for i in 0..r.len() {
+                z[i] = if is_bc[i] {
+                    0.0
+                } else if jacobi {
+                    r[i] / diag[i]
+                } else {
+                    r[i]
+                };
+            }
+        },
+        &b,
+        &mut x,
+        1e-10,
+        20_000,
+    );
+    res.iterations
+}
+
+fn main() {
+    header("Preconditioner ablation: CG iterations on the SEM Poisson solve");
+    println!("P    DoF      no preconditioner   Jacobi (assembled diagonal)");
+    for p in [4usize, 6, 8, 10] {
+        let mesh = QuadMesh::rectangle(4, 4, 0.0, 2.0, 0.0, 1.0);
+        let space = Space2d::new(mesh, p, false);
+        let none = solve_with(&space, 0.0, false);
+        let jac = solve_with(&space, 0.0, true);
+        println!(
+            "{p:>2}  {:>6}   {:>18}   {:>27}",
+            space.nglobal, none, jac
+        );
+    }
+    println!("\n(shape check: Jacobi cuts the iteration count substantially and the");
+    println!(" advantage grows with P, since GLL quadrature weights spread the");
+    println!(" operator diagonal over orders of magnitude — the first rung of the");
+    println!(" ladder toward the paper's low-energy preconditioner)");
+}

@@ -1,0 +1,64 @@
+//! Fig. 10: platelet aggregation on the aneurysm wall — growth of the
+//! adhered/active platelet population (the forming thrombus) in the slow
+//! recirculation region.
+
+use nkg_bench::header;
+use nkg_dpd::platelet::{PlateletParams, WallSites};
+use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
+use nkg_dpd::Box3;
+
+fn main() {
+    header("Fig. 10: platelet aggregation on the aneurysm wall");
+    let cfg = DpdConfig {
+        seed: 104,
+        ..Default::default()
+    };
+    // The aneurysm fundus: slow flow over a wall patch with exposed
+    // adhesion sites (damaged endothelium).
+    let bx = Box3::new([0.0; 3], [10.0, 5.0, 5.0], [true, false, true]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    let n_platelets = sim.seed_platelets(0.06);
+    sim.sites = WallSites::on_plane(40, 1, 0.0, [3.0, 0.0, 0.0], [7.0, 0.0, 5.0], 5);
+    sim.platelet_params = PlateletParams {
+        delay_steps: 150, // the activation delay time t_act of Pivkin et al.
+        trigger_dist: 0.7,
+        ..Default::default()
+    };
+    // Slow near-stagnant circulation, as behind a coil/clip.
+    sim.set_body_force(|_| [0.01, 0.0, 0.0]);
+    println!(
+        "particles: {} ({} platelets), {} wall adhesion sites, t_act = {} steps",
+        sim.particles.len(),
+        n_platelets,
+        sim.sites.pos.len(),
+        sim.platelet_params.delay_steps
+    );
+    println!("\nstep   passive  triggered  active  adhered  (active+adhered = thrombus)");
+    let mut prev_thrombus = 0usize;
+    let mut grew = false;
+    for block in 0..20 {
+        for _ in 0..100 {
+            sim.step();
+        }
+        let (p, t, a, ad) = sim.platelet_census();
+        let thrombus = a + ad;
+        if thrombus > prev_thrombus {
+            grew = true;
+        }
+        prev_thrombus = thrombus;
+        println!(
+            "{:>4}   {:>7}  {:>9}  {:>6}  {:>7}  {:>8}",
+            (block + 1) * 100,
+            p,
+            t,
+            a,
+            ad,
+            thrombus
+        );
+    }
+    println!(
+        "\n(shape check: the thrombus population grows monotonically-ish as the",
+    );
+    println!(" activation cascade recruits passing platelets — growth observed: {grew})");
+}

@@ -1,0 +1,113 @@
+//! Fig. 7: WPOD applied to DPD channel flow of "healthy" vs "diseased"
+//! blood analogues — ensemble average via WPOD vs standard averaging, and
+//! the probability density of the extracted velocity fluctuations
+//! (paper: Gaussian with σ = 1.03).
+
+use nkg_bench::header;
+use nkg_dpd::sim::{BinSampler, DpdConfig, DpdSim, WallGeometry};
+use nkg_dpd::Box3;
+use nkg_wpod::pdf::{gaussian_mismatch, mean, std_dev, Histogram};
+use nkg_wpod::pod::{Pod, SnapshotMatrix};
+
+fn run_case(label: &str, gamma: f64, seed: u64) {
+    let cfg = DpdConfig {
+        gamma,
+        seed,
+        ..Default::default()
+    };
+    let bx = Box3::new([0.0; 3], [8.0, 6.0, 4.0], [true, false, true]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    // Unsteady forcing: mean + oscillation (non-stationary process).
+    sim.set_body_force(|t| [0.12 * (1.0 + (0.8 * t).sin()), 0.0, 0.0]);
+    for _ in 0..500 {
+        sim.step(); // develop
+    }
+    let bins = 12;
+    let n_ts = 50;
+    let mut sampler = BinSampler::new(1, bins, 0, n_ts);
+    let mut snaps = SnapshotMatrix::new();
+    // Also gather per-particle fluctuation samples for the PDF.
+    let mut fluct = Vec::new();
+    while snaps.len() < 60 {
+        sim.step();
+        if let Some(s) = sampler.accumulate(&sim) {
+            // Per-particle fluctuations against the bin mean.
+            for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
+                let b = ((p[1] / 6.0 * bins as f64) as usize).min(bins - 1);
+                fluct.push(v[0] - s[b]);
+            }
+            snaps.push(s);
+        }
+    }
+    let pod = Pod::compute(&snaps);
+    let k = pod.split_index(2.0);
+    // Ensemble average via WPOD vs standard (plain window mean).
+    let newest = snaps.len() - 1;
+    let wpod_mean = pod.reconstruct(newest, k);
+    let mut std_mean = vec![0.0f64; bins];
+    for i in 0..snaps.len() {
+        for (m, u) in std_mean.iter_mut().zip(snaps.snapshot(i)) {
+            *m += u / snaps.len() as f64;
+        }
+    }
+    // Roughness (second-difference energy) of the raw snapshot vs the two
+    // averages: WPOD should be smooth AND track the instantaneous state.
+    let rough = |v: &[f64]| -> f64 {
+        v.windows(3)
+            .map(|w| (w[0] - 2.0 * w[1] + w[2]).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let raw = snaps.snapshot(newest);
+    let track = |v: &[f64]| -> f64 {
+        v.iter()
+            .zip(raw)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    println!("\n--- {label} (gamma = {gamma}) ---");
+    println!("coherent modes (adaptive split): {k} of {}", pod.num_modes());
+    println!(
+        "energy in coherent part: {:.2}%",
+        pod.energy_fraction(k) * 100.0
+    );
+    println!(
+        "roughness  raw {:.4} | standard avg {:.4} | WPOD {:.4}",
+        rough(raw),
+        rough(&std_mean),
+        rough(&wpod_mean)
+    );
+    println!(
+        "tracking error vs newest state: standard avg {:.4} | WPOD {:.4}",
+        track(&std_mean),
+        track(&wpod_mean)
+    );
+    // PDF of fluctuations.
+    let mu = mean(&fluct);
+    let sigma = std_dev(&fluct);
+    let mut h = Histogram::new(-4.0, 4.0, 40);
+    h.add_all(&fluct);
+    println!(
+        "fluctuation PDF: sigma = {sigma:.3} (paper: 1.03), gaussian L1 mismatch = {:.4}",
+        gaussian_mismatch(&h, mu, sigma)
+    );
+    println!("PDF series (bin center, density):");
+    let centers = h.centers();
+    let dens = h.density();
+    for i in (0..centers.len()).step_by(4) {
+        println!("  {:+.2}  {:.4}", centers[i], dens[i]);
+    }
+}
+
+fn main() {
+    header("Fig. 7: WPOD of healthy vs diseased RBC-suspension analogues");
+    // "Diseased" blood: elevated viscosity/aggregation, modeled by doubled
+    // dissipative coupling.
+    run_case("healthy", 4.5, 101);
+    run_case("diseased", 9.0, 202);
+    println!("\n(shape checks: WPOD mean is smoother than the raw snapshot while");
+    println!(" tracking the unsteady state better than the standard window");
+    println!(" average; fluctuations are Gaussian with sigma ≈ 1, cf. 1.03)");
+}

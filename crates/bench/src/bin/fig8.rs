@@ -1,0 +1,75 @@
+//! Fig. 8: POD eigenspectra of a 3D pipe flow driven by a time-periodic
+//! force (`N_ts = 50`, `N_pod = 160`), and the streamwise velocity profile
+//! reconstructed from the first two POD modes.
+
+use nkg_bench::header;
+use nkg_dpd::sim::{BinSampler, DpdConfig, DpdSim, WallGeometry};
+use nkg_dpd::Box3;
+use nkg_wpod::pod::{Pod, SnapshotMatrix};
+
+fn main() {
+    header("Fig. 8: DPD pipe flow driven by a time-periodic force");
+    let cfg = DpdConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    let bx = Box3::new([0.0; 3], [6.0, 6.4, 6.4], [true, false, false]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::CylinderX(3.0));
+    sim.fill_solvent();
+    sim.set_body_force(|t| [0.10 * (1.0 + (0.5 * t).sin()), 0.0, 0.0]);
+    println!("particles: {}", sim.particles.len());
+    for _ in 0..500 {
+        sim.step();
+    }
+    let bins = 14;
+    let n_ts = 50;
+    let n_pod = 160;
+    let mut sx = BinSampler::new(1, bins, 0, n_ts); // streamwise u(y)
+    let mut sy = BinSampler::new(1, bins, 1, n_ts); // transverse v(y)
+    let mut snaps_x = SnapshotMatrix::new();
+    let mut snaps_y = SnapshotMatrix::new();
+    while snaps_x.len() < n_pod {
+        sim.step();
+        if let Some(s) = sx.accumulate(&sim) {
+            snaps_x.push(s);
+        }
+        if let Some(s) = sy.accumulate(&sim) {
+            snaps_y.push(s);
+        }
+    }
+    let pod_x = Pod::compute(&snaps_x);
+    let pod_y = Pod::compute(&snaps_y);
+    println!(
+        "\nEigenspectra (normalized lambda_k / lambda_1), Nts={n_ts}, Npod={n_pod}:"
+    );
+    println!("  k    x-velocity     y-velocity");
+    let kmax = 20.min(pod_x.num_modes()).min(pod_y.num_modes());
+    for k in 0..kmax {
+        println!(
+            "{:>3}    {:>10.3e}    {:>10.3e}",
+            k + 1,
+            pod_x.eigenvalues[k] / pod_x.eigenvalues[0],
+            pod_y.eigenvalues[k] / pod_y.eigenvalues[0],
+        );
+    }
+    let kx = pod_x.split_index(2.0);
+    let ky = pod_y.split_index(2.0);
+    println!("\nadaptive split: x-component keeps {kx} mode(s), y-component {ky}");
+    println!(
+        "x spectrum gap lambda_2/lambda_3 = {:.1}; y spectrum is noise-flat \
+         (no transverse mean flow), as in the paper's figure",
+        pod_x.eigenvalues.get(1).unwrap_or(&0.0) / pod_x.eigenvalues.get(2).unwrap_or(&1e-300)
+    );
+    // Profile from the first two modes at the final snapshot.
+    println!("\nstreamwise profile reconstructed with the first two POD modes:");
+    println!("  y      raw snapshot   2-mode reconstruction");
+    let rec = pod_x.reconstruct(snaps_x.len() - 1, 2);
+    let raw = snaps_x.snapshot(snaps_x.len() - 1);
+    for b in 0..bins {
+        let y = (b as f64 + 0.5) * 6.4 / bins as f64;
+        println!("{y:>5.2}   {:>12.4}   {:>12.4}", raw[b], rec[b]);
+    }
+    println!("\n(shape checks: a handful of fast-decaying coherent modes over a");
+    println!(" slowly decaying thermal floor; the 2-mode reconstruction is a");
+    println!(" smooth blunt profile peaking on the axis)");
+}

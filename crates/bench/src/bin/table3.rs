@@ -1,0 +1,62 @@
+//! Table 3: weak scaling of the multipatch SEM solver on BG/P and XT5,
+//! plus the headline 92.3 % efficiency at 122,880 cores.
+
+use nkg_bench::{header, pct};
+use nkg_perfmodel::SemJobModel;
+
+fn main() {
+    header("Table 3: weak scaling, Np = 3/8/16 patches (2048 cores per patch)");
+    let paper_bgp = [650.67, 685.23, 703.4];
+    let paper_eff_bgp = [1.0, 0.95, 0.92];
+    let m = SemJobModel::bluegene_p_paper();
+    let rows = m.weak_scaling(&[3, 8, 16], 2048);
+    println!("\nBlueGene/P:");
+    println!("Np  unknowns    cores   paper[s]  model[s]  paper eff  model eff");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>2}  {:>8.3}B  {:>6}  {:>8.2}  {:>8.2}  {:>9}  {:>9}",
+            r.patches,
+            r.unknowns / 1e9,
+            r.cores,
+            paper_bgp[i],
+            r.time_1000_steps,
+            pct(paper_eff_bgp[i]),
+            pct(r.efficiency),
+        );
+    }
+
+    let paper_xt5 = [462.3, 477.2, 505.1];
+    let paper_eff_xt5 = [1.0, 0.969, 0.915];
+    let x = SemJobModel::cray_xt5_paper();
+    let rows = x.weak_scaling(&[3, 8, 16], 2048);
+    println!("\nCray XT5:");
+    println!("Np  unknowns    cores   paper[s]  model[s]  paper eff  model eff");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>2}  {:>8.3}B  {:>6}  {:>8.2}  {:>8.2}  {:>9}  {:>9}",
+            r.patches,
+            r.unknowns / 1e9,
+            r.cores,
+            paper_xt5[i],
+            r.time_1000_steps,
+            pct(paper_eff_xt5[i]),
+            pct(r.efficiency),
+        );
+    }
+
+    header("Headline runs");
+    println!(
+        "16 → 40 patches at 3072 cores/patch (49,152 → 122,880 cores): \
+         paper 92.3% | model {}",
+        pct(m.headline_efficiency())
+    );
+    // 96,000-core XT5, P=12, 8.21B unknowns: paper quotes ~610 s/1000 steps.
+    let mut big = SemJobModel::cray_xt5_paper();
+    big.poly_order = 12;
+    big.machine.cores_per_node = 12;
+    let t = big.step_time(40, 2400) * 1000.0;
+    println!(
+        "40 patches / 96,000 XT5 cores at P=12 (8.21B unknowns): paper ~610 s \
+         | model {t:.0} s per 1000 steps"
+    );
+}

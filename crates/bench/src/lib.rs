@@ -1,0 +1,65 @@
+//! Shared helpers for the table/figure harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section and prints the same rows/series the paper
+//! reports, side by side with the paper's published values where they
+//! exist. Run them with `cargo run --release -p nkg-bench --bin <name>`:
+//!
+//! | binary            | reproduces                                        |
+//! |-------------------|---------------------------------------------------|
+//! | `table1`          | SIMD kernel speed-ups                             |
+//! | `table2`          | partitioning strategies (face vs full adjacency)  |
+//! | `table3`          | weak scaling, BG/P + XT5                          |
+//! | `table4`          | strong scaling, BG/P                              |
+//! | `table5`          | coupled NS+DPD strong scaling (super-linear)      |
+//! | `fig7`            | WPOD vs standard averaging; fluctuation PDF       |
+//! | `fig8`            | POD eigenspectra of pulsatile pipe flow           |
+//! | `fig9`            | interface continuity of the coupled solution      |
+//! | `fig10`           | platelet aggregation on the aneurysm wall         |
+//! | `torus_ablation`  | §3.5 six-direction message scheduling             |
+//! | `ablation_exchange` | three-step vs all-pairs interface exchange      |
+//! | `ablation_precon` | CG preconditioner choices                         |
+
+use std::time::Instant;
+
+/// Median wall time of `reps` invocations of `f`, in seconds.
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps >= 1);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[reps / 2]
+}
+
+/// Print a ruled section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format an efficiency as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_median_positive() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.923), "92.3%");
+    }
+}

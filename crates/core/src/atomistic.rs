@@ -1,0 +1,262 @@
+//! NεκTαr-3D ↔ DPD-LAMMPS coupling (paper §3.3).
+//!
+//! An atomistic sub-domain ΩA is embedded inside a continuum patch; its
+//! interface surfaces are discretized into bins/triangles whose midpoint
+//! coordinates are registered with the continuum side in preprocessing.
+//! During time stepping, the continuum velocity is interpolated at those
+//! coordinates, scaled by the unit mapping of Eq. (1), and imposed as the
+//! local DPD boundary velocities (with flux-driven particle insertion and
+//! deletion); the DPD domain integrates `substeps` fine steps per continuum
+//! step and new boundary data arrives every exchange interval τ.
+//!
+//! Dimensional note: our continuum patch is a 2D SEM solve (x, y) while the
+//! DPD box is 3D with a thin periodic z — the continuum trace is applied
+//! uniformly in z. This preserves the paper's data path (interpolate →
+//! scale → impose → insert/delete) exactly.
+
+use crate::multipatch::Multipatch2d;
+use crate::scaling::UnitScaling;
+use nkg_dpd::sim::DpdSim;
+
+/// The embedding of a DPD box into continuum coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    /// Lower corner of ΩA in continuum (NS) coordinates.
+    pub origin_ns: [f64; 2],
+    /// The unit scaling between descriptions.
+    pub scaling: UnitScaling,
+}
+
+impl Embedding {
+    /// Continuum coordinates of a DPD-local position (x, y only).
+    pub fn dpd_to_ns(&self, p: [f64; 3]) -> [f64; 2] {
+        [
+            self.origin_ns[0] + p[0] / self.scaling.length_factor(),
+            self.origin_ns[1] + p[1] / self.scaling.length_factor(),
+        ]
+    }
+}
+
+/// A coupled atomistic domain: the DPD simulation plus its interface
+/// registration against the continuum.
+pub struct AtomisticDomain {
+    /// The DPD engine (must have an open boundary installed).
+    pub sim: DpdSim,
+    /// The embedding into continuum coordinates.
+    pub embedding: Embedding,
+    /// Interface bin midpoints in continuum coordinates (preprocessing
+    /// step 2 of §3.3), one per inflow bin.
+    pub bin_midpoints_ns: Vec<[f64; 2]>,
+    /// History of interface continuity errors (one entry per exchange):
+    /// RMS over bins of |u_NS − u_DPD→NS| at the interface.
+    pub continuity_history: Vec<f64>,
+}
+
+impl AtomisticDomain {
+    /// Register an atomistic domain. The DPD sim must already carry an
+    /// `OpenBoundaryX`; its inflow-face bins are mapped to continuum
+    /// coordinates here.
+    pub fn new(sim: DpdSim, embedding: Embedding) -> Self {
+        let ob = sim
+            .open_x
+            .as_ref()
+            .expect("atomistic domain needs an open x boundary");
+        let (ny, nz) = ob.bins;
+        let mut mids = Vec::with_capacity(ny * nz);
+        let ly = (sim.bx.hi[1] - sim.bx.lo[1]) / ny as f64;
+        for iz in 0..nz {
+            for iy in 0..ny {
+                let y = sim.bx.lo[1] + (iy as f64 + 0.5) * ly;
+                let p = [sim.bx.lo[0], y, 0.0];
+                let _ = iz;
+                mids.push(embedding.dpd_to_ns(p));
+            }
+        }
+        Self {
+            sim,
+            embedding,
+            bin_midpoints_ns: mids,
+            continuity_history: Vec::new(),
+        }
+    }
+
+    /// The exchange: interpolate the continuum velocity at each interface
+    /// bin midpoint, scale with Eq. (1), impose as the DPD inflow targets.
+    /// Records the continuity metric against the current DPD state.
+    pub fn exchange_from_continuum(&mut self, continuum: &Multipatch2d) {
+        let vf = self.embedding.scaling.velocity_factor();
+        let mut targets = Vec::with_capacity(self.bin_midpoints_ns.len());
+        for &[x, y] in &self.bin_midpoints_ns {
+            let (u, v) = continuum
+                .eval_velocity(x, y)
+                .expect("interface midpoint outside continuum domain");
+            targets.push([u * vf, v * vf, 0.0]);
+        }
+        // Continuity metric before imposing: compare DPD near-inlet bin
+        // means (scaled back to NS units) with the fresh continuum values.
+        let dpd_means = self.inlet_bin_velocities();
+        let mut err = 0.0;
+        let mut cnt = 0;
+        for (t, m) in targets.iter().zip(&dpd_means) {
+            if let Some(mv) = m {
+                let du = t[0] / vf - mv[0] / vf;
+                err += du * du;
+                cnt += 1;
+            }
+        }
+        if cnt > 0 {
+            self.continuity_history.push((err / cnt as f64).sqrt());
+        }
+        if let Some(ob) = &mut self.sim.open_x {
+            ob.set_targets(&targets);
+        }
+    }
+
+    /// Mean DPD velocity per inflow bin over the inlet buffer slab
+    /// (`None` for empty bins).
+    pub fn inlet_bin_velocities(&self) -> Vec<Option<[f64; 3]>> {
+        let ob = self.sim.open_x.as_ref().unwrap();
+        let nbins = ob.target.len();
+        let buf = 2.0 * self.sim.cfg.rc;
+        let mut sums = vec![[0.0f64; 3]; nbins];
+        let mut counts = vec![0usize; nbins];
+        for (p, v) in self.sim.particles.pos.iter().zip(&self.sim.particles.vel) {
+            if p[0] < self.sim.bx.lo[0] + buf {
+                let b = ob.bin_of(&self.sim.bx, p[1], p[2]);
+                counts[b] += 1;
+                for k in 0..3 {
+                    sums[b][k] += v[k];
+                }
+            }
+        }
+        (0..nbins)
+            .map(|b| {
+                if counts[b] == 0 {
+                    None
+                } else {
+                    let c = counts[b] as f64;
+                    Some([sums[b][0] / c, sums[b][1] / c, sums[b][2] / c])
+                }
+            })
+            .collect()
+    }
+
+    /// Latest interface continuity error (NS units), if any exchange has
+    /// happened.
+    pub fn latest_continuity_error(&self) -> Option<f64> {
+        self.continuity_history.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipatch::poiseuille_multipatch;
+    use nkg_dpd::inflow::OpenBoundaryX;
+    use nkg_dpd::sim::{DpdConfig, WallGeometry};
+    use nkg_dpd::Box3;
+
+    // Continuum: nu chosen so Eq. (1) scales the NS signal (u ~ 0.1) to a
+    // DPD velocity ~ 1, well above the per-bin thermal noise.
+    const NU_NS: f64 = 0.004;
+    const F_NS: f64 = 8.0 * NU_NS * 0.1; // centerline u = 0.1
+
+    fn make_domain() -> AtomisticDomain {
+        let cfg = DpdConfig {
+            seed: 21,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [8.0, 8.0, 4.0], [false, false, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+        sim.fill_solvent();
+        let mut ob = OpenBoundaryX::new(4, 1, 3.0, 1.0, [0.0; 3], 0);
+        ob.target_count = Some(sim.particles.len());
+        sim.set_open_x(ob);
+        let scaling = UnitScaling {
+            unit_ns: 1.0,
+            unit_dpd: 0.05, // DPD box of size 8 spans 0.4 NS units
+            nu_ns: NU_NS,
+            nu_dpd: 0.85,
+        };
+        let embedding = Embedding {
+            origin_ns: [2.0, 0.3],
+            scaling,
+        };
+        AtomisticDomain::new(sim, embedding)
+    }
+
+    /// Steady multipatch Poiseuille donor, initialized on the exact
+    /// parabola so it is steady from step one.
+    fn steady_continuum(steps: usize) -> crate::multipatch::Multipatch2d {
+        let mut mp = poiseuille_multipatch(6.0, 1.0, 12, 2, 2, 4, NU_NS, F_NS, 5e-3);
+        for s in &mut mp.patches {
+            s.set_initial(|_, y| F_NS * y * (1.0 - y) / (2.0 * NU_NS), |_, _| 0.0);
+        }
+        for _ in 0..steps {
+            mp.step();
+        }
+        mp
+    }
+
+    #[test]
+    fn embedding_maps_corners() {
+        let d = make_domain();
+        let ns = d.embedding.dpd_to_ns([0.0, 0.0, 0.0]);
+        assert_eq!(ns, [2.0, 0.3]);
+        let ns = d.embedding.dpd_to_ns([8.0, 8.0, 0.0]);
+        assert!((ns[0] - 2.4).abs() < 1e-12);
+        assert!((ns[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoints_lie_on_inflow_face() {
+        let d = make_domain();
+        assert_eq!(d.bin_midpoints_ns.len(), 4);
+        for m in &d.bin_midpoints_ns {
+            assert!((m[0] - 2.0).abs() < 1e-12);
+            assert!(m[1] > 0.3 && m[1] < 0.7);
+        }
+    }
+
+    #[test]
+    fn exchange_imposes_scaled_targets() {
+        let mut d = make_domain();
+        let mp = steady_continuum(20);
+        d.exchange_from_continuum(&mp);
+        let ob = d.sim.open_x.as_ref().unwrap();
+        let vf = d.embedding.scaling.velocity_factor();
+        // Targets equal the continuum profile at the midpoints, scaled.
+        for (t, &[x, y]) in ob.target.iter().zip(&d.bin_midpoints_ns) {
+            let (u, _) = mp.eval_velocity(x, y).unwrap();
+            assert!(
+                (t[0] - u * vf).abs() < 1e-10 * (u * vf).abs().max(1e-12),
+                "target {} vs scaled continuum {}",
+                t[0],
+                u * vf
+            );
+            assert!(t[0] > 0.0, "Poiseuille interior velocity should be positive");
+        }
+    }
+
+    #[test]
+    fn coupled_run_converges_at_interface() {
+        let mut d = make_domain();
+        let mp = steady_continuum(20);
+        // Several exchange intervals of 50 DPD steps each.
+        for _ in 0..8 {
+            d.exchange_from_continuum(&mp);
+            for _ in 0..50 {
+                d.sim.step();
+            }
+        }
+        d.exchange_from_continuum(&mp);
+        let err = d.latest_continuity_error().unwrap();
+        // Continuum scale: centerline velocity 0.1; the DPD side carries
+        // thermal noise, so demand agreement within half the flow scale.
+        assert!(
+            err < 0.05,
+            "interface continuity error {err} (history {:?})",
+            d.continuity_history
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! The NεκTαr-G metasolver facade: a multipatch continuum domain with an
+//! embedded atomistic domain, driven through the paper's time progression,
+//! with WPOD co-processing of the atomistic data.
+
+use crate::atomistic::AtomisticDomain;
+use crate::multipatch::Multipatch2d;
+use crate::progression::TimeProgression;
+use nkg_dpd::sim::BinSampler;
+use nkg_wpod::window::{WindowPod, WindowResult};
+
+/// Summary of one coupled run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Continuum steps taken.
+    pub ns_steps: usize,
+    /// Atomistic steps taken.
+    pub dpd_steps: usize,
+    /// Exchanges performed.
+    pub exchanges: usize,
+    /// Interface continuity error per exchange (NS units).
+    pub continuity: Vec<f64>,
+    /// Continuum-continuum interface mismatch per exchange.
+    pub patch_mismatch: Vec<f64>,
+    /// Platelet census (passive, triggered, active, adhered) per exchange.
+    pub platelet_census: Vec<(usize, usize, usize, usize)>,
+    /// WPOD results produced by the co-processor.
+    pub wpod_windows: usize,
+}
+
+/// The coupled metasolver.
+pub struct NektarG {
+    /// The macro-scale solver (multipatch continuum).
+    pub continuum: Multipatch2d,
+    /// The meso-scale solver (embedded DPD domain).
+    pub atomistic: AtomisticDomain,
+    /// Step-ratio plan.
+    pub progression: TimeProgression,
+    /// Optional WPOD co-processing of the atomistic velocity field.
+    pub wpod: Option<(BinSampler, WindowPod)>,
+    /// Latest WPOD window result.
+    pub last_wpod: Option<WindowResult>,
+}
+
+impl NektarG {
+    /// Assemble the metasolver.
+    pub fn new(
+        continuum: Multipatch2d,
+        atomistic: AtomisticDomain,
+        progression: TimeProgression,
+    ) -> Self {
+        Self {
+            continuum,
+            atomistic,
+            progression,
+            wpod: None,
+            last_wpod: None,
+        }
+    }
+
+    /// Attach WPOD co-processing: sample the atomistic velocity field with
+    /// `sampler` and analyze windows with `wpod`.
+    pub fn with_wpod(mut self, sampler: BinSampler, wpod: WindowPod) -> Self {
+        self.wpod = Some((sampler, wpod));
+        self
+    }
+
+    /// Run `ns_steps` continuum steps with the full time progression.
+    pub fn run(&mut self, ns_steps: usize) -> RunReport {
+        let mut report = RunReport::default();
+        for step in 0..ns_steps {
+            if self.progression.exchange_at(step) {
+                self.atomistic.exchange_from_continuum(&self.continuum);
+                report.exchanges += 1;
+                if let Some(err) = self.atomistic.latest_continuity_error() {
+                    report.continuity.push(err);
+                }
+                report
+                    .patch_mismatch
+                    .push(self.continuum.interface_mismatch());
+                report
+                    .platelet_census
+                    .push(self.atomistic.sim.platelet_census());
+            }
+            self.continuum.step();
+            report.ns_steps += 1;
+            for _ in 0..self.progression.substeps {
+                self.atomistic.sim.step();
+                report.dpd_steps += 1;
+                if let Some((sampler, wpod)) = &mut self.wpod {
+                    if let Some(snap) = sampler.accumulate(&self.atomistic.sim) {
+                        if let Some(res) = wpod.push(snap) {
+                            report.wpod_windows += 1;
+                            self.last_wpod = Some(res);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomistic::Embedding;
+    use crate::multipatch::poiseuille_multipatch;
+    use crate::scaling::UnitScaling;
+    use nkg_dpd::inflow::OpenBoundaryX;
+    use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
+    use nkg_dpd::Box3;
+
+    fn small_metasolver() -> NektarG {
+        let mp = poiseuille_multipatch(6.0, 1.0, 12, 2, 2, 3, 0.5, 0.4, 5e-3);
+        let cfg = DpdConfig {
+            seed: 31,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [6.0, 6.0, 3.0], [false, false, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+        sim.fill_solvent();
+        let mut ob = OpenBoundaryX::new(3, 1, 3.0, 1.0, [0.0; 3], 0);
+        ob.target_count = Some(sim.particles.len());
+        sim.set_open_x(ob);
+        let embedding = Embedding {
+            origin_ns: [2.5, 0.35],
+            scaling: UnitScaling {
+                unit_ns: 1.0,
+                unit_dpd: 0.05,
+                nu_ns: 0.5,
+                nu_dpd: 0.85,
+            },
+        };
+        let atom = AtomisticDomain::new(sim, embedding);
+        NektarG::new(mp, atom, TimeProgression::new(5, 4))
+    }
+
+    #[test]
+    fn step_accounting_follows_progression() {
+        let mut ng = small_metasolver();
+        let report = ng.run(8);
+        assert_eq!(report.ns_steps, 8);
+        assert_eq!(report.dpd_steps, 8 * 5);
+        assert_eq!(report.exchanges, 2); // at steps 0 and 4
+        assert_eq!(report.patch_mismatch.len(), 2);
+    }
+
+    #[test]
+    fn wpod_coprocessing_fires() {
+        let mut ng = small_metasolver().with_wpod(
+            BinSampler::new(1, 6, 0, 2),
+            nkg_wpod::window::WindowPod::new(4, 4, 2.0),
+        );
+        let report = ng.run(8);
+        // 40 DPD steps → 20 snapshots → windows of 4 with stride 4 → 5.
+        assert_eq!(report.wpod_windows, 5);
+        assert!(ng.last_wpod.is_some());
+        let res = ng.last_wpod.unwrap();
+        assert_eq!(res.mean.len(), 6);
+    }
+
+    #[test]
+    fn census_recorded_even_without_platelets() {
+        let mut ng = small_metasolver();
+        let report = ng.run(4);
+        assert_eq!(report.platelet_census.len(), 1);
+        assert_eq!(report.platelet_census[0], (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,200 @@
+//! NεκTαr-3D ↔ NεκTαr-1D coupling: closing a continuum patch's outflow
+//! with a 1D arterial network — the paper's mechanism for "flow dynamics in
+//! peripheral arterial networks invisible to the MRI or CT scanners"
+//! ("it is possible to couple ... 3D domains to a number of 1D domains").
+//!
+//! Per exchange the multidimensional solver reports its outlet volume flux;
+//! the 1D network is driven by that flow at its root; the network's inlet
+//! pressure comes back as the continuum's outlet pressure Dirichlet value —
+//! a flow-to-pressure (impedance) coupling, the standard 3D-1D pairing.
+
+use crate::multipatch::Multipatch2d;
+use nkg_mesh::quad::BoundaryTag;
+use nkg_sem::oned::{Inflow, Solver1d};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A 1D network terminating a continuum outlet.
+pub struct OneDOutflow {
+    /// The 1D solver (its inflow is slaved to the continuum outlet flux).
+    pub network: Solver1d,
+    /// Depth of the continuum channel in the out-of-plane direction used to
+    /// convert the 2D outlet flux (per unit depth) into a volumetric flow.
+    pub depth: f64,
+    /// Latest continuum outlet flow handed to the network.
+    pub last_flow: f64,
+    /// Latest network inlet pressure handed back.
+    pub last_pressure: f64,
+    /// Pressure → continuum scaling (the continuum works in nondimensional
+    /// pressure units; `p_c = p_1d / pressure_scale`).
+    pub pressure_scale: f64,
+    target_flow: Arc<AtomicU64>,
+}
+
+impl OneDOutflow {
+    /// Wrap a 1D network whose root inflow becomes slaved to the continuum.
+    /// The `network`'s own `Inflow` is replaced.
+    pub fn new(mut network: Solver1d, depth: f64, pressure_scale: f64) -> Self {
+        let target_flow = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+        let handle = Arc::clone(&target_flow);
+        network.set_inflow(Inflow::Flow(Box::new(move |_t| {
+            f64::from_bits(handle.load(Ordering::Relaxed))
+        })));
+        Self {
+            network,
+            depth,
+            last_flow: 0.0,
+            last_pressure: 0.0,
+            pressure_scale,
+            target_flow,
+        }
+    }
+
+    /// Continuum outlet volume flux of `mp`'s last patch:
+    /// `∫ u dy · depth` along the outlet boundary (midpoint rule over the
+    /// outlet DoFs, adequate for the smooth outflow profile).
+    pub fn continuum_outlet_flow(&self, mp: &Multipatch2d) -> f64 {
+        let last = mp.patches.last().expect("no patches");
+        let dofs = last.space.boundary_dofs(|t| t == BoundaryTag::Outlet);
+        if dofs.len() < 2 {
+            return 0.0;
+        }
+        // Sort outlet DoFs by y and integrate u with the trapezoid rule.
+        let mut pts: Vec<(f64, f64)> = dofs
+            .iter()
+            .map(|&g| (last.space.coords[g][1], last.u[g]))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut q = 0.0;
+        for w in pts.windows(2) {
+            q += 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0);
+        }
+        q * self.depth
+    }
+
+    /// One exchange: hand the continuum flux to the network, advance the
+    /// network by `t_interval` (sub-cycled at its own CFL limit), and
+    /// impose the returned root pressure on the continuum outlet.
+    pub fn exchange(&mut self, mp: &mut Multipatch2d, t_interval: f64) {
+        let q = self.continuum_outlet_flow(mp);
+        self.last_flow = q;
+        self.target_flow.store(q.to_bits(), Ordering::Relaxed);
+        // Sub-cycle the hyperbolic 1D solver across the coupling interval.
+        let dt = self.network.cfl_dt(0.3);
+        let steps = (t_interval / dt).ceil().max(1.0) as usize;
+        let dt = t_interval / steps as f64;
+        for _ in 0..steps {
+            self.network.step(dt);
+        }
+        self.last_pressure = self.network.inlet_pressure(0);
+        // Impose on the continuum outlet as a persistent pressure override
+        // (merged into every multipatch exchange).
+        let p_c = self.last_pressure / self.pressure_scale;
+        let last_idx = mp.patches.len() - 1;
+        let dofs: Vec<usize> = mp.patches[last_idx]
+            .space
+            .boundary_dofs(|t| t == BoundaryTag::Outlet);
+        let map: HashMap<usize, f64> = dofs.into_iter().map(|d| (d, p_c)).collect();
+        mp.extra_p_overrides[last_idx] = map;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipatch::poiseuille_multipatch;
+    use nkg_mesh::oned::{ArterialNetwork, Windkessel};
+
+    fn network() -> Solver1d {
+        let (area0, beta, rho) = (1.0e-4f64, 2.0e7f64, 1050.0f64);
+        let c0 = (beta * area0.sqrt() / (2.0 * rho)).sqrt();
+        let zc = rho * c0 / area0;
+        let net = ArterialNetwork::single_vessel(
+            0.1,
+            area0,
+            beta,
+            Windkessel {
+                r1: zc,
+                c: 1.0e-10,
+                r2: 5.0e7,
+                p_out: 0.0,
+            },
+        );
+        Solver1d::new(net, 4, 4, rho, 0.0, Inflow::Flow(Box::new(|_| 0.0)))
+    }
+
+    #[test]
+    fn outlet_flow_matches_poiseuille_flux() {
+        let (nu, f, h) = (0.004, 0.0032, 1.0);
+        let mut mp = poiseuille_multipatch(4.0, h, 8, 2, 2, 4, nu, f, 5e-3);
+        for s in &mut mp.patches {
+            s.set_initial(move |_, y| f * y * (h - y) / (2.0 * nu), |_, _| 0.0);
+        }
+        let od = OneDOutflow::new(network(), 1.0, 1.0);
+        let q = od.continuum_outlet_flow(&mp);
+        // ∫ parabola dy = f h³ / (12 ν) = 0.0032/(12·0.004) = 0.0667.
+        let expect = f * h * h * h / (12.0 * nu);
+        assert!(
+            (q - expect).abs() < 0.03 * expect,
+            "outlet flux {q} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn network_pressure_responds_to_flow_and_feeds_back() {
+        let (nu, f, h) = (0.004, 0.0032, 1.0);
+        let mut mp = poiseuille_multipatch(4.0, h, 8, 2, 2, 4, nu, f, 5e-3);
+        for s in &mut mp.patches {
+            s.set_initial(move |_, y| f * y * (h - y) / (2.0 * nu), |_, _| 0.0);
+        }
+        let mut od = OneDOutflow::new(network(), 1.0e-3, 1.0e5);
+        // Several exchanges: pressure should rise toward R_total * Q.
+        for _ in 0..12 {
+            mp.step();
+            od.exchange(&mut mp, 0.02);
+        }
+        assert!(od.last_flow > 0.0);
+        assert!(
+            od.last_pressure > 0.0,
+            "network should build pressure: {}",
+            od.last_pressure
+        );
+        // Continuum outlet now carries the network pressure (scaled).
+        let last = mp.patches.last().unwrap();
+        let dofs = last.space.boundary_dofs(|t| t == BoundaryTag::Outlet);
+        mp.step();
+        let last = mp.patches.last().unwrap();
+        let p_bc = od.last_pressure / od.pressure_scale;
+        for &d in &dofs {
+            assert!(
+                (last.p[d] - p_bc).abs() < 1e-8 * p_bc.abs().max(1e-12),
+                "outlet pressure {} vs 1D feedback {p_bc}",
+                last.p[d]
+            );
+        }
+    }
+
+    #[test]
+    fn steady_coupled_pressure_approaches_impedance_product() {
+        let mut od = OneDOutflow::new(network(), 1.0, 1.0);
+        // Constant flow forced directly (unit-test of the 1D side).
+        od.target_flow.store(1.0e-5f64.to_bits(), Ordering::Relaxed);
+        for _ in 0..60 {
+            let dt = od.network.cfl_dt(0.3);
+            for _ in 0..100 {
+                od.network.step(dt);
+            }
+        }
+        let p = od.network.inlet_pressure(0);
+        let r_total = {
+            let wk = od.network.net.terminals[0].unwrap();
+            wk.r1 + wk.r2
+        };
+        let expect = r_total * 1.0e-5;
+        assert!(
+            (p - expect).abs() < 0.1 * expect,
+            "steady pressure {p} vs R·Q {expect}"
+        );
+    }
+}

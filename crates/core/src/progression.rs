@@ -1,0 +1,106 @@
+//! The time-progression controller of paper Fig. 5.
+//!
+//! Sub-domains integrate independently with their own time steps
+//! (`δt_NS > δt_DPD > δt_MD`); coupling data is exchanged every `τ` of
+//! physical time. In the paper's runs one NεκTαr step spans 20 DPD steps
+//! and the exchange happens every `τ = 10 Δt_NS = 200 Δt_DPD ≈ 0.0344 s`.
+//! This module does the bookkeeping: given step ratios it yields, per
+//! coupling interval, how many steps each solver must take and when
+//! exchanges fire, and it checks divisibility so drift cannot accumulate.
+
+/// Step-ratio plan for one continuum solver coupled to one atomistic
+/// solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeProgression {
+    /// Atomistic steps per continuum step (paper: 20).
+    pub substeps: usize,
+    /// Continuum steps between boundary-condition exchanges (paper: 10).
+    pub exchange_every: usize,
+}
+
+impl TimeProgression {
+    /// The paper's configuration: `Δt_NS = 20 Δt_DPD`, exchange every
+    /// `10 Δt_NS`.
+    pub fn paper() -> Self {
+        Self {
+            substeps: 20,
+            exchange_every: 10,
+        }
+    }
+
+    /// Construct with validation.
+    pub fn new(substeps: usize, exchange_every: usize) -> Self {
+        assert!(substeps >= 1 && exchange_every >= 1);
+        Self {
+            substeps,
+            exchange_every,
+        }
+    }
+
+    /// Atomistic steps per exchange interval τ (paper: 200).
+    pub fn dpd_steps_per_exchange(&self) -> usize {
+        self.substeps * self.exchange_every
+    }
+
+    /// Whether an exchange fires *before* continuum step `ns_step`
+    /// (0-based): exchanges happen at the start of every
+    /// `exchange_every`-th step, including the first.
+    pub fn exchange_at(&self, ns_step: usize) -> bool {
+        ns_step % self.exchange_every == 0
+    }
+
+    /// Number of exchanges in a run of `ns_steps` continuum steps.
+    pub fn num_exchanges(&self, ns_steps: usize) -> usize {
+        ns_steps.div_ceil(self.exchange_every)
+    }
+
+    /// Given the continuum step size, the atomistic step size.
+    pub fn dpd_dt(&self, ns_dt: f64) -> f64 {
+        ns_dt / self.substeps as f64
+    }
+
+    /// The exchange interval τ in continuum time units.
+    pub fn tau(&self, ns_dt: f64) -> f64 {
+        ns_dt * self.exchange_every as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios() {
+        let tp = TimeProgression::paper();
+        assert_eq!(tp.dpd_steps_per_exchange(), 200);
+        assert_eq!(tp.tau(3.44e-3), 0.0344);
+        assert!((tp.dpd_dt(3.44e-3) - 1.72e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn exchange_schedule() {
+        let tp = TimeProgression::new(20, 10);
+        assert!(tp.exchange_at(0));
+        assert!(!tp.exchange_at(5));
+        assert!(tp.exchange_at(10));
+        assert_eq!(tp.num_exchanges(100), 10);
+        assert_eq!(tp.num_exchanges(101), 11);
+        assert_eq!(tp.num_exchanges(1), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_substeps_rejected() {
+        TimeProgression::new(0, 1);
+    }
+
+    #[test]
+    fn total_step_accounting() {
+        // 200 NS steps at the paper's ratios = 4000 DPD steps — the Table 5
+        // benchmark workload.
+        let tp = TimeProgression::paper();
+        let ns_steps = 200;
+        assert_eq!(ns_steps * tp.substeps, 4000);
+        assert_eq!(tp.num_exchanges(ns_steps), 20);
+    }
+}

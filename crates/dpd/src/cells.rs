@@ -1,0 +1,318 @@
+//! Linked-cell neighbor search.
+
+use crate::domain::Box3;
+
+/// A cell grid over a box with cell edge ≥ the cutoff radius, giving O(N)
+/// neighbor enumeration.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    bx: Box3,
+    /// Cells per axis.
+    pub dims: [usize; 3],
+    /// Cell edge per axis.
+    cell: [f64; 3],
+    /// Head-of-chain per cell (`usize::MAX` = empty).
+    head: Vec<usize>,
+    /// Next-in-chain per particle.
+    next: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl CellGrid {
+    /// Build the grid geometry for cutoff `rc` (no particles yet).
+    pub fn new(bx: Box3, rc: f64) -> Self {
+        assert!(rc > 0.0);
+        let l = bx.lengths();
+        let dims = [
+            (l[0] / rc).floor().max(1.0) as usize,
+            (l[1] / rc).floor().max(1.0) as usize,
+            (l[2] / rc).floor().max(1.0) as usize,
+        ];
+        let cell = [
+            l[0] / dims[0] as f64,
+            l[1] / dims[1] as f64,
+            l[2] / dims[2] as f64,
+        ];
+        let ncell = dims[0] * dims[1] * dims[2];
+        Self {
+            bx,
+            dims,
+            cell,
+            head: vec![NONE; ncell],
+            next: Vec::new(),
+        }
+    }
+
+    /// Cell index of a position (clamped to the box).
+    pub fn cell_of(&self, p: [f64; 3]) -> usize {
+        let mut c = [0usize; 3];
+        for k in 0..3 {
+            let t = ((p[k] - self.bx.lo[k]) / self.cell[k]).floor() as isize;
+            c[k] = t.clamp(0, self.dims[k] as isize - 1) as usize;
+        }
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// Rebuild the linked lists from positions.
+    pub fn rebuild(&mut self, pos: &[[f64; 3]]) {
+        self.head.iter_mut().for_each(|h| *h = NONE);
+        self.next.clear();
+        self.next.resize(pos.len(), NONE);
+        for (i, &p) in pos.iter().enumerate() {
+            let c = self.cell_of(p);
+            self.next[i] = self.head[c];
+            self.head[c] = i;
+        }
+    }
+
+    /// Iterate the particles of one cell.
+    pub fn cell_particles(&self, c: usize) -> CellIter<'_> {
+        CellIter {
+            grid: self,
+            cur: self.head[c],
+        }
+    }
+
+    /// Visit every unordered pair `(i, j)` within the cutoff structure:
+    /// pairs within a cell and pairs between a cell and its 13
+    /// forward-neighbor cells (minimum-image aware). The callback performs
+    /// the distance check itself.
+    pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        let [nx, ny, nz] = self.dims;
+        // 13 forward offsets + self-cell handled separately.
+        const OFFS: [[isize; 3]; 13] = [
+            [1, 0, 0],
+            [-1, 1, 0],
+            [0, 1, 0],
+            [1, 1, 0],
+            [-1, -1, 1],
+            [0, -1, 1],
+            [1, -1, 1],
+            [-1, 0, 1],
+            [0, 0, 1],
+            [1, 0, 1],
+            [-1, 1, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ];
+        for cz in 0..nz {
+            for cy in 0..ny {
+                for cx in 0..nx {
+                    let c = (cz * ny + cy) * nx + cx;
+                    // In-cell pairs.
+                    let mut i = self.head[c];
+                    while i != NONE {
+                        let mut j = self.next[i];
+                        while j != NONE {
+                            f(i, j);
+                            j = self.next[j];
+                        }
+                        i = self.next[i];
+                    }
+                    // Cross-cell pairs.
+                    for off in OFFS {
+                        let mut q = [
+                            cx as isize + off[0],
+                            cy as isize + off[1],
+                            cz as isize + off[2],
+                        ];
+                        let dims = [nx as isize, ny as isize, nz as isize];
+                        let mut skip = false;
+                        for k in 0..3 {
+                            if q[k] < 0 || q[k] >= dims[k] {
+                                if self.bx.periodic[k] && dims[k] > 2 {
+                                    q[k] = (q[k] + dims[k]) % dims[k];
+                                } else if self.bx.periodic[k] && dims[k] <= 2 {
+                                    // With ≤2 cells the wrapped neighbor
+                                    // duplicates an already-visited pair;
+                                    // fall back handled by caller choosing
+                                    // bigger boxes. Skip to stay correct.
+                                    skip = true;
+                                } else {
+                                    skip = true;
+                                }
+                            }
+                        }
+                        if skip {
+                            continue;
+                        }
+                        let c2 = ((q[2] as usize) * ny + q[1] as usize) * nx + q[0] as usize;
+                        if c2 == c {
+                            continue;
+                        }
+                        let mut i = self.head[c];
+                        while i != NONE {
+                            let mut j = self.head[c2];
+                            while j != NONE {
+                                f(i, j);
+                                j = self.next[j];
+                            }
+                            i = self.next[i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CellGrid {
+    /// Visit every particle in the 27-cell neighborhood of position `p`
+    /// (each candidate exactly once; duplicate wrapped cells are removed,
+    /// so small periodic boxes stay correct). Used by the parallel
+    /// full-neighbor force sweep.
+    pub fn for_each_candidate(&self, p: [f64; 3], mut f: impl FnMut(usize)) {
+        let c = self.cell_of(p);
+        let dims = [
+            self.dims[0] as isize,
+            self.dims[1] as isize,
+            self.dims[2] as isize,
+        ];
+        let cx = (c % self.dims[0]) as isize;
+        let cy = ((c / self.dims[0]) % self.dims[1]) as isize;
+        let cz = (c / (self.dims[0] * self.dims[1])) as isize;
+        let mut cells = [0usize; 27];
+        let mut ncells = 0;
+        for dz in -1..=1isize {
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let mut q = [cx + dx, cy + dy, cz + dz];
+                    let mut ok = true;
+                    for k in 0..3 {
+                        if q[k] < 0 || q[k] >= dims[k] {
+                            if self.bx.periodic[k] {
+                                q[k] = (q[k] + dims[k]) % dims[k];
+                            } else {
+                                ok = false;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let id = ((q[2] as usize) * self.dims[1] + q[1] as usize) * self.dims[0]
+                        + q[0] as usize;
+                    if !cells[..ncells].contains(&id) {
+                        cells[ncells] = id;
+                        ncells += 1;
+                    }
+                }
+            }
+        }
+        for &cell in &cells[..ncells] {
+            let mut i = self.head[cell];
+            while i != NONE {
+                f(i);
+                i = self.next[i];
+            }
+        }
+    }
+}
+
+/// Iterator over one cell's particle chain.
+pub struct CellIter<'a> {
+    grid: &'a CellGrid,
+    cur: usize,
+}
+
+impl Iterator for CellIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == NONE {
+            return None;
+        }
+        let i = self.cur;
+        self.cur = self.grid.next[i];
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn grid_with(points: &[[f64; 3]], periodic: bool) -> CellGrid {
+        let bx = Box3::new([0.0; 3], [6.0, 6.0, 6.0], [periodic; 3]);
+        let mut g = CellGrid::new(bx, 1.0);
+        g.rebuild(points);
+        g
+    }
+
+    #[test]
+    fn cell_assignment() {
+        let g = grid_with(&[[0.5, 0.5, 0.5], [5.5, 5.5, 5.5]], false);
+        assert_eq!(g.cell_of([0.5, 0.5, 0.5]), 0);
+        assert_eq!(
+            g.cell_of([5.5, 5.5, 5.5]),
+            g.dims[0] * g.dims[1] * g.dims[2] - 1
+        );
+    }
+
+    #[test]
+    fn pairs_match_brute_force_within_cutoff() {
+        // Deterministic scatter of points; compare pair sets for r < rc.
+        let mut pts = Vec::new();
+        let mut s = 7u64;
+        for _ in 0..150 {
+            let mut r = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64 * 6.0
+            };
+            pts.push([r(), r(), r()]);
+        }
+        for periodic in [false, true] {
+            let g = grid_with(&pts, periodic);
+            let bx = Box3::new([0.0; 3], [6.0; 3], [periodic; 3]);
+            let mut got = HashSet::new();
+            g.for_each_pair(|i, j| {
+                let d = bx.min_image(pts[i], pts[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < 1.0 {
+                    got.insert((i.min(j), i.max(j)));
+                }
+            });
+            let mut expect = HashSet::new();
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    let d = bx.min_image(pts[i], pts[j]);
+                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    if r2 < 1.0 {
+                        expect.insert((i, j));
+                    }
+                }
+            }
+            assert_eq!(got, expect, "periodic={periodic}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let pts: Vec<[f64; 3]> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                [
+                    (t.sin() * 2.5 + 3.0),
+                    (t.cos() * 2.5 + 3.0),
+                    ((i % 6) as f64 + 0.5),
+                ]
+            })
+            .collect();
+        let g = grid_with(&pts, true);
+        let mut seen = HashSet::new();
+        g.for_each_pair(|i, j| {
+            assert!(seen.insert((i.min(j), i.max(j))), "duplicate pair {i},{j}");
+        });
+    }
+
+    #[test]
+    fn cell_particles_iterates_chain() {
+        let pts = [[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [5.0, 5.0, 5.0]];
+        let g = grid_with(&pts, false);
+        let cell0: Vec<usize> = g.cell_particles(g.cell_of([0.1; 3])).collect();
+        let mut sorted = cell0.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structure-of-arrays particle storage.
+
+/// Aggregation state of a platelet particle (solvent particles stay
+/// [`PlateletState::NotPlatelet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlateletState {
+    /// Not a platelet (solvent / cell species).
+    NotPlatelet,
+    /// Passive platelet, advected with the flow.
+    Passive,
+    /// Triggered at the stored simulation step; becomes active after the
+    /// activation delay.
+    Triggered(u64),
+    /// Active: feels adhesive interactions.
+    Active,
+    /// Bonded to a wall adhesion site (index stored).
+    Adhered(u32),
+}
+
+/// SoA particle container. Positions/velocities/forces are parallel
+/// arrays; removal is O(1) swap-remove (order is not preserved).
+#[derive(Debug, Clone, Default)]
+pub struct Particles {
+    /// Positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Accumulated forces.
+    pub force: Vec<[f64; 3]>,
+    /// Species index (row into the interaction matrix).
+    pub species: Vec<u8>,
+    /// Platelet state.
+    pub state: Vec<PlateletState>,
+}
+
+impl Particles {
+    /// Empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Append a particle; returns its index.
+    pub fn push(&mut self, pos: [f64; 3], vel: [f64; 3], species: u8) -> usize {
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.force.push([0.0; 3]);
+        self.species.push(species);
+        self.state.push(PlateletState::NotPlatelet);
+        self.pos.len() - 1
+    }
+
+    /// Append a platelet in the passive state.
+    pub fn push_platelet(&mut self, pos: [f64; 3], vel: [f64; 3], species: u8) -> usize {
+        let i = self.push(pos, vel, species);
+        self.state[i] = PlateletState::Passive;
+        i
+    }
+
+    /// Remove by swap; the last particle takes index `i`.
+    pub fn swap_remove(&mut self, i: usize) {
+        self.pos.swap_remove(i);
+        self.vel.swap_remove(i);
+        self.force.swap_remove(i);
+        self.species.swap_remove(i);
+        self.state.swap_remove(i);
+    }
+
+    /// Zero all force accumulators.
+    pub fn clear_forces(&mut self) {
+        for f in &mut self.force {
+            *f = [0.0; 3];
+        }
+    }
+
+    /// Total momentum (unit mass).
+    pub fn momentum(&self) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for v in &self.vel {
+            for k in 0..3 {
+                p[k] += v[k];
+            }
+        }
+        p
+    }
+
+    /// Instantaneous kinetic temperature `2/(3N) Σ ½|v − v̄|²` (unit mass,
+    /// k_B = 1, measured in the mean-velocity frame).
+    pub fn temperature(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let p = self.momentum();
+        let vbar = [p[0] / n as f64, p[1] / n as f64, p[2] / n as f64];
+        let mut ke = 0.0;
+        for v in &self.vel {
+            for k in 0..3 {
+                let dv = v[k] - vbar[k];
+                ke += 0.5 * dv * dv;
+            }
+        }
+        2.0 * ke / (3.0 * n as f64)
+    }
+
+    /// Count of particles in a given species.
+    pub fn count_species(&self, species: u8) -> usize {
+        self.species.iter().filter(|&&s| s == species).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_remove() {
+        let mut p = Particles::new();
+        p.push([0.0; 3], [1.0, 0.0, 0.0], 0);
+        p.push([1.0; 3], [0.0, 2.0, 0.0], 1);
+        p.push([2.0; 3], [0.0, 0.0, 3.0], 0);
+        assert_eq!(p.len(), 3);
+        p.swap_remove(0);
+        assert_eq!(p.len(), 2);
+        // Last particle moved into slot 0.
+        assert_eq!(p.pos[0], [2.0; 3]);
+        assert_eq!(p.count_species(0), 1);
+    }
+
+    #[test]
+    fn momentum_sums() {
+        let mut p = Particles::new();
+        p.push([0.0; 3], [1.0, -2.0, 0.5], 0);
+        p.push([0.0; 3], [-1.0, 2.0, 0.5], 0);
+        assert_eq!(p.momentum(), [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn temperature_in_com_frame() {
+        let mut p = Particles::new();
+        // Two particles moving together: zero thermal motion.
+        p.push([0.0; 3], [5.0, 0.0, 0.0], 0);
+        p.push([1.0; 3], [5.0, 0.0, 0.0], 0);
+        assert_eq!(p.temperature(), 0.0);
+        // Opposing velocities: T = 2/(3*2) * (0.5+0.5) = 1/3.
+        let mut q = Particles::new();
+        q.push([0.0; 3], [1.0, 0.0, 0.0], 0);
+        q.push([1.0; 3], [-1.0, 0.0, 0.0], 0);
+        assert!((q.temperature() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platelet_state_defaults() {
+        let mut p = Particles::new();
+        let a = p.push([0.0; 3], [0.0; 3], 0);
+        let b = p.push_platelet([0.0; 3], [0.0; 3], 1);
+        assert_eq!(p.state[a], PlateletState::NotPlatelet);
+        assert_eq!(p.state[b], PlateletState::Passive);
+    }
+}

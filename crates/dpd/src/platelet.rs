@@ -1,0 +1,332 @@
+//! Platelet aggregation model (Pivkin–Richardson–Karniadakis, PNAS 2006,
+//! as adapted by the paper for clot formation in the aneurysm).
+//!
+//! Platelets are spherical DPD particles with a state machine:
+//!
+//! * **passive** platelets advect with the flow;
+//! * a passive platelet coming within the *trigger distance* of a wall
+//!   adhesion site or of an *active* platelet becomes **triggered**;
+//! * after the *activation delay time* `t_act` (the key physiological
+//!   parameter studied in the PNAS paper) a triggered platelet becomes
+//!   **active**;
+//! * active platelets feel Morse attraction to wall adhesion sites and to
+//!   other active platelets (aggregation);
+//! * an active platelet within the bond distance of a site becomes
+//!   **adhered** — anchored by a stiff spring (the growing thrombus).
+
+use crate::domain::Box3;
+use crate::particles::{Particles, PlateletState};
+
+/// Aggregation model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlateletParams {
+    /// Distance within which passive platelets are triggered.
+    pub trigger_dist: f64,
+    /// Activation delay in steps.
+    pub delay_steps: u64,
+    /// Morse well depth.
+    pub de: f64,
+    /// Morse inverse width β.
+    pub beta: f64,
+    /// Morse equilibrium distance.
+    pub r0: f64,
+    /// Adhesive interaction cutoff.
+    pub cutoff: f64,
+    /// Bonding distance to a wall site.
+    pub bond_dist: f64,
+    /// Anchor spring stiffness once adhered.
+    pub spring_k: f64,
+}
+
+impl Default for PlateletParams {
+    fn default() -> Self {
+        Self {
+            trigger_dist: 0.5,
+            delay_steps: 100,
+            de: 20.0,
+            beta: 2.0,
+            r0: 0.3,
+            cutoff: 1.5,
+            bond_dist: 0.35,
+            spring_k: 200.0,
+        }
+    }
+}
+
+/// Wall adhesion sites (damaged endothelium in the aneurysm).
+#[derive(Debug, Clone, Default)]
+pub struct WallSites {
+    /// Site positions.
+    pub pos: Vec<[f64; 3]>,
+}
+
+impl WallSites {
+    /// Sites scattered on a rectangle of the wall plane.
+    pub fn on_plane(
+        n: usize,
+        axis: usize,
+        coord: f64,
+        lo: [f64; 3],
+        hi: [f64; 3],
+        seed: u64,
+    ) -> Self {
+        let mut pos = Vec::with_capacity(n);
+        let mut s = seed.max(1);
+        let mut rand = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            let mut p = [0.0; 3];
+            for k in 0..3 {
+                p[k] = lo[k] + rand() * (hi[k] - lo[k]);
+            }
+            p[axis] = coord;
+            pos.push(p);
+        }
+        Self { pos }
+    }
+}
+
+/// Advance the platelet state machine one step. Returns
+/// `(triggered, activated, adhered)` counts of *transitions* this step.
+pub fn update_states(
+    p: &mut Particles,
+    sites: &WallSites,
+    bx: &Box3,
+    params: &PlateletParams,
+    step: u64,
+) -> (usize, usize, usize) {
+    let mut newly_triggered = 0;
+    let mut newly_active = 0;
+    let mut newly_adhered = 0;
+    // Collect active platelet positions first (triggers are based on the
+    // state at the beginning of the step).
+    let active_pos: Vec<[f64; 3]> = p
+        .state
+        .iter()
+        .zip(&p.pos)
+        .filter(|(s, _)| matches!(s, PlateletState::Active | PlateletState::Adhered(_)))
+        .map(|(_, &x)| x)
+        .collect();
+    for i in 0..p.len() {
+        match p.state[i] {
+            PlateletState::Passive => {
+                let near_site = sites.pos.iter().any(|&s| {
+                    let d = bx.min_image(p.pos[i], s);
+                    d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+                        < params.trigger_dist * params.trigger_dist
+                });
+                let near_active = active_pos.iter().any(|&s| {
+                    let d = bx.min_image(p.pos[i], s);
+                    d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+                        < params.trigger_dist * params.trigger_dist
+                });
+                if near_site || near_active {
+                    p.state[i] = PlateletState::Triggered(step);
+                    newly_triggered += 1;
+                }
+            }
+            PlateletState::Triggered(t0) => {
+                if step.saturating_sub(t0) >= params.delay_steps {
+                    p.state[i] = PlateletState::Active;
+                    newly_active += 1;
+                }
+            }
+            PlateletState::Active => {
+                // Bond to the nearest site within bonding distance.
+                let mut best: Option<(usize, f64)> = None;
+                for (si, &s) in sites.pos.iter().enumerate() {
+                    let d = bx.min_image(p.pos[i], s);
+                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                    if r2 < params.bond_dist * params.bond_dist
+                        && best.map_or(true, |(_, b)| r2 < b)
+                    {
+                        best = Some((si, r2));
+                    }
+                }
+                if let Some((si, _)) = best {
+                    p.state[i] = PlateletState::Adhered(si as u32);
+                    newly_adhered += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (newly_triggered, newly_active, newly_adhered)
+}
+
+/// Morse force magnitude (positive = repulsive, along the unit separation
+/// vector from the partner toward the particle):
+/// `F(r) = 2 De β [e^{−2β(r−r0)} − e^{−β(r−r0)}]`.
+#[inline]
+pub fn morse_force(de: f64, beta: f64, r0: f64, r: f64) -> f64 {
+    let x = (-beta * (r - r0)).exp();
+    2.0 * de * beta * (x * x - x)
+}
+
+/// Accumulate adhesive forces: active↔active Morse aggregation,
+/// active↔site Morse attraction, adhered→site anchor springs.
+pub fn adhesion_forces(p: &mut Particles, sites: &WallSites, bx: &Box3, params: &PlateletParams) {
+    let n = p.len();
+    let actives: Vec<usize> = (0..n)
+        .filter(|&i| matches!(p.state[i], PlateletState::Active))
+        .collect();
+    // Active-active aggregation (platelet counts are small; O(k²) is fine —
+    // the solvent never enters this loop).
+    for ai in 0..actives.len() {
+        for aj in ai + 1..actives.len() {
+            let (i, j) = (actives[ai], actives[aj]);
+            let d = bx.min_image(p.pos[i], p.pos[j]);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r >= params.cutoff || r < 1e-12 {
+                continue;
+            }
+            let f = morse_force(params.de, params.beta, params.r0, r);
+            for k in 0..3 {
+                let dir = d[k] / r;
+                p.force[i][k] += f * dir;
+                p.force[j][k] -= f * dir;
+            }
+        }
+    }
+    // Active-site attraction and adhered anchors.
+    for i in 0..n {
+        match p.state[i] {
+            PlateletState::Active => {
+                for &s in &sites.pos {
+                    let d = bx.min_image(p.pos[i], s);
+                    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                    if r >= params.cutoff || r < 1e-12 {
+                        continue;
+                    }
+                    let f = morse_force(params.de, params.beta, params.r0, r);
+                    for k in 0..3 {
+                        p.force[i][k] += f * d[k] / r;
+                    }
+                }
+            }
+            PlateletState::Adhered(si) => {
+                let s = sites.pos[si as usize];
+                let d = bx.min_image(p.pos[i], s);
+                for k in 0..3 {
+                    p.force[i][k] -= params.spring_k * d[k];
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Particles, WallSites, Box3, PlateletParams) {
+        let bx = Box3::new([0.0; 3], [10.0; 3], [true, false, true]);
+        let sites = WallSites {
+            pos: vec![[5.0, 0.0, 5.0]],
+        };
+        let params = PlateletParams {
+            delay_steps: 5,
+            ..Default::default()
+        };
+        (Particles::new(), sites, bx, params)
+    }
+
+    #[test]
+    fn cascade_passive_to_adhered() {
+        let (mut p, sites, bx, params) = setup();
+        // Platelet right next to the site.
+        p.push_platelet([5.0, 0.3, 5.0], [0.0; 3], 1);
+        let (t, _, _) = update_states(&mut p, &sites, &bx, &params, 0);
+        assert_eq!(t, 1);
+        assert!(matches!(p.state[0], PlateletState::Triggered(0)));
+        // Not yet active before the delay.
+        update_states(&mut p, &sites, &bx, &params, 3);
+        assert!(matches!(p.state[0], PlateletState::Triggered(0)));
+        let (_, a, _) = update_states(&mut p, &sites, &bx, &params, 5);
+        assert_eq!(a, 1);
+        assert!(matches!(p.state[0], PlateletState::Active));
+        // Within bond distance: adheres on the next update.
+        let (_, _, ad) = update_states(&mut p, &sites, &bx, &params, 6);
+        assert_eq!(ad, 1);
+        assert!(matches!(p.state[0], PlateletState::Adhered(0)));
+    }
+
+    #[test]
+    fn active_platelet_triggers_neighbors() {
+        let (mut p, sites, bx, params) = setup();
+        p.push_platelet([5.0, 3.0, 5.0], [0.0; 3], 1);
+        p.state[0] = PlateletState::Active;
+        // A passive platelet near the active one, far from the wall site.
+        p.push_platelet([5.2, 3.2, 5.0], [0.0; 3], 1);
+        let (t, _, _) = update_states(&mut p, &sites, &bx, &params, 10);
+        assert_eq!(t, 1);
+        assert!(matches!(p.state[1], PlateletState::Triggered(10)));
+    }
+
+    #[test]
+    fn far_platelets_stay_passive() {
+        let (mut p, sites, bx, params) = setup();
+        p.push_platelet([1.0, 3.0, 1.0], [0.0; 3], 1);
+        update_states(&mut p, &sites, &bx, &params, 0);
+        assert!(matches!(p.state[0], PlateletState::Passive));
+    }
+
+    #[test]
+    fn morse_force_signs() {
+        // Repulsive inside r0, attractive outside, tiny beyond ~r0 + 3/β.
+        assert!(morse_force(10.0, 2.0, 0.5, 0.3) > 0.0);
+        assert!(morse_force(10.0, 2.0, 0.5, 0.9) < 0.0);
+        assert!(morse_force(10.0, 2.0, 0.5, 5.0).abs() < 0.01);
+        assert_eq!(morse_force(10.0, 2.0, 0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn adhesion_pulls_active_toward_site() {
+        let (mut p, sites, bx, params) = setup();
+        p.push_platelet([5.0, 1.0, 5.0], [0.0; 3], 1);
+        p.state[0] = PlateletState::Active;
+        p.clear_forces();
+        adhesion_forces(&mut p, &sites, &bx, &params);
+        assert!(p.force[0][1] < 0.0, "should pull toward the wall: {:?}", p.force[0]);
+    }
+
+    #[test]
+    fn anchor_spring_restores() {
+        let (mut p, sites, bx, params) = setup();
+        p.push_platelet([5.5, 0.2, 5.0], [0.0; 3], 1);
+        p.state[0] = PlateletState::Adhered(0);
+        p.clear_forces();
+        adhesion_forces(&mut p, &sites, &bx, &params);
+        // Displaced +x from the site: spring pulls −x.
+        assert!(p.force[0][0] < 0.0);
+    }
+
+    #[test]
+    fn aggregation_attracts_active_pairs() {
+        let (mut p, sites, bx, params) = setup();
+        p.push_platelet([4.0, 3.0, 5.0], [0.0; 3], 1);
+        p.push_platelet([4.8, 3.0, 5.0], [0.0; 3], 1);
+        p.state[0] = PlateletState::Active;
+        p.state[1] = PlateletState::Active;
+        p.clear_forces();
+        adhesion_forces(&mut p, &sites, &bx, &params);
+        // Separation 0.8 > r0=0.3: attraction pulls them together.
+        assert!(p.force[0][0] > 0.0);
+        assert!(p.force[1][0] < 0.0);
+        // Newton's third law.
+        assert!((p.force[0][0] + p.force[1][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sites_on_plane_respect_axis() {
+        let s = WallSites::on_plane(20, 1, 0.0, [0.0; 3], [4.0, 4.0, 4.0], 7);
+        assert_eq!(s.pos.len(), 20);
+        for p in &s.pos {
+            assert_eq!(p[1], 0.0);
+            assert!(p[0] >= 0.0 && p[0] <= 4.0);
+        }
+    }
+}

@@ -1,0 +1,819 @@
+//! The DPD simulation driver: modified velocity-Verlet integration, wall
+//! and open-boundary handling, species, platelets and measurement.
+
+use crate::cells::CellGrid;
+use crate::domain::Box3;
+use crate::force::{accumulate_pair_forces, SpeciesMatrix};
+use crate::inflow::{gaussian, OpenBoundaryX};
+use crate::particles::{Particles, PlateletState};
+use crate::platelet::{adhesion_forces, update_states, PlateletParams, WallSites};
+use crate::rbc::CellModel;
+use crate::walls::{bounce_back_cylinder, bounce_back_plane, wall_force, EffectiveWallForce};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Wall geometry of the domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WallGeometry {
+    /// Fully periodic (no walls).
+    None,
+    /// No-slip walls at `y = lo` and `y = hi` (plane channel).
+    SlabY,
+    /// No-slip cylinder of given radius about the box's x-axis centerline
+    /// (pipe). The box cross-section must contain the cylinder.
+    CylinderX(f64),
+}
+
+/// Simulation parameters (DPD units: `r_c = 1`-ish scales, unit mass,
+/// `k_B T` as configured).
+#[derive(Debug, Clone, Copy)]
+pub struct DpdConfig {
+    /// Interaction cutoff.
+    pub rc: f64,
+    /// Thermostat temperature `k_B T`.
+    pub kbt: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Number density for filling.
+    pub density: f64,
+    /// Conservative repulsion (uniform default; refine via the matrix).
+    pub a: f64,
+    /// Dissipation strength.
+    pub gamma: f64,
+    /// Wall tangential dissipation.
+    pub gamma_wall: f64,
+    /// Velocity-Verlet prediction factor λ (Groot–Warren use 0.65).
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DpdConfig {
+    fn default() -> Self {
+        Self {
+            rc: 1.0,
+            kbt: 1.0,
+            dt: 0.01,
+            density: 3.0,
+            a: 25.0,
+            gamma: 4.5,
+            gamma_wall: 4.5,
+            lambda: 0.65,
+            seed: 12345,
+        }
+    }
+}
+
+type BodyForceFn = Box<dyn Fn(f64) -> [f64; 3] + Send>;
+
+/// A DPD simulation.
+pub struct DpdSim {
+    /// Parameters.
+    pub cfg: DpdConfig,
+    /// The domain.
+    pub bx: Box3,
+    /// Particle data.
+    pub particles: Particles,
+    /// Species interaction coefficients.
+    pub matrix: SpeciesMatrix,
+    grid: CellGrid,
+    eff_wall: Option<EffectiveWallForce>,
+    /// Wall geometry.
+    pub walls: WallGeometry,
+    /// Optional open boundary along x.
+    pub open_x: Option<OpenBoundaryX>,
+    /// Wall adhesion sites for the platelet model.
+    pub sites: WallSites,
+    /// Platelet model parameters.
+    pub platelet_params: PlateletParams,
+    /// Explicit cell membranes (bead-spring rings) immersed in the solvent.
+    pub cells: Vec<CellModel>,
+    body_force: BodyForceFn,
+    rng: SmallRng,
+    /// Steps taken.
+    pub step_count: u64,
+    /// Simulated time.
+    pub time: f64,
+    /// Pair interactions in the last force evaluation (diagnostics).
+    pub last_pair_count: u64,
+}
+
+impl DpdSim {
+    /// Create an empty simulation over `bx` with the given walls.
+    pub fn new(cfg: DpdConfig, bx: Box3, walls: WallGeometry) -> Self {
+        let grid = CellGrid::new(bx, cfg.rc);
+        let eff_wall = match walls {
+            WallGeometry::None => None,
+            _ => Some(EffectiveWallForce::new(cfg.a, cfg.density, cfg.rc)),
+        };
+        let n_species = 4;
+        Self {
+            matrix: SpeciesMatrix::uniform(n_species, cfg.a, cfg.gamma),
+            grid,
+            eff_wall,
+            walls,
+            open_x: None,
+            sites: WallSites::default(),
+            platelet_params: PlateletParams::default(),
+            cells: Vec::new(),
+            body_force: Box::new(|_| [0.0; 3]),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            particles: Particles::new(),
+            step_count: 0,
+            time: 0.0,
+            last_pair_count: 0,
+            cfg,
+            bx,
+        }
+    }
+
+    /// Fill the domain with solvent (species 0) at the configured density,
+    /// thermal velocities at `k_B T`.
+    pub fn fill_solvent(&mut self) {
+        let n = (self.cfg.density * self.interior_volume()).round() as usize;
+        let vth = self.cfg.kbt.sqrt();
+        for _ in 0..n {
+            let p = self.random_interior_point();
+            let v = [
+                vth * gaussian(&mut self.rng),
+                vth * gaussian(&mut self.rng),
+                vth * gaussian(&mut self.rng),
+            ];
+            self.particles.push(p, v, 0);
+        }
+        // Remove any net momentum so measured flow is purely forced.
+        let mom = self.particles.momentum();
+        let n = self.particles.len().max(1) as f64;
+        for v in &mut self.particles.vel {
+            for k in 0..3 {
+                v[k] -= mom[k] / n;
+            }
+        }
+    }
+
+    /// Convert a fraction of solvent particles into passive platelets
+    /// (species 1). Returns the number converted.
+    pub fn seed_platelets(&mut self, fraction: f64) -> usize {
+        let mut count = 0;
+        let total = self.particles.len();
+        let want = (total as f64 * fraction).round() as usize;
+        for i in 0..total {
+            if count >= want {
+                break;
+            }
+            if self.particles.species[i] == 0 && self.rng.gen::<f64>() < fraction * 2.0 {
+                self.particles.species[i] = 1;
+                self.particles.state[i] = PlateletState::Passive;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Set a (time-dependent) uniform body force.
+    pub fn set_body_force(&mut self, f: impl Fn(f64) -> [f64; 3] + Send + 'static) {
+        self.body_force = Box::new(f);
+    }
+
+    /// Install an open boundary along x. Also enables the effective
+    /// boundary force at both x faces: the fluid deleted beyond each face
+    /// must keep pushing back (its pressure), otherwise the interior
+    /// accelerates toward the vacuum — this is the inflow/outflow role of
+    /// F_eff in Lei-Fedosov-Karniadakis.
+    pub fn set_open_x(&mut self, ob: OpenBoundaryX) {
+        if self.eff_wall.is_none() {
+            self.eff_wall = Some(EffectiveWallForce::new(
+                self.cfg.a,
+                self.cfg.density,
+                self.cfg.rc,
+            ));
+        }
+        self.open_x = Some(ob);
+    }
+
+    fn interior_volume(&self) -> f64 {
+        match self.walls {
+            WallGeometry::CylinderX(r) => {
+                let l = self.bx.lengths();
+                std::f64::consts::PI * r * r * l[0]
+            }
+            _ => self.bx.volume(),
+        }
+    }
+
+    fn random_interior_point(&mut self) -> [f64; 3] {
+        loop {
+            let mut p = [0.0; 3];
+            for k in 0..3 {
+                p[k] = self.bx.lo[k] + self.rng.gen::<f64>() * (self.bx.hi[k] - self.bx.lo[k]);
+            }
+            match self.walls {
+                WallGeometry::CylinderX(r) => {
+                    let (cy, cz) = self.cyl_center();
+                    let dy = p[1] - cy;
+                    let dz = p[2] - cz;
+                    if dy * dy + dz * dz < r * r {
+                        return p;
+                    }
+                }
+                _ => return p,
+            }
+        }
+    }
+
+    fn cyl_center(&self) -> (f64, f64) {
+        (
+            0.5 * (self.bx.lo[1] + self.bx.hi[1]),
+            0.5 * (self.bx.lo[2] + self.bx.hi[2]),
+        )
+    }
+
+    /// Evaluate all forces (pair + wall + body + adhesion) at the current
+    /// positions and velocities.
+    pub fn compute_forces(&mut self) {
+        self.particles.clear_forces();
+        self.grid.rebuild(&self.particles.pos);
+        self.last_pair_count = accumulate_pair_forces(
+            &mut self.particles,
+            &self.grid,
+            &self.bx,
+            &self.matrix,
+            self.cfg.rc,
+            self.cfg.kbt,
+            self.cfg.dt,
+            self.cfg.seed,
+            self.step_count,
+        );
+        // Body force.
+        let fb = (self.body_force)(self.time);
+        if fb != [0.0; 3] {
+            for f in &mut self.particles.force {
+                for k in 0..3 {
+                    f[k] += fb[k];
+                }
+            }
+        }
+        // Wall forces.
+        if let Some(eff) = &self.eff_wall {
+            match self.walls {
+                WallGeometry::SlabY => {
+                    let (ylo, yhi) = (self.bx.lo[1], self.bx.hi[1]);
+                    for i in 0..self.particles.len() {
+                        let y = self.particles.pos[i][1];
+                        let v = self.particles.vel[i];
+                        wall_force(
+                            eff,
+                            self.cfg.gamma_wall,
+                            y - ylo,
+                            [0.0, 1.0, 0.0],
+                            v,
+                            &mut self.particles.force[i],
+                        );
+                        wall_force(
+                            eff,
+                            self.cfg.gamma_wall,
+                            yhi - y,
+                            [0.0, -1.0, 0.0],
+                            v,
+                            &mut self.particles.force[i],
+                        );
+                    }
+                }
+                WallGeometry::CylinderX(r0) => {
+                    let (cy, cz) = self.cyl_center();
+                    for i in 0..self.particles.len() {
+                        let p = self.particles.pos[i];
+                        let dy = p[1] - cy;
+                        let dz = p[2] - cz;
+                        let r = (dy * dy + dz * dz).sqrt().max(1e-12);
+                        let h = r0 - r;
+                        let normal = [0.0, -dy / r, -dz / r]; // inward
+                        let v = self.particles.vel[i];
+                        wall_force(
+                            eff,
+                            self.cfg.gamma_wall,
+                            h,
+                            normal,
+                            v,
+                            &mut self.particles.force[i],
+                        );
+                    }
+                }
+                WallGeometry::None => {}
+            }
+        }
+        // Open-face back-pressure (virtual reservoir beyond each x face)
+        // and adaptive velocity control in the face buffers.
+        if let Some(ob) = &self.open_x {
+            let (xlo, xhi) = (self.bx.lo[0], self.bx.hi[0]);
+            if let Some(eff) = &self.eff_wall {
+                for i in 0..self.particles.len() {
+                    let x = self.particles.pos[i][0];
+                    self.particles.force[i][0] += eff.force(x - xlo);
+                    self.particles.force[i][0] -= eff.force(xhi - x);
+                }
+            }
+            if ob.control_gain > 0.0 {
+                let buf = self.cfg.rc;
+                // Per-bin mean velocity in the two buffers.
+                let nbins = ob.target.len();
+                let mut sums = vec![[0.0f64; 3]; nbins];
+                let mut cnts = vec![0usize; nbins];
+                let mut in_buffer = vec![usize::MAX; self.particles.len()];
+                for i in 0..self.particles.len() {
+                    let p = self.particles.pos[i];
+                    if p[0] < xlo + buf || p[0] > xhi - buf {
+                        let b = ob.bin_of(&self.bx, p[1], p[2]);
+                        in_buffer[i] = b;
+                        cnts[b] += 1;
+                        for k in 0..3 {
+                            sums[b][k] += self.particles.vel[i][k];
+                        }
+                    }
+                }
+                for i in 0..self.particles.len() {
+                    let b = in_buffer[i];
+                    if b == usize::MAX || cnts[b] == 0 {
+                        continue;
+                    }
+                    for k in 0..3 {
+                        let mean = sums[b][k] / cnts[b] as f64;
+                        self.particles.force[i][k] +=
+                            ob.control_gain * (ob.target[b][k] - mean);
+                    }
+                }
+            }
+        }
+        // Cell membrane elasticity.
+        let cells = std::mem::take(&mut self.cells);
+        for cell in &cells {
+            cell.accumulate_forces(&mut self.particles, &self.bx);
+        }
+        self.cells = cells;
+        // Platelet adhesion.
+        if !self.sites.pos.is_empty() {
+            adhesion_forces(
+                &mut self.particles,
+                &self.sites,
+                &self.bx,
+                &self.platelet_params,
+            );
+        }
+    }
+
+    /// Advance one time step (modified velocity-Verlet, Groot–Warren).
+    pub fn step(&mut self) {
+        let dt = self.cfg.dt;
+        let lambda = self.cfg.lambda;
+        // Open-boundary population control first, so arrays stay aligned
+        // for the remainder of the step.
+        if let Some(ob) = &mut self.open_x {
+            ob.delete_outflow(&mut self.particles, &self.bx);
+            let inserted = ob.insert_inflow(&mut self.particles, &self.bx, dt, &mut self.rng);
+            let _ = inserted;
+        }
+        if self.step_count == 0 || self.open_x.is_some() {
+            // Forces may be stale (initial step or population changed).
+            self.compute_forces();
+        }
+        let n = self.particles.len();
+        let f_old: Vec<[f64; 3]> = self.particles.force.clone();
+        let v_old: Vec<[f64; 3]> = self.particles.vel.clone();
+        // Position update + velocity prediction.
+        for i in 0..n {
+            for k in 0..3 {
+                self.particles.pos[i][k] +=
+                    dt * self.particles.vel[i][k] + 0.5 * dt * dt * f_old[i][k];
+                self.particles.vel[i][k] = v_old[i][k] + lambda * dt * f_old[i][k];
+            }
+            self.bx.wrap(&mut self.particles.pos[i]);
+        }
+        // Wall reflection (flips both predicted and saved velocities).
+        let mut v_old = v_old;
+        match self.walls {
+            WallGeometry::SlabY => {
+                for i in 0..n {
+                    let b1 = bounce_back_plane(
+                        &mut self.particles.pos[i],
+                        &mut self.particles.vel[i],
+                        1,
+                        self.bx.lo[1],
+                        1.0,
+                    );
+                    let b2 = bounce_back_plane(
+                        &mut self.particles.pos[i],
+                        &mut self.particles.vel[i],
+                        1,
+                        self.bx.hi[1],
+                        -1.0,
+                    );
+                    if b1 || b2 {
+                        for v in v_old[i].iter_mut() {
+                            *v = -*v;
+                        }
+                    }
+                }
+            }
+            WallGeometry::CylinderX(r0) => {
+                let (cy, cz) = self.cyl_center();
+                for i in 0..n {
+                    if bounce_back_cylinder(
+                        &mut self.particles.pos[i],
+                        &mut self.particles.vel[i],
+                        r0,
+                        cy,
+                        cz,
+                    ) {
+                        for v in v_old[i].iter_mut() {
+                            *v = -*v;
+                        }
+                    }
+                }
+            }
+            WallGeometry::None => {}
+        }
+        // Forces at the new positions with predicted velocities.
+        self.step_count += 1;
+        self.compute_forces();
+        // Velocity correction.
+        for i in 0..n {
+            for k in 0..3 {
+                self.particles.vel[i][k] =
+                    v_old[i][k] + 0.5 * dt * (f_old[i][k] + self.particles.force[i][k]);
+            }
+        }
+        // Platelet state machine.
+        if !self.sites.pos.is_empty() {
+            update_states(
+                &mut self.particles,
+                &self.sites,
+                &self.bx,
+                &self.platelet_params,
+                self.step_count,
+            );
+        }
+        self.time += dt;
+    }
+
+    /// Mean velocity profile along an axis: `bins` slabs, returns
+    /// `(bin center, mean velocity vector, count)` per slab.
+    pub fn velocity_profile(&self, axis: usize, bins: usize) -> Vec<(f64, [f64; 3], usize)> {
+        let lo = self.bx.lo[axis];
+        let h = (self.bx.hi[axis] - lo) / bins as f64;
+        let mut sums = vec![[0.0f64; 3]; bins];
+        let mut counts = vec![0usize; bins];
+        for (p, v) in self.particles.pos.iter().zip(&self.particles.vel) {
+            let b = (((p[axis] - lo) / h) as isize).clamp(0, bins as isize - 1) as usize;
+            for k in 0..3 {
+                sums[b][k] += v[k];
+            }
+            counts[b] += 1;
+        }
+        (0..bins)
+            .map(|b| {
+                let c = counts[b].max(1) as f64;
+                (
+                    lo + (b as f64 + 0.5) * h,
+                    [sums[b][0] / c, sums[b][1] / c, sums[b][2] / c],
+                    counts[b],
+                )
+            })
+            .collect()
+    }
+
+    /// Current number density (over the interior volume).
+    pub fn number_density(&self) -> f64 {
+        self.particles.len() as f64 / self.interior_volume()
+    }
+
+    /// Counts of platelets by coarse state: `(passive, triggered, active,
+    /// adhered)` — the Fig. 10 observable.
+    pub fn platelet_census(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for s in &self.particles.state {
+            match s {
+                PlateletState::Passive => c.0 += 1,
+                PlateletState::Triggered(_) => c.1 += 1,
+                PlateletState::Active => c.2 += 1,
+                PlateletState::Adhered(_) => c.3 += 1,
+                PlateletState::NotPlatelet => {}
+            }
+        }
+        c
+    }
+}
+
+/// Bin-averaged snapshot sampler for WPOD co-processing: accumulates the
+/// velocity field over `n_ts` steps on a 1D slab grid (bin size of order
+/// `r_c`, as in the paper), then emits a snapshot.
+#[derive(Debug, Clone)]
+pub struct BinSampler {
+    axis: usize,
+    bins: usize,
+    component: usize,
+    n_ts: usize,
+    acc: Vec<f64>,
+    cnt: Vec<f64>,
+    steps: usize,
+}
+
+impl BinSampler {
+    /// Average velocity `component` in `bins` slabs along `axis`, emitting
+    /// a snapshot every `n_ts` accumulation steps.
+    pub fn new(axis: usize, bins: usize, component: usize, n_ts: usize) -> Self {
+        assert!(bins >= 1 && n_ts >= 1 && axis < 3 && component < 3);
+        Self {
+            axis,
+            bins,
+            component,
+            n_ts,
+            acc: vec![0.0; bins],
+            cnt: vec![0.0; bins],
+            steps: 0,
+        }
+    }
+
+    /// Accumulate the current state; returns a finished snapshot every
+    /// `n_ts` calls.
+    pub fn accumulate(&mut self, sim: &DpdSim) -> Option<Vec<f64>> {
+        let lo = sim.bx.lo[self.axis];
+        let h = (sim.bx.hi[self.axis] - lo) / self.bins as f64;
+        for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
+            let b = (((p[self.axis] - lo) / h) as isize).clamp(0, self.bins as isize - 1) as usize;
+            self.acc[b] += v[self.component];
+            self.cnt[b] += 1.0;
+        }
+        self.steps += 1;
+        if self.steps < self.n_ts {
+            return None;
+        }
+        let snap: Vec<f64> = self
+            .acc
+            .iter()
+            .zip(&self.cnt)
+            .map(|(a, c)| if *c > 0.0 { a / c } else { 0.0 })
+            .collect();
+        self.acc.iter_mut().for_each(|x| *x = 0.0);
+        self.cnt.iter_mut().for_each(|x| *x = 0.0);
+        self.steps = 0;
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Least-squares quadratic fit `u ≈ c0 + c1 y + c2 y²` via normal
+    /// equations (3×3 Cramer solve).
+    fn quad_fit(ys: &[f64], us: &[f64]) -> (f64, f64, f64) {
+        let n = ys.len() as f64;
+        let (mut sy, mut sy2, mut sy3, mut sy4) = (0.0, 0.0, 0.0, 0.0);
+        let (mut su, mut syu, mut sy2u) = (0.0, 0.0, 0.0);
+        for (&y, &u) in ys.iter().zip(us) {
+            sy += y;
+            sy2 += y * y;
+            sy3 += y * y * y;
+            sy4 += y * y * y * y;
+            su += u;
+            syu += y * u;
+            sy2u += y * y * u;
+        }
+        let a = [[n, sy, sy2], [sy, sy2, sy3], [sy2, sy3, sy4]];
+        let b = [su, syu, sy2u];
+        let det3 = |m: &[[f64; 3]; 3]| {
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+                - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+                + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+        };
+        let d = det3(&a);
+        let mut out = [0.0f64; 3];
+        for c in 0..3 {
+            let mut m = a;
+            for r in 0..3 {
+                m[r][c] = b[r];
+            }
+            out[c] = det3(&m) / d;
+        }
+        (out[0], out[1], out[2])
+    }
+
+    fn periodic_box(seed: u64) -> DpdSim {
+        let cfg = DpdConfig {
+            seed,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::None);
+        sim.fill_solvent();
+        sim
+    }
+
+    #[test]
+    fn fill_reaches_target_density() {
+        let sim = periodic_box(1);
+        assert!((sim.number_density() - 3.0).abs() < 0.01);
+        assert_eq!(sim.particles.len(), 648);
+    }
+
+    #[test]
+    fn momentum_conserved_in_periodic_box() {
+        let mut sim = periodic_box(2);
+        for _ in 0..20 {
+            sim.step();
+        }
+        let p = sim.particles.momentum();
+        let scale = sim.particles.len() as f64;
+        for k in 0..3 {
+            assert!(
+                p[k].abs() < 1e-9 * scale,
+                "momentum drift: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn temperature_equilibrates_to_kbt() {
+        let mut sim = periodic_box(3);
+        // Start cold: the thermostat must heat the system to kT = 1.
+        for v in &mut sim.particles.vel {
+            *v = [0.0; 3];
+        }
+        for _ in 0..400 {
+            sim.step();
+        }
+        // Average over a window to beat fluctuations.
+        let mut t = 0.0;
+        let m = 100;
+        for _ in 0..m {
+            sim.step();
+            t += sim.particles.temperature();
+        }
+        t /= m as f64;
+        assert!(
+            (t - 1.0).abs() < 0.05,
+            "equilibrium temperature {t}, expected 1.0"
+        );
+    }
+
+    #[test]
+    fn poiseuille_profile_is_parabolic() {
+        let cfg = DpdConfig {
+            seed: 4,
+            dt: 0.01,
+            ..Default::default()
+        };
+        // Narrow channel (h = 4) so the momentum diffusion time h²/ν ≈ 19
+        // is well inside the 2000-step (20 time-unit) equilibration.
+        let bx = Box3::new([0.0; 3], [8.0, 4.0, 4.0], [true, false, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+        sim.fill_solvent();
+        sim.set_body_force(|_| [0.15, 0.0, 0.0]);
+        for _ in 0..2000 {
+            sim.step();
+        }
+        // Accumulate the profile over further steps.
+        let bins = 10;
+        let mut acc = vec![0.0f64; bins];
+        let samples = 1200;
+        for _ in 0..samples {
+            sim.step();
+            for (b, (_, v, _)) in sim.velocity_profile(1, bins).iter().enumerate() {
+                acc[b] += v[0];
+            }
+        }
+        for a in &mut acc {
+            *a /= samples as f64;
+        }
+        // Fit u(y) = c0 + c1 y + c2 y² by least squares and check the
+        // parabola explains the data and has negative curvature.
+        let ys: Vec<f64> = (0..bins).map(|b| (b as f64 + 0.5) * 0.4).collect();
+        let (c0, c1, c2) = quad_fit(&ys, &acc);
+        assert!(c2 < 0.0, "profile must be concave: c2={c2}");
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        let mean: f64 = acc.iter().sum::<f64>() / bins as f64;
+        for (y, u) in ys.iter().zip(&acc) {
+            let fit = c0 + c1 * y + c2 * y * y;
+            ss_res += (u - fit).powi(2);
+            ss_tot += (u - mean).powi(2);
+        }
+        let r2 = 1.0 - ss_res / ss_tot.max(1e-30);
+        assert!(r2 > 0.9, "parabolic fit R² = {r2}, profile {acc:?}");
+        // Near-wall bins must be much slower than the center (no-slip).
+        let center = acc[bins / 2].max(acc[bins / 2 - 1]);
+        assert!(acc[0] < 0.5 * center, "no-slip violated: {acc:?}");
+        assert!(acc[bins - 1] < 0.5 * center, "no-slip violated: {acc:?}");
+    }
+
+    #[test]
+    fn open_boundary_sustains_density_and_flow() {
+        let cfg = DpdConfig {
+            seed: 5,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [8.0, 4.0, 4.0], [false, true, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::None);
+        sim.fill_solvent();
+        let mut ob = OpenBoundaryX::new(2, 2, 3.0, 1.0, [0.5, 0.0, 0.0], 0);
+        ob.target_count = Some(sim.particles.len());
+        sim.set_open_x(ob);
+        let n0 = sim.particles.len();
+        for _ in 0..1200 {
+            sim.step();
+        }
+        let n1 = sim.particles.len();
+        assert!(
+            (n1 as f64 - n0 as f64).abs() < 0.15 * n0 as f64,
+            "density drift: {n0} -> {n1}"
+        );
+        // Mean streamwise velocity approaches the imposed 0.5.
+        let mean_u: f64 =
+            sim.particles.vel.iter().map(|v| v[0]).sum::<f64>() / sim.particles.len() as f64;
+        assert!(
+            (mean_u - 0.5).abs() < 0.15,
+            "mean streamwise velocity {mean_u}"
+        );
+    }
+
+    #[test]
+    fn pipe_flow_peaks_on_axis() {
+        let cfg = DpdConfig {
+            seed: 6,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [6.0, 6.4, 6.4], [true, false, false]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::CylinderX(3.0));
+        sim.fill_solvent();
+        sim.set_body_force(|_| [0.08, 0.0, 0.0]);
+        for _ in 0..700 {
+            sim.step();
+        }
+        // Radial profile: center vs edge.
+        let (cy, cz) = (3.2, 3.2);
+        let (mut u_in, mut n_in, mut u_out, mut n_out) = (0.0, 0, 0.0, 0);
+        let samples = 200;
+        for _ in 0..samples {
+            sim.step();
+            for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
+                let r = ((p[1] - cy).powi(2) + (p[2] - cz).powi(2)).sqrt();
+                if r < 1.0 {
+                    u_in += v[0];
+                    n_in += 1;
+                } else if r > 2.4 {
+                    u_out += v[0];
+                    n_out += 1;
+                }
+            }
+        }
+        let u_in = u_in / n_in.max(1) as f64;
+        let u_out = u_out / n_out.max(1) as f64;
+        assert!(
+            u_in > 2.0 * u_out.max(0.001),
+            "pipe profile not peaked: center {u_in}, edge {u_out}"
+        );
+    }
+
+    #[test]
+    fn platelets_aggregate_near_sites() {
+        let cfg = DpdConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [6.0, 4.0, 4.0], [true, false, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+        sim.fill_solvent();
+        let n_platelets = sim.seed_platelets(0.05);
+        assert!(n_platelets > 10);
+        sim.sites = WallSites::on_plane(30, 1, 0.0, [0.0; 3], [6.0, 0.0, 4.0], 13);
+        sim.platelet_params = PlateletParams {
+            delay_steps: 20,
+            trigger_dist: 0.8,
+            ..Default::default()
+        };
+        sim.set_body_force(|_| [0.02, 0.0, 0.0]);
+        for _ in 0..600 {
+            sim.step();
+        }
+        let (_, _, active, adhered) = sim.platelet_census();
+        assert!(
+            active + adhered > 0,
+            "no platelets activated: census {:?}",
+            sim.platelet_census()
+        );
+    }
+
+    #[test]
+    fn bin_sampler_emits_every_nts() {
+        let mut sim = periodic_box(8);
+        let mut sampler = BinSampler::new(1, 6, 0, 10);
+        let mut snaps = 0;
+        for _ in 0..35 {
+            sim.step();
+            if sampler.accumulate(&sim).is_some() {
+                snaps += 1;
+            }
+        }
+        assert_eq!(snaps, 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Message envelopes and per-rank mailboxes.
+
+use crate::Tag;
+use crossbeam_channel::Receiver;
+use std::time::Duration;
+
+/// One message in flight on the virtual network.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Communicator context the message belongs to.
+    pub ctx: u64,
+    /// World rank of the sender.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Encoded payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// The receive side of one rank: the incoming channel plus a buffer of
+/// messages that have arrived but not yet been matched by a receive.
+///
+/// Matching is MPI-like: a receive names `(ctx, src, tag)` and takes the
+/// *earliest arrived* message with those coordinates; messages for other
+/// coordinates are left buffered in arrival order.
+pub struct Mailbox {
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+    timeout: Duration,
+    my_rank: usize,
+}
+
+impl Mailbox {
+    pub(crate) fn new(rx: Receiver<Envelope>, timeout: Duration, my_rank: usize) -> Self {
+        Self {
+            rx,
+            pending: Vec::new(),
+            timeout,
+            my_rank,
+        }
+    }
+
+    /// Blocking matched receive.
+    ///
+    /// # Panics
+    /// Panics if no matching message arrives within the universe's receive
+    /// timeout — by construction of the runtime this indicates a deadlock or
+    /// a mismatched communication pattern, and failing loudly is preferable
+    /// to hanging the test suite.
+    pub fn recv_match(&mut self, ctx: u64, src: usize, tag: Tag) -> Envelope {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.ctx == ctx && e.src == src && e.tag == tag)
+        {
+            return self.pending.remove(pos);
+        }
+        loop {
+            match self.rx.recv_timeout(self.timeout) {
+                Ok(env) => {
+                    if env.ctx == ctx && env.src == src && env.tag == tag {
+                        return env;
+                    }
+                    self.pending.push(env);
+                }
+                Err(_) => panic!(
+                    "rank {}: receive (ctx={ctx:#x}, src={src}, tag={tag:#x}) timed out after {:?} \
+                     with {} unmatched pending message(s) — likely deadlock",
+                    self.my_rank,
+                    self.timeout,
+                    self.pending.len()
+                ),
+            }
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already available?
+    pub fn probe(&mut self, ctx: u64, src: usize, tag: Tag) -> bool {
+        // Drain the channel without blocking so the pending buffer is current.
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push(env);
+        }
+        self.pending
+            .iter()
+            .any(|e| e.ctx == ctx && e.src == src && e.tag == tag)
+    }
+
+    /// Number of buffered (arrived, unmatched) messages. Used by tests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}

@@ -1,0 +1,67 @@
+//! # Multilevel Communicating Interface (MCI)
+//!
+//! The coupling backbone of the NεκTαr-G metasolver (Grinberg et al.,
+//! SC'11, §3.1). The paper builds its multiscale coupling on MPI:
+//! `MPI_COMM_WORLD` is split hierarchically into
+//!
+//! * **L2** sub-communicators — *topology-oriented* groups (one per rack /
+//!   torus block), so that tightly coupled traffic stays on fast links;
+//! * **L3** sub-communicators — *task-oriented* groups (one per solver
+//!   instance: each continuum patch, each atomistic domain);
+//! * **L4** sub-communicators — *interface-local* groups containing only the
+//!   ranks whose mesh partitions touch a given inter-domain interface.
+//!
+//! Inter-domain data travels in the **three-step exchange** (paper Fig. 4):
+//! gather onto the L4 root, a single root-to-root point-to-point message over
+//! the world communicator, then scatter from the peer L4 root.
+//!
+//! Rust has no production MPI implementation, so this crate supplies a
+//! *virtual message-passing runtime* with MPI semantics — enough to run the
+//! MCI hierarchy and every coupling algorithm in the paper unchanged:
+//!
+//! * [`Universe::run`] — launch an N-rank program, one OS thread per rank;
+//! * [`Comm`] — communicators with contexts, `split(color, key)`, tagged
+//!   point-to-point messaging, and tree-based collectives (barrier, bcast,
+//!   reduce, allreduce, gather(v), scatter(v), allgather(v), alltoall);
+//! * [`hierarchy`] — the L2/L3/L4 decomposition and the three-step exchange;
+//! * message/byte counters ([`Universe::stats`]) so benchmarks can compare
+//!   exchange strategies (e.g. three-step vs all-pairs, Table 2 and the
+//!   §3.5 topology ablation).
+//!
+//! ## Semantics notes
+//!
+//! Sends are buffered and never block (as if every send were `MPI_Bsend`),
+//! so `send; recv` pairs cannot deadlock. Receives match on
+//! `(context, source, tag)` in arrival order. A receive that stays blocked
+//! for longer than the universe's receive timeout panics — turning deadlocks
+//! into test failures instead of hangs.
+//!
+//! ```
+//! use nkg_mci::Universe;
+//!
+//! // 4 ranks compute a sum via allreduce.
+//! let results = Universe::new(4).run(|comm| {
+//!     let mine = vec![comm.rank() as f64];
+//!     let total = comm.allreduce_sum(&mine);
+//!     total[0]
+//! });
+//! assert_eq!(results, vec![6.0, 6.0, 6.0, 6.0]);
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod envelope;
+pub mod hierarchy;
+pub mod universe;
+pub mod wire;
+
+pub use comm::Comm;
+pub use hierarchy::{Hierarchy, HierarchySpec, InterfaceLink, ReplicaSet};
+pub use universe::{MsgStats, Universe};
+pub use wire::Wire;
+
+/// Message tag type (user tags must stay below [`RESERVED_TAG_BASE`]).
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for internal collectives.
+pub const RESERVED_TAG_BASE: Tag = 0xFFFF_0000;

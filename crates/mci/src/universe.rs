@@ -1,0 +1,221 @@
+//! The virtual machine: rank launch, routing tables and traffic statistics.
+
+use crate::comm::Comm;
+use crate::envelope::{Envelope, Mailbox};
+use crossbeam_channel::{unbounded, Sender};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregate traffic counters for one run. Collectives are implemented with
+/// point-to-point messages, so these counters capture *all* traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsgStats {
+    /// Total point-to-point messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+}
+
+pub(crate) struct Inner {
+    pub senders: Vec<Sender<Envelope>>,
+    pub ctx_counter: AtomicU64,
+    pub msg_count: AtomicU64,
+    pub byte_count: AtomicU64,
+}
+
+impl Inner {
+    pub fn post(&self, dst: usize, env: Envelope) {
+        self.msg_count.fetch_add(1, Ordering::Relaxed);
+        self.byte_count
+            .fetch_add(env.data.len() as u64, Ordering::Relaxed);
+        self.senders[dst]
+            .send(env)
+            .expect("virtual network: destination rank has exited");
+    }
+
+    pub fn alloc_ctx(&self, n: u64) -> u64 {
+        self.ctx_counter.fetch_add(n, Ordering::Relaxed)
+    }
+}
+
+/// A virtual parallel machine with a fixed number of ranks.
+///
+/// [`Universe::run`] executes one SPMD program: the closure is invoked once
+/// per rank, on its own OS thread, with that rank's world [`Comm`]. The call
+/// blocks until every rank returns and yields the per-rank results in rank
+/// order.
+///
+/// The default receive timeout is 120 s; deadlocked programs therefore fail
+/// with a panic naming the blocked `(ctx, src, tag)` instead of hanging.
+pub struct Universe {
+    size: usize,
+    recv_timeout: Duration,
+    stats: Arc<(AtomicU64, AtomicU64)>,
+}
+
+impl Universe {
+    /// Create a machine with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a universe needs at least one rank");
+        Self {
+            size,
+            recv_timeout: Duration::from_secs(120),
+            stats: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
+        }
+    }
+
+    /// Override the blocked-receive timeout (deadlock detector).
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters accumulated across all `run` calls on this universe.
+    pub fn stats(&self) -> MsgStats {
+        MsgStats {
+            messages: self.stats.0.load(Ordering::Relaxed),
+            bytes: self.stats.1.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run an SPMD program: one thread per rank, each receiving the world
+    /// communicator. Returns per-rank results in rank order.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic (after joining all threads that can
+    /// be joined), so failures inside rank bodies surface in tests.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let n = self.size;
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
+        let inner = Arc::new(Inner {
+            senders,
+            // ctx 0 is the world communicator of this run.
+            ctx_counter: AtomicU64::new(1),
+            msg_count: AtomicU64::new(0),
+            byte_count: AtomicU64::new(0),
+        });
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let inner = Arc::clone(&inner);
+            let f = Arc::clone(&f);
+            let timeout = self.recv_timeout;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    // Rank stacks host SEM/DPD workspaces in tests; 8 MiB is
+                    // the Linux default but be explicit for portability.
+                    .stack_size(8 << 20)
+                    .spawn(move || {
+                        let mailbox = Rc::new(RefCell::new(Mailbox::new(rx, timeout, rank)));
+                        let world =
+                            Comm::world(inner, mailbox, rank, (0..n).collect::<Vec<_>>().into());
+                        f(world)
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        let mut results = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(e) => panic = panic.or(Some(e)),
+            }
+        }
+        // Fold this run's traffic into the universe-level counters.
+        self.stats
+            .0
+            .fetch_add(inner.msg_count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.stats
+            .1
+            .fetch_add(inner.byte_count.load(Ordering::Relaxed), Ordering::Relaxed);
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let u = Universe::new(1);
+        let out = u.run(|comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            7
+        });
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let u = Universe::new(8);
+        let out = u.run(|comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = Universe::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panic_propagates() {
+        let u = Universe::new(3);
+        u.run(|comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let u = Universe::new(2);
+        u.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.0f64, 2.0], 1, 5);
+            } else {
+                let v: Vec<f64> = comm.recv(0, 5);
+                assert_eq!(v, vec![1.0, 2.0]);
+            }
+        });
+        let s = u.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.bytes, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "timed out")]
+    fn deadlock_detected() {
+        let u = Universe::new(2).with_recv_timeout(Duration::from_millis(100));
+        u.run(|comm| {
+            if comm.rank() == 0 {
+                // Nobody ever sends this message.
+                let _: Vec<f64> = comm.recv(1, 9);
+            }
+        });
+    }
+}

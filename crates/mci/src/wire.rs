@@ -1,0 +1,103 @@
+//! Byte-level encoding of typed message payloads.
+//!
+//! Messages on the virtual network are byte buffers; the [`Wire`] trait maps
+//! slices of numeric types to and from little-endian bytes. This keeps the
+//! router type-erased (one mailbox per rank regardless of payload type) the
+//! same way MPI transports untyped buffers plus a datatype descriptor.
+
+/// A plain-old-data scalar that can cross the virtual network.
+pub trait Wire: Copy + Default + 'static {
+    /// Encoded size of one element, in bytes.
+    const SIZE: usize;
+    /// Append the little-endian encoding of `self` to `out`.
+    fn put(self, out: &mut Vec<u8>);
+    /// Decode one element from `bytes` (exactly `SIZE` bytes).
+    fn get(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn put(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn get(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("wire: short buffer"))
+            }
+        }
+    )*};
+}
+
+impl_wire!(f64, f32, u64, i64, u32, i32, u8);
+
+impl Wire for usize {
+    const SIZE: usize = 8;
+    #[inline]
+    fn put(self, out: &mut Vec<u8>) {
+        (self as u64).put(out);
+    }
+    #[inline]
+    fn get(bytes: &[u8]) -> Self {
+        u64::get(bytes) as usize
+    }
+}
+
+/// Encode a slice into a fresh byte buffer.
+pub fn encode<T: Wire>(data: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * T::SIZE);
+    for &x in data {
+        x.put(&mut out);
+    }
+    out
+}
+
+/// Decode a byte buffer produced by [`encode`] back into a vector.
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of the element size.
+pub fn decode<T: Wire>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len() % T::SIZE == 0,
+        "wire: buffer of {} bytes is not a whole number of {}-byte elements",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes.chunks_exact(T::SIZE).map(T::get).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let data = [1.5f64, -0.0, f64::MAX, f64::MIN_POSITIVE, 3.25e-200];
+        assert_eq!(decode::<f64>(&encode(&data)), data.to_vec());
+    }
+
+    #[test]
+    fn usize_round_trip() {
+        let data = [0usize, 1, usize::MAX >> 1, 42];
+        assert_eq!(decode::<usize>(&encode(&data)), data.to_vec());
+    }
+
+    #[test]
+    fn u8_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode::<u8>(&encode(&data)), data);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert!(decode::<f64>(&encode::<f64>(&[])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_buffer_panics() {
+        decode::<f64>(&[0u8; 9]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Meshes and synthetic vasculature.
+//!
+//! The paper's continuum domain is a patient-specific reconstruction of the
+//! major brain arteries (circle of Willis with an aneurysm), decomposed into
+//! four overlapping patches; the atomistic domain ΩA is a 3.93 mm³ box
+//! embedded in the aneurysm, bounded by five planar triangulated interfaces
+//! and one wall surface. MRI data is not available, so this crate generates
+//! *synthetic* equivalents that exercise identical code paths:
+//!
+//! * [`oned`] — 1D arterial networks (segments + bifurcations with
+//!   Murray-law radii, Windkessel-terminated outlets) for the NεκTαr-1D
+//!   solver;
+//! * [`quad`] — 2D quadrilateral spectral-element meshes (channels, mapped
+//!   geometries, overlapping patch decompositions);
+//! * [`hex`] — 3D hexahedral spectral-element meshes (boxes and mapped
+//!   tubes);
+//! * [`surface`] — triangulated interface surfaces (the ΓI of the paper's
+//!   §3.3) with midpoints, normals and areas;
+//! * [`patchgraph`] — the multipatch description of a vascular network
+//!   (patch sizes + interface topology) consumed by the coupling layer and
+//!   the performance model.
+//!
+//! Element-adjacency extraction for partitioning (face-only vs. full
+//! vertex adjacency — the two strategies of Table 2) lives here too, since
+//! it is a mesh property.
+
+pub mod hex;
+pub mod oned;
+pub mod patchgraph;
+pub mod quad;
+pub mod surface;
+
+pub use hex::HexMesh;
+pub use oned::{ArterialNetwork, Segment, Windkessel};
+pub use patchgraph::{PatchGraph, PatchInfo};
+pub use quad::{BoundaryTag, QuadMesh};
+pub use surface::TriSurface;
+
+/// 2D point.
+pub type Point2 = [f64; 2];
+/// 3D point.
+pub type Point3 = [f64; 3];

@@ -1,0 +1,275 @@
+//! 1D arterial network geometry (for the NεκTαr-1D solver).
+//!
+//! A network is a directed tree (or DAG degenerating to a tree here) of
+//! compliant segments. Each segment carries the parameters of the standard
+//! 1D blood-flow model: reference area `A0`, wall stiffness `beta` (so that
+//! transmural pressure is `p = beta (sqrt(A) - sqrt(A0))`), and a length.
+//! Terminals are closed by RCR Windkessel models, the paper's "RC boundary
+//! conditions at all outlets".
+
+/// RCR Windkessel terminal: proximal resistance `r1`, compliance `c`,
+/// distal resistance `r2`, venous pressure `p_out`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Windkessel {
+    /// Proximal (characteristic) resistance.
+    pub r1: f64,
+    /// Peripheral compliance.
+    pub c: f64,
+    /// Distal resistance.
+    pub r2: f64,
+    /// Outflow (venous) pressure.
+    pub p_out: f64,
+}
+
+impl Windkessel {
+    /// Total steady resistance seen by the segment.
+    pub fn total_resistance(&self) -> f64 {
+        self.r1 + self.r2
+    }
+}
+
+/// One arterial segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Length (m).
+    pub length: f64,
+    /// Reference (zero transmural pressure) cross-section area (m²).
+    pub area0: f64,
+    /// Wall stiffness parameter β (Pa/m).
+    pub beta: f64,
+    /// Index of the parent segment (`None` for the root/inlet segment).
+    pub parent: Option<usize>,
+}
+
+impl Segment {
+    /// Wave speed at area `a`: `c² = β √a / (2 ρ)` (standard 1D model).
+    pub fn wave_speed(&self, a: f64, rho: f64) -> f64 {
+        (self.beta * a.sqrt() / (2.0 * rho)).sqrt()
+    }
+
+    /// Pressure at area `a`.
+    pub fn pressure(&self, a: f64) -> f64 {
+        self.beta * (a.sqrt() - self.area0.sqrt())
+    }
+}
+
+/// A bifurcating arterial tree.
+#[derive(Debug, Clone)]
+pub struct ArterialNetwork {
+    /// All segments; index 0 is the root (inlet) segment.
+    pub segments: Vec<Segment>,
+    /// `children[i]` lists the segments fed by segment `i`.
+    pub children: Vec<Vec<usize>>,
+    /// Windkessel terminals for leaf segments, indexed like `segments`
+    /// (`None` for internal segments).
+    pub terminals: Vec<Option<Windkessel>>,
+}
+
+impl ArterialNetwork {
+    /// A single vessel with one Windkessel outlet.
+    pub fn single_vessel(length: f64, area0: f64, beta: f64, wk: Windkessel) -> Self {
+        Self {
+            segments: vec![Segment {
+                length,
+                area0,
+                beta,
+                parent: None,
+            }],
+            children: vec![vec![]],
+            terminals: vec![Some(wk)],
+        }
+    }
+
+    /// A symmetric fractal tree of `generations` levels (generation 0 is the
+    /// root vessel). Daughter radii follow Murray's law with exponent
+    /// `gamma`: `r_parent^γ = 2 r_child^γ`, lengths scale with radius
+    /// (`length = length_ratio · r`), and stiffness β scales like `1/r`
+    /// (thin-wall, constant Young modulus). Terminal resistances are chosen
+    /// so each leaf carries an equal share of `total_resistance`.
+    ///
+    /// This is the paper's "tree-like structure governed by specific fractal
+    /// laws" standing in for the meso-vascular network.
+    pub fn fractal_tree(
+        generations: usize,
+        root_radius: f64,
+        length_ratio: f64,
+        gamma: f64,
+        beta_root: f64,
+        total_resistance: f64,
+    ) -> Self {
+        assert!(generations >= 1);
+        let mut segments = Vec::new();
+        let mut children: Vec<Vec<usize>> = Vec::new();
+        let mut radii = Vec::new();
+        // Breadth-first construction.
+        segments.push(Segment {
+            length: length_ratio * root_radius,
+            area0: std::f64::consts::PI * root_radius * root_radius,
+            beta: beta_root,
+            parent: None,
+        });
+        children.push(vec![]);
+        radii.push(root_radius);
+        let mut frontier = vec![0usize];
+        for _ in 1..generations {
+            let mut next = Vec::new();
+            for &p in &frontier {
+                let rp = radii[p];
+                let rc = rp / 2f64.powf(1.0 / gamma);
+                for _ in 0..2 {
+                    let idx = segments.len();
+                    segments.push(Segment {
+                        length: length_ratio * rc,
+                        area0: std::f64::consts::PI * rc * rc,
+                        beta: beta_root * root_radius / rc,
+                        parent: Some(p),
+                    });
+                    children.push(vec![]);
+                    children[p].push(idx);
+                    radii.push(rc);
+                    next.push(idx);
+                }
+            }
+            frontier = next;
+        }
+        let n_leaves = frontier.len();
+        let mut terminals = vec![None; segments.len()];
+        for &leaf in &frontier {
+            let r_total = total_resistance * n_leaves as f64;
+            terminals[leaf] = Some(Windkessel {
+                r1: 0.1 * r_total,
+                c: 1.0e-10,
+                r2: 0.9 * r_total,
+                p_out: 0.0,
+            });
+        }
+        Self {
+            segments,
+            children,
+            terminals,
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the network has no segments (never for constructed trees).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Leaf segment indices.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.children[i].is_empty())
+            .collect()
+    }
+
+    /// Check structural invariants (tree-ness, terminals only on leaves).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.len() != self.children.len()
+            || self.segments.len() != self.terminals.len()
+        {
+            return Err("inconsistent array lengths".into());
+        }
+        for (i, seg) in self.segments.iter().enumerate() {
+            if let Some(p) = seg.parent {
+                if p >= self.len() {
+                    return Err(format!("segment {i}: parent {p} out of range"));
+                }
+                if !self.children[p].contains(&i) {
+                    return Err(format!("segment {i} missing from parent {p}'s children"));
+                }
+            } else if i != 0 {
+                return Err(format!("segment {i} has no parent but is not the root"));
+            }
+            if seg.area0 <= 0.0 || seg.length <= 0.0 || seg.beta <= 0.0 {
+                return Err(format!("segment {i}: non-positive parameters"));
+            }
+            let is_leaf = self.children[i].is_empty();
+            if is_leaf != self.terminals[i].is_some() {
+                return Err(format!(
+                    "segment {i}: terminal presence ({}) disagrees with leaf status ({is_leaf})",
+                    self.terminals[i].is_some()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wk() -> Windkessel {
+        Windkessel {
+            r1: 1.0e8,
+            c: 1.0e-10,
+            r2: 9.0e8,
+            p_out: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_vessel_valid() {
+        let n = ArterialNetwork::single_vessel(0.1, 3.0e-5, 3.0e5, wk());
+        n.validate().unwrap();
+        assert_eq!(n.leaves(), vec![0]);
+        assert_eq!(n.terminals[0].unwrap().total_resistance(), 1.0e9);
+    }
+
+    #[test]
+    fn fractal_tree_counts() {
+        let t = ArterialNetwork::fractal_tree(4, 2.0e-3, 20.0, 3.0, 1.0e5, 1.0e9);
+        t.validate().unwrap();
+        // 1 + 2 + 4 + 8 = 15 segments, 8 leaves.
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.leaves().len(), 8);
+    }
+
+    #[test]
+    fn murray_law_area_conservation() {
+        // With gamma=2, total child area equals parent area exactly.
+        let t = ArterialNetwork::fractal_tree(2, 1.0e-3, 10.0, 2.0, 1.0e5, 1.0e9);
+        let parent = t.segments[0].area0;
+        let child_total: f64 = t.children[0].iter().map(|&c| t.segments[c].area0).sum();
+        assert!((parent - child_total).abs() < 1e-12 * parent);
+    }
+
+    #[test]
+    fn radii_shrink_down_generations() {
+        let t = ArterialNetwork::fractal_tree(3, 1.0e-3, 10.0, 3.0, 1.0e5, 1.0e9);
+        for (i, seg) in t.segments.iter().enumerate() {
+            if let Some(p) = seg.parent {
+                assert!(seg.area0 < t.segments[p].area0, "segment {i}");
+                assert!(seg.beta > t.segments[p].beta, "stiffness grows as r shrinks");
+            }
+        }
+    }
+
+    #[test]
+    fn wave_speed_formula() {
+        let s = Segment {
+            length: 0.1,
+            area0: 1.0e-5,
+            beta: 2.0e5,
+            parent: None,
+        };
+        let rho = 1050.0;
+        let c = s.wave_speed(1.0e-5, rho);
+        let expect = (2.0e5 * (1.0e-5f64).sqrt() / (2.0 * rho)).sqrt();
+        assert!((c - expect).abs() < 1e-12);
+        // Pressure at the reference area vanishes.
+        assert_eq!(s.pressure(s.area0), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_broken_tree() {
+        let mut n = ArterialNetwork::single_vessel(0.1, 3.0e-5, 3.0e5, wk());
+        n.segments[0].parent = Some(0); // cycle to itself
+        assert!(n.validate().is_err());
+    }
+}

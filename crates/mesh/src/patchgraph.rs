@@ -1,0 +1,184 @@
+//! Multipatch descriptions of vascular networks.
+//!
+//! The paper decomposes the circle-of-Willis domain ΩC into four overlapping
+//! patches joined by six artificial interfaces (three inlet-side, three
+//! outlet-side, i.e. three cuts), sized "such that solution in each Ωj can
+//! be obtained within approximately the same wall-clock time". This module
+//! captures that patch-level topology — patch sizes, polynomial order,
+//! interface DoF counts — in a form consumed by both the coupling layer
+//! (communicator layout) and the performance model (Tables 3-5).
+
+/// One continuum patch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatchInfo {
+    /// Number of spectral elements.
+    pub n_elements: usize,
+    /// Polynomial order of the expansion.
+    pub poly_order: usize,
+}
+
+impl PatchInfo {
+    /// Degrees of freedom per scalar field: `n_elements · (P+1)^3` for 3D
+    /// tetrahedral/hexahedral discretizations (the paper quotes DoF counts
+    /// consistent with per-element `(P+1)^3` scaling).
+    pub fn dof(&self) -> usize {
+        self.n_elements * (self.poly_order + 1).pow(3)
+    }
+}
+
+/// A patch decomposition with its interface topology.
+#[derive(Debug, Clone)]
+pub struct PatchGraph {
+    /// The patches.
+    pub patches: Vec<PatchInfo>,
+    /// Interfaces: `(patch_a, patch_b, interface_dof)` — the number of
+    /// scalar values exchanged per field per step across the cut.
+    pub interfaces: Vec<(usize, usize, usize)>,
+}
+
+impl PatchGraph {
+    /// A chain of `np` identical patches (the weak/strong-scaling geometry
+    /// of Tables 3-4: each patch has 17,474 elements, the one-element-wide
+    /// overlap region 1,114 elements, so an interface cross-section is about
+    /// 1,114 element faces with `(P+1)²` DoF each).
+    pub fn chain(np: usize, elements_per_patch: usize, poly_order: usize) -> Self {
+        assert!(np >= 1);
+        let patches = vec![
+            PatchInfo {
+                n_elements: elements_per_patch,
+                poly_order,
+            };
+            np
+        ];
+        // Interface cross-section from the paper: 1,114 overlap elements.
+        let iface_faces = 1114;
+        let iface_dof = iface_faces * (poly_order + 1) * (poly_order + 1);
+        let interfaces = (0..np.saturating_sub(1))
+            .map(|i| (i, i + 1, iface_dof))
+            .collect();
+        Self {
+            patches,
+            interfaces,
+        }
+    }
+
+    /// The four-patch circle-of-Willis decomposition of the paper's Fig. 1:
+    /// patch 0 is the right-ICA patch, patches 1-3 the remaining territory,
+    /// joined by three cuts in a chain-with-branch topology.
+    pub fn circle_of_willis(poly_order: usize) -> Self {
+        let sizes = [17_474, 17_474, 17_474, 17_474];
+        let patches = sizes
+            .iter()
+            .map(|&n_elements| PatchInfo {
+                n_elements,
+                poly_order,
+            })
+            .collect();
+        let iface_dof = 1114 * (poly_order + 1) * (poly_order + 1);
+        // Patch 1 is central: connected to 0, 2 and 3.
+        let interfaces = vec![
+            (0, 1, iface_dof),
+            (1, 2, iface_dof),
+            (1, 3, iface_dof),
+        ];
+        Self {
+            patches,
+            interfaces,
+        }
+    }
+
+    /// Total degrees of freedom per scalar field.
+    pub fn total_dof(&self) -> usize {
+        self.patches.iter().map(PatchInfo::dof).sum()
+    }
+
+    /// Total DoF across the 4 fields (3 velocity + pressure) of an
+    /// incompressible 3D solve — the paper's headline "unknowns" metric.
+    pub fn total_unknowns(&self) -> usize {
+        4 * self.total_dof()
+    }
+
+    /// Interfaces touching a patch.
+    pub fn interfaces_of(&self, patch: usize) -> Vec<usize> {
+        self.interfaces
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b, _))| a == patch || b == patch)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Structural validation: interface endpoints in range, no self-loops.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &(a, b, dof)) in self.interfaces.iter().enumerate() {
+            if a >= self.patches.len() || b >= self.patches.len() {
+                return Err(format!("interface {i}: endpoint out of range"));
+            }
+            if a == b {
+                return Err(format!("interface {i}: self-loop on patch {a}"));
+            }
+            if dof == 0 {
+                return Err(format!("interface {i}: zero DoF"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_topology() {
+        let g = PatchGraph::chain(4, 17_474, 10);
+        g.validate().unwrap();
+        assert_eq!(g.patches.len(), 4);
+        assert_eq!(g.interfaces.len(), 3);
+        assert_eq!(g.interfaces_of(0), vec![0]);
+        assert_eq!(g.interfaces_of(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn paper_dof_scale_matches_table3() {
+        // Table 3: Np=3 patches at P=10 quoted as 0.384e9 unknowns.
+        let g = PatchGraph::chain(3, 17_474, 10);
+        let unknowns = g.total_unknowns() as f64;
+        assert!(
+            (unknowns - 0.384e9).abs() / 0.384e9 < 0.35,
+            "expected ~0.38B unknowns, got {unknowns:.3e}"
+        );
+    }
+
+    #[test]
+    fn cow_has_three_interfaces() {
+        let g = PatchGraph::circle_of_willis(10);
+        g.validate().unwrap();
+        assert_eq!(g.patches.len(), 4);
+        assert_eq!(g.interfaces.len(), 3);
+        assert_eq!(g.interfaces_of(1).len(), 3);
+    }
+
+    #[test]
+    fn dof_formula() {
+        let p = PatchInfo {
+            n_elements: 10,
+            poly_order: 3,
+        };
+        assert_eq!(p.dof(), 10 * 64);
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let mut g = PatchGraph::chain(2, 100, 4);
+        g.interfaces[0] = (1, 1, 10);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn single_patch_chain_has_no_interfaces() {
+        let g = PatchGraph::chain(1, 5, 2);
+        assert!(g.interfaces.is_empty());
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,199 @@
+//! Triangulated interface surfaces (the ΓI of paper §3.3).
+//!
+//! The boundary of the atomistic domain ΩA "is discretized (e.g.
+//! triangulated) into small enough elements where local BC velocities are
+//! set"; the triangle midpoints are the coordinates shipped to the continuum
+//! solver for interpolation. This module provides the triangulation, its
+//! midpoints/normals/areas, and generators for the planar interface faces of
+//! an embedded box domain.
+
+use crate::Point3;
+
+/// A triangulated surface in 3D.
+#[derive(Debug, Clone)]
+pub struct TriSurface {
+    /// Vertex coordinates.
+    pub verts: Vec<Point3>,
+    /// Triangles as vertex index triples.
+    pub tris: Vec<[usize; 3]>,
+}
+
+fn sub(a: Point3, b: Point3) -> Point3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: Point3, b: Point3) -> Point3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn norm(a: Point3) -> f64 {
+    (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
+}
+
+impl TriSurface {
+    /// Triangulate a planar rectangle spanned by `origin`, `u` and `v`
+    /// (corner + two edge vectors) into `nu × nv × 2` triangles.
+    pub fn rectangle(origin: Point3, u: Point3, v: Point3, nu: usize, nv: usize) -> Self {
+        assert!(nu >= 1 && nv >= 1);
+        let mut verts = Vec::with_capacity((nu + 1) * (nv + 1));
+        for j in 0..=nv {
+            for i in 0..=nu {
+                let s = i as f64 / nu as f64;
+                let t = j as f64 / nv as f64;
+                verts.push([
+                    origin[0] + s * u[0] + t * v[0],
+                    origin[1] + s * u[1] + t * v[1],
+                    origin[2] + s * u[2] + t * v[2],
+                ]);
+            }
+        }
+        let vid = |i: usize, j: usize| j * (nu + 1) + i;
+        let mut tris = Vec::with_capacity(2 * nu * nv);
+        for j in 0..nv {
+            for i in 0..nu {
+                tris.push([vid(i, j), vid(i + 1, j), vid(i + 1, j + 1)]);
+                tris.push([vid(i, j), vid(i + 1, j + 1), vid(i, j + 1)]);
+            }
+        }
+        Self { verts, tris }
+    }
+
+    /// The five planar interface faces of an axis-aligned box `[lo, hi]`
+    /// whose sixth face (`z = hi[2]`, by convention the one overlapping the
+    /// aneurysm wall, Γwall in the paper) is omitted. Returns one surface
+    /// per face in the order `x-`, `x+`, `y-`, `y+`, `z-`.
+    pub fn box_interfaces(lo: Point3, hi: Point3, n: usize) -> Vec<TriSurface> {
+        let d = sub(hi, lo);
+        vec![
+            // x- face: spanned by y and z
+            Self::rectangle(lo, [0.0, d[1], 0.0], [0.0, 0.0, d[2]], n, n),
+            // x+ face
+            Self::rectangle(
+                [hi[0], lo[1], lo[2]],
+                [0.0, d[1], 0.0],
+                [0.0, 0.0, d[2]],
+                n,
+                n,
+            ),
+            // y- face: spanned by x and z
+            Self::rectangle(lo, [d[0], 0.0, 0.0], [0.0, 0.0, d[2]], n, n),
+            // y+ face
+            Self::rectangle(
+                [lo[0], hi[1], lo[2]],
+                [d[0], 0.0, 0.0],
+                [0.0, 0.0, d[2]],
+                n,
+                n,
+            ),
+            // z- face: spanned by x and y
+            Self::rectangle(lo, [d[0], 0.0, 0.0], [0.0, d[1], 0.0], n, n),
+        ]
+    }
+
+    /// Number of triangles.
+    pub fn num_tris(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Midpoint (centroid) of triangle `t` — the coordinate shipped to the
+    /// continuum solver for velocity interpolation.
+    pub fn midpoint(&self, t: usize) -> Point3 {
+        let [a, b, c] = self.tris[t];
+        let (pa, pb, pc) = (self.verts[a], self.verts[b], self.verts[c]);
+        [
+            (pa[0] + pb[0] + pc[0]) / 3.0,
+            (pa[1] + pb[1] + pc[1]) / 3.0,
+            (pa[2] + pb[2] + pc[2]) / 3.0,
+        ]
+    }
+
+    /// All midpoints, flattened `[x0,y0,z0, x1,y1,z1, ...]` — the wire
+    /// format of the preprocessing step in §3.3.
+    pub fn midpoints_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(3 * self.num_tris());
+        for t in 0..self.num_tris() {
+            out.extend_from_slice(&self.midpoint(t));
+        }
+        out
+    }
+
+    /// Area of triangle `t`.
+    pub fn area(&self, t: usize) -> f64 {
+        let [a, b, c] = self.tris[t];
+        let u = sub(self.verts[b], self.verts[a]);
+        let v = sub(self.verts[c], self.verts[a]);
+        0.5 * norm(cross(u, v))
+    }
+
+    /// Total surface area.
+    pub fn total_area(&self) -> f64 {
+        (0..self.num_tris()).map(|t| self.area(t)).sum()
+    }
+
+    /// Unit normal of triangle `t` (right-hand rule on vertex order).
+    pub fn normal(&self, t: usize) -> Point3 {
+        let [a, b, c] = self.tris[t];
+        let u = sub(self.verts[b], self.verts[a]);
+        let v = sub(self.verts[c], self.verts[a]);
+        let n = cross(u, v);
+        let l = norm(n);
+        [n[0] / l, n[1] / l, n[2] / l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_area_exact() {
+        let s = TriSurface::rectangle([0.0; 3], [2.0, 0.0, 0.0], [0.0, 3.0, 0.0], 4, 5);
+        assert_eq!(s.num_tris(), 40);
+        assert!((s.total_area() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normals_consistent_on_plane() {
+        let s = TriSurface::rectangle([1.0, 2.0, 3.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], 3, 3);
+        for t in 0..s.num_tris() {
+            let n = s.normal(t);
+            assert!((n[2] - 1.0).abs() < 1e-12, "normal should be +z: {n:?}");
+        }
+    }
+
+    #[test]
+    fn midpoints_inside_bounds() {
+        let s = TriSurface::rectangle([0.0; 3], [1.0, 0.0, 0.0], [0.0, 0.0, 2.0], 2, 2);
+        for t in 0..s.num_tris() {
+            let m = s.midpoint(t);
+            assert!(m[0] > 0.0 && m[0] < 1.0);
+            assert!(m[2] > 0.0 && m[2] < 2.0);
+            assert_eq!(m[1], 0.0);
+        }
+        assert_eq!(s.midpoints_flat().len(), 3 * s.num_tris());
+    }
+
+    #[test]
+    fn box_interfaces_five_faces() {
+        let faces = TriSurface::box_interfaces([0.0; 3], [1.0, 2.0, 3.0], 2);
+        assert_eq!(faces.len(), 5);
+        let areas: Vec<f64> = faces.iter().map(|f| f.total_area()).collect();
+        // x faces: 2*3=6, y faces: 1*3=3, z- face: 1*2=2.
+        let expect = [6.0, 6.0, 3.0, 3.0, 2.0];
+        for (a, e) in areas.iter().zip(expect) {
+            assert!((a - e).abs() < 1e-12, "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_rejected() {
+        let r = std::panic::catch_unwind(|| {
+            TriSurface::rectangle([0.0; 3], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], 0, 1)
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Weighted undirected graphs in CSR form.
+
+/// An undirected graph with `f64` edge weights, stored as symmetric CSR.
+/// Vertices model mesh elements; edge weights model shared-DoF counts.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// CSR row offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Flattened neighbor lists.
+    pub adjncy: Vec<usize>,
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: Vec<f64>,
+}
+
+impl Graph {
+    /// Build from per-vertex adjacency lists (as produced by the
+    /// `nkg-mesh` adjacency builders). The input must be symmetric; this is
+    /// checked in debug builds.
+    pub fn from_adjacency(adj: &[Vec<(usize, f64)>]) -> Self {
+        let n = adj.len();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        xadj.push(0);
+        for nbrs in adj {
+            // Normalize neighbor order: the mesh adjacency builders use
+            // hash maps whose iteration order varies between processes, and
+            // partitioning must be bit-identical on every rank.
+            let mut sorted = nbrs.clone();
+            sorted.sort_by_key(|&(v, _)| v);
+            for (v, w) in sorted {
+                adjncy.push(v);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len());
+        }
+        let g = Self {
+            xadj,
+            adjncy,
+            adjwgt,
+        };
+        debug_assert!(g.is_symmetric(), "adjacency must be symmetric");
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_verts(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Neighbors (with weights) of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (s, e) = (self.xadj[v], self.xadj[v + 1]);
+        self.adjncy[s..e]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[s..e].iter().copied())
+    }
+
+    /// Vertex degree.
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Check CSR symmetry (u→v implies v→u with equal weight).
+    pub fn is_symmetric(&self) -> bool {
+        for u in 0..self.num_verts() {
+            for (v, w) in self.neighbors(u) {
+                if v >= self.num_verts() {
+                    return false;
+                }
+                if !self
+                    .neighbors(v)
+                    .any(|(b, wb)| b == u && (wb - w).abs() < 1e-12)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total weight of edges whose endpoints lie in different parts of
+    /// `part` (each undirected edge counted once).
+    pub fn edge_cut(&self, part: &[usize]) -> f64 {
+        assert_eq!(part.len(), self.num_verts());
+        let mut cut = 0.0;
+        for u in 0..self.num_verts() {
+            for (v, w) in self.neighbors(u) {
+                if u < v && part[u] != part[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// A simple path graph (for tests).
+    pub fn path(n: usize) -> Self {
+        let adj: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1, 1.0));
+                }
+                if i + 1 < n {
+                    v.push((i + 1, 1.0));
+                }
+                v
+            })
+            .collect();
+        Self::from_adjacency(&adj)
+    }
+
+    /// A structured 2D grid graph `nx × ny` with unit weights (for tests
+    /// and the performance model's synthetic meshes).
+    pub fn grid2d(nx: usize, ny: usize) -> Self {
+        let id = |i: usize, j: usize| j * nx + i;
+        let mut adj = vec![Vec::new(); nx * ny];
+        for j in 0..ny {
+            for i in 0..nx {
+                if i + 1 < nx {
+                    adj[id(i, j)].push((id(i + 1, j), 1.0));
+                    adj[id(i + 1, j)].push((id(i, j), 1.0));
+                }
+                if j + 1 < ny {
+                    adj[id(i, j)].push((id(i, j + 1), 1.0));
+                    adj[id(i, j + 1)].push((id(i, j), 1.0));
+                }
+            }
+        }
+        Self::from_adjacency(&adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_construction() {
+        let adj = vec![
+            vec![(1, 2.0)],
+            vec![(0, 2.0), (2, 3.0)],
+            vec![(1, 3.0)],
+        ];
+        let g = Graph::from_adjacency(&adj);
+        assert_eq!(g.num_verts(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.is_symmetric());
+        let nbrs: Vec<_> = g.neighbors(1).collect();
+        assert_eq!(nbrs, vec![(0, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn edge_cut_counts_once() {
+        let g = Graph::path(4);
+        // parts: [0,0,1,1] → single cut edge 1-2.
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 3.0);
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = Graph::grid2d(3, 3);
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.degree(0), 2); // corner
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn asymmetry_detected() {
+        let g = Graph {
+            xadj: vec![0, 1, 1],
+            adjncy: vec![1],
+            adjwgt: vec![1.0],
+        };
+        assert!(!g.is_symmetric());
+    }
+}

@@ -1,0 +1,125 @@
+//! Partition quality metrics and communication summaries.
+
+use crate::graph::Graph;
+
+/// Quality summary of a `nparts`-way partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Vertices per part.
+    pub part_sizes: Vec<usize>,
+    /// Total cut edge weight (each undirected edge counted once).
+    pub edge_cut: f64,
+    /// Communication volume per part: total weight of edges leaving it.
+    pub comm_volume: Vec<f64>,
+    /// Number of distinct neighbor parts per part (message count proxy —
+    /// the paper notes O(10)-O(100) adjacent elements drive "the large
+    /// volume of p2p communications").
+    pub neighbor_parts: Vec<usize>,
+}
+
+impl PartitionQuality {
+    /// Measure a partition.
+    pub fn measure(g: &Graph, part: &[usize], nparts: usize) -> Self {
+        assert_eq!(part.len(), g.num_verts());
+        let mut part_sizes = vec![0usize; nparts];
+        for &p in part {
+            assert!(p < nparts, "part id {p} out of range");
+            part_sizes[p] += 1;
+        }
+        let mut comm_volume = vec![0.0f64; nparts];
+        let mut nbr_sets: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); nparts];
+        let mut edge_cut = 0.0;
+        for u in 0..g.num_verts() {
+            for (v, w) in g.neighbors(u) {
+                if part[u] != part[v] {
+                    comm_volume[part[u]] += w;
+                    nbr_sets[part[u]].insert(part[v]);
+                    if u < v {
+                        edge_cut += w;
+                    }
+                }
+            }
+        }
+        Self {
+            part_sizes,
+            edge_cut,
+            comm_volume,
+            neighbor_parts: nbr_sets.iter().map(|s| s.len()).collect(),
+        }
+    }
+
+    /// Load imbalance: `max_size / mean_size - 1`.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.part_sizes.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.part_sizes.len() as f64;
+        let max = *self.part_sizes.iter().max().unwrap() as f64;
+        max / mean - 1.0
+    }
+
+    /// Largest per-part communication volume — the value that bounds the
+    /// communication phase of a bulk-synchronous step.
+    pub fn max_comm_volume(&self) -> f64 {
+        self.comm_volume.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Largest per-part neighbor count (bounds the per-step message count).
+    pub fn max_neighbor_parts(&self) -> usize {
+        self.neighbor_parts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recursive::{recursive_bisect, slab_partition};
+
+    #[test]
+    fn metrics_on_path() {
+        let g = Graph::path(6);
+        let part = vec![0, 0, 0, 1, 1, 1];
+        let q = PartitionQuality::measure(&g, &part, 2);
+        assert_eq!(q.part_sizes, vec![3, 3]);
+        assert_eq!(q.edge_cut, 1.0);
+        assert_eq!(q.comm_volume, vec![1.0, 1.0]);
+        assert_eq!(q.neighbor_parts, vec![1, 1]);
+        assert_eq!(q.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let g = Graph::path(4);
+        let q = PartitionQuality::measure(&g, &[0, 0, 0, 1], 2);
+        assert!((q.imbalance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursive_beats_slab_on_grid_cut() {
+        // A tall thin grid: slabs along index order cut entire rows.
+        let g = Graph::grid2d(4, 32);
+        let good = recursive_bisect(&g, 4, 2);
+        let bad = slab_partition(128, 4);
+        let qg = PartitionQuality::measure(&g, &good, 4);
+        let qb = PartitionQuality::measure(&g, &bad, 4);
+        assert!(qg.edge_cut <= qb.edge_cut);
+    }
+
+    #[test]
+    fn neighbor_parts_counted() {
+        let g = Graph::grid2d(2, 2);
+        // Every vertex its own part: each has 2 neighbor parts.
+        let q = PartitionQuality::measure(&g, &[0, 1, 2, 3], 4);
+        assert_eq!(q.max_neighbor_parts(), 2);
+        assert_eq!(q.edge_cut, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_part_id_rejected() {
+        let g = Graph::path(2);
+        PartitionQuality::measure(&g, &[0, 5], 2);
+    }
+}

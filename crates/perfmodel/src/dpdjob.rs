@@ -1,0 +1,154 @@
+//! The coupled DPD job model (Table 5): strong scaling of the atomistic
+//! solver with a fixed continuum allocation, including the cache effect
+//! that makes it super-linear.
+
+/// Performance model of the DPD side of a coupled run.
+#[derive(Debug, Clone, Copy)]
+pub struct DpdJobModel {
+    /// Per-particle step cost when the working set fits in cache (s).
+    pub c_fast: f64,
+    /// Per-particle step cost when memory-bound (s).
+    pub c_slow: f64,
+    /// Particles/core at which the cost is halfway between the extremes.
+    pub n_half: f64,
+    /// Cores assigned to the continuum solver (fixed; the paper pins 4,096
+    /// on BG/P and 4,116 on XT5).
+    pub ns_cores: usize,
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledRow {
+    /// Cores assigned to DPD-LAMMPS.
+    pub dpd_cores: usize,
+    /// Modeled CPU time for 4000 DPD steps (200 continuum steps), seconds.
+    pub time: f64,
+    /// Strong-scaling efficiency vs the first row (>1 = super-linear).
+    pub efficiency: f64,
+}
+
+impl DpdJobModel {
+    /// Blue Gene/P constants calibrated on Table 5 (823,079,981 particles).
+    pub fn bluegene_p_paper() -> Self {
+        Self {
+            c_fast: 2.5e-5,
+            c_slow: 3.3e-5,
+            n_half: 40_000.0,
+            ns_cores: 4096,
+        }
+    }
+
+    /// Cray XT5 constants calibrated on Table 5 (stronger cache effect —
+    /// the paper reports 144 % efficiency).
+    pub fn cray_xt5_paper() -> Self {
+        Self {
+            c_fast: 4.0e-6,
+            c_slow: 2.4e-5,
+            n_half: 80_000.0,
+            ns_cores: 4116,
+        }
+    }
+
+    /// Per-particle per-step cost at `n` particles per core: the working
+    /// set shrinks into cache as `n` falls, so the cost decreases.
+    pub fn cost_per_particle_step(&self, n: f64) -> f64 {
+        self.c_fast + (self.c_slow - self.c_fast) * n / (n + self.n_half)
+    }
+
+    /// Time for `steps` DPD steps of `particles` particles on `dpd_cores`.
+    pub fn time(&self, particles: f64, dpd_cores: usize, steps: usize) -> f64 {
+        let n = particles / dpd_cores as f64;
+        self.cost_per_particle_step(n) * n * steps as f64
+    }
+
+    /// The Table 5 sweep: fixed particle count, varying DPD core counts,
+    /// 4000 DPD steps.
+    pub fn table5(&self, particles: f64, core_counts: &[usize]) -> Vec<CoupledRow> {
+        let t0 = self.time(particles, core_counts[0], 4000);
+        let c0 = core_counts[0] as f64;
+        core_counts
+            .iter()
+            .map(|&c| {
+                let t = self.time(particles, c, 4000);
+                CoupledRow {
+                    dpd_cores: c,
+                    time: t,
+                    efficiency: (t0 * c0) / (t * c as f64),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARTICLES: f64 = 823_079_981.0;
+
+    #[test]
+    fn bgp_rows_match_paper_within_10_percent() {
+        let m = DpdJobModel::bluegene_p_paper();
+        let paper = [(28_672usize, 3205.58), (61_440, 1399.12), (126_976, 665.79)];
+        for (cores, t_paper) in paper {
+            let t = m.time(PARTICLES, cores, 4000);
+            let err = (t - t_paper).abs() / t_paper;
+            assert!(err < 0.10, "cores={cores}: model {t:.1} vs paper {t_paper}");
+        }
+    }
+
+    #[test]
+    fn bgp_scaling_is_superlinear() {
+        let m = DpdJobModel::bluegene_p_paper();
+        let rows = m.table5(PARTICLES, &[28_672, 61_440, 126_976]);
+        assert_eq!(rows[0].efficiency, 1.0);
+        for r in &rows[1..] {
+            assert!(
+                r.efficiency > 1.0,
+                "efficiency should exceed 100 %: {r:?}"
+            );
+            assert!(r.efficiency < 1.2, "but not absurdly: {r:?}");
+        }
+    }
+
+    #[test]
+    fn xt5_rows_match_paper_within_10_percent() {
+        let m = DpdJobModel::cray_xt5_paper();
+        let paper = [(17_280usize, 2193.66), (34_560, 762.99)];
+        for (cores, t_paper) in paper {
+            let t = m.time(PARTICLES, cores, 4000);
+            let err = (t - t_paper).abs() / t_paper;
+            assert!(err < 0.10, "cores={cores}: model {t:.1} vs paper {t_paper}");
+        }
+    }
+
+    #[test]
+    fn xt5_superlinearity_stronger_than_bgp() {
+        let b = DpdJobModel::bluegene_p_paper()
+            .table5(PARTICLES, &[28_672, 61_440]);
+        let x = DpdJobModel::cray_xt5_paper().table5(PARTICLES, &[17_280, 34_560]);
+        assert!(
+            x[1].efficiency > b[1].efficiency,
+            "XT5 {} vs BG/P {}",
+            x[1].efficiency,
+            b[1].efficiency
+        );
+        // Paper: 144% on XT5.
+        assert!(x[1].efficiency > 1.2, "XT5 efficiency {}", x[1].efficiency);
+    }
+
+    #[test]
+    fn predicts_missing_xt5_row() {
+        // The paper's 93,312-core XT5 cell is blank; the model fills it in.
+        let m = DpdJobModel::cray_xt5_paper();
+        let t = m.time(PARTICLES, 93_312, 4000);
+        assert!(t > 100.0 && t < 500.0, "predicted {t:.0} s");
+    }
+
+    #[test]
+    fn cost_monotone_in_working_set() {
+        let m = DpdJobModel::bluegene_p_paper();
+        assert!(m.cost_per_particle_step(1e3) < m.cost_per_particle_step(1e5));
+        assert!(m.cost_per_particle_step(0.0) == m.c_fast);
+    }
+}

@@ -1,0 +1,51 @@
+//! Discrete performance model reproducing the paper's scaling studies
+//! (Tables 2-5) on modeled Blue Gene/P and Cray XT5 machines.
+//!
+//! The paper's evaluation ran on up to 131,072 real cores; we have one.
+//! Per the substitution rule, the *hardware* is replaced by a calibrated
+//! analytic/discrete model while every *algorithmic* ingredient (the
+//! partitioner, the torus routing, the message scheduler, the coupling
+//! communication pattern) is the real implementation from the sibling
+//! crates. The reproducible content of Tables 2-5 is the scaling **shape**
+//! — who wins, by what factor, where efficiency falls — not the absolute
+//! seconds of a decommissioned 2011 machine.
+//!
+//! ## The model
+//!
+//! Per coupled time step of a patch-parallel SEM solve:
+//!
+//! ```text
+//! t(C) = W / (C · r)  +  B · (1 + κ · C_total^{1/3})
+//! ```
+//!
+//! * `W` — per-patch work: `elements · (P+1)³ · CG iterations · flops per
+//!   point` (matrix-free tensor kernels);
+//! * `r` — sustained per-core flop rate (machine-dependent);
+//! * the second term models communication whose effective cost grows with
+//!   the job's torus **bisection utilization**: collective and halo traffic
+//!   grows linearly with core count while torus bisection bandwidth grows
+//!   only as `C^{2/3}`, leaving a `C^{1/3}` contention factor.
+//!
+//! Calibrating `(W·r, B, κ)` against three of the paper's BG/P data points
+//! reproduces **all seven** BG/P rows of Tables 3-4 within ~1 % (see
+//! `semjob::tests`), which is strong evidence the paper's own scaling was
+//! bisection-contention-limited.
+//!
+//! For the coupled DPD runs (Table 5) the per-particle step cost falls as
+//! the per-core working set drops toward cache:
+//! `c(n) = c_fast + (c_slow − c_fast) · n/(n + n_half)` — this is what makes
+//! the paper's strong scaling *super-linear* (107 %, 144 % efficiencies).
+//!
+//! Table 2 uses the **real** graph partitioner on a real mesh with the two
+//! adjacency strategies and feeds the measured cut/neighbor statistics into
+//! a per-iteration halo-cost term.
+
+pub mod dpdjob;
+pub mod partition_study;
+pub mod schedule_study;
+pub mod semjob;
+
+pub use dpdjob::DpdJobModel;
+pub use partition_study::{partitioning_comparison, PartitionRow};
+pub use schedule_study::{schedule_ablation, ScheduleRow};
+pub use semjob::{ScalingRow, SemJobModel};

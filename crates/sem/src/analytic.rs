@@ -1,0 +1,154 @@
+//! Analytic reference solutions for solver validation.
+
+use std::f64::consts::PI;
+
+/// Kovasznay flow (steady 2D Navier–Stokes behind a grid) at Reynolds
+/// number `re`: returns `(u, v, p)` at `(x, y)`.
+///
+/// `λ = Re/2 − sqrt(Re²/4 + 4π²)`;
+/// `u = 1 − e^{λx} cos 2πy`, `v = (λ/2π) e^{λx} sin 2πy`,
+/// `p = ½(1 − e^{2λx})`.
+pub fn kovasznay(x: f64, y: f64, re: f64) -> (f64, f64, f64) {
+    let lam = re / 2.0 - (re * re / 4.0 + 4.0 * PI * PI).sqrt();
+    let e = (lam * x).exp();
+    (
+        1.0 - e * (2.0 * PI * y).cos(),
+        lam / (2.0 * PI) * e * (2.0 * PI * y).sin(),
+        0.5 * (1.0 - (2.0 * lam * x).exp()),
+    )
+}
+
+/// Steady plane Poiseuille profile in a channel `0 ≤ y ≤ h` driven by a
+/// uniform streamwise body force `f`: `u(y) = f y (h − y) / (2ν)`.
+pub fn poiseuille_u(y: f64, f: f64, nu: f64, h: f64) -> f64 {
+    f * y * (h - y) / (2.0 * nu)
+}
+
+/// Womersley (oscillatory channel) flow: the exact velocity in a channel
+/// `0 ≤ y ≤ h` driven by the body force `f(t) = A cos(ωt)`, after initial
+/// transients. Returns `u(y, t)`.
+///
+/// With `k = sqrt(iω/ν)` the complex amplitude is
+/// `û(y) = (A/(iω)) [1 − cosh(k(y − h/2)) / cosh(k h/2)]`, and
+/// `u = Re[û e^{iωt}]`. Evaluated here with real arithmetic via the
+/// complex-cosh expansion.
+pub fn womersley_u(y: f64, t: f64, amp: f64, omega: f64, nu: f64, h: f64) -> f64 {
+    // k = sqrt(i ω/ν) = sqrt(ω/2ν) (1 + i)
+    let s = (omega / (2.0 * nu)).sqrt();
+    let (kr, ki) = (s, s);
+    // z = k (y - h/2); w = k h/2
+    let zr = kr * (y - h / 2.0);
+    let zi = ki * (y - h / 2.0);
+    let wr = kr * h / 2.0;
+    let wi = ki * h / 2.0;
+    // cosh(z) for complex z.
+    let cosh = |re: f64, im: f64| -> (f64, f64) {
+        (re.cosh() * im.cos(), re.sinh() * im.sin())
+    };
+    let (czr, czi) = cosh(zr, zi);
+    let (cwr, cwi) = cosh(wr, wi);
+    // ratio = cosh(z)/cosh(w)
+    let denom = cwr * cwr + cwi * cwi;
+    let rr = (czr * cwr + czi * cwi) / denom;
+    let ri = (czi * cwr - czr * cwi) / denom;
+    // û = (A/(iω)) (1 - ratio) = -(iA/ω)(1 - ratio)
+    let ur = -amp / omega * -(0.0 - ri); // Re[-i(1-r)] = -(Im(1-r)) = ri
+    let ui = -amp / omega * (1.0 - rr); // Im[-i(1-r)] = -(Re(1-r)) = rr-1 ... see below
+    // u(t) = Re[û e^{iωt}] = ur cos ωt − ui sin ωt
+    let (c, s_) = ((omega * t).cos(), (omega * t).sin());
+    ur * c - ui * s_
+}
+
+/// Steady Hagen–Poiseuille profile in a circular pipe of radius `r0`
+/// driven by a uniform body force `f`: `u(r) = f (r0² − r²) / (4ν)`.
+pub fn pipe_poiseuille_u(r: f64, f: f64, nu: f64, r0: f64) -> f64 {
+    f * (r0 * r0 - r * r) / (4.0 * nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kovasznay_satisfies_continuity() {
+        // ∂u/∂x + ∂v/∂y = 0, checked by finite differences.
+        let re = 40.0;
+        let h = 1e-6;
+        for &(x, y) in &[(0.0, 0.2), (0.5, -0.3), (0.9, 1.1)] {
+            let dudx = (kovasznay(x + h, y, re).0 - kovasznay(x - h, y, re).0) / (2.0 * h);
+            let dvdy = (kovasznay(x, y + h, re).1 - kovasznay(x, y - h, re).1) / (2.0 * h);
+            assert!((dudx + dvdy).abs() < 1e-6, "div at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn kovasznay_satisfies_momentum() {
+        // u u_x + v u_y = -p_x + ν ∇²u (x-momentum), via finite differences.
+        let re = 40.0;
+        let nu = 1.0 / re;
+        let h = 1e-5;
+        let (x, y) = (0.3, 0.4);
+        let f = |x: f64, y: f64| kovasznay(x, y, re);
+        let (u, v, _) = f(x, y);
+        let ux = (f(x + h, y).0 - f(x - h, y).0) / (2.0 * h);
+        let uy = (f(x, y + h).0 - f(x, y - h).0) / (2.0 * h);
+        let px = (f(x + h, y).2 - f(x - h, y).2) / (2.0 * h);
+        let uxx = (f(x + h, y).0 - 2.0 * u + f(x - h, y).0) / (h * h);
+        let uyy = (f(x, y + h).0 - 2.0 * u + f(x, y - h).0) / (h * h);
+        let resid = u * ux + v * uy + px - nu * (uxx + uyy);
+        assert!(resid.abs() < 1e-4, "x-momentum residual {resid}");
+    }
+
+    #[test]
+    fn poiseuille_max_at_center() {
+        let u_mid = poiseuille_u(0.5, 2.0, 0.1, 1.0);
+        assert!((u_mid - 2.0 * 0.25 / 0.2).abs() < 1e-12);
+        assert_eq!(poiseuille_u(0.0, 2.0, 0.1, 1.0), 0.0);
+        assert_eq!(poiseuille_u(1.0, 2.0, 0.1, 1.0), 0.0);
+    }
+
+    #[test]
+    fn womersley_no_slip_and_low_freq_limit() {
+        let (amp, nu, h) = (1.0, 0.8, 1.0);
+        // Walls: u = 0 for all t.
+        for &t in &[0.0, 0.3, 1.7] {
+            assert!(womersley_u(0.0, t, amp, 0.5, nu, h).abs() < 1e-12);
+            assert!(womersley_u(h, t, amp, 0.5, nu, h).abs() < 1e-12);
+        }
+        // ω → 0: quasi-steady Poiseuille response u ≈ f(t) y(h-y)/(2ν).
+        let omega = 1e-3;
+        let t = 0.0; // f(0) = amp
+        let u = womersley_u(0.5, t, amp, omega, nu, h);
+        let quasi = poiseuille_u(0.5, amp, nu, h);
+        assert!(
+            (u - quasi).abs() < 0.01 * quasi.abs(),
+            "low-freq limit: {u} vs {quasi}"
+        );
+    }
+
+    #[test]
+    fn womersley_satisfies_pde() {
+        // u_t = A cos(ωt) + ν u_yy, finite differences in t and y.
+        let (amp, omega, nu, h) = (2.0, 3.0, 0.25, 1.0);
+        let dt = 1e-6;
+        let dy = 1e-4;
+        for &(y, t) in &[(0.3, 0.9), (0.61, 2.2)] {
+            let ut = (womersley_u(y, t + dt, amp, omega, nu, h)
+                - womersley_u(y, t - dt, amp, omega, nu, h))
+                / (2.0 * dt);
+            let uyy = (womersley_u(y + dy, t, amp, omega, nu, h)
+                - 2.0 * womersley_u(y, t, amp, omega, nu, h)
+                + womersley_u(y - dy, t, amp, omega, nu, h))
+                / (dy * dy);
+            let resid = ut - amp * (omega * t).cos() - nu * uyy;
+            assert!(resid.abs() < 1e-3, "residual {resid} at (y={y}, t={t})");
+        }
+    }
+
+    #[test]
+    fn pipe_poiseuille_profile() {
+        assert_eq!(pipe_poiseuille_u(1.0, 4.0, 0.5, 1.0), 0.0);
+        let center = pipe_poiseuille_u(0.0, 4.0, 0.5, 1.0);
+        assert!((center - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Gauss–Lobatto–Legendre (GLL) bases: quadrature points and weights,
+//! Lagrange differentiation matrices and interpolation operators.
+//!
+//! These are the building blocks of every spectral/hp element operator in
+//! NεκTαr: fields are stored as values at the `(P+1)` GLL points per
+//! direction, derivatives are dense matrix applications, and the GLL
+//! quadrature renders the mass matrix diagonal.
+
+/// Legendre polynomial `L_n(x)` and its derivative by the three-term
+/// recurrence. Returns `(L_n, L_n')`.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let (mut p0, mut p1) = (1.0f64, x);
+    for k in 1..n {
+        let kf = k as f64;
+        let p2 = ((2.0 * kf + 1.0) * x * p1 - kf * p0) / (kf + 1.0);
+        p0 = p1;
+        p1 = p2;
+    }
+    // L_n' from the identity (1-x²) L_n' = n (L_{n-1} - x L_n), with the
+    // endpoint limit L_n'(±1) = (±1)^{n-1} n(n+1)/2.
+    let dp = if (x * x - 1.0).abs() < 1e-14 {
+        let nf = n as f64;
+        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        sign * nf * (nf + 1.0) / 2.0
+    } else {
+        n as f64 * (p0 - x * p1) / (1.0 - x * x)
+    };
+    (p1, dp)
+}
+
+/// The `p+1` GLL points on `[-1, 1]` (ascending) and their quadrature
+/// weights. Exact for polynomials of degree `≤ 2p-1`.
+pub fn gll(p: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(p >= 1, "GLL needs order >= 1");
+    let n = p + 1;
+    let mut x = vec![0.0f64; n];
+    // Chebyshev-Gauss-Lobatto initial guesses, then Newton on (1-x²) L_p'(x).
+    for (i, xi) in x.iter_mut().enumerate() {
+        *xi = -(std::f64::consts::PI * i as f64 / p as f64).cos();
+    }
+    for (i, xi) in x.iter_mut().enumerate() {
+        if i == 0 {
+            *xi = -1.0;
+            continue;
+        }
+        if i == p {
+            *xi = 1.0;
+            continue;
+        }
+        let mut xk = *xi;
+        for _ in 0..100 {
+            // f = L_p'(x); f' = (2x L_p' - p(p+1) L_p) / (1 - x²)
+            let (lp, dlp) = legendre(p, xk);
+            let f = dlp;
+            let fp = (2.0 * xk * dlp - (p * (p + 1)) as f64 * lp) / (1.0 - xk * xk);
+            let dx = f / fp;
+            xk -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        *xi = xk;
+    }
+    let mut w = vec![0.0f64; n];
+    for i in 0..n {
+        let (lp, _) = legendre(p, x[i]);
+        w[i] = 2.0 / ((p * (p + 1)) as f64 * lp * lp);
+    }
+    (x, w)
+}
+
+/// Dense `(p+1)×(p+1)` Lagrange differentiation matrix on the GLL points:
+/// `(D u)_i = u'(x_i)` for `u` the interpolating polynomial. Row-major.
+pub fn diff_matrix(p: usize, x: &[f64]) -> Vec<f64> {
+    let n = p + 1;
+    assert_eq!(x.len(), n);
+    let mut d = vec![0.0f64; n * n];
+    let l: Vec<f64> = x.iter().map(|&xi| legendre(p, xi).0).collect();
+    for i in 0..n {
+        for j in 0..n {
+            d[i * n + j] = if i == j {
+                if i == 0 {
+                    -((p * (p + 1)) as f64) / 4.0
+                } else if i == p {
+                    (p * (p + 1)) as f64 / 4.0
+                } else {
+                    0.0
+                }
+            } else {
+                l[i] / (l[j] * (x[i] - x[j]))
+            };
+        }
+    }
+    d
+}
+
+/// Values of the `p+1` GLL Lagrange cardinal polynomials at point `xi`
+/// (barycentric evaluation): `out[j] = ℓ_j(xi)`.
+pub fn lagrange_at(x: &[f64], xi: f64) -> Vec<f64> {
+    let n = x.len();
+    // Exact hit on a node?
+    for (j, &xj) in x.iter().enumerate() {
+        if (xi - xj).abs() < 1e-14 {
+            let mut out = vec![0.0; n];
+            out[j] = 1.0;
+            return out;
+        }
+    }
+    // Barycentric weights.
+    let mut wts = vec![1.0f64; n];
+    for j in 0..n {
+        for k in 0..n {
+            if k != j {
+                wts[j] /= x[j] - x[k];
+            }
+        }
+    }
+    let mut denom = 0.0;
+    let mut terms = vec![0.0f64; n];
+    for j in 0..n {
+        terms[j] = wts[j] / (xi - x[j]);
+        denom += terms[j];
+    }
+    terms.iter().map(|&t| t / denom).collect()
+}
+
+/// A complete 1D GLL basis bundle of order `p`.
+#[derive(Debug, Clone)]
+pub struct GllBasis {
+    /// Polynomial order.
+    pub p: usize,
+    /// GLL points, ascending in `[-1, 1]`.
+    pub points: Vec<f64>,
+    /// Quadrature weights.
+    pub weights: Vec<f64>,
+    /// Differentiation matrix, row-major `(p+1)²`.
+    pub d: Vec<f64>,
+}
+
+impl GllBasis {
+    /// Build the basis of order `p ≥ 1`.
+    pub fn new(p: usize) -> Self {
+        let (points, weights) = gll(p);
+        let d = diff_matrix(p, &points);
+        Self {
+            p,
+            points,
+            weights,
+            d,
+        }
+    }
+
+    /// Number of nodes `p + 1`.
+    pub fn n(&self) -> usize {
+        self.p + 1
+    }
+
+    /// Differentiate nodal values: `out_i = Σ_j D_ij u_j`.
+    pub fn diff(&self, u: &[f64], out: &mut [f64]) {
+        let n = self.n();
+        debug_assert_eq!(u.len(), n);
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += self.d[i * n + j] * u[j];
+            }
+            out[i] = s;
+        }
+    }
+
+    /// Interpolate nodal values to an arbitrary point `xi ∈ [-1,1]`.
+    pub fn eval(&self, u: &[f64], xi: f64) -> f64 {
+        lagrange_at(&self.points, xi)
+            .iter()
+            .zip(u)
+            .map(|(l, v)| l * v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legendre_low_orders() {
+        for &x in &[-0.7, 0.0, 0.3, 1.0] {
+            assert!((legendre(0, x).0 - 1.0).abs() < 1e-15);
+            assert!((legendre(1, x).0 - x).abs() < 1e-15);
+            assert!((legendre(2, x).0 - (1.5 * x * x - 0.5)).abs() < 1e-14);
+            assert!((legendre(3, x).0 - (2.5 * x * x * x - 1.5 * x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gll_points_symmetric_with_endpoints() {
+        for p in 1..=12 {
+            let (x, w) = gll(p);
+            assert_eq!(x.len(), p + 1);
+            assert_eq!(x[0], -1.0);
+            assert_eq!(x[p], 1.0);
+            for i in 0..=p {
+                assert!((x[i] + x[p - i]).abs() < 1e-13, "p={p}");
+                assert!((w[i] - w[p - i]).abs() < 1e-13, "p={p}");
+            }
+            // Ascending.
+            for k in 1..=p {
+                assert!(x[k] > x[k - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_exact_to_2p_minus_1() {
+        for p in 2..=8 {
+            let (x, w) = gll(p);
+            for deg in 0..=(2 * p - 1) {
+                let integral: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(&xi, &wi)| wi * xi.powi(deg as i32))
+                    .sum();
+                let exact = if deg % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (deg as f64 + 1.0)
+                };
+                assert!(
+                    (integral - exact).abs() < 1e-12,
+                    "p={p} deg={deg}: {integral} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_two() {
+        for p in 1..=10 {
+            let (_, w) = gll(p);
+            assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diff_matrix_exact_on_polynomials() {
+        for p in 2..=9 {
+            let b = GllBasis::new(p);
+            for deg in 0..=p {
+                let u: Vec<f64> = b.points.iter().map(|&x| x.powi(deg as i32)).collect();
+                let mut du = vec![0.0; p + 1];
+                b.diff(&u, &mut du);
+                for (i, &x) in b.points.iter().enumerate() {
+                    let exact = if deg == 0 {
+                        0.0
+                    } else {
+                        deg as f64 * x.powi(deg as i32 - 1)
+                    };
+                    assert!(
+                        (du[i] - exact).abs() < 1e-9,
+                        "p={p} deg={deg} i={i}: {} vs {exact}",
+                        du[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diff_rows_sum_to_zero() {
+        // Derivative of the constant function vanishes.
+        let b = GllBasis::new(7);
+        let n = b.n();
+        for i in 0..n {
+            let row: f64 = (0..n).map(|j| b.d[i * n + j]).sum();
+            assert!(row.abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_polynomials() {
+        let b = GllBasis::new(6);
+        let u: Vec<f64> = b.points.iter().map(|&x| 3.0 * x.powi(5) - x + 0.5).collect();
+        for &xi in &[-0.913f64, -0.4, 0.0, 0.5721, 0.99] {
+            let exact = 3.0 * xi.powi(5) - xi + 0.5;
+            assert!((b.eval(&u, xi) - exact).abs() < 1e-11);
+        }
+        // Exactly at a node.
+        assert!((b.eval(&u, b.points[2]) - u[2]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lagrange_cardinality() {
+        let (x, _) = gll(5);
+        for (j, &xj) in x.iter().enumerate() {
+            let l = lagrange_at(&x, xj);
+            for (k, &lk) in l.iter().enumerate() {
+                let expect = if k == j { 1.0 } else { 0.0 };
+                assert!((lk - expect).abs() < 1e-12);
+            }
+        }
+        // Partition of unity off-node.
+        let l = lagrange_at(&x, 0.1234);
+        assert!((l.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Spectral element method solvers — the NεκTαr substrate.
+//!
+//! The paper's continuum component is NεκTαr: a spectral/hp element solver
+//! family with (i) a 3D unsteady incompressible Navier–Stokes solver using
+//! semi-implicit (stiffly-stable) time stepping and CG-based Helmholtz /
+//! Poisson solves, and (ii) a 1D arterial solver for peripheral networks.
+//! No SEM library exists in Rust; this crate implements one from scratch:
+//!
+//! * [`basis`] — Gauss–Lobatto–Legendre quadrature, differentiation and
+//!   interpolation;
+//! * [`cg`] — matrix-free preconditioned conjugate gradients;
+//! * [`space2d`] / [`space3d`] — continuous-Galerkin discretizations on
+//!   quadrilateral / hexahedral meshes: global numbering (with optional
+//!   streamwise periodicity), curvilinear geometric factors, Helmholtz
+//!   operators, Jacobi preconditioning and Dirichlet lifting;
+//! * [`ns2d`] / [`ns3d`] — unsteady incompressible Navier–Stokes via the
+//!   stiffly-stable velocity-correction splitting (Karniadakis–Israeli–
+//!   Orszag), order 1–2 in time;
+//! * [`oned`] — the NεκTαr-1D analogue: a discontinuous-Galerkin solver for
+//!   the nonlinear 1D blood-flow equations with characteristic upwinding,
+//!   bifurcation coupling and RCR Windkessel outlets;
+//! * [`analytic`] — Kovasznay, Poiseuille and Womersley reference solutions
+//!   used by the validation tests and benches.
+//!
+//! Verified behaviours (see module tests): spectral p-convergence of the
+//! elliptic solves in 2D and 3D, machine-precision steady Poiseuille flow,
+//! Kovasznay flow accuracy, Womersley phase/amplitude, and 1D wave speeds
+//! matching `c = sqrt(β √A / 2ρ)`.
+
+pub mod analytic;
+pub mod basis;
+pub mod cg;
+pub mod ns2d;
+pub mod ns3d;
+pub mod oned;
+pub mod space2d;
+pub mod space3d;
+
+pub use basis::GllBasis;
+pub use cg::{pcg, CgResult};
+pub use ns2d::{NsConfig, NsSolver2d};
+pub use space2d::Space2d;
+pub use space3d::Space3d;

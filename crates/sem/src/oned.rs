@@ -1,0 +1,701 @@
+//! NεκTαr-1D: a discontinuous-Galerkin solver for the nonlinear 1D
+//! blood-flow equations on arterial networks.
+//!
+//! Model (per segment, area `A`, mean velocity `U`):
+//!
+//! ```text
+//! A_t + (A U)_x = 0
+//! U_t + (U²/2 + p/ρ)_x = -k_r U / A          p = β(√A − √A0)
+//! ```
+//!
+//! Characteristics `W₁,₂ = U ± 4c`, `c² = β√A/(2ρ)`; the system is strictly
+//! subcritical in physiological regimes, so exactly one characteristic
+//! enters each boundary. Spatial discretization: nodal GLL DG with
+//! strong-form lifting and upwind (characteristic) interface fluxes;
+//! junctions enforce mass conservation and total-pressure continuity via a
+//! 6×6 Newton solve; terminals use RCR Windkessel models; time integration
+//! is explicit SSP-RK3.
+//!
+//! This is the model the paper uses to "account for flow dynamics in
+//! peripheral arterial networks invisible to the MRI or CT scanners".
+
+use crate::basis::GllBasis;
+use nkg_mesh::oned::ArterialNetwork;
+
+/// Inflow prescription at the network root.
+pub enum Inflow {
+    /// Prescribed mean velocity `U(t)`.
+    Velocity(Box<dyn Fn(f64) -> f64 + Send>),
+    /// Prescribed volumetric flow `Q(t)` (converted using the current area).
+    Flow(Box<dyn Fn(f64) -> f64 + Send>),
+}
+
+/// 1D arterial network solver.
+pub struct Solver1d {
+    /// The network geometry/parameters.
+    pub net: ArterialNetwork,
+    /// Blood density.
+    pub rho: f64,
+    /// Wall friction coefficient `k_r` (momentum sink `-k_r U/A`).
+    pub friction: f64,
+    /// DG elements per segment.
+    pub nel: usize,
+    basis: GllBasis,
+    /// Area DoFs per segment (`nel·(p+1)` each).
+    pub a: Vec<Vec<f64>>,
+    /// Velocity DoFs per segment.
+    pub u: Vec<Vec<f64>>,
+    /// Windkessel compliance pressures per segment (terminals only).
+    pub wk_pressure: Vec<f64>,
+    inflow: Inflow,
+    /// Simulated time.
+    pub time: f64,
+}
+
+impl Solver1d {
+    /// Create a solver with all segments at their reference area and zero
+    /// velocity.
+    pub fn new(
+        net: ArterialNetwork,
+        p_order: usize,
+        nel: usize,
+        rho: f64,
+        friction: f64,
+        inflow: Inflow,
+    ) -> Self {
+        net.validate().expect("invalid network");
+        let basis = GllBasis::new(p_order);
+        let n = nel * (p_order + 1);
+        let a = net.segments.iter().map(|s| vec![s.area0; n]).collect();
+        let u = net.segments.iter().map(|_| vec![0.0; n]).collect();
+        let wk_pressure = vec![0.0; net.len()];
+        Self {
+            net,
+            rho,
+            friction,
+            nel,
+            basis,
+            a,
+            u,
+            wk_pressure,
+            inflow,
+            time: 0.0,
+        }
+    }
+
+    /// Replace the root inflow prescription (used by the 3D→1D coupling to
+    /// slave the network to a continuum outlet flux).
+    pub fn set_inflow(&mut self, inflow: Inflow) {
+        self.inflow = inflow;
+    }
+
+    /// Wave speed at area `a` in segment `s`.
+    pub fn wave_speed(&self, s: usize, a: f64) -> f64 {
+        (self.net.segments[s].beta * a.sqrt() / (2.0 * self.rho)).sqrt()
+    }
+
+    /// Transmural pressure at area `a` in segment `s`.
+    pub fn pressure(&self, s: usize, a: f64) -> f64 {
+        self.net.segments[s].pressure(a)
+    }
+
+    /// Stable time step estimate: `CFL · min(Δx / (|U| + c))`.
+    pub fn cfl_dt(&self, cfl: f64) -> f64 {
+        let p = self.basis.p;
+        let mut dt = f64::MAX;
+        for s in 0..self.net.len() {
+            let h = self.net.segments[s].length / self.nel as f64;
+            let dx = h / (p * p).max(1) as f64;
+            for (&a, &u) in self.a[s].iter().zip(&self.u[s]) {
+                let speed = u.abs() + self.wave_speed(s, a);
+                dt = dt.min(cfl * dx / speed.max(1e-12));
+            }
+        }
+        dt
+    }
+
+    /// Advance one SSP-RK3 step of size `dt`.
+    pub fn step(&mut self, dt: f64) {
+        let (a0, u0) = (self.a.clone(), self.u.clone());
+        // Stage 1.
+        let (ra, ru) = self.rhs(self.time);
+        self.axpy_state(&a0, &u0, 1.0, &ra, &ru, dt);
+        // Stage 2: q2 = 3/4 q0 + 1/4 (q1 + dt L(q1)).
+        let (ra, ru) = self.rhs(self.time + dt);
+        for s in 0..self.net.len() {
+            for i in 0..self.a[s].len() {
+                self.a[s][i] = 0.75 * a0[s][i] + 0.25 * (self.a[s][i] + dt * ra[s][i]);
+                self.u[s][i] = 0.75 * u0[s][i] + 0.25 * (self.u[s][i] + dt * ru[s][i]);
+            }
+        }
+        // Stage 3: q^{n+1} = 1/3 q0 + 2/3 (q2 + dt L(q2)).
+        let (ra, ru) = self.rhs(self.time + 0.5 * dt);
+        for s in 0..self.net.len() {
+            for i in 0..self.a[s].len() {
+                self.a[s][i] = a0[s][i] / 3.0 + 2.0 / 3.0 * (self.a[s][i] + dt * ra[s][i]);
+                self.u[s][i] = u0[s][i] / 3.0 + 2.0 / 3.0 * (self.u[s][i] + dt * ru[s][i]);
+            }
+        }
+        // Windkessel compliance update (forward Euler on the slow ODE).
+        for s in 0..self.net.len() {
+            if let Some(wk) = self.net.terminals[s] {
+                let n = self.a[s].len();
+                let q = self.a[s][n - 1] * self.u[s][n - 1];
+                let dpc = (q - (self.wk_pressure[s] - wk.p_out) / wk.r2) / wk.c;
+                self.wk_pressure[s] += dt * dpc;
+            }
+        }
+        self.time += dt;
+    }
+
+    fn axpy_state(
+        &mut self,
+        a0: &[Vec<f64>],
+        u0: &[Vec<f64>],
+        c0: f64,
+        ra: &[Vec<f64>],
+        ru: &[Vec<f64>],
+        dt: f64,
+    ) {
+        for s in 0..self.net.len() {
+            for i in 0..self.a[s].len() {
+                self.a[s][i] = c0 * a0[s][i] + dt * ra[s][i];
+                self.u[s][i] = c0 * u0[s][i] + dt * ru[s][i];
+            }
+        }
+    }
+
+    /// Physical flux `F = [A U, U²/2 + p/ρ]`.
+    fn flux(&self, s: usize, a: f64, u: f64) -> (f64, f64) {
+        (a * u, 0.5 * u * u + self.pressure(s, a) / self.rho)
+    }
+
+    /// Upwind interface state from left/right traces via Riemann invariants.
+    fn riemann(&self, s: usize, al: f64, ul: f64, ar: f64, ur: f64) -> (f64, f64) {
+        let w1 = ul + 4.0 * self.wave_speed(s, al);
+        let w2 = ur - 4.0 * self.wave_speed(s, ar);
+        self.state_from_invariants(s, w1, w2)
+    }
+
+    /// `(A, U)` from the invariant pair.
+    fn state_from_invariants(&self, s: usize, w1: f64, w2: f64) -> (f64, f64) {
+        let c = (w1 - w2) / 8.0;
+        let u = 0.5 * (w1 + w2);
+        // c² = β √A / (2ρ)  ⇒  A = (2ρ c² / β)².
+        let beta = self.net.segments[s].beta;
+        let a = (2.0 * self.rho * c * c / beta).powi(2);
+        (a, u)
+    }
+
+    /// Spatial RHS for the whole network.
+    #[allow(clippy::type_complexity)]
+    fn rhs(&mut self, t: f64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let nseg = self.net.len();
+        let np = self.basis.n();
+        let mut ra: Vec<Vec<f64>> = (0..nseg).map(|s| vec![0.0; self.a[s].len()]).collect();
+        let mut ru = ra.clone();
+        // Pre-compute the boundary states of every segment.
+        let inlet_states = self.segment_boundary_states(t);
+        for s in 0..nseg {
+            let h = self.net.segments[s].length / self.nel as f64;
+            let jac = h / 2.0;
+            for e in 0..self.nel {
+                let off = e * np;
+                let a_e = &self.a[s][off..off + np];
+                let u_e = &self.u[s][off..off + np];
+                // Volume term: -dF/dx (collocation derivative of fluxes).
+                let mut f1 = vec![0.0; np];
+                let mut f2 = vec![0.0; np];
+                for i in 0..np {
+                    let (fa, fu) = self.flux(s, a_e[i], u_e[i]);
+                    f1[i] = fa;
+                    f2[i] = fu;
+                }
+                for i in 0..np {
+                    let mut d1 = 0.0;
+                    let mut d2 = 0.0;
+                    for m in 0..np {
+                        d1 += self.basis.d[i * np + m] * f1[m];
+                        d2 += self.basis.d[i * np + m] * f2[m];
+                    }
+                    ra[s][off + i] = -d1 / jac;
+                    ru[s][off + i] = -d2 / jac - self.friction * u_e[i] / a_e[i].max(1e-30);
+                }
+                // Interface fluxes.
+                let (astar_l, ustar_l) = if e == 0 {
+                    inlet_states[s].0
+                } else {
+                    let lo = off - 1; // last node of previous element
+                    self.riemann(
+                        s,
+                        self.a[s][lo],
+                        self.u[s][lo],
+                        a_e[0],
+                        u_e[0],
+                    )
+                };
+                let (astar_r, ustar_r) = if e == self.nel - 1 {
+                    inlet_states[s].1
+                } else {
+                    let ro = off + np; // first node of next element
+                    self.riemann(
+                        s,
+                        a_e[np - 1],
+                        u_e[np - 1],
+                        self.a[s][ro],
+                        self.u[s][ro],
+                    )
+                };
+                // Strong-form DG lifting at the two end nodes:
+                // dq/dt += -(F(q⁻) - F*)·n / (w J) with n = -1 left, +1 right.
+                let (fl1, fl2) = self.flux(s, astar_l, ustar_l);
+                let (fr1, fr2) = self.flux(s, astar_r, ustar_r);
+                let w0 = self.basis.weights[0] * jac;
+                let wp = self.basis.weights[np - 1] * jac;
+                ra[s][off] -= (f1[0] - fl1) / w0;
+                ru[s][off] -= (f2[0] - fl2) / w0;
+                ra[s][off + np - 1] += (f1[np - 1] - fr1) / wp;
+                ru[s][off + np - 1] += (f2[np - 1] - fr2) / wp;
+            }
+        }
+        (ra, ru)
+    }
+
+    /// The upwind state at each segment's two ends: `(left, right)` states,
+    /// resolving inflow, junction and Windkessel conditions.
+    #[allow(clippy::type_complexity)]
+    fn segment_boundary_states(&mut self, t: f64) -> Vec<((f64, f64), (f64, f64))> {
+        let nseg = self.net.len();
+        let mut out = vec![((0.0, 0.0), (0.0, 0.0)); nseg];
+        // Root inflow.
+        {
+            let a0 = self.a[0][0];
+            let u0 = self.u[0][0];
+            let w2 = u0 - 4.0 * self.wave_speed(0, a0);
+            let u_target = match &self.inflow {
+                Inflow::Velocity(f) => f(t),
+                Inflow::Flow(f) => f(t) / a0,
+            };
+            let w1 = 2.0 * u_target - w2;
+            out[0].0 = self.state_from_invariants(0, w1, w2);
+        }
+        // Junction and terminal conditions per segment end.
+        let children: Vec<Vec<usize>> = self.net.children.clone();
+        for s in 0..nseg {
+            let n = self.a[s].len();
+            let (a_end, u_end) = (self.a[s][n - 1], self.u[s][n - 1]);
+            if let Some(wk) = self.net.terminals[s] {
+                out[s].1 = self.windkessel_state(s, a_end, u_end, &wk);
+            } else {
+                let ch = &children[s];
+                assert_eq!(ch.len(), 2, "only bifurcations supported");
+                let d0 = ch[0];
+                let d1 = ch[1];
+                let (ad0, ud0) = (self.a[d0][0], self.u[d0][0]);
+                let (ad1, ud1) = (self.a[d1][0], self.u[d1][0]);
+                let (parent_state, s0, s1) =
+                    self.junction_states(s, a_end, u_end, d0, ad0, ud0, d1, ad1, ud1);
+                out[s].1 = parent_state;
+                out[d0].0 = s0;
+                out[d1].0 = s1;
+            }
+            // Non-root segments' left states are set by their parent's
+            // junction solve above; the root's was set by the inflow.
+        }
+        out
+    }
+
+    /// Windkessel outlet: Newton on (A*, U*) satisfying the outgoing
+    /// invariant and `p(A*) = p_c + R1 A* U*`.
+    fn windkessel_state(
+        &self,
+        s: usize,
+        a_int: f64,
+        u_int: f64,
+        wk: &nkg_mesh::oned::Windkessel,
+    ) -> (f64, f64) {
+        let w1 = u_int + 4.0 * self.wave_speed(s, a_int);
+        let pc = self.wk_pressure[s];
+        let beta = self.net.segments[s].beta;
+        let (mut a, mut u) = (a_int, u_int);
+        for _ in 0..50 {
+            let c = self.wave_speed(s, a);
+            let f1 = u + 4.0 * c - w1;
+            let f2 = self.pressure(s, a) - pc - wk.r1 * a * u;
+            // Jacobian: dc/dA = c/(4A); dp/dA = β/(2√A).
+            let j11 = c / a; // ∂f1/∂A = 4·c/(4A)
+            let j12 = 1.0;
+            let j21 = beta / (2.0 * a.sqrt()) - wk.r1 * u;
+            let j22 = -wk.r1 * a;
+            let det = j11 * j22 - j12 * j21;
+            if det.abs() < 1e-30 {
+                break;
+            }
+            let da = (f1 * j22 - f2 * j12) / det;
+            let du = (f2 * j11 - f1 * j21) / det;
+            a -= da;
+            u -= du;
+            a = a.max(1e-12);
+            if da.abs() / a.max(1e-12) + du.abs() < 1e-12 {
+                break;
+            }
+        }
+        (a, u)
+    }
+
+    /// Bifurcation: Newton on 6 unknowns (A,U for parent end and both
+    /// daughter starts) enforcing three outgoing invariants, mass
+    /// conservation and total-pressure continuity.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn junction_states(
+        &self,
+        sp: usize,
+        ap_i: f64,
+        up_i: f64,
+        d0: usize,
+        a0_i: f64,
+        u0_i: f64,
+        d1: usize,
+        a1_i: f64,
+        u1_i: f64,
+    ) -> ((f64, f64), (f64, f64), (f64, f64)) {
+        let w1p = up_i + 4.0 * self.wave_speed(sp, ap_i);
+        let w20 = u0_i - 4.0 * self.wave_speed(d0, a0_i);
+        let w21 = u1_i - 4.0 * self.wave_speed(d1, a1_i);
+        // x = [Ap, Up, A0, U0, A1, U1]
+        let mut x = [ap_i, up_i, a0_i, u0_i, a1_i, u1_i];
+        let rho = self.rho;
+        for _ in 0..60 {
+            let cp = self.wave_speed(sp, x[0]);
+            let c0 = self.wave_speed(d0, x[2]);
+            let c1 = self.wave_speed(d1, x[4]);
+            let pp = self.pressure(sp, x[0]);
+            let p0 = self.pressure(d0, x[2]);
+            let p1 = self.pressure(d1, x[4]);
+            let f = [
+                x[1] + 4.0 * cp - w1p,
+                x[3] - 4.0 * c0 - w20,
+                x[5] - 4.0 * c1 - w21,
+                x[0] * x[1] - x[2] * x[3] - x[4] * x[5],
+                pp + 0.5 * rho * x[1] * x[1] - p0 - 0.5 * rho * x[3] * x[3],
+                pp + 0.5 * rho * x[1] * x[1] - p1 - 0.5 * rho * x[5] * x[5],
+            ];
+            // dp/dA = β/(2√A); dc/dA = c/(4A).
+            let dp_p = self.net.segments[sp].beta / (2.0 * x[0].sqrt());
+            let dp_0 = self.net.segments[d0].beta / (2.0 * x[2].sqrt());
+            let dp_1 = self.net.segments[d1].beta / (2.0 * x[4].sqrt());
+            let mut j = [[0.0f64; 6]; 6];
+            j[0][0] = cp / x[0];
+            j[0][1] = 1.0;
+            j[1][2] = -c0 / x[2];
+            j[1][3] = 1.0;
+            j[2][4] = -c1 / x[4];
+            j[2][5] = 1.0;
+            j[3][0] = x[1];
+            j[3][1] = x[0];
+            j[3][2] = -x[3];
+            j[3][3] = -x[2];
+            j[3][4] = -x[5];
+            j[3][5] = -x[4];
+            j[4][0] = dp_p;
+            j[4][1] = rho * x[1];
+            j[4][2] = -dp_0;
+            j[4][3] = -rho * x[3];
+            j[5][0] = dp_p;
+            j[5][1] = rho * x[1];
+            j[5][4] = -dp_1;
+            j[5][5] = -rho * x[5];
+            let dx = linsolve6(&mut j, &f);
+            let mut maxrel = 0.0f64;
+            for i in 0..6 {
+                x[i] -= dx[i];
+                if i % 2 == 0 {
+                    x[i] = x[i].max(1e-12);
+                }
+                maxrel = maxrel.max(dx[i].abs() / x[i].abs().max(1e-9));
+            }
+            if maxrel < 1e-12 {
+                break;
+            }
+        }
+        ((x[0], x[1]), (x[2], x[3]), (x[4], x[5]))
+    }
+
+    /// Total blood volume `Σ ∫A dx`.
+    pub fn total_volume(&self) -> f64 {
+        let np = self.basis.n();
+        let mut vol = 0.0;
+        for s in 0..self.net.len() {
+            let jac = self.net.segments[s].length / self.nel as f64 / 2.0;
+            for e in 0..self.nel {
+                for i in 0..np {
+                    vol += self.basis.weights[i] * jac * self.a[s][e * np + i];
+                }
+            }
+        }
+        vol
+    }
+
+    /// Flow rate `A·U` at the inlet of segment `s`.
+    pub fn inlet_flow(&self, s: usize) -> f64 {
+        self.a[s][0] * self.u[s][0]
+    }
+
+    /// Flow rate at the outlet of segment `s`.
+    pub fn outlet_flow(&self, s: usize) -> f64 {
+        let n = self.a[s].len();
+        self.a[s][n - 1] * self.u[s][n - 1]
+    }
+
+    /// Pressure at the inlet of segment `s`.
+    pub fn inlet_pressure(&self, s: usize) -> f64 {
+        self.pressure(s, self.a[s][0])
+    }
+}
+
+/// Solve a 6×6 linear system in place (Gaussian elimination with partial
+/// pivoting); returns the solution of `J dx = f`.
+fn linsolve6(j: &mut [[f64; 6]; 6], f: &[f64; 6]) -> [f64; 6] {
+    let mut b = *f;
+    for col in 0..6 {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..6 {
+            if j[r][col].abs() > j[piv][col].abs() {
+                piv = r;
+            }
+        }
+        j.swap(col, piv);
+        b.swap(col, piv);
+        let d = j[col][col];
+        assert!(d.abs() > 1e-300, "singular junction Jacobian");
+        for r in col + 1..6 {
+            let m = j[r][col] / d;
+            for c in col..6 {
+                j[r][c] -= m * j[col][c];
+            }
+            b[r] -= m * b[col];
+        }
+    }
+    let mut x = [0.0f64; 6];
+    for row in (0..6).rev() {
+        let mut s = b[row];
+        for c in row + 1..6 {
+            s -= j[row][c] * x[c];
+        }
+        x[row] = s / j[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nkg_mesh::oned::Windkessel;
+
+    fn vessel(beta: f64) -> ArterialNetwork {
+        ArterialNetwork::single_vessel(
+            0.2,
+            1.0e-4,
+            beta,
+            Windkessel {
+                r1: 1.0e7,
+                c: 1.0e-9,
+                r2: 9.0e7,
+                p_out: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn invariants_round_trip() {
+        let net = vessel(2.0e5);
+        let s = Solver1d::new(
+            net,
+            4,
+            3,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|_| 0.0)),
+        );
+        let (a, u) = (1.3e-4, 0.2);
+        let w1 = u + 4.0 * s.wave_speed(0, a);
+        let w2 = u - 4.0 * s.wave_speed(0, a);
+        let (a2, u2) = s.state_from_invariants(0, w1, w2);
+        assert!((a2 - a).abs() < 1e-12 * a);
+        assert!((u2 - u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_travels_at_wave_speed() {
+        // Put a small area bump mid-vessel, zero inflow; track its peak.
+        let net = vessel(2.0e5);
+        let mut s = Solver1d::new(
+            net,
+            6,
+            20,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|_| 0.0)),
+        );
+        let np = 7;
+        let length = 0.2;
+        let n_total = 20 * np;
+        // Node coordinates (element-wise GLL).
+        let mut xs = vec![0.0; n_total];
+        for e in 0..20 {
+            for i in 0..np {
+                let h = length / 20.0;
+                xs[e * np + i] = e as f64 * h + (s.basis.points[i] + 1.0) / 2.0 * h;
+            }
+        }
+        let a0 = 1.0e-4;
+        for (i, &x) in xs.iter().enumerate() {
+            s.a[0][i] = a0 * (1.0 + 0.01 * (-((x - 0.05) / 0.01).powi(2)).exp());
+        }
+        let c0 = s.wave_speed(0, a0);
+        let dt = s.cfl_dt(0.3);
+        let t_final = 0.05 / c0; // travel ~0.05 m
+        let steps = (t_final / dt).ceil() as usize;
+        let dt = t_final / steps as f64;
+        for _ in 0..steps {
+            s.step(dt);
+        }
+        // Peak location: a forward wave of height/2 at 0.05+c0*t = 0.10 m
+        // (the initial bump splits into forward and backward waves).
+        let fwd_peak = xs
+            .iter()
+            .zip(&s.a[0])
+            .filter(|&(&x, _)| x > 0.075)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(&x, _)| x)
+            .unwrap();
+        assert!(
+            (fwd_peak - 0.10).abs() < 0.01,
+            "forward peak at {fwd_peak}, expected ~0.10 (c0 = {c0})"
+        );
+    }
+
+    #[test]
+    fn steady_flow_matches_windkessel_resistance() {
+        // Stiff vessel; R1 matched to the characteristic impedance
+        // Z_c = ρ c0 / A0 so incident waves are absorbed instead of
+        // reflecting (the standard RCR tuning), and small compliances so
+        // the transient dies within the simulated 0.15 s.
+        let (area0, beta, rho) = (1.0e-4f64, 2.0e7f64, 1050.0f64);
+        let c0 = (beta * area0.sqrt() / (2.0 * rho)).sqrt();
+        let zc = rho * c0 / area0;
+        let r2 = 1.0e8;
+        let net = ArterialNetwork::single_vessel(
+            0.2,
+            area0,
+            beta,
+            Windkessel {
+                r1: zc,
+                c: 1.0e-10,
+                r2,
+                p_out: 0.0,
+            },
+        );
+        let u_in = 0.1;
+        let mut s = Solver1d::new(
+            net,
+            4,
+            6,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(move |t: f64| u_in * (1.0 - (-t / 0.005).exp()))),
+        );
+        let dt = s.cfl_dt(0.25);
+        let steps = (0.4 / dt) as usize;
+        for _ in 0..steps {
+            s.step(dt);
+        }
+        let q = s.outlet_flow(0);
+        let q_in = s.inlet_flow(0);
+        assert!(
+            (q - q_in).abs() < 0.02 * q_in.abs(),
+            "steady flow not uniform: in {q_in}, out {q}"
+        );
+        // Inlet pressure ≈ (R1 + R2) Q at steady state.
+        let p_in = s.inlet_pressure(0);
+        let expect = (zc + r2) * q;
+        assert!(
+            (p_in - expect).abs() < 0.05 * expect,
+            "p_in {p_in} vs RQ {expect}"
+        );
+    }
+
+    #[test]
+    fn bifurcation_conserves_mass() {
+        let net = ArterialNetwork::fractal_tree(2, 2.0e-3, 20.0, 2.0, 2.0e5, 5.0e7);
+        let mut s = Solver1d::new(
+            net,
+            4,
+            4,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|t: f64| 0.1 * (1.0 - (-t / 0.005).exp()))),
+        );
+        let dt = s.cfl_dt(0.25);
+        for _ in 0..((0.4 / dt) as usize) {
+            s.step(dt);
+        }
+        let q_parent = s.outlet_flow(0);
+        let q_daughters: f64 = s.net.children[0]
+            .iter()
+            .map(|&d| s.inlet_flow(d))
+            .sum();
+        assert!(
+            (q_parent - q_daughters).abs() < 0.02 * q_parent.abs().max(1e-12),
+            "junction mass: parent {q_parent}, daughters {q_daughters}"
+        );
+        // Flow split evenly by symmetry.
+        let q0 = s.inlet_flow(s.net.children[0][0]);
+        let q1 = s.inlet_flow(s.net.children[0][1]);
+        assert!((q0 - q1).abs() < 1e-6 * q0.abs().max(1e-12));
+    }
+
+    #[test]
+    fn volume_conserved_with_closed_ends() {
+        // Zero inflow, short time: volume change only through the
+        // Windkessel outlet, which sees ~zero flow.
+        let net = vessel(2.0e5);
+        let mut s = Solver1d::new(
+            net,
+            4,
+            6,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|_| 0.0)),
+        );
+        let v0 = s.total_volume();
+        let dt = s.cfl_dt(0.3);
+        for _ in 0..50 {
+            s.step(dt);
+        }
+        let v1 = s.total_volume();
+        assert!((v1 - v0).abs() < 1e-9 * v0, "volume drift {}", v1 - v0);
+    }
+
+    #[test]
+    fn cfl_dt_scales_with_stiffness() {
+        let soft = Solver1d::new(
+            vessel(1.0e5),
+            4,
+            4,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|_| 0.0)),
+        );
+        let stiff = Solver1d::new(
+            vessel(4.0e5),
+            4,
+            4,
+            1050.0,
+            0.0,
+            Inflow::Velocity(Box::new(|_| 0.0)),
+        );
+        assert!(stiff.cfl_dt(0.5) < soft.cfl_dt(0.5));
+    }
+}

@@ -1,0 +1,810 @@
+//! Continuous-Galerkin spectral-element discretization on quadrilateral
+//! meshes: global numbering, geometric factors, matrix-free elliptic
+//! operators and boundary handling.
+
+use crate::basis::{lagrange_at, GllBasis};
+use crate::cg::{pcg, CgResult};
+use nkg_mesh::quad::{BoundaryTag, QuadMesh};
+use std::collections::HashMap;
+
+/// Geometric factors of one element, evaluated at the `(P+1)²` GLL nodes
+/// (local index `k = j·(P+1) + i`, `i` along ξ).
+#[derive(Debug, Clone)]
+pub struct ElemGeom {
+    /// Stiffness metrics including quadrature weights and |J|:
+    /// `g11 = w |J| (ξ_x² + ξ_y²)` etc.
+    pub g11: Vec<f64>,
+    /// Cross metric `w |J| (ξ_x η_x + ξ_y η_y)`.
+    pub g12: Vec<f64>,
+    /// `w |J| (η_x² + η_y²)`.
+    pub g22: Vec<f64>,
+    /// Diagonal mass `w_i w_j |J|`.
+    pub mass: Vec<f64>,
+    /// `∂ξ/∂x` at each node (for collocation gradients).
+    pub rx: Vec<f64>,
+    /// `∂ξ/∂y`.
+    pub ry: Vec<f64>,
+    /// `∂η/∂x`.
+    pub sx: Vec<f64>,
+    /// `∂η/∂y`.
+    pub sy: Vec<f64>,
+    /// Physical x of each node.
+    pub x: Vec<f64>,
+    /// Physical y of each node.
+    pub y: Vec<f64>,
+}
+
+/// A scalar CG-SEM function space of order `p` on a quad mesh.
+pub struct Space2d {
+    /// The mesh.
+    pub mesh: QuadMesh,
+    /// 1D GLL basis (tensorized).
+    pub basis: GllBasis,
+    /// Per-element local→global DoF map.
+    pub gmap: Vec<Vec<usize>>,
+    /// Number of global DoFs.
+    pub nglobal: usize,
+    /// Per-element geometry.
+    pub geom: Vec<ElemGeom>,
+    /// Node multiplicity (how many elements share each global DoF).
+    pub mult: Vec<f64>,
+    /// Global coordinates of each DoF.
+    pub coords: Vec<[f64; 2]>,
+}
+
+#[derive(Hash, PartialEq, Eq, Clone, Copy)]
+enum NodeKey {
+    Vertex(usize),
+    Edge(usize, usize, usize), // (min vid, max vid, position from min)
+    Interior(usize, usize),    // (elem, local)
+}
+
+impl Space2d {
+    /// Build the space. `periodic_x`: identify DoFs on the `x = min` and
+    /// `x = max` lines (the mesh must have matching vertex y-coordinates
+    /// there), enabling streamwise-periodic channel flows.
+    pub fn new(mesh: QuadMesh, p: usize, periodic_x: bool) -> Self {
+        let basis = GllBasis::new(p);
+        let n = p + 1;
+        let nloc = n * n;
+        // Optional periodic vertex aliasing.
+        let alias = build_alias(&mesh, periodic_x);
+
+        let mut key_map: HashMap<NodeKey, usize> = HashMap::new();
+        let mut gmap = Vec::with_capacity(mesh.num_elems());
+        let mut nglobal = 0usize;
+        let mut intern = |key: NodeKey, nglobal: &mut usize| -> usize {
+            *key_map.entry(key).or_insert_with(|| {
+                let id = *nglobal;
+                *nglobal += 1;
+                id
+            })
+        };
+        for (e, verts) in mesh.elems.iter().enumerate() {
+            let v: Vec<usize> = verts.iter().map(|&vv| alias[vv]).collect();
+            let mut map = vec![usize::MAX; nloc];
+            for j in 0..n {
+                for i in 0..n {
+                    let k = j * n + i;
+                    let key = match (i, j) {
+                        (0, 0) => NodeKey::Vertex(v[0]),
+                        (x, 0) if x == p => NodeKey::Vertex(v[1]),
+                        (x, y) if x == p && y == p => NodeKey::Vertex(v[2]),
+                        (0, y) if y == p => NodeKey::Vertex(v[3]),
+                        (x, 0) => edge_key(v[0], v[1], x, p),
+                        (x, y) if x == p => edge_key(v[1], v[2], y, p),
+                        (x, y) if y == p => edge_key(v[3], v[2], x, p),
+                        (0, y) => edge_key(v[0], v[3], y, p),
+                        _ => NodeKey::Interior(e, k),
+                    };
+                    map[k] = intern(key, &mut nglobal);
+                }
+            }
+            gmap.push(map);
+        }
+
+        // Geometry per element (bilinear isoparametric mapping).
+        let mut geom = Vec::with_capacity(mesh.num_elems());
+        for verts in &mesh.elems {
+            geom.push(elem_geometry(&mesh, *verts, &basis));
+        }
+
+        // Multiplicity and representative coordinates.
+        let mut mult = vec![0.0f64; nglobal];
+        let mut coords = vec![[0.0f64; 2]; nglobal];
+        for (e, map) in gmap.iter().enumerate() {
+            for (k, &g) in map.iter().enumerate() {
+                mult[g] += 1.0;
+                coords[g] = [geom[e].x[k], geom[e].y[k]];
+            }
+        }
+        Self {
+            mesh,
+            basis,
+            gmap,
+            nglobal,
+            geom,
+            mult,
+            coords,
+        }
+    }
+
+    /// Polynomial order.
+    pub fn order(&self) -> usize {
+        self.basis.p
+    }
+
+    /// Nodes per element.
+    pub fn nloc(&self) -> usize {
+        self.basis.n() * self.basis.n()
+    }
+
+    /// Interpolate a function onto the global DoFs (nodal projection).
+    pub fn project(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        self.coords.iter().map(|&[x, y]| f(x, y)).collect()
+    }
+
+    /// Weak right-hand side `(v, f)` for all test functions: element-wise
+    /// `mass .* f(nodes)`, assembled.
+    pub fn weak_rhs(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let mut out = vec![0.0; self.nglobal];
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                out[gid] += g.mass[k] * f(g.x[k], g.y[k]);
+            }
+        }
+        out
+    }
+
+    /// Multiply a global (nodal) vector by the assembled diagonal mass
+    /// matrix: `out = M u`.
+    pub fn apply_mass(&self, u: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.nglobal];
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                out[gid] += g.mass[k] * u[gid];
+            }
+        }
+        out
+    }
+
+    /// Domain integral of a nodal field.
+    pub fn integrate(&self, u: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                total += g.mass[k] * u[gid];
+            }
+        }
+        total
+    }
+
+    /// Total domain area.
+    pub fn area(&self) -> f64 {
+        self.integrate(&vec![1.0; self.nglobal])
+    }
+
+    /// L2 norm of a nodal field.
+    pub fn l2_norm(&self, u: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                total += g.mass[k] * u[gid] * u[gid];
+            }
+        }
+        total.sqrt()
+    }
+
+    /// L2 norm of the difference between a nodal field and a function.
+    pub fn l2_error(&self, u: &[f64], exact: impl Fn(f64, f64) -> f64) -> f64 {
+        let mut total = 0.0;
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                let d = u[gid] - exact(g.x[k], g.y[k]);
+                total += g.mass[k] * d * d;
+            }
+        }
+        total.sqrt()
+    }
+
+    /// Apply the global Helmholtz operator `A u = ∫∇v·∇u + λ ∫v u` to a
+    /// global vector (matrix-free, gather → element tensor kernels →
+    /// scatter-add).
+    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        let n = self.basis.n();
+        let nloc = self.nloc();
+        let d = &self.basis.d;
+        let mut ul = vec![0.0f64; nloc];
+        let mut ur = vec![0.0f64; nloc];
+        let mut us = vec![0.0f64; nloc];
+        let mut f1 = vec![0.0f64; nloc];
+        let mut f2 = vec![0.0f64; nloc];
+        let mut ol = vec![0.0f64; nloc];
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                ul[k] = u[gid];
+            }
+            // ur = ∂u/∂ξ ; us = ∂u/∂η
+            for j in 0..n {
+                for i in 0..n {
+                    let mut sr = 0.0;
+                    let mut ss = 0.0;
+                    for m in 0..n {
+                        sr += d[i * n + m] * ul[j * n + m];
+                        ss += d[j * n + m] * ul[m * n + i];
+                    }
+                    ur[j * n + i] = sr;
+                    us[j * n + i] = ss;
+                }
+            }
+            for k in 0..nloc {
+                f1[k] = g.g11[k] * ur[k] + g.g12[k] * us[k];
+                f2[k] = g.g12[k] * ur[k] + g.g22[k] * us[k];
+            }
+            // out = Dξᵀ f1 + Dηᵀ f2 + λ M u
+            for j in 0..n {
+                for i in 0..n {
+                    let mut s = 0.0;
+                    for m in 0..n {
+                        s += d[m * n + i] * f1[j * n + m];
+                        s += d[m * n + j] * f2[m * n + i];
+                    }
+                    let k = j * n + i;
+                    ol[k] = s + lambda * g.mass[k] * ul[k];
+                }
+            }
+            for (k, &gid) in map.iter().enumerate() {
+                out[gid] += ol[k];
+            }
+        }
+    }
+
+    /// Assembled diagonal of the Helmholtz operator (for Jacobi
+    /// preconditioning).
+    pub fn helmholtz_diagonal(&self, lambda: f64) -> Vec<f64> {
+        let n = self.basis.n();
+        let d = &self.basis.d;
+        let mut diag = vec![0.0f64; self.nglobal];
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for j in 0..n {
+                for i in 0..n {
+                    let k = j * n + i;
+                    let mut v = 0.0;
+                    for m in 0..n {
+                        v += g.g11[j * n + m] * d[m * n + i] * d[m * n + i];
+                        v += g.g22[m * n + i] * d[m * n + j] * d[m * n + j];
+                    }
+                    v += 2.0 * g.g12[k] * d[i * n + i] * d[j * n + j];
+                    v += lambda * g.mass[k];
+                    diag[map[k]] += v;
+                }
+            }
+        }
+        diag
+    }
+
+    /// Collocation gradient of a global field: per-element tensor
+    /// derivatives mapped to physical space, averaged at shared DoFs.
+    /// Returns `(du/dx, du/dy)` as global vectors.
+    pub fn gradient(&self, u: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.basis.n();
+        let nloc = self.nloc();
+        let d = &self.basis.d;
+        let mut gx = vec![0.0f64; self.nglobal];
+        let mut gy = vec![0.0f64; self.nglobal];
+        let mut ul = vec![0.0f64; nloc];
+        for (e, map) in self.gmap.iter().enumerate() {
+            let g = &self.geom[e];
+            for (k, &gid) in map.iter().enumerate() {
+                ul[k] = u[gid];
+            }
+            for j in 0..n {
+                for i in 0..n {
+                    let mut sr = 0.0;
+                    let mut ss = 0.0;
+                    for m in 0..n {
+                        sr += d[i * n + m] * ul[j * n + m];
+                        ss += d[j * n + m] * ul[m * n + i];
+                    }
+                    let k = j * n + i;
+                    gx[map[k]] += g.rx[k] * sr + g.sx[k] * ss;
+                    gy[map[k]] += g.ry[k] * sr + g.sy[k] * ss;
+                }
+            }
+        }
+        for gid in 0..self.nglobal {
+            gx[gid] /= self.mult[gid];
+            gy[gid] /= self.mult[gid];
+        }
+        (gx, gy)
+    }
+
+    /// Global DoF ids lying on boundary edges whose tag satisfies `pred`.
+    pub fn boundary_dofs(&self, pred: impl Fn(BoundaryTag) -> bool) -> Vec<usize> {
+        let n = self.basis.n();
+        let p = self.basis.p;
+        let mut out = std::collections::BTreeSet::new();
+        for &(e, edge, tag) in &self.mesh.boundary {
+            if !pred(tag) {
+                continue;
+            }
+            for t in 0..n {
+                let (i, j) = match edge {
+                    0 => (t, 0),
+                    1 => (p, t),
+                    2 => (t, p),
+                    3 => (0, t),
+                    _ => unreachable!(),
+                };
+                out.insert(self.gmap[e][j * n + i]);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Solve the Helmholtz problem `-∇²u + λu = f` (weak form) with
+    /// Dirichlet data on the DoFs listed in `dirichlet` (values from
+    /// `bc_value`), Jacobi-preconditioned CG.
+    ///
+    /// `rhs_weak` must already be in weak form (e.g. from
+    /// [`Space2d::weak_rhs`]). Returns the solution and CG diagnostics.
+    pub fn solve_helmholtz(
+        &self,
+        lambda: f64,
+        rhs_weak: &[f64],
+        dirichlet: &[usize],
+        bc_value: &[f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> (Vec<f64>, CgResult) {
+        assert_eq!(dirichlet.len(), bc_value.len());
+        let mut is_bc = vec![false; self.nglobal];
+        let mut x = vec![0.0f64; self.nglobal];
+        for (&d, &v) in dirichlet.iter().zip(bc_value) {
+            is_bc[d] = true;
+            x[d] = v;
+        }
+        // b = rhs - A x_bc, masked.
+        let mut ax = vec![0.0f64; self.nglobal];
+        self.apply_helmholtz(lambda, &x, &mut ax);
+        let mut b = vec![0.0f64; self.nglobal];
+        for i in 0..self.nglobal {
+            b[i] = if is_bc[i] { 0.0 } else { rhs_weak[i] - ax[i] };
+        }
+        let diag = self.helmholtz_diagonal(lambda);
+        let mut du = vec![0.0f64; self.nglobal];
+        let is_bc_ref = &is_bc;
+        let res = pcg(
+            |p, out| {
+                // Masked operator: zero Dirichlet components in and out.
+                let mut pm = p.to_vec();
+                for (i, m) in pm.iter_mut().enumerate() {
+                    if is_bc_ref[i] {
+                        *m = 0.0;
+                    }
+                }
+                self.apply_helmholtz(lambda, &pm, out);
+                for (i, o) in out.iter_mut().enumerate() {
+                    if is_bc_ref[i] {
+                        *o = 0.0;
+                    }
+                }
+            },
+            |r, z| {
+                for i in 0..r.len() {
+                    z[i] = if is_bc_ref[i] { 0.0 } else { r[i] / diag[i] };
+                }
+            },
+            &b,
+            &mut du,
+            tol,
+            max_iter,
+        );
+        for i in 0..self.nglobal {
+            if !is_bc[i] {
+                x[i] += du[i];
+            }
+        }
+        (x, res)
+    }
+
+    /// Evaluate a global field at an arbitrary physical point by locating
+    /// the containing element (Newton inversion of the bilinear map) and
+    /// interpolating with the tensor Lagrange basis. Returns `None` if the
+    /// point lies outside the mesh (with tolerance `1e-8`).
+    pub fn eval_at(&self, u: &[f64], x: f64, y: f64) -> Option<f64> {
+        let n = self.basis.n();
+        for (e, verts) in self.mesh.elems.iter().enumerate() {
+            let vs: Vec<[f64; 2]> = verts.iter().map(|&v| self.mesh.coords[v]).collect();
+            if let Some((xi, eta)) = invert_bilinear(&vs, x, y) {
+                let li = lagrange_at(&self.basis.points, xi);
+                let lj = lagrange_at(&self.basis.points, eta);
+                let mut val = 0.0;
+                for j in 0..n {
+                    for i in 0..n {
+                        val += lj[j] * li[i] * u[self.gmap[e][j * n + i]];
+                    }
+                }
+                return Some(val);
+            }
+        }
+        None
+    }
+}
+
+fn edge_key(va: usize, vb: usize, t: usize, p: usize) -> NodeKey {
+    // Position measured from the smaller vertex id, so both elements
+    // sharing the edge agree regardless of traversal direction.
+    if va < vb {
+        NodeKey::Edge(va, vb, t)
+    } else {
+        NodeKey::Edge(vb, va, p - t)
+    }
+}
+
+fn build_alias(mesh: &QuadMesh, periodic_x: bool) -> Vec<usize> {
+    let mut alias: Vec<usize> = (0..mesh.num_verts()).collect();
+    if !periodic_x {
+        return alias;
+    }
+    let xmin = mesh.coords.iter().map(|p| p[0]).fold(f64::MAX, f64::min);
+    let xmax = mesh.coords.iter().map(|p| p[0]).fold(f64::MIN, f64::max);
+    let tol = 1e-9 * (xmax - xmin).max(1.0);
+    for (v, pv) in mesh.coords.iter().enumerate() {
+        if (pv[0] - xmax).abs() < tol {
+            // Find the partner at xmin with the same y.
+            let partner = mesh
+                .coords
+                .iter()
+                .position(|q| (q[0] - xmin).abs() < tol && (q[1] - pv[1]).abs() < tol)
+                .expect("periodic_x: no matching vertex on the opposite side");
+            alias[v] = partner;
+        }
+    }
+    alias
+}
+
+fn elem_geometry(mesh: &QuadMesh, verts: [usize; 4], basis: &GllBasis) -> ElemGeom {
+    let n = basis.n();
+    let nloc = n * n;
+    let vc: Vec<[f64; 2]> = verts.iter().map(|&v| mesh.coords[v]).collect();
+    let mut g = ElemGeom {
+        g11: vec![0.0; nloc],
+        g12: vec![0.0; nloc],
+        g22: vec![0.0; nloc],
+        mass: vec![0.0; nloc],
+        rx: vec![0.0; nloc],
+        ry: vec![0.0; nloc],
+        sx: vec![0.0; nloc],
+        sy: vec![0.0; nloc],
+        x: vec![0.0; nloc],
+        y: vec![0.0; nloc],
+    };
+    for j in 0..n {
+        for i in 0..n {
+            let (xi, eta) = (basis.points[i], basis.points[j]);
+            let k = j * n + i;
+            // Bilinear shape functions and their derivatives.
+            let nfun = [
+                0.25 * (1.0 - xi) * (1.0 - eta),
+                0.25 * (1.0 + xi) * (1.0 - eta),
+                0.25 * (1.0 + xi) * (1.0 + eta),
+                0.25 * (1.0 - xi) * (1.0 + eta),
+            ];
+            let dxi = [
+                -0.25 * (1.0 - eta),
+                0.25 * (1.0 - eta),
+                0.25 * (1.0 + eta),
+                -0.25 * (1.0 + eta),
+            ];
+            let deta = [
+                -0.25 * (1.0 - xi),
+                -0.25 * (1.0 + xi),
+                0.25 * (1.0 + xi),
+                0.25 * (1.0 - xi),
+            ];
+            let (mut x, mut y) = (0.0, 0.0);
+            let (mut x_xi, mut y_xi, mut x_eta, mut y_eta) = (0.0, 0.0, 0.0, 0.0);
+            for a in 0..4 {
+                x += nfun[a] * vc[a][0];
+                y += nfun[a] * vc[a][1];
+                x_xi += dxi[a] * vc[a][0];
+                y_xi += dxi[a] * vc[a][1];
+                x_eta += deta[a] * vc[a][0];
+                y_eta += deta[a] * vc[a][1];
+            }
+            let jac = x_xi * y_eta - x_eta * y_xi;
+            assert!(
+                jac > 1e-14,
+                "element has non-positive Jacobian {jac} (inverted or degenerate)"
+            );
+            let rx = y_eta / jac;
+            let ry = -x_eta / jac;
+            let sx = -y_xi / jac;
+            let sy = x_xi / jac;
+            let w = basis.weights[i] * basis.weights[j] * jac;
+            g.x[k] = x;
+            g.y[k] = y;
+            g.rx[k] = rx;
+            g.ry[k] = ry;
+            g.sx[k] = sx;
+            g.sy[k] = sy;
+            g.mass[k] = w;
+            g.g11[k] = w * (rx * rx + ry * ry);
+            g.g12[k] = w * (rx * sx + ry * sy);
+            g.g22[k] = w * (sx * sx + sy * sy);
+        }
+    }
+    g
+}
+
+/// Newton inversion of the bilinear map; returns reference coordinates when
+/// the point is inside (|ξ|,|η| ≤ 1 + 1e-8).
+fn invert_bilinear(vc: &[[f64; 2]], x: f64, y: f64) -> Option<(f64, f64)> {
+    // Quick reject by bounding box.
+    let (mut lo, mut hi) = ([f64::MAX; 2], [f64::MIN; 2]);
+    for p in vc {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let pad = 1e-8 * ((hi[0] - lo[0]) + (hi[1] - lo[1])).max(1e-12);
+    if x < lo[0] - pad || x > hi[0] + pad || y < lo[1] - pad || y > hi[1] + pad {
+        return None;
+    }
+    let (mut xi, mut eta) = (0.0f64, 0.0f64);
+    for _ in 0..30 {
+        let nfun = [
+            0.25 * (1.0 - xi) * (1.0 - eta),
+            0.25 * (1.0 + xi) * (1.0 - eta),
+            0.25 * (1.0 + xi) * (1.0 + eta),
+            0.25 * (1.0 - xi) * (1.0 + eta),
+        ];
+        let dxi = [
+            -0.25 * (1.0 - eta),
+            0.25 * (1.0 - eta),
+            0.25 * (1.0 + eta),
+            -0.25 * (1.0 + eta),
+        ];
+        let deta = [
+            -0.25 * (1.0 - xi),
+            -0.25 * (1.0 + xi),
+            0.25 * (1.0 + xi),
+            0.25 * (1.0 - xi),
+        ];
+        let (mut fx, mut fy) = (-x, -y);
+        let (mut a11, mut a12, mut a21, mut a22) = (0.0, 0.0, 0.0, 0.0);
+        for a in 0..4 {
+            fx += nfun[a] * vc[a][0];
+            fy += nfun[a] * vc[a][1];
+            a11 += dxi[a] * vc[a][0];
+            a12 += deta[a] * vc[a][0];
+            a21 += dxi[a] * vc[a][1];
+            a22 += deta[a] * vc[a][1];
+        }
+        let det = a11 * a22 - a12 * a21;
+        if det.abs() < 1e-30 {
+            return None;
+        }
+        let dxi_step = (fx * a22 - fy * a12) / det;
+        let deta_step = (fy * a11 - fx * a21) / det;
+        xi -= dxi_step;
+        eta -= deta_step;
+        if dxi_step.abs() + deta_step.abs() < 1e-13 {
+            break;
+        }
+    }
+    if xi.abs() <= 1.0 + 1e-8 && eta.abs() <= 1.0 + 1e-8 {
+        Some((xi.clamp(-1.0, 1.0), eta.clamp(-1.0, 1.0)))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel(nx: usize, ny: usize, p: usize) -> Space2d {
+        let mesh = QuadMesh::rectangle(nx, ny, 0.0, 2.0, 0.0, 1.0);
+        Space2d::new(mesh, p, false)
+    }
+
+    #[test]
+    fn dof_count_structured() {
+        // nx*p+1 by ny*p+1 grid points.
+        let s = channel(3, 2, 4);
+        assert_eq!(s.nglobal, (3 * 4 + 1) * (2 * 4 + 1));
+    }
+
+    #[test]
+    fn multiplicity_correct() {
+        let s = channel(2, 2, 3);
+        // Central vertex shared by 4 elements.
+        let max_mult = s.mult.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(max_mult, 4.0);
+        let ones = s.mult.iter().filter(|&&m| m == 1.0).count();
+        // Interior nodes: 4 elements * (p-1)^2 = 16, plus boundary-only
+        // nodes... count: all nodes minus shared ones; just check interior.
+        assert!(ones >= 4 * (3 - 1) * (3 - 1));
+    }
+
+    #[test]
+    fn area_of_rectangle() {
+        let s = channel(3, 3, 5);
+        assert!((s.area() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_integrates_polynomials_exactly() {
+        let s = channel(2, 2, 4);
+        // ∫_0^2 ∫_0^1 x² y dx dy = (8/3)(1/2) = 4/3.
+        let u = s.project(|x, y| x * x * y);
+        assert!((s.integrate(&u) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_exact_for_polynomials() {
+        let s = channel(2, 2, 5);
+        let u = s.project(|x, y| x * x * y + 3.0 * y * y);
+        let (gx, gy) = s.gradient(&u);
+        for (g, &[x, y]) in gx.iter().zip(&s.coords) {
+            assert!((g - 2.0 * x * y).abs() < 1e-9, "at ({x},{y})");
+        }
+        for (g, &[x, y]) in gy.iter().zip(&s.coords) {
+            assert!((g - (x * x + 6.0 * y)).abs() < 1e-9, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn helmholtz_operator_symmetric() {
+        let s = channel(2, 2, 3);
+        let n = s.nglobal;
+        // Probe symmetry with a few random-ish vectors.
+        let u: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 13) as f64 / 13.0).collect();
+        let v: Vec<f64> = (0..n).map(|i| ((i * 5 + 3) % 11) as f64 / 11.0).collect();
+        let mut au = vec![0.0; n];
+        let mut av = vec![0.0; n];
+        s.apply_helmholtz(2.5, &u, &mut au);
+        s.apply_helmholtz(2.5, &v, &mut av);
+        let vau: f64 = v.iter().zip(&au).map(|(a, b)| a * b).sum();
+        let uav: f64 = u.iter().zip(&av).map(|(a, b)| a * b).sum();
+        assert!((vau - uav).abs() < 1e-9 * vau.abs().max(1.0));
+    }
+
+    #[test]
+    fn operator_annihilates_constants_when_lambda_zero() {
+        let s = channel(3, 2, 4);
+        let u = vec![1.0; s.nglobal];
+        let mut au = vec![0.0; s.nglobal];
+        s.apply_helmholtz(0.0, &u, &mut au);
+        for (i, &a) in au.iter().enumerate() {
+            assert!(a.abs() < 1e-10, "dof {i}: {a}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_operator_probe() {
+        let s = channel(2, 1, 3);
+        let diag = s.helmholtz_diagonal(1.5);
+        let n = s.nglobal;
+        for gid in [0usize, 3, n / 2, n - 1] {
+            let mut e = vec![0.0; n];
+            e[gid] = 1.0;
+            let mut ae = vec![0.0; n];
+            s.apply_helmholtz(1.5, &e, &mut ae);
+            assert!(
+                (ae[gid] - diag[gid]).abs() < 1e-10 * diag[gid].abs().max(1.0),
+                "dof {gid}: probe {} vs diag {}",
+                ae[gid],
+                diag[gid]
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_manufactured_solution() {
+        // -∇²u = f on [0,2]x[0,1] with u = sin(πx/2) sin(πy) (zero on the
+        // boundary), f = π²(1/4 + 1) u.
+        let s = channel(3, 3, 7);
+        let pi = std::f64::consts::PI;
+        let exact = |x: f64, y: f64| (pi * x / 2.0).sin() * (pi * y).sin();
+        let rhs = s.weak_rhs(|x, y| pi * pi * (0.25 + 1.0) * exact(x, y));
+        let bnd = s.boundary_dofs(|_| true);
+        let zeros = vec![0.0; bnd.len()];
+        let (u, res) = s.solve_helmholtz(0.0, &rhs, &bnd, &zeros, 1e-12, 2000);
+        assert!(res.converged, "CG failed: {res:?}");
+        let err = s.l2_error(&u, exact);
+        assert!(err < 1e-6, "L2 error {err}");
+    }
+
+    #[test]
+    fn poisson_p_convergence_is_spectral() {
+        let pi = std::f64::consts::PI;
+        let exact = move |x: f64, y: f64| (pi * x / 2.0).sin() * (pi * y).sin();
+        let mut errs = Vec::new();
+        for p in [2usize, 4, 6, 8] {
+            let s = channel(2, 2, p);
+            let rhs = s.weak_rhs(|x, y| pi * pi * 1.25 * exact(x, y));
+            let bnd = s.boundary_dofs(|_| true);
+            let zeros = vec![0.0; bnd.len()];
+            let (u, res) = s.solve_helmholtz(0.0, &rhs, &bnd, &zeros, 1e-13, 4000);
+            assert!(res.converged);
+            errs.push(s.l2_error(&u, exact));
+        }
+        // Each +2 in order must shrink the error by well over 10x
+        // (exponential convergence).
+        for w in errs.windows(2) {
+            assert!(w[1] < w[0] / 10.0, "errors not spectral: {errs:?}");
+        }
+        assert!(errs.last().unwrap() < &1e-7);
+    }
+
+    #[test]
+    fn helmholtz_with_positive_lambda() {
+        // (-∇² + λ)u = f, u = cos(πx) e^y is non-zero on the boundary:
+        // exercises Dirichlet lifting. f = (π² + λ - 1) ... compute:
+        // -∇²u = π² cos(πx) e^y - cos(πx) e^y.
+        let s = channel(3, 2, 6);
+        let pi = std::f64::consts::PI;
+        let lambda = 3.0;
+        let exact = |x: f64, y: f64| (pi * x).cos() * y.exp();
+        let rhs = s.weak_rhs(|x, y| (pi * pi - 1.0 + lambda) * exact(x, y));
+        let bnd = s.boundary_dofs(|_| true);
+        let vals: Vec<f64> = bnd
+            .iter()
+            .map(|&g| exact(s.coords[g][0], s.coords[g][1]))
+            .collect();
+        let (u, res) = s.solve_helmholtz(lambda, &rhs, &bnd, &vals, 1e-12, 3000);
+        assert!(res.converged);
+        let err = s.l2_error(&u, exact);
+        assert!(err < 1e-6, "L2 error {err}");
+    }
+
+    #[test]
+    fn periodic_space_merges_dofs() {
+        let mesh = QuadMesh::rectangle(4, 2, 0.0, 1.0, 0.0, 0.5);
+        let plain = Space2d::new(mesh.clone(), 3, false);
+        let periodic = Space2d::new(mesh, 3, true);
+        // Periodic merge removes one column of (ny*p+1) DoFs.
+        assert_eq!(plain.nglobal - periodic.nglobal, 2 * 3 + 1);
+    }
+
+    #[test]
+    fn eval_at_interpolates() {
+        let s = channel(3, 2, 5);
+        let u = s.project(|x, y| x * y * y + 1.0);
+        let v = s.eval_at(&u, 0.713, 0.377).unwrap();
+        assert!((v - (0.713 * 0.377 * 0.377 + 1.0)).abs() < 1e-10);
+        assert!(s.eval_at(&u, 5.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn boundary_dofs_by_tag() {
+        let s = channel(3, 2, 2);
+        let inlet = s.boundary_dofs(|t| t == BoundaryTag::Inlet);
+        // Inlet is x=0 line: ny*p+1 nodes.
+        assert_eq!(inlet.len(), 2 * 2 + 1);
+        for &g in &inlet {
+            assert!(s.coords[g][0].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mapped_mesh_area() {
+        // Shear-mapped rectangle preserves area.
+        let mesh = QuadMesh::rectangle(3, 3, 0.0, 2.0, 0.0, 1.0)
+            .mapped(|[x, y]| [x + 0.3 * y, y]);
+        let s = Space2d::new(mesh, 4, false);
+        assert!((s.area() - 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,353 @@
+//! The Table-1 kernels and the vector primitives built on them.
+//!
+//! Three implementation tiers:
+//!
+//! * **scalar** — the unoptimized baseline. Each element access goes through
+//!   [`std::hint::black_box`], which models the paper's pre-tuning code where
+//!   aliasing and dependency assumptions prevented the compiler from
+//!   vectorizing. (Without the barrier, rustc/LLVM happily vectorizes the
+//!   naive loop and the baseline would already be the tuned kernel.)
+//! * **vec** — auto-vectorization-friendly: exact chunks of 8 with
+//!   independent accumulators, so LLVM emits packed mul/add. This is the
+//!   `#pragma`-assisted tier of the paper.
+//! * **sse** — explicit `std::arch` SSE2 intrinsics on x86_64, the paper's
+//!   compiler-intrinsics tier.
+
+/// Reference: `z[i] = x[i] * y[i]`, vectorization defeated.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_scalar(z: &mut [f64], x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    for i in 0..x.len() {
+        let a = std::hint::black_box(x[i]);
+        let b = std::hint::black_box(y[i]);
+        z[i] = a * b;
+    }
+}
+
+/// Tuned: `z[i] = x[i] * y[i]` structured for packed SIMD codegen.
+#[inline]
+pub fn mul_vec(z: &mut [f64], x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    let (zc, zr) = z.split_at_mut(chunks);
+    for ((zc, xc), yc) in zc
+        .chunks_exact_mut(8)
+        .zip(x[..chunks].chunks_exact(8))
+        .zip(y[..chunks].chunks_exact(8))
+    {
+        for k in 0..8 {
+            zc[k] = xc[k] * yc[k];
+        }
+    }
+    for (i, zi) in zr.iter_mut().enumerate() {
+        *zi = x[chunks + i] * y[chunks + i];
+    }
+}
+
+/// Reference: `a = sum_i x[i]*y[i]*z[i]`, vectorization defeated.
+pub fn triple_dot_scalar(x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        let a = std::hint::black_box(x[i]);
+        let b = std::hint::black_box(y[i]);
+        let c = std::hint::black_box(z[i]);
+        acc += a * b * c;
+    }
+    acc
+}
+
+/// Tuned: `a = sum_i x[i]*y[i]*z[i]` with four independent accumulators.
+#[inline]
+pub fn triple_dot_vec(x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    let mut acc = [0.0f64; 8];
+    for ((xc, yc), zc) in x[..chunks]
+        .chunks_exact(8)
+        .zip(y[..chunks].chunks_exact(8))
+        .zip(z[..chunks].chunks_exact(8))
+    {
+        for k in 0..8 {
+            acc[k] += xc[k] * yc[k] * zc[k];
+        }
+    }
+    let mut total: f64 = acc.iter().sum();
+    for i in chunks..n {
+        total += x[i] * y[i] * z[i];
+    }
+    total
+}
+
+/// Reference: `a = sum_i x[i]*y[i]*y[i]` (weighted dot), vectorization defeated.
+pub fn wdot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        let a = std::hint::black_box(x[i]);
+        let b = std::hint::black_box(y[i]);
+        acc += a * b * b;
+    }
+    acc
+}
+
+/// Tuned: `a = sum_i x[i]*y[i]*y[i]` with independent accumulators.
+#[inline]
+pub fn wdot_vec(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    let mut acc = [0.0f64; 8];
+    for (xc, yc) in x[..chunks]
+        .chunks_exact(8)
+        .zip(y[..chunks].chunks_exact(8))
+    {
+        for k in 0..8 {
+            acc[k] += xc[k] * yc[k] * yc[k];
+        }
+    }
+    let mut total: f64 = acc.iter().sum();
+    for i in chunks..n {
+        total += x[i] * y[i] * y[i];
+    }
+    total
+}
+
+/// Plain dot product `sum_i x[i]*y[i]` (tuned tier) — used by the CG solvers.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 8 * 8;
+    let mut acc = [0.0f64; 8];
+    for (xc, yc) in x[..chunks]
+        .chunks_exact(8)
+        .zip(y[..chunks].chunks_exact(8))
+    {
+        for k in 0..8 {
+            acc[k] += xc[k] * yc[k];
+        }
+    }
+    let mut total: f64 = acc.iter().sum();
+    for i in chunks..n {
+        total += x[i] * y[i];
+    }
+    total
+}
+
+/// Squared L2 norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// `y[i] += a * x[i]` — the CG update primitive.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * *xi;
+    }
+}
+
+/// Explicit SSE2 kernels, matching the paper's compiler-intrinsics tier.
+#[cfg(target_arch = "x86_64")]
+pub mod sse {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// `z[i] = x[i]*y[i]` with packed-double SSE2 intrinsics.
+    ///
+    /// Falls back to a scalar tail for the final odd element. Unaligned-load
+    /// variants are used so arbitrary slices are accepted; with
+    /// [`crate::AlignedVec`] storage the loads are in fact aligned.
+    pub fn mul_sse(z: &mut [f64], x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        let n = x.len();
+        let pairs = n / 2;
+        // SAFETY: indices stay below `pairs*2 <= n`; loadu/storeu have no
+        // alignment requirement; f64 slices are valid for reads/writes.
+        unsafe {
+            for p in 0..pairs {
+                let i = 2 * p;
+                let xv = _mm_loadu_pd(x.as_ptr().add(i));
+                let yv = _mm_loadu_pd(y.as_ptr().add(i));
+                _mm_storeu_pd(z.as_mut_ptr().add(i), _mm_mul_pd(xv, yv));
+            }
+        }
+        if n % 2 == 1 {
+            z[n - 1] = x[n - 1] * y[n - 1];
+        }
+    }
+
+    /// `sum x[i]*y[i]*z[i]` with packed-double SSE2 intrinsics.
+    pub fn triple_dot_sse(x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), z.len());
+        let n = x.len();
+        let pairs = n / 2;
+        let mut lanes = [0.0f64; 2];
+        // SAFETY: as in `mul_sse`.
+        unsafe {
+            let mut acc = _mm_setzero_pd();
+            for p in 0..pairs {
+                let i = 2 * p;
+                let xv = _mm_loadu_pd(x.as_ptr().add(i));
+                let yv = _mm_loadu_pd(y.as_ptr().add(i));
+                let zv = _mm_loadu_pd(z.as_ptr().add(i));
+                acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(xv, yv), zv));
+            }
+            _mm_storeu_pd(lanes.as_mut_ptr(), acc);
+        }
+        let mut total = lanes[0] + lanes[1];
+        if n % 2 == 1 {
+            total += x[n - 1] * y[n - 1] * z[n - 1];
+        }
+        total
+    }
+
+    /// `sum x[i]*y[i]*y[i]` with packed-double SSE2 intrinsics.
+    pub fn wdot_sse(x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let pairs = n / 2;
+        let mut lanes = [0.0f64; 2];
+        // SAFETY: as in `mul_sse`.
+        unsafe {
+            let mut acc = _mm_setzero_pd();
+            for p in 0..pairs {
+                let i = 2 * p;
+                let xv = _mm_loadu_pd(x.as_ptr().add(i));
+                let yv = _mm_loadu_pd(y.as_ptr().add(i));
+                acc = _mm_add_pd(acc, _mm_mul_pd(_mm_mul_pd(xv, yv), yv));
+            }
+            _mm_storeu_pd(lanes.as_mut_ptr(), acc);
+        }
+        let mut total = lanes[0] + lanes[1];
+        if n % 2 == 1 {
+            total += x[n - 1] * y[n - 1] * y[n - 1];
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AlignedVec;
+    use proptest::prelude::*;
+
+    fn approx(a: f64, b: f64, scale: f64) -> bool {
+        (a - b).abs() <= 1e-10 * scale.max(1.0)
+    }
+
+    #[test]
+    fn mul_matches_reference() {
+        let x = AlignedVec::from_fn(1003, |i| (i as f64).sin());
+        let y = AlignedVec::from_fn(1003, |i| (i as f64 + 0.5).cos());
+        let mut z0 = AlignedVec::zeros(1003);
+        let mut z1 = AlignedVec::zeros(1003);
+        mul_scalar(&mut z0, &x, &y);
+        mul_vec(&mut z1, &x, &y);
+        assert_eq!(z0.as_slice(), z1.as_slice());
+    }
+
+    #[test]
+    fn dots_match_reference() {
+        let n = 517;
+        let x = AlignedVec::from_fn(n, |i| 1.0 / (i + 1) as f64);
+        let y = AlignedVec::from_fn(n, |i| (i as f64 * 0.01).sin());
+        let z = AlignedVec::from_fn(n, |i| (i % 7) as f64 - 3.0);
+        let scale = n as f64;
+        assert!(approx(
+            triple_dot_scalar(&x, &y, &z),
+            triple_dot_vec(&x, &y, &z),
+            scale
+        ));
+        assert!(approx(wdot_scalar(&x, &y), wdot_vec(&x, &y), scale));
+    }
+
+    #[test]
+    fn axpy_and_norms() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 14.0, 16.0]);
+        assert_eq!(norm2(&x), 14.0);
+        assert_eq!(dot(&x, &y), 12.0 + 28.0 + 48.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut z: [f64; 0] = [];
+        mul_vec(&mut z, &[], &[]);
+        assert_eq!(triple_dot_vec(&[], &[], &[]), 0.0);
+        assert_eq!(wdot_vec(&[], &[]), 0.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse_matches_reference() {
+        use super::sse::*;
+        for n in [0usize, 1, 2, 7, 64, 129] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+            let y: Vec<f64> = (0..n).map(|i| 0.5 - i as f64 * 0.01).collect();
+            let z: Vec<f64> = (0..n).map(|i| ((i * 3) % 11) as f64).collect();
+            let mut out0 = vec![0.0; n];
+            let mut out1 = vec![0.0; n];
+            mul_scalar(&mut out0, &x, &y);
+            mul_sse(&mut out1, &x, &y);
+            assert_eq!(out0, out1, "n={n}");
+            assert!(approx(
+                triple_dot_sse(&x, &y, &z),
+                triple_dot_scalar(&x, &y, &z),
+                n as f64
+            ));
+            assert!(approx(wdot_sse(&x, &y), wdot_scalar(&x, &y), n as f64));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_tiers_agree(xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+            let ys: Vec<f64> = xs.iter().map(|v| v * 0.5 + 1.0).collect();
+            let mut a = vec![0.0; xs.len()];
+            let mut b = vec![0.0; xs.len()];
+            mul_scalar(&mut a, &xs, &ys);
+            mul_vec(&mut b, &xs, &ys);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_reductions_agree(xs in prop::collection::vec(-1e3f64..1e3, 0..200)) {
+            let ys: Vec<f64> = xs.iter().map(|v| v - 2.0).collect();
+            let zs: Vec<f64> = xs.iter().map(|v| 1.0 - v).collect();
+            let s = triple_dot_scalar(&xs, &ys, &zs);
+            let v = triple_dot_vec(&xs, &ys, &zs);
+            let bound = 1e-9 * xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0) * 1e6;
+            prop_assert!((s - v).abs() <= bound, "{s} vs {v}");
+            let sw = wdot_scalar(&xs, &ys);
+            let vw = wdot_vec(&xs, &ys);
+            prop_assert!((sw - vw).abs() <= bound, "{sw} vs {vw}");
+        }
+
+        #[test]
+        fn prop_axpy_linear(a in -10.0f64..10.0, xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+            let mut y = vec![0.0; xs.len()];
+            axpy(a, &xs, &mut y);
+            for (yi, xi) in y.iter().zip(xs.iter()) {
+                prop_assert_eq!(*yi, a * *xi);
+            }
+        }
+    }
+}

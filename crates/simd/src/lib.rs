@@ -1,0 +1,40 @@
+//! SIMD-tuned basic kernels, reproducing the performance-engineering layer of
+//! Grinberg et al. (SC'11), Section 3.5 and Table 1.
+//!
+//! The paper reports 1.5-4x speedups on Cray XT5 (SSE) and Blue Gene/P
+//! (Double Hummer) for three one-line kernels once the data is 16-byte
+//! aligned and the loops are vectorized:
+//!
+//! | kernel                     | XT5  | BG/P |
+//! |----------------------------|------|------|
+//! | `z[i] = x[i] * y[i]`       | 2.00 | 3.40 |
+//! | `a = sum x[i]*y[i]*z[i]`   | 2.53 | 1.60 |
+//! | `a = sum x[i]*y[i]*y[i]`   | 4.00 | 2.25 |
+//!
+//! This crate provides the same kernels in three flavours:
+//!
+//! * `*_scalar` — straight-line reference implementations compiled with
+//!   vectorization defeated (via opaque per-element access), standing in for
+//!   the paper's unoptimized baseline;
+//! * `*_vec` — implementations structured for auto-vectorization
+//!   (chunked, multiple independent accumulators, aligned data);
+//! * `*_sse` — explicit `std::arch` intrinsics on `x86_64` (SSE2 is part of
+//!   the x86_64 baseline), the analogue of the paper's hand-written
+//!   compiler-intrinsic kernels.
+//!
+//! [`aligned::AlignedVec`] enforces the paper's `posix_memalign` 16-byte
+//! (we use 64-byte, a full cache line) alignment requirement.
+//!
+//! The higher-level solver crates (`nkg-sem` in particular) route their hot
+//! vector primitives (axpy, dot products, weighted norms) through this crate
+//! so that the Table-1 tuning benefits the whole stack, mirroring the paper's
+//! "SIMDization of all basic operations".
+
+pub mod aligned;
+pub mod kernels;
+
+pub use aligned::AlignedVec;
+pub use kernels::{
+    axpy, dot, mul_scalar, mul_vec, norm2, triple_dot_scalar, triple_dot_vec, wdot_scalar,
+    wdot_vec,
+};

@@ -1,0 +1,132 @@
+//! Two-level fat-tree interconnect model (Sun Constellation-like).
+
+/// A two-level fat tree: `leaf_count` leaf switches with `ports_per_leaf`
+/// node ports each, all leaves connected to a full-bisection core level with
+/// an `oversubscription` factor (1 = full bisection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTree {
+    /// Number of leaf switches.
+    pub leaf_count: usize,
+    /// Nodes per leaf switch.
+    pub ports_per_leaf: usize,
+    /// Ranks per node.
+    pub cores_per_node: usize,
+    /// Uplink oversubscription (≥ 1.0); effective inter-leaf bandwidth is
+    /// divided by this factor under full load.
+    pub oversubscription: f64,
+}
+
+impl FatTree {
+    /// Construct a fat tree; all counts must be positive.
+    pub fn new(
+        leaf_count: usize,
+        ports_per_leaf: usize,
+        cores_per_node: usize,
+        oversubscription: f64,
+    ) -> Self {
+        assert!(leaf_count >= 1 && ports_per_leaf >= 1 && cores_per_node >= 1);
+        assert!(oversubscription >= 1.0);
+        Self {
+            leaf_count,
+            ports_per_leaf,
+            cores_per_node,
+            oversubscription,
+        }
+    }
+
+    /// Smallest tree of `ports_per_leaf`-node leaves holding `cores` ranks.
+    pub fn fitting(cores: usize, ports_per_leaf: usize, cores_per_node: usize) -> Self {
+        let nodes = cores.div_ceil(cores_per_node).max(1);
+        let leaves = nodes.div_ceil(ports_per_leaf).max(1);
+        Self::new(leaves, ports_per_leaf, cores_per_node, 2.0)
+    }
+
+    /// Total rank capacity.
+    pub fn num_ranks(&self) -> usize {
+        self.leaf_count * self.ports_per_leaf * self.cores_per_node
+    }
+
+    /// Node hosting a rank (block mapping).
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Leaf switch of a node.
+    pub fn leaf_of_node(&self, node: usize) -> usize {
+        node / self.ports_per_leaf
+    }
+
+    /// Switch hops between two ranks: 0 intra-node, 2 same leaf, 4 across
+    /// the core level.
+    pub fn hop_distance(&self, a_rank: usize, b_rank: usize) -> usize {
+        let an = self.node_of_rank(a_rank);
+        let bn = self.node_of_rank(b_rank);
+        if an == bn {
+            0
+        } else if self.leaf_of_node(an) == self.leaf_of_node(bn) {
+            2
+        } else {
+            4
+        }
+    }
+
+    /// Effective bandwidth multiplier for a message (1.0 at best, reduced by
+    /// oversubscription when crossing the core).
+    pub fn bandwidth_factor(&self, a_rank: usize, b_rank: usize) -> f64 {
+        if self.hop_distance(a_rank, b_rank) >= 4 {
+            1.0 / self.oversubscription
+        } else {
+            1.0
+        }
+    }
+
+    /// L2 (topology) color of a rank: its leaf switch.
+    pub fn l2_color_of_rank(&self, rank: usize) -> usize {
+        self.leaf_of_node(self.node_of_rank(rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_mapping() {
+        let ft = FatTree::new(4, 8, 12, 2.0);
+        assert_eq!(ft.num_ranks(), 4 * 8 * 12);
+        assert_eq!(ft.node_of_rank(0), 0);
+        assert_eq!(ft.node_of_rank(12), 1);
+        assert_eq!(ft.leaf_of_node(7), 0);
+        assert_eq!(ft.leaf_of_node(8), 1);
+    }
+
+    #[test]
+    fn hop_distances() {
+        let ft = FatTree::new(2, 2, 2, 2.0);
+        assert_eq!(ft.hop_distance(0, 1), 0); // same node
+        assert_eq!(ft.hop_distance(0, 2), 2); // same leaf, different node
+        assert_eq!(ft.hop_distance(0, 4), 4); // across core
+    }
+
+    #[test]
+    fn bandwidth_penalty_only_across_core() {
+        let ft = FatTree::new(2, 2, 2, 4.0);
+        assert_eq!(ft.bandwidth_factor(0, 2), 1.0);
+        assert_eq!(ft.bandwidth_factor(0, 7), 0.25);
+    }
+
+    #[test]
+    fn fitting_covers() {
+        let ft = FatTree::fitting(96_000, 24, 12);
+        assert!(ft.num_ranks() >= 96_000);
+    }
+
+    #[test]
+    fn l2_colors_group_by_leaf() {
+        let ft = FatTree::new(3, 2, 4, 1.0);
+        assert_eq!(ft.l2_color_of_rank(0), 0);
+        assert_eq!(ft.l2_color_of_rank(7), 0);
+        assert_eq!(ft.l2_color_of_rank(8), 1);
+        assert_eq!(ft.l2_color_of_rank(16), 2);
+    }
+}

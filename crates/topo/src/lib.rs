@@ -1,0 +1,33 @@
+//! Machine-topology models for topology-aware communication (paper §3.5).
+//!
+//! The paper exploits the Blue Gene/P "personality" structure — torus
+//! coordinates `(X, Y, Z)` and the in-node CPU id `T` — to (a) group ranks
+//! into topology-oriented L2 communicators, (b) schedule point-to-point
+//! messages so that at any time at least 6 messages are outstanding, one per
+//! torus direction, and (c) choose partitions whose heavy links map to short
+//! torus paths.
+//!
+//! We have no Blue Gene, so this crate *models* the machines:
+//!
+//! * [`Torus3D`] — a 3D-torus interconnect (BG/P, Cray XT5/SeaStar):
+//!   rank→node→coordinate mapping, minimal-path routing (deterministic
+//!   XYZ dimension order vs adaptive spreading), per-link load accounting;
+//! * [`FatTree`] — a two-level fat tree (Sun Constellation-like) for the
+//!   third machine in the paper's evaluation;
+//! * [`schedule`] — the 6-outstanding-directions message scheduler;
+//! * [`Machine`] — named presets with per-core compute rate, link bandwidth
+//!   and latency used by `nkg-perfmodel` to turn traffic into seconds.
+//!
+//! The models feed the discrete-event performance simulator that regenerates
+//! Tables 2-5; they are also exercised directly by the `torus_ablation`
+//! bench (scheduled vs unscheduled injection).
+
+pub mod fattree;
+pub mod machine;
+pub mod schedule;
+pub mod torus;
+
+pub use fattree::FatTree;
+pub use machine::{Machine, MachineKind};
+pub use schedule::{schedule_rounds, Direction};
+pub use torus::{LinkLoads, Routing, Torus3D};

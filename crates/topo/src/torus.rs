@@ -1,0 +1,337 @@
+//! 3D-torus interconnect model: coordinates, routing and link loads.
+
+/// Identifies one unidirectional link: the `+`/`-` face of one node along
+/// one dimension. A `dims = [X,Y,Z]` torus has `6·X·Y·Z` links.
+pub type LinkId = usize;
+
+/// Minimal-path routing policy on the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// All packets of a pair follow the same path along X, then Y, then Z
+    /// (the paper's "deterministic routing ... along X,Y,Z dimensions in
+    /// that order").
+    DeterministicXyz,
+    /// Each packet chooses among minimal paths based on load; modeled by
+    /// spreading a message's bytes uniformly over all 6 dimension-order
+    /// permutations of the minimal path family.
+    Adaptive,
+}
+
+/// A 3D torus with `dims[0] × dims[1] × dims[2]` nodes and `cores_per_node`
+/// ranks packed per node in rank order (the BG/P "T" coordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus3D {
+    /// Nodes along each dimension.
+    pub dims: [usize; 3],
+    /// Ranks per node (BG/P: 4 in VN mode).
+    pub cores_per_node: usize,
+}
+
+impl Torus3D {
+    /// Construct; every dimension must be ≥ 1.
+    pub fn new(dims: [usize; 3], cores_per_node: usize) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "torus dims must be >= 1");
+        assert!(cores_per_node >= 1);
+        Self {
+            dims,
+            cores_per_node,
+        }
+    }
+
+    /// Smallest near-cubic torus holding at least `cores` ranks — how the
+    /// scheduler would carve a partition for a job of that size.
+    pub fn fitting(cores: usize, cores_per_node: usize) -> Self {
+        let nodes = cores.div_ceil(cores_per_node).max(1);
+        let mut dims = [1usize; 3];
+        // Grow the smallest dimension until the node count fits.
+        while dims[0] * dims[1] * dims[2] < nodes {
+            let i = (0..3).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] += 1;
+        }
+        Self::new(dims, cores_per_node)
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Total rank capacity.
+    pub fn num_ranks(&self) -> usize {
+        self.num_nodes() * self.cores_per_node
+    }
+
+    /// Number of unidirectional links.
+    pub fn num_links(&self) -> usize {
+        self.num_nodes() * 6
+    }
+
+    /// Node hosting `rank` (block mapping, BG/P VN-mode style).
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Torus coordinates of a node (row-major: X fastest).
+    pub fn coords_of_node(&self, node: usize) -> [usize; 3] {
+        let x = node % self.dims[0];
+        let y = (node / self.dims[0]) % self.dims[1];
+        let z = node / (self.dims[0] * self.dims[1]);
+        [x, y, z]
+    }
+
+    /// Inverse of [`Torus3D::coords_of_node`].
+    pub fn node_of_coords(&self, c: [usize; 3]) -> usize {
+        debug_assert!(c[0] < self.dims[0] && c[1] < self.dims[1] && c[2] < self.dims[2]);
+        c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
+    }
+
+    /// Signed minimal displacement along dimension `d` from `a` to `b`
+    /// (wraparound aware; ties break toward the positive direction).
+    pub fn delta(&self, d: usize, a: usize, b: usize) -> isize {
+        let n = self.dims[d] as isize;
+        let mut diff = (b as isize - a as isize) % n;
+        if diff > n / 2 {
+            diff -= n;
+        } else if diff < -(n - 1) / 2 {
+            diff += n;
+        }
+        diff
+    }
+
+    /// Minimal hop count between two nodes.
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        let ca = self.coords_of_node(a);
+        let cb = self.coords_of_node(b);
+        (0..3)
+            .map(|d| self.delta(d, ca[d], cb[d]).unsigned_abs())
+            .sum()
+    }
+
+    /// Index of the unidirectional link leaving `node` along dimension `dim`
+    /// in direction `dir` (+1 → even slot, -1 → odd slot).
+    pub fn link_index(&self, node: usize, dim: usize, positive: bool) -> LinkId {
+        node * 6 + dim * 2 + usize::from(!positive)
+    }
+
+    /// The links traversed by a packet from node `a` to node `b` when
+    /// dimensions are corrected in the order given by `order` (a permutation
+    /// of `[0,1,2]`).
+    pub fn path_in_order(&self, a: usize, b: usize, order: [usize; 3]) -> Vec<LinkId> {
+        let ca = self.coords_of_node(a);
+        let cb = self.coords_of_node(b);
+        let mut cur = ca;
+        let mut links = Vec::new();
+        for &d in &order {
+            let delta = self.delta(d, cur[d], cb[d]);
+            let positive = delta >= 0;
+            for _ in 0..delta.unsigned_abs() {
+                let node = self.node_of_coords(cur);
+                links.push(self.link_index(node, d, positive));
+                let n = self.dims[d];
+                cur[d] = if positive {
+                    (cur[d] + 1) % n
+                } else {
+                    (cur[d] + n - 1) % n
+                };
+            }
+        }
+        debug_assert_eq!(cur, cb);
+        links
+    }
+
+    /// Deterministic XYZ path (the default BG/P routing).
+    pub fn path_xyz(&self, a: usize, b: usize) -> Vec<LinkId> {
+        self.path_in_order(a, b, [0, 1, 2])
+    }
+
+    /// Topology block (rack / midplane) color of a node, for forming L2
+    /// communicators: the torus is tiled by `block` sub-boxes.
+    pub fn l2_color_of_node(&self, node: usize, block: [usize; 3]) -> usize {
+        let c = self.coords_of_node(node);
+        let bx = c[0] / block[0];
+        let by = c[1] / block[1];
+        let bz = c[2] / block[2];
+        let nbx = self.dims[0].div_ceil(block[0]);
+        let nby = self.dims[1].div_ceil(block[1]);
+        bx + nbx * (by + nby * bz)
+    }
+}
+
+/// Per-link byte counters for congestion analysis.
+#[derive(Debug, Clone)]
+pub struct LinkLoads {
+    torus: Torus3D,
+    loads: Vec<f64>,
+}
+
+impl LinkLoads {
+    /// Fresh counters for `torus`.
+    pub fn new(torus: Torus3D) -> Self {
+        let n = torus.num_links();
+        Self {
+            torus,
+            loads: vec![0.0; n],
+        }
+    }
+
+    /// Account one `bytes`-sized message from rank `src` to rank `dst`.
+    /// Intra-node traffic (same node) loads no links.
+    pub fn add_message(&mut self, src: usize, dst: usize, bytes: f64, routing: Routing) {
+        let a = self.torus.node_of_rank(src);
+        let b = self.torus.node_of_rank(dst);
+        if a == b {
+            return;
+        }
+        match routing {
+            Routing::DeterministicXyz => {
+                for l in self.torus.path_xyz(a, b) {
+                    self.loads[l] += bytes;
+                }
+            }
+            Routing::Adaptive => {
+                const ORDERS: [[usize; 3]; 6] = [
+                    [0, 1, 2],
+                    [0, 2, 1],
+                    [1, 0, 2],
+                    [1, 2, 0],
+                    [2, 0, 1],
+                    [2, 1, 0],
+                ];
+                let share = bytes / ORDERS.len() as f64;
+                for order in ORDERS {
+                    for l in self.torus.path_in_order(a, b, order) {
+                        self.loads[l] += share;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heaviest link load (bytes) — the congestion bottleneck.
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total bytes×hops moved.
+    pub fn total_load(&self) -> f64 {
+        self.loads.iter().sum()
+    }
+
+    /// Underlying torus.
+    pub fn torus(&self) -> &Torus3D {
+        &self.torus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus3D::new([4, 3, 2], 4);
+        for node in 0..t.num_nodes() {
+            assert_eq!(t.node_of_coords(t.coords_of_node(node)), node);
+        }
+    }
+
+    #[test]
+    fn fitting_covers_request() {
+        for cores in [1usize, 4, 100, 4096, 131072] {
+            let t = Torus3D::fitting(cores, 4);
+            assert!(t.num_ranks() >= cores, "cores={cores}");
+            // Near-cubic: max dim at most twice+1 the min dim.
+            let mx = *t.dims.iter().max().unwrap();
+            let mn = *t.dims.iter().min().unwrap();
+            assert!(mx <= 2 * mn + 1, "dims {:?}", t.dims);
+        }
+    }
+
+    #[test]
+    fn delta_wraps_shortest_way() {
+        let t = Torus3D::new([8, 8, 8], 1);
+        assert_eq!(t.delta(0, 0, 1), 1);
+        assert_eq!(t.delta(0, 0, 7), -1); // wrap backwards
+        assert_eq!(t.delta(0, 7, 0), 1); // wrap forwards
+        assert_eq!(t.delta(0, 0, 4), 4); // tie goes positive
+        assert_eq!(t.delta(0, 2, 2), 0);
+    }
+
+    #[test]
+    fn hop_distance_symmetric_and_triangle() {
+        let t = Torus3D::new([4, 4, 4], 1);
+        for a in 0..t.num_nodes() {
+            for b in 0..t.num_nodes() {
+                assert_eq!(t.hop_distance(a, b), t.hop_distance(b, a));
+            }
+        }
+        // triangle inequality on a sample
+        let (a, b, c) = (0, 21, 47);
+        assert!(t.hop_distance(a, c) <= t.hop_distance(a, b) + t.hop_distance(b, c));
+    }
+
+    #[test]
+    fn path_length_equals_hop_distance() {
+        let t = Torus3D::new([5, 4, 3], 2);
+        for (a, b) in [(0, 1), (0, 59), (17, 17), (3, 42)] {
+            assert_eq!(t.path_xyz(a, b).len(), t.hop_distance(a, b));
+        }
+    }
+
+    #[test]
+    fn all_orders_are_minimal() {
+        let t = Torus3D::new([4, 4, 4], 1);
+        let d = t.hop_distance(3, 38);
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            assert_eq!(t.path_in_order(3, 38, order).len(), d);
+        }
+    }
+
+    #[test]
+    fn intra_node_loads_nothing() {
+        let t = Torus3D::new([2, 2, 2], 4);
+        let mut l = LinkLoads::new(t);
+        l.add_message(0, 3, 1000.0, Routing::DeterministicXyz); // same node (ranks 0-3)
+        assert_eq!(l.total_load(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_reduces_max_load() {
+        // Many messages from one corner to the opposite corner: deterministic
+        // routing piles them on one path, adaptive spreads them.
+        let t = Torus3D::new([4, 4, 4], 1);
+        let mut det = LinkLoads::new(t);
+        let mut ada = LinkLoads::new(t);
+        for _ in 0..10 {
+            det.add_message(0, 63, 100.0, Routing::DeterministicXyz);
+            ada.add_message(0, 63, 100.0, Routing::Adaptive);
+        }
+        assert!(ada.max_load() < det.max_load());
+        // Same total byte-hops either way (all paths minimal).
+        assert!((ada.total_load() - det.total_load()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_colors_tile_the_torus() {
+        let t = Torus3D::new([4, 4, 2], 1);
+        let mut colors = std::collections::HashSet::new();
+        for node in 0..t.num_nodes() {
+            colors.insert(t.l2_color_of_node(node, [2, 2, 2]));
+        }
+        assert_eq!(colors.len(), 4); // 2x2x1 blocks of 2x2x2
+    }
+
+    #[test]
+    fn link_indices_unique() {
+        let t = Torus3D::new([3, 3, 3], 1);
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..t.num_nodes() {
+            for dim in 0..3 {
+                for pos in [true, false] {
+                    assert!(seen.insert(t.link_index(node, dim, pos)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), t.num_links());
+    }
+}

@@ -1,0 +1,223 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! POD correlation matrices are small (the paper uses `N_pod = 160`
+//! snapshots), dense and symmetric positive semi-definite — exactly the
+//! regime where the Jacobi rotation method is simple, robust and accurate
+//! (it computes small eigenvalues with high relative accuracy, which
+//! matters because the spectrum-splitting heuristic inspects the noise
+//! floor).
+
+/// Dense symmetric matrix stored row-major in a flat buffer.
+#[derive(Debug, Clone)]
+pub struct SymMatrix {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Create from a flat row-major buffer of length `n²`.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not `n²` or the matrix is not
+    /// symmetric to within `1e-9 · max|a|`.
+    pub fn new(n: usize, a: Vec<f64>) -> Self {
+        assert_eq!(a.len(), n * n, "buffer must be n^2");
+        let scale = a.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1e-300);
+        for i in 0..n {
+            for j in i + 1..n {
+                assert!(
+                    (a[i * n + j] - a[j * n + i]).abs() <= 1e-9 * scale,
+                    "matrix not symmetric at ({i},{j})"
+                );
+            }
+        }
+        Self { n, a }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+}
+
+/// Eigen-decomposition of a symmetric matrix: returns `(values, vectors)`
+/// with eigenvalues sorted in *descending* order and `vectors[k]` the
+/// orthonormal eigenvector of `values[k]`.
+///
+/// Cyclic Jacobi with an off-diagonal threshold; converges quadratically.
+pub fn symmetric_eigen(m: &SymMatrix) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = m.dim();
+    let mut a = m.a.clone();
+    // v starts as identity; accumulates rotations (columns are eigenvectors).
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    if n > 1 {
+        let idx = |i: usize, j: usize| i * n + j;
+        for _sweep in 0..100 {
+            // Off-diagonal Frobenius norm for the stopping test.
+            let mut off = 0.0f64;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off += a[idx(i, j)] * a[idx(i, j)];
+                }
+            }
+            let diag_scale: f64 = (0..n).map(|i| a[idx(i, i)].abs()).fold(0.0, f64::max);
+            if off.sqrt() <= 1e-14 * diag_scale.max(1e-300) {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a[idx(p, q)];
+                    if apq == 0.0 {
+                        continue;
+                    }
+                    let app = a[idx(p, p)];
+                    let aqq = a[idx(q, q)];
+                    // Rotation angle from the standard stable formulas.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Apply the rotation: A ← Jᵀ A J on rows/cols p,q.
+                    for k in 0..n {
+                        let akp = a[idx(k, p)];
+                        let akq = a[idx(k, q)];
+                        a[idx(k, p)] = c * akp - s * akq;
+                        a[idx(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[idx(p, k)];
+                        let aqk = a[idx(q, k)];
+                        a[idx(p, k)] = c * apk - s * aqk;
+                        a[idx(q, k)] = s * apk + c * aqk;
+                    }
+                    // Accumulate eigenvectors (columns of V).
+                    for k in 0..n {
+                        let vkp = v[idx(k, p)];
+                        let vkq = v[idx(k, q)];
+                        v[idx(k, p)] = c * vkp - s * vkq;
+                        v[idx(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+    }
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row * n + col]).collect())
+        .collect();
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(m: &SymMatrix, lambda: f64, vec: &[f64]) -> f64 {
+        let n = m.dim();
+        let mut r = 0.0f64;
+        for i in 0..n {
+            let mut av = 0.0;
+            for j in 0..n {
+                av += m.get(i, j) * vec[j];
+            }
+            r += (av - lambda * vec[i]).powi(2);
+        }
+        r.sqrt()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let m = SymMatrix::new(3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert_eq!(vals, vec![3.0, 2.0, 1.0]);
+        assert_eq!(vecs[0][0].abs(), 1.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = SymMatrix::new(2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        for (k, v) in vecs.iter().enumerate() {
+            assert!(residual(&m, vals[k], v) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn random_spd_residuals_small() {
+        // Build SPD as B Bᵀ from a deterministic pseudo-random B.
+        let n = 12;
+        let mut b = vec![0.0f64; n * n];
+        let mut state = 0x12345678u64;
+        for x in &mut b {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *x = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let m = SymMatrix::new(n, a);
+        let (vals, vecs) = symmetric_eigen(&m);
+        // All eigenvalues nonnegative, descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(vals[n - 1] > -1e-10);
+        // Residuals tiny and eigenvectors orthonormal.
+        for (k, v) in vecs.iter().enumerate() {
+            assert!(residual(&m, vals[k], v) < 1e-9, "mode {k}");
+            let norm: f64 = v.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-10);
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                let dot: f64 = vecs[i].iter().zip(&vecs[j]).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-9, "modes {i},{j} not orthogonal: {dot}");
+            }
+        }
+        // Trace preserved.
+        let tr: f64 = (0..n).map(|i| m.get(i, i)).sum();
+        let sum: f64 = vals.iter().sum();
+        assert!((tr - sum).abs() < 1e-9 * tr.abs().max(1.0));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let m = SymMatrix::new(1, vec![5.0]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert_eq!(vals, vec![5.0]);
+        assert_eq!(vecs, vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_rejected() {
+        SymMatrix::new(2, vec![1.0, 2.0, 3.0, 1.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Probability-density estimation of fluctuation fields (paper Fig. 7:
+//! the PDF of WPOD-extracted streamwise velocity oscillations is Gaussian
+//! with σ = 1.03).
+
+/// A fixed-range histogram with density normalization.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins over `[lo, hi]`. Samples outside the range
+    /// are clamped into the edge bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins >= 1);
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Add many samples.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        (0..bins).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+    }
+
+    /// Probability density per bin (integrates to 1 over the range).
+    pub fn density(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        let norm = 1.0 / (self.total.max(1) as f64 * w);
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (population form, matching the paper's σ).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Standard normal density with mean `mu` and deviation `sigma`.
+pub fn gaussian_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// L1 distance between the histogram density and the Gaussian fitted to the
+/// same samples' `(mu, sigma)`, evaluated at bin centers and weighted by bin
+/// width — a goodness-of-Gaussianity score in `[0, 2]` (0 = perfect).
+pub fn gaussian_mismatch(hist: &Histogram, mu: f64, sigma: f64) -> f64 {
+    let centers = hist.centers();
+    let density = hist.density();
+    let w = (hist.hi - hist.lo) / centers.len() as f64;
+    centers
+        .iter()
+        .zip(&density)
+        .map(|(&x, &d)| (d - gaussian_pdf(x, mu, sigma)).abs() * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(-1.0, 1.0, 20);
+        for i in 0..1000 {
+            h.add(-1.0 + 2.0 * (i as f64 + 0.5) / 1000.0);
+        }
+        let w = 2.0 / 20.0;
+        let integral: f64 = h.density().iter().map(|d| d * w).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn moments_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        let expect = (1.25f64).sqrt();
+        assert!((std_dev(&xs) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_pdf_peak() {
+        let p0 = gaussian_pdf(0.0, 0.0, 1.0);
+        assert!((p0 - 0.3989422804014327).abs() < 1e-12);
+        assert!(gaussian_pdf(1.0, 0.0, 1.0) < p0);
+    }
+
+    #[test]
+    fn gaussian_samples_have_low_mismatch() {
+        // Box-Muller from a deterministic LCG.
+        let mut state = 42u64;
+        let mut unif = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+        };
+        let mut h = Histogram::new(-4.0, 4.0, 40);
+        let mut xs = Vec::new();
+        for _ in 0..20_000 {
+            let (u1, u2): (f64, f64) = (unif(), unif());
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            xs.push(z);
+            h.add(z);
+        }
+        let mismatch = gaussian_mismatch(&h, mean(&xs), std_dev(&xs));
+        assert!(mismatch < 0.05, "mismatch {mismatch}");
+        assert!((std_dev(&xs) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_samples_have_high_mismatch() {
+        let mut h = Histogram::new(-2.0, 2.0, 40);
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / 10_000.0)
+            .collect();
+        h.add_all(&xs);
+        let mismatch = gaussian_mismatch(&h, mean(&xs), std_dev(&xs));
+        assert!(mismatch > 0.1, "uniform should not look Gaussian: {mismatch}");
+    }
+}

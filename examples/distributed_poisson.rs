@@ -1,0 +1,56 @@
+//! Intra-patch parallelism: a spectral-element Poisson problem partitioned
+//! over MCI ranks with the real graph partitioner, solved by distributed
+//! Jacobi-preconditioned CG with neighbor shared-DoF assembly.
+//!
+//! ```bash
+//! cargo run --release --example distributed_poisson
+//! ```
+
+use nektarg::coupling::dist::DistSpace2d;
+use nektarg::mci::Universe;
+use nektarg::mesh::quad::QuadMesh;
+use nektarg::sem::space2d::Space2d;
+
+fn main() {
+    let pi = std::f64::consts::PI;
+    println!("distributed SEM Poisson solve over the MCI runtime\n");
+    for ranks in [1usize, 2, 4, 6] {
+        let u = Universe::new(ranks);
+        let out = u.run(move |comm| {
+            let mesh = QuadMesh::rectangle(6, 4, 0.0, 2.0, 0.0, 1.0);
+            let space = Space2d::new(mesh, 6, false);
+            let ds = DistSpace2d::new(&space, &comm, 6);
+            let rhs = space.weak_rhs(move |x, y| {
+                pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin()
+            });
+            let bnd = space.boundary_dofs(|_| true);
+            let (x, iters) = ds.solve_dirichlet(&comm, 0.0, &rhs, &bnd, 1e-11, 4000);
+            // Each rank reports its local error against the analytic
+            // solution at owned DoFs.
+            let mut err: f64 = 0.0;
+            let mut cnt = 0usize;
+            for g in 0..space.nglobal {
+                if ds.owned[g] {
+                    let [cx, cy] = space.coords[g];
+                    err += (x[g] - (pi * cx / 2.0).sin() * (pi * cy).sin()).powi(2);
+                    cnt += 1;
+                }
+            }
+            (ds.my_elems.len(), iters, err, cnt)
+        });
+        let total_err: f64 = out.iter().map(|o| o.2).sum::<f64>().sqrt();
+        let elems: Vec<usize> = out.iter().map(|o| o.0).collect();
+        println!(
+            "{ranks} rank(s): elements per rank {elems:?}, CG iterations {}, \
+             global nodal error {total_err:.2e}",
+            out[0].1
+        );
+        let s = u.stats();
+        println!(
+            "  network traffic: {} messages, {} bytes",
+            s.messages, s.bytes
+        );
+    }
+    println!("\nsame converged solution at every rank count — the partitioned");
+    println!("operator + neighbor assembly is exact, only the traffic changes.");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: the MCI runtime + topology models + graph
+//! partitioner + distributed SEM solves, i.e. the parallel machinery of
+//! NεκTαr-G running on the virtual machine.
+
+use nektarg::coupling::dist::DistSpace2d;
+use nektarg::mci::{Hierarchy, HierarchySpec, InterfaceLink, Universe};
+use nektarg::mesh::quad::QuadMesh;
+use nektarg::sem::space2d::Space2d;
+use nektarg::topo::Torus3D;
+
+#[test]
+fn distributed_poisson_invariant_under_rank_count() {
+    let pi = std::f64::consts::PI;
+    let solve = |ranks: usize| -> Vec<f64> {
+        let u = Universe::new(ranks);
+        let mut per_rank = u.run(move |comm| {
+            let mesh = QuadMesh::rectangle(4, 3, 0.0, 2.0, 0.0, 1.0);
+            let space = Space2d::new(mesh, 5, false);
+            let ds = DistSpace2d::new(&space, &comm, 5);
+            let rhs = space.weak_rhs(move |x, y| {
+                pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin()
+            });
+            let bnd = space.boundary_dofs(|_| true);
+            let (x, _) = ds.solve_dirichlet(&comm, 0.0, &rhs, &bnd, 1e-12, 4000);
+            // Return the owned portion, zeroed elsewhere, for global
+            // reassembly in the test harness.
+            let mut owned = vec![0.0; space.nglobal];
+            for g in 0..space.nglobal {
+                if ds.owned[g] {
+                    owned[g] = x[g];
+                }
+            }
+            owned
+        });
+        // Sum of owned portions = the full solution (ownership is disjoint).
+        let mut total = per_rank.pop().unwrap();
+        for v in per_rank {
+            for (t, x) in total.iter_mut().zip(v) {
+                *t += x;
+            }
+        }
+        total
+    };
+    let serial = solve(1);
+    for ranks in [2usize, 3, 5] {
+        let parallel = solve(ranks);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!(
+                (a - b).abs() < 1e-7,
+                "rank-count dependence: {a} vs {b} at {ranks} ranks"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchy_over_modeled_torus_carries_interface_payloads() {
+    // 2 racks on a modeled torus, one solver task per rack, three-step
+    // exchange between interface L4 groups — Figs. 2-4 in one test.
+    let torus = Torus3D::new([2, 1, 1], 4);
+    Universe::new(8).run(move |world| {
+        let node = torus.node_of_rank(world.rank());
+        let spec = HierarchySpec {
+            l2_color: torus.l2_color_of_node(node, [1, 1, 1]),
+            l3_color: world.rank() / 4,
+        };
+        let h = Hierarchy::build(world, spec);
+        assert_eq!(h.l2.size(), 4);
+        assert_eq!(h.l3.size(), 4);
+        // Interface members: ranks 2,3 of task 0 and 0,1 of task 1.
+        let member = (spec.l3_color == 0 && h.l3.rank() >= 2)
+            || (spec.l3_color == 1 && h.l3.rank() < 2);
+        if let Some(l4) = h.derive_l4(member) {
+            let peer_root = if spec.l3_color == 0 { 4 } else { 2 };
+            let link = InterfaceLink::establish(&h.world, l4, peer_root, 17);
+            let payload = vec![h.world.rank() as f64; 3];
+            let got = link.exchange(&h.world, &payload, 3);
+            assert_eq!(got.len(), 3);
+            // Member k receives from the peer group's member k.
+            let expect = if spec.l3_color == 0 {
+                4.0 + link.l4.rank() as f64
+            } else {
+                2.0 + link.l4.rank() as f64
+            };
+            assert_eq!(got, vec![expect; 3]);
+        }
+    });
+}
+
+#[test]
+fn traffic_counters_scale_with_interface_size() {
+    let run_exchange = |members: usize| -> u64 {
+        let u = Universe::new(2 * members);
+        u.run(move |world| {
+            let domain = world.rank() / members;
+            let l3 = world.split(Some(domain), world.rank()).unwrap();
+            let l4 = l3.split(Some(0), l3.rank()).unwrap();
+            let peer_root = if domain == 0 { members } else { 0 };
+            let link = InterfaceLink {
+                l4,
+                peer_root_world: peer_root,
+                tag: 5,
+            };
+            let mine = vec![1.0f64; 64];
+            let _ = link.exchange(&world, &mine, 64);
+        });
+        u.stats().bytes
+    };
+    let small = run_exchange(2);
+    let large = run_exchange(8);
+    assert!(
+        large > small,
+        "more interface members must move more bytes: {small} vs {large}"
+    );
+}

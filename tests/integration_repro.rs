@@ -1,0 +1,74 @@
+//! Reproduction-level integration checks: the performance model against
+//! the paper's published rows, and the visualization pipeline over real
+//! coupled solver output.
+
+use nektarg::perfmodel::{DpdJobModel, SemJobModel};
+use nektarg::viz::UniformGrid2d;
+
+#[test]
+fn table3_and_4_shapes_hold() {
+    let m = SemJobModel::bluegene_p_paper();
+    let weak = m.weak_scaling(&[3, 8, 16], 2048);
+    // Monotone decline in efficiency, staying above 90 %.
+    assert!(weak[0].efficiency >= weak[1].efficiency);
+    assert!(weak[1].efficiency >= weak[2].efficiency);
+    assert!(weak[2].efficiency > 0.90);
+    // Strong scaling lands near 75 % per doubling.
+    let strong = m.strong_scaling_pairs(&[3, 8, 16], 1024);
+    for (_, r2) in &strong {
+        assert!((0.72..=0.78).contains(&r2.efficiency), "{r2:?}");
+    }
+}
+
+#[test]
+fn table5_crossover_between_machines() {
+    // The paper's qualitative claims: both machines scale super-linearly,
+    // XT5 more strongly; absolute XT5 times beat BG/P at comparable core
+    // counts.
+    let particles = 823_079_981.0;
+    let b = DpdJobModel::bluegene_p_paper();
+    let x = DpdJobModel::cray_xt5_paper();
+    let tb = b.time(particles, 28_672, 4000);
+    let tx = x.time(particles, 17_280, 4000);
+    assert!(tx < tb, "XT5 with fewer cores still faster: {tx} vs {tb}");
+    let eff_b = b.table5(particles, &[28_672, 61_440])[1].efficiency;
+    let eff_x = x.table5(particles, &[17_280, 34_560])[1].efficiency;
+    assert!(eff_b > 1.0 && eff_x > eff_b);
+}
+
+#[test]
+fn visualization_merges_continuum_and_atomistic_fields() {
+    use nektarg::coupling::multipatch::poiseuille_multipatch;
+    let (nu, f, h) = (0.004, 0.0032, 1.0);
+    let mut mp = poiseuille_multipatch(6.0, h, 12, 2, 2, 3, nu, f, 5e-3);
+    for s in &mut mp.patches {
+        s.set_initial(move |_, y| f * y * (h - y) / (2.0 * nu), |_, _| 0.0);
+    }
+    for _ in 0..10 {
+        mp.step();
+    }
+    let mut grid = UniformGrid2d::new([0.0, 0.0], [0.25, 0.1], [25, 11]);
+    grid.add_sampled_field("u_continuum", |x, y| mp.eval_velocity(x, y).map(|v| v.0));
+    // A synthetic "atomistic" field over a sub-window (in a real run this
+    // comes from DPD bin averages).
+    grid.add_sampled_field("u_atomistic", |x, y| {
+        if (2.0..=4.0).contains(&x) {
+            Some(f * y * (h - y) / (2.0 * nu) + 0.001)
+        } else {
+            None
+        }
+    });
+    grid.overlay("u_continuum", "u_atomistic", [2.0, 0.0], [4.0, 1.0]);
+    let vtk = grid.to_vtk();
+    assert!(vtk.contains("SCALARS u_continuum_merged double 1"));
+    let csv = grid.to_csv();
+    assert_eq!(csv.lines().count(), 25 * 11 + 1);
+    // The merged field is finite everywhere inside the channel.
+    let merged = &grid.fields.last().unwrap().1;
+    let finite = merged.iter().filter(|v| v.is_finite()).count();
+    assert!(
+        finite as f64 > 0.9 * merged.len() as f64,
+        "merged field mostly finite: {finite}/{}",
+        merged.len()
+    );
+}
