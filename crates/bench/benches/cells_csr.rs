@@ -1,0 +1,79 @@
+//! Criterion: legacy head/next linked-list cell grid vs the CSR
+//! (cell-sorted, compact) grid — rebuild cost and full pair-sweep cost at
+//! DPD-typical density (ρ=3, rc=1) for N ∈ {1e4, 1e5}.
+//!
+//! The CSR grid is the production neighbor structure (contiguous per-cell
+//! slices, precomputed wrapped neighbor tables); the linked list is kept
+//! only as the equivalence baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nkg_dpd::cells::{CellGrid, LinkedCellGrid};
+use nkg_dpd::Box3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random cloud of `n` points at number density 3 in a periodic cube.
+fn cloud(n: usize, seed: u64) -> (Box3, Vec<[f64; 3]>) {
+    let l = (n as f64 / 3.0).cbrt();
+    let bx = Box3::new([0.0; 3], [l; 3], [true; 3]);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts = (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..l),
+                rng.gen_range(0.0..l),
+                rng.gen_range(0.0..l),
+            ]
+        })
+        .collect();
+    (bx, pts)
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cells/rebuild");
+    for &n in &[10_000usize, 100_000] {
+        let (bx, pts) = cloud(n, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        let mut linked = LinkedCellGrid::new(bx, 1.0);
+        g.bench_function(BenchmarkId::new("linked_list", n), |b| {
+            b.iter(|| linked.rebuild(&pts))
+        });
+        let mut csr = CellGrid::new(bx, 1.0);
+        g.bench_function(BenchmarkId::new("csr", n), |b| b.iter(|| csr.rebuild(&pts)));
+    }
+    g.finish();
+}
+
+fn bench_pair_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cells/pair_sweep");
+    for &n in &[10_000usize, 100_000] {
+        let (bx, pts) = cloud(n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        let mut linked = LinkedCellGrid::new(bx, 1.0);
+        linked.rebuild(&pts);
+        g.bench_function(BenchmarkId::new("linked_list", n), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                linked.for_each_pair(|_, _| hits += 1);
+                hits
+            })
+        });
+        let mut csr = CellGrid::new(bx, 1.0);
+        csr.rebuild(&pts);
+        g.bench_function(BenchmarkId::new("csr", n), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                csr.for_each_pair(|_, _| hits += 1);
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rebuild, bench_pair_sweep
+}
+criterion_main!(benches);

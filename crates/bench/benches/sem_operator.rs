@@ -11,7 +11,9 @@ fn bench_apply(c: &mut Criterion) {
     for p in [4usize, 8, 12] {
         let mesh = QuadMesh::rectangle(4, 4, 0.0, 2.0, 0.0, 1.0);
         let space = Space2d::new(mesh, p, false);
-        let u: Vec<f64> = (0..space.nglobal).map(|i| (i as f64 * 0.01).sin()).collect();
+        let u: Vec<f64> = (0..space.nglobal)
+            .map(|i| (i as f64 * 0.01).sin())
+            .collect();
         let mut out = vec![0.0; space.nglobal];
         g.bench_function(BenchmarkId::new("P", p), |b| {
             b.iter(|| space.apply_helmholtz(1.0, &u, &mut out))

@@ -42,9 +42,7 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("scalar", n), |b| {
         b.iter(|| wdot_scalar(&x, &y))
     });
-    g.bench_function(BenchmarkId::new("vec", n), |b| {
-        b.iter(|| wdot_vec(&x, &y))
-    });
+    g.bench_function(BenchmarkId::new("vec", n), |b| b.iter(|| wdot_vec(&x, &y)));
     #[cfg(target_arch = "x86_64")]
     g.bench_function(BenchmarkId::new("sse", n), |b| {
         b.iter(|| sse::wdot_sse(&x, &y))

@@ -65,14 +65,8 @@ fn main() {
         ranks
     );
     println!("strategy      messages      bytes");
-    println!(
-        "three-step   {:>9}   {:>8}",
-        s1.messages, s1.bytes
-    );
-    println!(
-        "all-pairs    {:>9}   {:>8}",
-        s2.messages, s2.bytes
-    );
+    println!("three-step   {:>9}   {:>8}", s1.messages, s1.bytes);
+    println!("all-pairs    {:>9}   {:>8}", s2.messages, s2.bytes);
     println!(
         "\nmessage reduction: {:.1}x (the three-step total includes the split \
          and gather/scatter traffic)",

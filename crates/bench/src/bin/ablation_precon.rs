@@ -65,10 +65,7 @@ fn main() {
         let space = Space2d::new(mesh, p, false);
         let none = solve_with(&space, 0.0, false);
         let jac = solve_with(&space, 0.0, true);
-        println!(
-            "{p:>2}  {:>6}   {:>18}   {:>27}",
-            space.nglobal, none, jac
-        );
+        println!("{p:>2}  {:>6}   {:>18}   {:>27}", space.nglobal, none, jac);
     }
     println!("\n(shape check: Jacobi cuts the iteration count substantially and the");
     println!(" advantage grows with P, since GLL quadrature weights spread the");

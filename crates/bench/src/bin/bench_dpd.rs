@@ -1,0 +1,126 @@
+//! DPD hot-path throughput: seed-style serial sweep over the legacy
+//! linked-list grid vs the CSR grid's serial and rayon-parallel sweeps,
+//! plus whole-`step()` rates per force backend, at N ≈ 1e5, ρ = 3.
+//!
+//! Emits `BENCH_dpd.json` in the current directory (machine-readable
+//! record of the acceptance numbers) and prints the same table to stdout.
+
+use nkg_bench::{header, time_median};
+use nkg_dpd::cells::{CellGrid, LinkedCellGrid};
+use nkg_dpd::force::{
+    accumulate_pair_forces, accumulate_pair_forces_par, pair_force, PairParams, SpeciesMatrix,
+};
+use nkg_dpd::sim::{DpdConfig, DpdSim, ForceBackend, WallGeometry};
+use nkg_dpd::Box3;
+
+/// The seed's production force path: serial half sweep driven by the
+/// head/next linked-list traversal, same pair kernel.
+fn legacy_serial_sweep(sim: &mut DpdSim, grid: &LinkedCellGrid, m: &SpeciesMatrix) -> u64 {
+    let prm = PairParams {
+        rc: 1.0,
+        kbt: 1.0,
+        inv_sqrt_dt: 1.0 / 0.01f64.sqrt(),
+        seed: 1,
+        step: 1,
+    };
+    let bx = sim.bx;
+    let mut hits = 0u64;
+    let p = &mut sim.particles;
+    // Split borrows: read pos/vel/species, write force.
+    let (pos, vel, species) = (p.pos.clone(), p.vel.clone(), p.species.clone());
+    grid.for_each_pair(|i, j| {
+        if let Some(f) = pair_force(&prm, &bx, &pos, &vel, &species, m, i, j) {
+            for k in 0..3 {
+                p.force[i][k] += f[k];
+                p.force[j][k] -= f[k];
+            }
+            hits += 1;
+        }
+    });
+    hits
+}
+
+fn main() {
+    let n_target = 100_000usize;
+    let l = (n_target as f64 / 3.0).cbrt();
+    let bx = Box3::new([0.0; 3], [l; 3], [true; 3]);
+    let cfg = DpdConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::None);
+    sim.fill_solvent();
+    let n = sim.particles.len();
+    let threads = rayon::current_num_threads();
+    let reps = 5;
+
+    header(&format!(
+        "DPD hot path, N = {n} (ρ = 3), rayon threads = {threads}"
+    ));
+
+    // --- Force-sweep microbenchmarks -----------------------------------
+    let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
+    let mut legacy = LinkedCellGrid::new(bx, 1.0);
+    legacy.rebuild(&sim.particles.pos);
+    let mut csr = CellGrid::new(bx, 1.0);
+    csr.rebuild(&sim.particles.pos);
+
+    let t_legacy = time_median(reps, || {
+        sim.particles.clear_forces();
+        legacy_serial_sweep(&mut sim, &legacy, &m);
+    });
+    let t_csr_serial = time_median(reps, || {
+        sim.particles.clear_forces();
+        accumulate_pair_forces(&mut sim.particles, &csr, &bx, &m, 1.0, 1.0, 0.01, 1, 1);
+    });
+    let t_csr_par = time_median(reps, || {
+        sim.particles.clear_forces();
+        accumulate_pair_forces_par(&mut sim.particles, &csr, &bx, &m, 1.0, 1.0, 0.01, 1, 1);
+    });
+
+    println!("force sweep                         s/sweep    Mparticles/s   vs seed serial");
+    for (name, t) in [
+        ("seed serial (linked list)", t_legacy),
+        ("CSR serial half sweep", t_csr_serial),
+        ("CSR rayon full sweep", t_csr_par),
+    ] {
+        println!(
+            "{name:<34}  {t:>9.4}  {:>13.3}  {:>13.2}x",
+            n as f64 / t / 1e6,
+            t_legacy / t
+        );
+    }
+
+    // --- Whole-step throughput per backend -----------------------------
+    sim.force_backend = ForceBackend::Serial;
+    let t_step_serial = time_median(reps, || sim.step());
+    sim.force_backend = ForceBackend::Parallel;
+    let t_step_par = time_median(reps, || sim.step());
+    sim.reorder_every = 20;
+    let t_step_par_reord = time_median(reps, || sim.step());
+    sim.reorder_every = 0;
+
+    println!("\nfull step                           s/step     Mparticles/s   vs serial");
+    for (name, t) in [
+        ("serial backend", t_step_serial),
+        ("parallel backend", t_step_par),
+        ("parallel + reorder every 20", t_step_par_reord),
+    ] {
+        println!(
+            "{name:<34}  {t:>9.4}  {:>13.3}  {:>13.2}x",
+            n as f64 / t / 1e6,
+            t_step_serial / t
+        );
+    }
+
+    // --- JSON record ----------------------------------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"dpd_hot_path\",\n  \"n_particles\": {n},\n  \"density\": 3.0,\n  \"rc\": 1.0,\n  \"rayon_threads\": {threads},\n  \"reps\": {reps},\n  \"force_sweep_seconds\": {{\n    \"seed_serial_linked_list\": {t_legacy:.6},\n    \"csr_serial\": {t_csr_serial:.6},\n    \"csr_parallel\": {t_csr_par:.6}\n  }},\n  \"full_step_seconds\": {{\n    \"serial_backend\": {t_step_serial:.6},\n    \"parallel_backend\": {t_step_par:.6},\n    \"parallel_reorder20\": {t_step_par_reord:.6}\n  }},\n  \"speedup_vs_seed_serial\": {{\n    \"csr_serial\": {:.3},\n    \"csr_parallel\": {:.3}\n  }}\n}}\n",
+        t_legacy / t_csr_serial,
+        t_legacy / t_csr_par,
+    );
+    std::fs::write("BENCH_dpd.json", &json).expect("write BENCH_dpd.json");
+    println!("\nwrote BENCH_dpd.json");
+    println!("(the ISSUE target — ≥2x over seed serial — assumes ≥4 cores; the");
+    println!(" rayon_threads field records what this host actually provided)");
+}

@@ -57,8 +57,6 @@ fn main() {
             thrombus
         );
     }
-    println!(
-        "\n(shape check: the thrombus population grows monotonically-ish as the",
-    );
+    println!("\n(shape check: the thrombus population grows monotonically-ish as the",);
     println!(" activation cascade recruits passing platelets — growth observed: {grew})");
 }

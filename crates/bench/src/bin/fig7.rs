@@ -68,7 +68,10 @@ fn run_case(label: &str, gamma: f64, seed: u64) {
             .sqrt()
     };
     println!("\n--- {label} (gamma = {gamma}) ---");
-    println!("coherent modes (adaptive split): {k} of {}", pod.num_modes());
+    println!(
+        "coherent modes (adaptive split): {k} of {}",
+        pod.num_modes()
+    );
     println!(
         "energy in coherent part: {:.2}%",
         pod.energy_fraction(k) * 100.0

@@ -39,9 +39,7 @@ fn main() {
     }
     let pod_x = Pod::compute(&snaps_x);
     let pod_y = Pod::compute(&snaps_y);
-    println!(
-        "\nEigenspectra (normalized lambda_k / lambda_1), Nts={n_ts}, Npod={n_pod}:"
-    );
+    println!("\nEigenspectra (normalized lambda_k / lambda_1), Nts={n_ts}, Npod={n_pod}:");
     println!("  k    x-velocity     y-velocity");
     let kmax = 20.min(pod_x.num_modes()).min(pod_y.num_modes());
     for k in 0..kmax {

@@ -17,7 +17,9 @@ fn main() {
     let mut out = AlignedVec::zeros(n);
 
     header("Table 1: SIMD performance tuning speed-up factors");
-    println!("kernel                      paper XT5  paper BG/P  this host (auto-vec)  this host (SSE2)");
+    println!(
+        "kernel                      paper XT5  paper BG/P  this host (auto-vec)  this host (SSE2)"
+    );
 
     // z[i] = x[i] * y[i]
     let t_scalar = time_median(reps, || mul_scalar(&mut out, &x, &y));

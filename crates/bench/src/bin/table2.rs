@@ -20,11 +20,17 @@ fn main() {
     println!("\npaper rows:");
     println!("cores   (a) face-only   (b) full-adjacency   improvement");
     for (c, a, b) in paper {
-        println!("{c:>5}   {a:>13.2}   {b:>18.2}   {:>10.1}%", (a - b) / a * 100.0);
+        println!(
+            "{c:>5}   {a:>13.2}   {b:>18.2}   {:>10.1}%",
+            (a - b) / a * 100.0
+        );
     }
 
     let rows = partitioning_comparison(36, 7, 10, &[16, 32, 64, 128]);
-    println!("\nthis reproduction (tube mesh, {} parts sweep):", rows.len());
+    println!(
+        "\nthis reproduction (tube mesh, {} parts sweep):",
+        rows.len()
+    );
     println!("parts   (a) face-only   (b) full-adjacency   improvement   comm vol a → b");
     for r in &rows {
         println!(

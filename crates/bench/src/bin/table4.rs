@@ -13,7 +13,9 @@ fn main() {
         (16, 1048.75, 703.4, 0.745),
     ];
     let pairs = m.strong_scaling_pairs(&[3, 8, 16], 1024);
-    println!("Np  cores     paper[s]  model[s]  |  2x cores  paper[s]  model[s]  paper eff  model eff");
+    println!(
+        "Np  cores     paper[s]  model[s]  |  2x cores  paper[s]  model[s]  paper eff  model eff"
+    );
     for ((r1, r2), (np, p1, p2, pe)) in pairs.iter().zip(paper) {
         println!(
             "{:>2}  {:>6}  {:>9.2}  {:>8.2}  |  {:>8}  {:>8.2}  {:>8.2}  {:>9}  {:>9}",

@@ -15,10 +15,7 @@ fn main() {
     let m = DpdJobModel::bluegene_p_paper();
     let rows = m.table5(PARTICLES, &[28_672, 61_440, 126_976]);
     let paper = [(3205.58, 1.0), (1399.12, 1.07), (665.79, 1.02)];
-    println!(
-        "\nBlueGene/P ({} cores fixed on NεκTαr-3D):",
-        m.ns_cores
-    );
+    println!("\nBlueGene/P ({} cores fixed on NεκTαr-3D):", m.ns_cores);
     println!("DPD cores   paper[s]  model[s]  paper eff  model eff");
     for (r, (pt, pe)) in rows.iter().zip(paper) {
         println!(

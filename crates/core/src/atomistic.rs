@@ -234,7 +234,10 @@ mod tests {
                 t[0],
                 u * vf
             );
-            assert!(t[0] > 0.0, "Poiseuille interior velocity should be positive");
+            assert!(
+                t[0] > 0.0,
+                "Poiseuille interior velocity should be positive"
+            );
         }
     }
 

@@ -227,7 +227,11 @@ impl<'a> DistSpace2d<'a> {
         mask(&mut r);
         let mut z = vec![0.0f64; ng];
         for g in 0..ng {
-            z[g] = if diag[g].abs() > 0.0 { r[g] / diag[g] } else { 0.0 };
+            z[g] = if diag[g].abs() > 0.0 {
+                r[g] / diag[g]
+            } else {
+                0.0
+            };
         }
         mask(&mut z);
         let mut p = z.clone();
@@ -253,7 +257,11 @@ impl<'a> DistSpace2d<'a> {
                 break;
             }
             for g in 0..ng {
-                z[g] = if diag[g].abs() > 0.0 { r[g] / diag[g] } else { 0.0 };
+                z[g] = if diag[g].abs() > 0.0 {
+                    r[g] / diag[g]
+                } else {
+                    0.0
+                };
             }
             mask(&mut z);
             let rz_new = self.dot(comm, &r, &z);
@@ -277,9 +285,8 @@ mod tests {
         let pi = std::f64::consts::PI;
         let mesh = QuadMesh::rectangle(4, 3, 0.0, 2.0, 0.0, 1.0);
         let space = Space2d::new(mesh, p_order, false);
-        let rhs = space.weak_rhs(move |x, y| {
-            pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin()
-        });
+        let rhs =
+            space.weak_rhs(move |x, y| pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin());
         let bnd = space.boundary_dofs(|_| true);
         (space, rhs, bnd)
     }

@@ -186,10 +186,7 @@ impl Multipatch2d {
     /// containing patch wins).
     pub fn eval_velocity(&self, x: f64, y: f64) -> Option<(f64, f64)> {
         for s in &self.patches {
-            if let (Some(u), Some(v)) = (
-                s.space.eval_at(&s.u, x, y),
-                s.space.eval_at(&s.v, x, y),
-            ) {
+            if let (Some(u), Some(v)) = (s.space.eval_at(&s.u, x, y), s.space.eval_at(&s.v, x, y)) {
                 return Some((u, v));
             }
         }
@@ -227,11 +224,7 @@ pub fn poiseuille_multipatch(
         NsSolver2d::new(
             space,
             cfg,
-            move |t| {
-                t == BoundaryTag::Wall
-                    || t == BoundaryTag::Inlet
-                    || Some(t) == upstream_cut
-            },
+            move |t| t == BoundaryTag::Wall || t == BoundaryTag::Inlet || Some(t) == upstream_cut,
             move |_x, y, _t| (force * y * (height - y) / (2.0 * nu), 0.0),
             move |t| t == BoundaryTag::Outlet || t == downstream_cut,
             |_, _, _| 0.0,

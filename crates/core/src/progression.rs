@@ -46,7 +46,7 @@ impl TimeProgression {
     /// (0-based): exchanges happen at the start of every
     /// `exchange_every`-th step, including the first.
     pub fn exchange_at(&self, ns_step: usize) -> bool {
-        ns_step % self.exchange_every == 0
+        ns_step.is_multiple_of(self.exchange_every)
     }
 
     /// Number of exchanges in a run of `ns_steps` continuum steps.

@@ -1,9 +1,33 @@
-//! Linked-cell neighbor search.
+//! Cell-list neighbor search.
+//!
+//! Two implementations live here:
+//!
+//! * [`CellGrid`] — the production structure: a *compact, cell-sorted*
+//!   (CSR) layout. `rebuild` counting-sorts particle indices by cell into
+//!   one contiguous `order` array with a `starts` offset table, so a cell's
+//!   occupants are a slice (`order[starts[c]..starts[c+1]]`) instead of a
+//!   pointer chase through per-particle `next` links. Neighbor cells are
+//!   precomputed per cell at construction (the geometry never changes), as
+//!   deduplicated wrapped id lists — which also fixes the small-box bug
+//!   where periodic axes with ≤ 2 cells dropped the wrapped neighbor
+//!   entirely (see `for_each_pair`).
+//! * [`LinkedCellGrid`] — the legacy head/next linked-list structure, kept
+//!   as a reference baseline for equivalence tests and benchmarks. It
+//!   retains the historical ≤ 2-cell limitation.
+//!
+//! Both assume the standard minimum-image validity condition `L ≥ 2 r_c`
+//! on periodic axes (each pair interacts through at most one image).
+//!
+//! Enumeration order is deterministic: cells in id order, in-cell pairs in
+//! (sorted) particle-index order, cross-cell pairs in precomputed neighbor
+//! order. The counting sort is stable, so `order` is sorted by
+//! `(cell, particle index)` — this fixed ordering policy is what the
+//! deterministic parallel force sweep in [`crate::force`] relies on.
 
 use crate::domain::Box3;
 
-/// A cell grid over a box with cell edge ≥ the cutoff radius, giving O(N)
-/// neighbor enumeration.
+/// Compact cell-sorted (CSR) cell grid with cell edge ≥ the cutoff radius,
+/// giving O(N) neighbor enumeration over contiguous index slices.
 #[derive(Debug, Clone)]
 pub struct CellGrid {
     bx: Box3,
@@ -11,15 +35,233 @@ pub struct CellGrid {
     pub dims: [usize; 3],
     /// Cell edge per axis.
     cell: [f64; 3],
-    /// Head-of-chain per cell (`usize::MAX` = empty).
+    ncell: usize,
+    /// CSR offsets: cell `c` owns `order[starts[c]..starts[c+1]]`.
+    starts: Vec<usize>,
+    /// Particle indices, counting-sorted by cell (stable: ascending index
+    /// within each cell).
+    order: Vec<usize>,
+    /// Scratch: cell id per particle (kept between rebuilds to avoid
+    /// reallocation).
+    cell_id: Vec<usize>,
+    /// Scratch: write cursors for the counting sort.
+    cursor: Vec<usize>,
+    /// Forward half-neighborhood per cell (flattened CSR): wrapped,
+    /// deduplicated neighbor ids `c2 > c`. Visiting these plus in-cell
+    /// pairs covers every unordered adjacent cell pair exactly once, for
+    /// any `dims` (including periodic axes with 1 or 2 cells).
+    nbr_fwd: Vec<u32>,
+    nbr_fwd_starts: Vec<u32>,
+    /// Full neighborhood per cell (flattened CSR): wrapped, deduplicated
+    /// ids including the cell itself, in fixed offset-scan order. Used by
+    /// the write-conflict-free full force sweep.
+    nbr_all: Vec<u32>,
+    nbr_all_starts: Vec<u32>,
+}
+
+impl CellGrid {
+    /// Build the grid geometry for cutoff `rc` (no particles yet).
+    pub fn new(bx: Box3, rc: f64) -> Self {
+        assert!(rc > 0.0);
+        let l = bx.lengths();
+        let dims = [
+            (l[0] / rc).floor().max(1.0) as usize,
+            (l[1] / rc).floor().max(1.0) as usize,
+            (l[2] / rc).floor().max(1.0) as usize,
+        ];
+        let cell = [
+            l[0] / dims[0] as f64,
+            l[1] / dims[1] as f64,
+            l[2] / dims[2] as f64,
+        ];
+        let ncell = dims[0] * dims[1] * dims[2];
+        let (nbr_fwd, nbr_fwd_starts, nbr_all, nbr_all_starts) =
+            build_neighbor_tables(dims, bx.periodic);
+        Self {
+            bx,
+            dims,
+            cell,
+            ncell,
+            starts: vec![0; ncell + 1],
+            order: Vec::new(),
+            cell_id: Vec::new(),
+            cursor: vec![0; ncell],
+            nbr_fwd,
+            nbr_fwd_starts,
+            nbr_all,
+            nbr_all_starts,
+        }
+    }
+
+    /// Cell index of a position (clamped to the box).
+    pub fn cell_of(&self, p: [f64; 3]) -> usize {
+        let mut c = [0usize; 3];
+        for k in 0..3 {
+            let t = ((p[k] - self.bx.lo[k]) / self.cell[k]).floor() as isize;
+            c[k] = t.clamp(0, self.dims[k] as isize - 1) as usize;
+        }
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// Rebuild the CSR structure from positions: one counting sort, O(N).
+    pub fn rebuild(&mut self, pos: &[[f64; 3]]) {
+        let n = pos.len();
+        self.cell_id.clear();
+        self.cell_id.reserve(n);
+        self.starts.iter_mut().for_each(|s| *s = 0);
+        for &p in pos {
+            let c = self.cell_of(p);
+            self.cell_id.push(c);
+            self.starts[c + 1] += 1;
+        }
+        for c in 0..self.ncell {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.order.resize(n, 0);
+        self.cursor.copy_from_slice(&self.starts[..self.ncell]);
+        for (i, &c) in self.cell_id.iter().enumerate() {
+            self.order[self.cursor[c]] = i;
+            self.cursor[c] += 1;
+        }
+    }
+
+    /// The particles of one cell, in ascending particle-index order.
+    #[inline]
+    pub fn cell_particles(&self, c: usize) -> &[usize] {
+        &self.order[self.starts[c]..self.starts[c + 1]]
+    }
+
+    /// Particle indices sorted by `(cell, index)` — the CSR `order` array
+    /// from the last `rebuild`. Applying this permutation to the particle
+    /// SoA makes neighbor traversal walk memory near-sequentially.
+    pub fn sorted_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Visit every unordered pair `(i, j)` within the cutoff structure:
+    /// pairs within a cell, and pairs between a cell and each of its
+    /// precomputed forward neighbors. The callback performs the distance
+    /// check itself (minimum-image).
+    ///
+    /// Unlike the legacy linked-list grid, periodic axes with ≤ 2 cells
+    /// are handled correctly: the neighbor tables are built from the full
+    /// wrapped 26-neighborhood with duplicates removed and filtered to
+    /// `c2 > c`, so each adjacent cell pair — including pairs through a
+    /// 2-cell-wide periodic boundary — is visited exactly once.
+    pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
+        for c in 0..self.ncell {
+            let own = self.cell_particles(c);
+            // In-cell pairs.
+            for (a, &i) in own.iter().enumerate() {
+                for &j in &own[a + 1..] {
+                    f(i, j);
+                }
+            }
+            // Cross-cell pairs with forward neighbors.
+            let lo = self.nbr_fwd_starts[c] as usize;
+            let hi = self.nbr_fwd_starts[c + 1] as usize;
+            for &c2 in &self.nbr_fwd[lo..hi] {
+                let other = self.cell_particles(c2 as usize);
+                for &i in own {
+                    for &j in other {
+                        f(i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every particle in the (wrapped, deduplicated) 27-cell
+    /// neighborhood of position `p`, each exactly once, in a fixed order.
+    /// Used by the write-conflict-free full force sweep.
+    #[inline]
+    pub fn for_each_candidate(&self, p: [f64; 3], mut f: impl FnMut(usize)) {
+        let c = self.cell_of(p);
+        let lo = self.nbr_all_starts[c] as usize;
+        let hi = self.nbr_all_starts[c + 1] as usize;
+        for &c2 in &self.nbr_all[lo..hi] {
+            for &j in self.cell_particles(c2 as usize) {
+                f(j);
+            }
+        }
+    }
+}
+
+/// Precompute per-cell neighbor id lists (forward half and full sets).
+#[allow(clippy::type_complexity)]
+fn build_neighbor_tables(
+    dims: [usize; 3],
+    periodic: [bool; 3],
+) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    let ncell = dims[0] * dims[1] * dims[2];
+    assert!(ncell <= u32::MAX as usize, "cell count overflows u32 ids");
+    let idims = [dims[0] as isize, dims[1] as isize, dims[2] as isize];
+    let mut fwd = Vec::with_capacity(ncell * 13);
+    let mut fwd_starts = Vec::with_capacity(ncell + 1);
+    let mut all = Vec::with_capacity(ncell * 27);
+    let mut all_starts = Vec::with_capacity(ncell + 1);
+    fwd_starts.push(0u32);
+    all_starts.push(0u32);
+    for c in 0..ncell {
+        let cx = (c % dims[0]) as isize;
+        let cy = ((c / dims[0]) % dims[1]) as isize;
+        let cz = (c / (dims[0] * dims[1])) as isize;
+        let fwd_base = fwd.len();
+        let all_base = all.len();
+        for dz in -1..=1isize {
+            for dy in -1..=1isize {
+                for dx in -1..=1isize {
+                    let mut q = [cx + dx, cy + dy, cz + dz];
+                    let mut ok = true;
+                    for k in 0..3 {
+                        if q[k] < 0 || q[k] >= idims[k] {
+                            if periodic[k] {
+                                q[k] = (q[k] + idims[k]) % idims[k];
+                            } else {
+                                ok = false;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let id = (((q[2] as usize) * dims[1] + q[1] as usize) * dims[0] + q[0] as usize)
+                        as u32;
+                    if !all[all_base..].contains(&id) {
+                        all.push(id);
+                    }
+                    if id as usize > c && !fwd[fwd_base..].contains(&id) {
+                        fwd.push(id);
+                    }
+                }
+            }
+        }
+        fwd_starts.push(fwd.len() as u32);
+        all_starts.push(all.len() as u32);
+    }
+    (fwd, fwd_starts, all, all_starts)
+}
+
+/// Legacy head/next linked-list cell grid, kept as the reference baseline
+/// for equivalence tests and benchmarks against the CSR [`CellGrid`].
+///
+/// Retains the historical limitation that periodic axes with ≤ 2 cells
+/// skip the wrapped neighbor (cross-boundary pairs are silently dropped
+/// there); compare against it only on grids with ≥ 3 cells per periodic
+/// axis.
+#[derive(Debug, Clone)]
+pub struct LinkedCellGrid {
+    bx: Box3,
+    /// Cells per axis.
+    pub dims: [usize; 3],
+    cell: [f64; 3],
     head: Vec<usize>,
-    /// Next-in-chain per particle.
     next: Vec<usize>,
 }
 
 const NONE: usize = usize::MAX;
 
-impl CellGrid {
+impl LinkedCellGrid {
     /// Build the grid geometry for cutoff `rc` (no particles yet).
     pub fn new(bx: Box3, rc: f64) -> Self {
         assert!(rc > 0.0);
@@ -66,18 +308,9 @@ impl CellGrid {
         }
     }
 
-    /// Iterate the particles of one cell.
-    pub fn cell_particles(&self, c: usize) -> CellIter<'_> {
-        CellIter {
-            grid: self,
-            cur: self.head[c],
-        }
-    }
-
-    /// Visit every unordered pair `(i, j)` within the cutoff structure:
-    /// pairs within a cell and pairs between a cell and its 13
-    /// forward-neighbor cells (minimum-image aware). The callback performs
-    /// the distance check itself.
+    /// Visit every unordered pair `(i, j)`: in-cell pairs plus pairs with
+    /// the 13 forward-neighbor cells (minimum-image aware). The callback
+    /// performs the distance check itself.
     pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize)) {
         let [nx, ny, nz] = self.dims;
         // 13 forward offsets + self-cell handled separately.
@@ -123,13 +356,9 @@ impl CellGrid {
                             if q[k] < 0 || q[k] >= dims[k] {
                                 if self.bx.periodic[k] && dims[k] > 2 {
                                     q[k] = (q[k] + dims[k]) % dims[k];
-                                } else if self.bx.periodic[k] && dims[k] <= 2 {
-                                    // With ≤2 cells the wrapped neighbor
-                                    // duplicates an already-visited pair;
-                                    // fall back handled by caller choosing
-                                    // bigger boxes. Skip to stay correct.
-                                    skip = true;
                                 } else {
+                                    // Historical ≤2-cell limitation (and
+                                    // non-periodic truncation).
                                     skip = true;
                                 }
                             }
@@ -157,87 +386,43 @@ impl CellGrid {
     }
 }
 
-impl CellGrid {
-    /// Visit every particle in the 27-cell neighborhood of position `p`
-    /// (each candidate exactly once; duplicate wrapped cells are removed,
-    /// so small periodic boxes stay correct). Used by the parallel
-    /// full-neighbor force sweep.
-    pub fn for_each_candidate(&self, p: [f64; 3], mut f: impl FnMut(usize)) {
-        let c = self.cell_of(p);
-        let dims = [
-            self.dims[0] as isize,
-            self.dims[1] as isize,
-            self.dims[2] as isize,
-        ];
-        let cx = (c % self.dims[0]) as isize;
-        let cy = ((c / self.dims[0]) % self.dims[1]) as isize;
-        let cz = (c / (self.dims[0] * self.dims[1])) as isize;
-        let mut cells = [0usize; 27];
-        let mut ncells = 0;
-        for dz in -1..=1isize {
-            for dy in -1..=1isize {
-                for dx in -1..=1isize {
-                    let mut q = [cx + dx, cy + dy, cz + dz];
-                    let mut ok = true;
-                    for k in 0..3 {
-                        if q[k] < 0 || q[k] >= dims[k] {
-                            if self.bx.periodic[k] {
-                                q[k] = (q[k] + dims[k]) % dims[k];
-                            } else {
-                                ok = false;
-                            }
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
-                    let id = ((q[2] as usize) * self.dims[1] + q[1] as usize) * self.dims[0]
-                        + q[0] as usize;
-                    if !cells[..ncells].contains(&id) {
-                        cells[ncells] = id;
-                        ncells += 1;
-                    }
-                }
-            }
-        }
-        for &cell in &cells[..ncells] {
-            let mut i = self.head[cell];
-            while i != NONE {
-                f(i);
-                i = self.next[i];
-            }
-        }
-    }
-}
-
-/// Iterator over one cell's particle chain.
-pub struct CellIter<'a> {
-    grid: &'a CellGrid,
-    cur: usize,
-}
-
-impl Iterator for CellIter<'_> {
-    type Item = usize;
-    fn next(&mut self) -> Option<usize> {
-        if self.cur == NONE {
-            return None;
-        }
-        let i = self.cur;
-        self.cur = self.grid.next[i];
-        Some(i)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    fn scatter(n: usize, seed: u64, scale: f64) -> Vec<[f64; 3]> {
+        let mut pts = Vec::new();
+        let mut s = seed;
+        let mut r = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 11) as f64 / (1u64 << 53) as f64 * scale
+        };
+        for _ in 0..n {
+            pts.push([r(), r(), r()]);
+        }
+        pts
+    }
 
     fn grid_with(points: &[[f64; 3]], periodic: bool) -> CellGrid {
         let bx = Box3::new([0.0; 3], [6.0, 6.0, 6.0], [periodic; 3]);
         let mut g = CellGrid::new(bx, 1.0);
         g.rebuild(points);
         g
+    }
+
+    fn brute_pairs(pts: &[[f64; 3]], bx: &Box3, rc: f64) -> HashSet<(usize, usize)> {
+        let mut expect = HashSet::new();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                let d = bx.min_image(pts[i], pts[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < rc * rc {
+                    expect.insert((i, j));
+                }
+            }
+        }
+        expect
     }
 
     #[test]
@@ -253,15 +438,7 @@ mod tests {
     #[test]
     fn pairs_match_brute_force_within_cutoff() {
         // Deterministic scatter of points; compare pair sets for r < rc.
-        let mut pts = Vec::new();
-        let mut s = 7u64;
-        for _ in 0..150 {
-            let mut r = || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (s >> 11) as f64 / (1u64 << 53) as f64 * 6.0
-            };
-            pts.push([r(), r(), r()]);
-        }
+        let pts = scatter(150, 7, 6.0);
         for periodic in [false, true] {
             let g = grid_with(&pts, periodic);
             let bx = Box3::new([0.0; 3], [6.0; 3], [periodic; 3]);
@@ -273,17 +450,7 @@ mod tests {
                     got.insert((i.min(j), i.max(j)));
                 }
             });
-            let mut expect = HashSet::new();
-            for i in 0..pts.len() {
-                for j in i + 1..pts.len() {
-                    let d = bx.min_image(pts[i], pts[j]);
-                    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                    if r2 < 1.0 {
-                        expect.insert((i, j));
-                    }
-                }
-            }
-            assert_eq!(got, expect, "periodic={periodic}");
+            assert_eq!(got, brute_pairs(&pts, &bx, 1.0), "periodic={periodic}");
         }
     }
 
@@ -307,12 +474,120 @@ mod tests {
     }
 
     #[test]
-    fn cell_particles_iterates_chain() {
-        let pts = [[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [5.0, 5.0, 5.0]];
+    fn cell_particles_is_sorted_slice() {
+        let pts = [[0.1, 0.1, 0.1], [5.0, 5.0, 5.0], [0.2, 0.2, 0.2]];
         let g = grid_with(&pts, false);
-        let cell0: Vec<usize> = g.cell_particles(g.cell_of([0.1; 3])).collect();
-        let mut sorted = cell0.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1]);
+        assert_eq!(g.cell_particles(g.cell_of([0.1; 3])), &[0, 2]);
+        assert_eq!(g.sorted_order().len(), 3);
+    }
+
+    /// Regression for the ≤2-cell periodic bug: in a 2-cell-wide periodic
+    /// box the legacy grid never visits pairs through the wrapped
+    /// boundary; the CSR grid must find them all.
+    #[test]
+    fn two_cell_periodic_box_finds_wrapped_pairs() {
+        let bx = Box3::new([0.0; 3], [2.0, 2.0, 2.0], [true; 3]);
+        // A pair straddling the x boundary: distance 0.2 through the wrap.
+        let pts = vec![[0.1, 0.5, 0.5], [1.9, 0.5, 0.5], [1.0, 1.0, 1.0]];
+        let mut g = CellGrid::new(bx, 1.0);
+        assert_eq!(g.dims, [2, 2, 2]);
+        g.rebuild(&pts);
+        let mut got = HashSet::new();
+        g.for_each_pair(|i, j| {
+            let d = bx.min_image(pts[i], pts[j]);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 < 1.0 {
+                got.insert((i.min(j), i.max(j)));
+            }
+        });
+        let expect = brute_pairs(&pts, &bx, 1.0);
+        assert!(expect.contains(&(0, 1)), "test setup: wrapped pair exists");
+        assert_eq!(got, expect);
+        // Larger scatter in the same 2-cell box, cross-checked brute force.
+        let pts = scatter(80, 11, 2.0);
+        let mut g = CellGrid::new(bx, 1.0);
+        g.rebuild(&pts);
+        let mut got = HashSet::new();
+        let mut dup = true;
+        g.for_each_pair(|i, j| {
+            dup &= got.insert((i.min(j), i.max(j)));
+        });
+        assert!(dup, "pair enumerated twice in 2-cell periodic box");
+        let close: HashSet<_> = got
+            .iter()
+            .copied()
+            .filter(|&(i, j)| {
+                let d = bx.min_image(pts[i], pts[j]);
+                d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < 1.0
+            })
+            .collect();
+        assert_eq!(close, brute_pairs(&pts, &bx, 1.0));
+    }
+
+    /// Single-cell periodic axes (dims = 1) must also enumerate each pair
+    /// exactly once (all pairs are in-cell there).
+    #[test]
+    fn one_cell_periodic_axis_unique_pairs() {
+        let bx = Box3::new([0.0; 3], [1.5, 4.0, 4.0], [true; 3]);
+        let pts = scatter(40, 3, 1.4);
+        let mut g = CellGrid::new(bx, 1.0);
+        assert_eq!(g.dims[0], 1);
+        g.rebuild(&pts);
+        let mut seen = HashSet::new();
+        g.for_each_pair(|i, j| {
+            assert!(seen.insert((i.min(j), i.max(j))), "duplicate pair {i},{j}");
+        });
+        // Every distinct pair of the 40 points is within sqrt(3)·cell of
+        // another only sometimes; but each candidate pair must appear at
+        // most once, and all brute-force pairs within rc must be present.
+        for (i, j) in brute_pairs(&pts, &bx, 1.0) {
+            assert!(seen.contains(&(i, j)), "missing pair {i},{j}");
+        }
+    }
+
+    #[test]
+    fn candidate_sweep_covers_neighborhood_once() {
+        let pts = scatter(120, 19, 6.0);
+        for periodic in [false, true] {
+            let g = grid_with(&pts, periodic);
+            let bx = Box3::new([0.0; 3], [6.0; 3], [periodic; 3]);
+            for (i, &p) in pts.iter().enumerate() {
+                let mut seen = HashSet::new();
+                g.for_each_candidate(p, |j| {
+                    assert!(seen.insert(j), "candidate {j} visited twice");
+                });
+                // All true neighbors of i must be among the candidates.
+                for j in 0..pts.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let d = bx.min_image(p, pts[j]);
+                    if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] < 1.0 {
+                        assert!(seen.contains(&j), "missing neighbor {j} of {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_matches_legacy_linked_list_on_big_grid() {
+        let pts = scatter(200, 23, 6.0);
+        for periodic in [false, true] {
+            let bx = Box3::new([0.0; 3], [6.0; 3], [periodic; 3]);
+            let mut csr = CellGrid::new(bx, 1.0);
+            csr.rebuild(&pts);
+            let mut legacy = LinkedCellGrid::new(bx, 1.0);
+            legacy.rebuild(&pts);
+            let mut a = HashSet::new();
+            csr.for_each_pair(|i, j| {
+                a.insert((i.min(j), i.max(j)));
+            });
+            let mut b = HashSet::new();
+            legacy.for_each_pair(|i, j| {
+                b.insert((i.min(j), i.max(j)));
+            });
+            assert_eq!(a, b, "periodic={periodic}");
+        }
     }
 }

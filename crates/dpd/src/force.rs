@@ -14,6 +14,16 @@
 //! variable drawn *counter-based* from `(step, min(i,j), max(i,j))`, so the
 //! force evaluation is order-independent and can run in parallel without
 //! changing the physics.
+//!
+//! Both sweeps evaluate the identical [`pair_force`] kernel. In the full
+//! sweep each particle sums over its whole neighborhood; because IEEE
+//! negation is exact (`fl(a−b) = −fl(b−a)`, and `min_image`, `e`, `ζ` are
+//! all antisymmetric or symmetric under `i ↔ j`), the two one-sided
+//! evaluations of a pair produce *bitwise* equal-and-opposite forces —
+//! Newton's third law survives the parallel path exactly, and results are
+//! independent of the thread count (the per-particle summation order is
+//! fixed by the CSR cell order, and the parallel collect preserves index
+//! order).
 
 use crate::cells::CellGrid;
 use crate::domain::Box3;
@@ -85,9 +95,61 @@ pub fn pair_noise(seed: u64, step: u64, i: usize, j: usize) -> f64 {
     u * (6.0f64).sqrt()
 }
 
-/// Evaluate all DPD pair forces into `p.force` (which must be pre-zeroed or
-/// hold external forces to accumulate onto). Returns the total number of
-/// interacting pairs (diagnostics).
+/// Shared per-pair parameters that do not vary across pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct PairParams {
+    /// Interaction cutoff.
+    pub rc: f64,
+    /// Thermostat temperature `k_B T`.
+    pub kbt: f64,
+    /// `1/√Δt` (precomputed).
+    pub inv_sqrt_dt: f64,
+    /// Noise stream seed.
+    pub seed: u64,
+    /// Time step counter (the noise counter).
+    pub step: u64,
+}
+
+/// The Groot–Warren pair kernel: force on particle `i` from particle `j`,
+/// or `None` outside the cutoff. Both sweeps call exactly this function,
+/// so serial and parallel paths evaluate bit-identical per-pair physics;
+/// swapping `i ↔ j` negates the result exactly (IEEE negation is exact
+/// and `ζ` is symmetric).
+#[inline]
+pub fn pair_force(
+    prm: &PairParams,
+    bx: &Box3,
+    pos: &[[f64; 3]],
+    vel: &[[f64; 3]],
+    species: &[u8],
+    matrix: &SpeciesMatrix,
+    i: usize,
+    j: usize,
+) -> Option<[f64; 3]> {
+    let d = bx.min_image(pos[i], pos[j]);
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    if r2 >= prm.rc * prm.rc || r2 < 1e-24 {
+        return None;
+    }
+    let r = r2.sqrt();
+    let w = 1.0 - r / prm.rc;
+    let e = [d[0] / r, d[1] / r, d[2] / r];
+    let (a, gamma) = matrix.get(species[i], species[j]);
+    let sigma = (2.0 * gamma * prm.kbt).sqrt();
+    let vij = [
+        vel[i][0] - vel[j][0],
+        vel[i][1] - vel[j][1],
+        vel[i][2] - vel[j][2],
+    ];
+    let ev = e[0] * vij[0] + e[1] * vij[1] + e[2] * vij[2];
+    let zeta = pair_noise(prm.seed, prm.step, i, j);
+    let fmag = a * w - gamma * w * w * ev + sigma * w * zeta * prm.inv_sqrt_dt;
+    Some([fmag * e[0], fmag * e[1], fmag * e[2]])
+}
+
+/// Serial half sweep: evaluate each unordered pair once and apply the
+/// force to both particles (`p.force` must be pre-zeroed or hold external
+/// forces to accumulate onto). Returns the number of interacting pairs.
 #[allow(clippy::too_many_arguments)]
 pub fn accumulate_pair_forces(
     p: &mut Particles,
@@ -100,7 +162,13 @@ pub fn accumulate_pair_forces(
     seed: u64,
     step: u64,
 ) -> u64 {
-    let inv_sqrt_dt = 1.0 / dt.sqrt();
+    let prm = PairParams {
+        rc,
+        kbt,
+        inv_sqrt_dt: 1.0 / dt.sqrt(),
+        seed,
+        step,
+    };
     let mut pairs = 0u64;
     // Split borrows: read pos/vel/species, write force.
     let pos = &p.pos;
@@ -108,38 +176,24 @@ pub fn accumulate_pair_forces(
     let species = &p.species;
     let force = &mut p.force;
     grid.for_each_pair(|i, j| {
-        let d = bx.min_image(pos[i], pos[j]);
-        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-        if r2 >= rc * rc || r2 < 1e-24 {
-            return;
-        }
-        pairs += 1;
-        let r = r2.sqrt();
-        let w = 1.0 - r / rc;
-        let e = [d[0] / r, d[1] / r, d[2] / r];
-        let (a, gamma) = matrix.get(species[i], species[j]);
-        let sigma = (2.0 * gamma * kbt).sqrt();
-        let vij = [
-            vel[i][0] - vel[j][0],
-            vel[i][1] - vel[j][1],
-            vel[i][2] - vel[j][2],
-        ];
-        let ev = e[0] * vij[0] + e[1] * vij[1] + e[2] * vij[2];
-        let zeta = pair_noise(seed, step, i, j);
-        let fmag = a * w - gamma * w * w * ev + sigma * w * zeta * inv_sqrt_dt;
-        for k in 0..3 {
-            force[i][k] += fmag * e[k];
-            force[j][k] -= fmag * e[k];
+        if let Some(fv) = pair_force(&prm, bx, pos, vel, species, matrix, i, j) {
+            pairs += 1;
+            for k in 0..3 {
+                force[i][k] += fv[k];
+                force[j][k] -= fv[k];
+            }
         }
     });
     pairs
 }
 
-/// Rayon-parallel force evaluation: each particle independently sums over
-/// the full neighborhood (twice the pair work of
-/// [`accumulate_pair_forces`], but write-conflict-free). Because the random
-/// term is counter-based and symmetric, the result is *identical* to the
-/// serial half sweep up to floating-point associativity.
+/// Rayon-parallel full sweep: each particle independently sums the kernel
+/// over its whole neighborhood (twice the pair work of
+/// [`accumulate_pair_forces`], but write-conflict-free). Exact pairwise
+/// antisymmetry of [`pair_force`] keeps momentum conserved bitwise, and
+/// the order-preserving parallel collect makes the result independent of
+/// the rayon thread count. Returns the number of interacting pairs (each
+/// pair is seen from both sides; the double count is halved).
 #[allow(clippy::too_many_arguments)]
 pub fn accumulate_pair_forces_par(
     p: &mut Particles,
@@ -151,51 +205,46 @@ pub fn accumulate_pair_forces_par(
     dt: f64,
     seed: u64,
     step: u64,
-) {
+) -> u64 {
     use rayon::prelude::*;
-    let inv_sqrt_dt = 1.0 / dt.sqrt();
+    let prm = PairParams {
+        rc,
+        kbt,
+        inv_sqrt_dt: 1.0 / dt.sqrt(),
+        seed,
+        step,
+    };
     let pos = &p.pos;
     let vel = &p.vel;
     let species = &p.species;
     let n = pos.len();
-    let add: Vec<[f64; 3]> = (0..n)
+    let add: Vec<([f64; 3], u64)> = (0..n)
         .into_par_iter()
         .map(|i| {
             let mut fi = [0.0f64; 3];
+            let mut hits = 0u64;
             grid.for_each_candidate(pos[i], |j| {
                 if j == i {
                     return;
                 }
-                let d = bx.min_image(pos[i], pos[j]);
-                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                if r2 >= rc * rc || r2 < 1e-24 {
-                    return;
-                }
-                let r = r2.sqrt();
-                let w = 1.0 - r / rc;
-                let e = [d[0] / r, d[1] / r, d[2] / r];
-                let (a, gamma) = matrix.get(species[i], species[j]);
-                let sigma = (2.0 * gamma * kbt).sqrt();
-                let vij = [
-                    vel[i][0] - vel[j][0],
-                    vel[i][1] - vel[j][1],
-                    vel[i][2] - vel[j][2],
-                ];
-                let ev = e[0] * vij[0] + e[1] * vij[1] + e[2] * vij[2];
-                let zeta = pair_noise(seed, step, i, j);
-                let fmag = a * w - gamma * w * w * ev + sigma * w * zeta * inv_sqrt_dt;
-                for k in 0..3 {
-                    fi[k] += fmag * e[k];
+                if let Some(fv) = pair_force(&prm, bx, pos, vel, species, matrix, i, j) {
+                    hits += 1;
+                    for k in 0..3 {
+                        fi[k] += fv[k];
+                    }
                 }
             });
-            fi
+            (fi, hits)
         })
         .collect();
-    for (f, a) in p.force.iter_mut().zip(&add) {
+    let mut hits = 0u64;
+    for (f, (a, h)) in p.force.iter_mut().zip(&add) {
+        hits += h;
         for k in 0..3 {
             f[k] += a[k];
         }
     }
+    hits / 2
 }
 
 #[cfg(test)]
@@ -236,6 +285,21 @@ mod tests {
         assert!((var - 1.0).abs() < 0.03, "variance {var}");
     }
 
+    fn random_cloud(n: usize, seed: u64, box_len: f64) -> Particles {
+        let mut p = Particles::new();
+        let mut s = seed;
+        for _ in 0..n {
+            let mut r = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let pos = [r() * box_len, r() * box_len, r() * box_len];
+            let vel = [r() - 0.5, r() - 0.5, r() - 0.5];
+            p.push(pos, vel, (r() * 2.0) as u8);
+        }
+        p
+    }
+
     #[test]
     fn forces_conserve_momentum_and_are_cutoff() {
         let bx = Box3::new([0.0; 3], [5.0; 3], [true; 3]);
@@ -265,35 +329,87 @@ mod tests {
     #[test]
     fn parallel_path_matches_serial() {
         let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
-        let mut p = Particles::new();
-        let mut s = 5u64;
-        for _ in 0..200 {
-            let mut r = || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (s >> 11) as f64 / (1u64 << 53) as f64
-            };
-            let pos = [r() * 6.0, r() * 6.0, r() * 6.0];
-            let vel = [r() - 0.5, r() - 0.5, r() - 0.5];
-            p.push(pos, vel, (r() * 2.0) as u8);
-        }
+        let p = random_cloud(200, 5, 6.0);
         let mut grid = CellGrid::new(bx, 1.0);
         grid.rebuild(&p.pos);
         let m = SpeciesMatrix::uniform(2, 25.0, 4.5);
         let mut serial = p.clone();
         serial.clear_forces();
-        accumulate_pair_forces(&mut serial, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
+        let np = accumulate_pair_forces(&mut serial, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
         let mut par = p.clone();
         par.clear_forces();
-        accumulate_pair_forces_par(&mut par, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
+        let npp = accumulate_pair_forces_par(&mut par, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
+        assert_eq!(np, npp, "pair counts disagree");
         for i in 0..p.len() {
             for k in 0..3 {
                 assert!(
-                    (serial.force[i][k] - par.force[i][k]).abs() < 1e-9,
+                    (serial.force[i][k] - par.force[i][k]).abs() <= 1e-12,
                     "particle {i} component {k}: {} vs {}",
                     serial.force[i][k],
                     par.force[i][k]
                 );
             }
+        }
+    }
+
+    /// The parallel sweep must be *bitwise* identical for any thread
+    /// count: the per-particle summation order is fixed by the CSR cell
+    /// order and the collect preserves index order.
+    #[test]
+    fn parallel_sweep_bitwise_identical_across_thread_counts() {
+        let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
+        let p = random_cloud(300, 17, 6.0);
+        let mut grid = CellGrid::new(bx, 1.0);
+        grid.rebuild(&p.pos);
+        let m = SpeciesMatrix::uniform(2, 25.0, 4.5);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut q = p.clone();
+                q.clear_forces();
+                accumulate_pair_forces_par(&mut q, &grid, &bx, &m, 1.0, 1.0, 0.01, 99, 7);
+                q.force
+            })
+        };
+        let f1 = run(1);
+        for threads in [2, 8] {
+            let ft = run(threads);
+            for i in 0..p.len() {
+                for k in 0..3 {
+                    assert!(
+                        f1[i][k].to_bits() == ft[i][k].to_bits(),
+                        "threads={threads} particle {i} component {k}: {} vs {}",
+                        f1[i][k],
+                        ft[i][k]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Newton's third law holds bitwise on the full sweep: an isolated
+    /// pair's one-sided forces are exact negations.
+    #[test]
+    fn full_sweep_pair_forces_exactly_antisymmetric() {
+        let bx = Box3::new([0.0; 3], [5.0; 3], [true; 3]);
+        let prm = PairParams {
+            rc: 1.0,
+            kbt: 1.0,
+            inv_sqrt_dt: 10.0,
+            seed: 5,
+            step: 21,
+        };
+        let pos = vec![[1.0, 1.0, 1.0], [1.6, 1.3, 0.8]];
+        let vel = vec![[0.2, -0.1, 0.4], [-0.3, 0.0, 0.1]];
+        let species = vec![0u8, 0];
+        let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
+        let fij = pair_force(&prm, &bx, &pos, &vel, &species, &m, 0, 1).unwrap();
+        let fji = pair_force(&prm, &bx, &pos, &vel, &species, &m, 1, 0).unwrap();
+        for k in 0..3 {
+            assert_eq!(fij[k].to_bits(), (-fji[k]).to_bits());
         }
     }
 

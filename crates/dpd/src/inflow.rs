@@ -222,7 +222,7 @@ mod tests {
         for _ in 0..200 {
             b.insert_inflow(&mut p, &bx(), 0.01, &mut rng);
         }
-        assert!(p.len() > 0);
+        assert!(!p.is_empty());
         // Every particle must be in the lower-y half.
         for q in &p.pos {
             assert!(q[1] < 2.0, "particle in stagnant bin: {q:?}");

@@ -116,6 +116,22 @@ impl Particles {
     pub fn count_species(&self, species: u8) -> usize {
         self.species.iter().filter(|&&s| s == species).count()
     }
+
+    /// Permute all arrays so the particle at old index `order[k]` lands at
+    /// new index `k` (e.g. the cell-sorted order of
+    /// `nkg_dpd::cells::CellGrid::sorted_order`, making neighbor traversal
+    /// cache-coherent). `order` must be a permutation of `0..len()`.
+    ///
+    /// Renumbers particles: anything holding particle indices externally
+    /// (e.g. membrane bead lists) becomes stale and must be remapped.
+    pub fn reorder(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.len(), "order is not a permutation");
+        self.pos = order.iter().map(|&i| self.pos[i]).collect();
+        self.vel = order.iter().map(|&i| self.vel[i]).collect();
+        self.force = order.iter().map(|&i| self.force[i]).collect();
+        self.species = order.iter().map(|&i| self.species[i]).collect();
+        self.state = order.iter().map(|&i| self.state[i]).collect();
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +172,22 @@ mod tests {
         q.push([0.0; 3], [1.0, 0.0, 0.0], 0);
         q.push([1.0; 3], [-1.0, 0.0, 0.0], 0);
         assert!((q.temperature() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reorder_permutes_all_arrays() {
+        let mut p = Particles::new();
+        p.push([0.0; 3], [0.1, 0.0, 0.0], 0);
+        p.push([1.0; 3], [0.2, 0.0, 0.0], 1);
+        p.push([2.0; 3], [0.3, 0.0, 0.0], 2);
+        p.force[2] = [9.0, 0.0, 0.0];
+        p.state[1] = PlateletState::Active;
+        p.reorder(&[2, 0, 1]);
+        assert_eq!(p.pos, vec![[2.0; 3], [0.0; 3], [1.0; 3]]);
+        assert_eq!(p.vel[0], [0.3, 0.0, 0.0]);
+        assert_eq!(p.force[0], [9.0, 0.0, 0.0]);
+        assert_eq!(p.species, vec![2, 0, 1]);
+        assert_eq!(p.state[2], PlateletState::Active);
     }
 
     #[test]

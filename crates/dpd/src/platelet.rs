@@ -73,7 +73,9 @@ impl WallSites {
         let mut pos = Vec::with_capacity(n);
         let mut s = seed.max(1);
         let mut rand = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..n {
@@ -127,11 +129,9 @@ pub fn update_states(
                     newly_triggered += 1;
                 }
             }
-            PlateletState::Triggered(t0) => {
-                if step.saturating_sub(t0) >= params.delay_steps {
-                    p.state[i] = PlateletState::Active;
-                    newly_active += 1;
-                }
+            PlateletState::Triggered(t0) if step.saturating_sub(t0) >= params.delay_steps => {
+                p.state[i] = PlateletState::Active;
+                newly_active += 1;
             }
             PlateletState::Active => {
                 // Bond to the nearest site within bonding distance.
@@ -139,8 +139,7 @@ pub fn update_states(
                 for (si, &s) in sites.pos.iter().enumerate() {
                     let d = bx.min_image(p.pos[i], s);
                     let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                    if r2 < params.bond_dist * params.bond_dist
-                        && best.map_or(true, |(_, b)| r2 < b)
+                    if r2 < params.bond_dist * params.bond_dist && best.is_none_or(|(_, b)| r2 < b)
                     {
                         best = Some((si, r2));
                     }
@@ -290,7 +289,11 @@ mod tests {
         p.state[0] = PlateletState::Active;
         p.clear_forces();
         adhesion_forces(&mut p, &sites, &bx, &params);
-        assert!(p.force[0][1] < 0.0, "should pull toward the wall: {:?}", p.force[0]);
+        assert!(
+            p.force[0][1] < 0.0,
+            "should pull toward the wall: {:?}",
+            p.force[0]
+        );
     }
 
     #[test]

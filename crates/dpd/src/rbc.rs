@@ -320,6 +320,9 @@ mod tests {
             }
             d
         };
-        assert!(drift > 0.1, "cell should advect with the flow: drift {drift}");
+        assert!(
+            drift > 0.1,
+            "cell should advect with the flow: drift {drift}"
+        );
     }
 }

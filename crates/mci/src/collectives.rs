@@ -176,11 +176,7 @@ impl Comm {
     pub fn scatter<T: Wire>(&self, root: usize, parts: Option<&[Vec<T>]>) -> Vec<T> {
         if self.rank() == root {
             let parts = parts.expect("scatter: root must supply parts");
-            assert_eq!(
-                parts.len(),
-                self.size(),
-                "scatter: need one part per rank"
-            );
+            assert_eq!(parts.len(), self.size(), "scatter: need one part per rank");
             for (i, part) in parts.iter().enumerate() {
                 if i != root {
                     self.send_internal(part, i, itag::SCATTER);
@@ -348,7 +344,9 @@ mod tests {
     fn alltoall_transpose() {
         Universe::new(3).run(|comm| {
             // parts[i] = [rank*10 + i]
-            let parts: Vec<Vec<u64>> = (0..3).map(|i| vec![(comm.rank() * 10 + i) as u64]).collect();
+            let parts: Vec<Vec<u64>> = (0..3)
+                .map(|i| vec![(comm.rank() * 10 + i) as u64])
+                .collect();
             let got = comm.alltoall(&parts);
             for (i, g) in got.iter().enumerate() {
                 assert_eq!(g, &vec![(i * 10 + comm.rank()) as u64]);

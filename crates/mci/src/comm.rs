@@ -161,10 +161,7 @@ impl Comm {
     pub fn split(&self, color: Option<usize>, key: usize) -> Option<Comm> {
         const UNDEF: u64 = u64::MAX;
         let root = 0usize;
-        let my = [
-            color.map_or(UNDEF, |c| c as u64),
-            key as u64,
-        ];
+        let my = [color.map_or(UNDEF, |c| c as u64), key as u64];
         // Step 1: everyone reports (color, key) to the comm root.
         self.send_internal(&my, root, itag::SPLIT_GATHER);
         let reply: Vec<u64> = if self.rank() == root {

@@ -60,7 +60,7 @@ pub fn encode<T: Wire>(data: &[T]) -> Vec<u8> {
 /// Panics if the buffer length is not a multiple of the element size.
 pub fn decode<T: Wire>(bytes: &[u8]) -> Vec<T> {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "wire: buffer of {} bytes is not a whole number of {}-byte elements",
         bytes.len(),
         T::SIZE

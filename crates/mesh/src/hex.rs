@@ -104,14 +104,7 @@ impl HexMesh {
     /// "square-to-circle" map that keeps elements well-shaped). This stands
     /// in for the paper's carotid-artery mesh in Table 2.
     pub fn tube(nx: usize, nc: usize, radius: f64, length: f64) -> Self {
-        let m = Self::box_mesh(
-            nx,
-            nc,
-            nc,
-            [0.0, length],
-            [-1.0, 1.0],
-            [-1.0, 1.0],
-        );
+        let m = Self::box_mesh(nx, nc, nc, [0.0, length], [-1.0, 1.0], [-1.0, 1.0]);
         m.mapped(move |[x, y, z]| {
             // Elliptical square-to-disc mapping.
             let u = y * (1.0 - z * z / 2.0).sqrt();
@@ -220,7 +213,11 @@ mod tests {
     #[test]
     fn inlet_outlet_on_x_faces() {
         let m = HexMesh::box_mesh(2, 2, 2, [0.0, 1.0], [0.0, 1.0], [0.0, 1.0]);
-        let inlets = m.boundary.iter().filter(|b| b.2 == BoundaryTag::Inlet).count();
+        let inlets = m
+            .boundary
+            .iter()
+            .filter(|b| b.2 == BoundaryTag::Inlet)
+            .count();
         let outlets = m
             .boundary
             .iter()

@@ -169,8 +169,7 @@ impl ArterialNetwork {
 
     /// Check structural invariants (tree-ness, terminals only on leaves).
     pub fn validate(&self) -> Result<(), String> {
-        if self.segments.len() != self.children.len()
-            || self.segments.len() != self.terminals.len()
+        if self.segments.len() != self.children.len() || self.segments.len() != self.terminals.len()
         {
             return Err("inconsistent array lengths".into());
         }
@@ -245,7 +244,10 @@ mod tests {
         for (i, seg) in t.segments.iter().enumerate() {
             if let Some(p) = seg.parent {
                 assert!(seg.area0 < t.segments[p].area0, "segment {i}");
-                assert!(seg.beta > t.segments[p].beta, "stiffness grows as r shrinks");
+                assert!(
+                    seg.beta > t.segments[p].beta,
+                    "stiffness grows as r shrinks"
+                );
             }
         }
     }

@@ -76,11 +76,7 @@ impl PatchGraph {
             .collect();
         let iface_dof = 1114 * (poly_order + 1) * (poly_order + 1);
         // Patch 1 is central: connected to 0, 2 and 3.
-        let interfaces = vec![
-            (0, 1, iface_dof),
-            (1, 2, iface_dof),
-            (1, 3, iface_dof),
-        ];
+        let interfaces = vec![(0, 1, iface_dof), (1, 2, iface_dof), (1, 3, iface_dof)];
         Self {
             patches,
             interfaces,

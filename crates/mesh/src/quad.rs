@@ -89,7 +89,13 @@ impl QuadMesh {
     /// `x = center`, a 2D stand-in for an aneurysm on a vessel.
     ///
     /// `amplitude` is the sac height relative to the channel height.
-    pub fn aneurysm_channel(nx: usize, ny: usize, length: f64, height: f64, amplitude: f64) -> Self {
+    pub fn aneurysm_channel(
+        nx: usize,
+        ny: usize,
+        length: f64,
+        height: f64,
+        amplitude: f64,
+    ) -> Self {
         let center = length / 2.0;
         let width = length / 6.0;
         Self::rectangle(nx, ny, 0.0, length, 0.0, height).mapped(move |[x, y]| {
@@ -156,12 +162,7 @@ impl QuadMesh {
             for j in 0..ny {
                 for i in start..end {
                     let e = elems.len();
-                    elems.push([
-                        vid(i, j),
-                        vid(i + 1, j),
-                        vid(i + 1, j + 1),
-                        vid(i, j + 1),
-                    ]);
+                    elems.push([vid(i, j), vid(i + 1, j), vid(i + 1, j + 1), vid(i, j + 1)]);
                     if j == 0 {
                         boundary.push((e, 0, BoundaryTag::Wall));
                     }
@@ -345,9 +346,20 @@ mod tests {
     fn patch_geometry_overlaps() {
         let m = QuadMesh::rectangle(8, 2, 0.0, 8.0, 0.0, 1.0);
         let patches = m.split_overlapping_x(8, 2);
-        let max_x0 = patches[0].coords.iter().map(|p| p[0]).fold(f64::MIN, f64::max);
-        let min_x1 = patches[1].coords.iter().map(|p| p[0]).fold(f64::MAX, f64::min);
-        assert!(max_x0 > min_x1, "patches must overlap: {max_x0} vs {min_x1}");
+        let max_x0 = patches[0]
+            .coords
+            .iter()
+            .map(|p| p[0])
+            .fold(f64::MIN, f64::max);
+        let min_x1 = patches[1]
+            .coords
+            .iter()
+            .map(|p| p[0])
+            .fold(f64::MAX, f64::min);
+        assert!(
+            max_x0 > min_x1,
+            "patches must overlap: {max_x0} vs {min_x1}"
+        );
     }
 
     #[test]

@@ -139,11 +139,7 @@ mod tests {
 
     #[test]
     fn csr_construction() {
-        let adj = vec![
-            vec![(1, 2.0)],
-            vec![(0, 2.0), (2, 3.0)],
-            vec![(1, 3.0)],
-        ];
+        let adj = vec![vec![(1, 2.0)], vec![(0, 2.0), (2, 3.0)], vec![(1, 3.0)]];
         let g = Graph::from_adjacency(&adj);
         assert_eq!(g.num_verts(), 3);
         assert_eq!(g.degree(1), 2);

@@ -64,11 +64,15 @@ fn kl_pass(g: &Graph, side: &mut [usize], max_imbalance: usize, start_cut: f64) 
                 continue;
             }
             let from = side[u];
-            let new_count0 = if from == 0 { count[0] - 1 } else { count[0] + 1 };
+            let new_count0 = if from == 0 {
+                count[0] - 1
+            } else {
+                count[0] + 1
+            };
             if new_count0.abs_diff(target0) > max_imbalance + 1 {
                 continue;
             }
-            if best.map_or(true, |(_, bg)| gain[u] > bg) {
+            if best.is_none_or(|(_, bg)| gain[u] > bg) {
                 best = Some((u, gain[u]));
             }
         }

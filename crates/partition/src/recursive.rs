@@ -143,7 +143,7 @@ fn rebalance(g: &Graph, side: &mut [usize], target_right: usize) {
                     gain -= w;
                 }
             }
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((u, gain));
             }
         }
@@ -188,7 +188,9 @@ fn bfs_farthest(g: &Graph, start: usize) -> usize {
 /// baseline the quality tests compare against.
 pub fn slab_partition(n: usize, nparts: usize) -> Vec<usize> {
     assert!(nparts >= 1);
-    (0..n).map(|i| (i * nparts / n.max(1)).min(nparts - 1)).collect()
+    (0..n)
+        .map(|i| (i * nparts / n.max(1)).min(nparts - 1))
+        .collect()
 }
 
 #[cfg(test)]

@@ -103,10 +103,7 @@ mod tests {
         let rows = m.table5(PARTICLES, &[28_672, 61_440, 126_976]);
         assert_eq!(rows[0].efficiency, 1.0);
         for r in &rows[1..] {
-            assert!(
-                r.efficiency > 1.0,
-                "efficiency should exceed 100 %: {r:?}"
-            );
+            assert!(r.efficiency > 1.0, "efficiency should exceed 100 %: {r:?}");
             assert!(r.efficiency < 1.2, "but not absurdly: {r:?}");
         }
     }
@@ -124,8 +121,7 @@ mod tests {
 
     #[test]
     fn xt5_superlinearity_stronger_than_bgp() {
-        let b = DpdJobModel::bluegene_p_paper()
-            .table5(PARTICLES, &[28_672, 61_440]);
+        let b = DpdJobModel::bluegene_p_paper().table5(PARTICLES, &[28_672, 61_440]);
         let x = DpdJobModel::cray_xt5_paper().table5(PARTICLES, &[17_280, 34_560]);
         assert!(
             x[1].efficiency > b[1].efficiency,

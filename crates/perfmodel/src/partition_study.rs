@@ -82,16 +82,12 @@ pub fn partitioning_comparison(
 
 /// Modeled time for 1000 steps: compute + bisection term + per-iteration
 /// halo exchange derived from the measured partition quality.
-fn modeled_time(
-    model: &SemJobModel,
-    work_scale: f64,
-    cores: usize,
-    q: &PartitionQuality,
-) -> f64 {
+fn modeled_time(model: &SemJobModel, work_scale: f64, cores: usize, q: &PartitionQuality) -> f64 {
     let machine = model.machine;
     let rate = model.base_rate * machine.core_speed;
     let compute = work_scale * model.patch_flops() / (cores as f64 * rate);
-    let comm_global = work_scale * model.comm_base * (1.0 + model.comm_kappa * (cores as f64).cbrt());
+    let comm_global =
+        work_scale * model.comm_base * (1.0 + model.comm_kappa * (cores as f64).cbrt());
     // Halo per CG iteration: the busiest rank sends max_comm_volume
     // weighted DoFs (8 bytes each) over max_neighbor_parts messages.
     let bytes = q.max_comm_volume() * 8.0;

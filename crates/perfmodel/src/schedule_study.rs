@@ -28,7 +28,12 @@ pub struct ScheduleRow {
 }
 
 /// Run the ablation on a tube mesh partitioned over a torus.
-pub fn schedule_ablation(nx: usize, nc: usize, p: usize, core_counts: &[usize]) -> Vec<ScheduleRow> {
+pub fn schedule_ablation(
+    nx: usize,
+    nc: usize,
+    p: usize,
+    core_counts: &[usize],
+) -> Vec<ScheduleRow> {
     let mesh = HexMesh::tube(nx, nc, 3.0e-3, 40.0e-3);
     let adj = mesh.full_adjacency(p);
     let g = Graph::from_adjacency(&adj);
@@ -65,14 +70,11 @@ pub fn schedule_ablation(nx: usize, nc: usize, p: usize, core_counts: &[usize]) 
             }
             // Runtime model: each injection round costs one latency; the
             // saving applies once per CG iteration on the busiest rank.
-            let avg_saved_rounds =
-                (fifo_total as f64 - sched_total as f64) / cores.max(1) as f64;
+            let avg_saved_rounds = (fifo_total as f64 - sched_total as f64) / cores.max(1) as f64;
             let saved = model.cg_iters * avg_saved_rounds * model.machine.latency;
             let rate = model.base_rate * model.machine.core_speed;
             let step = work_scale * model.patch_flops() / (cores as f64 * rate)
-                + work_scale
-                    * model.comm_base
-                    * (1.0 + model.comm_kappa * (cores as f64).cbrt());
+                + work_scale * model.comm_base * (1.0 + model.comm_kappa * (cores as f64).cbrt());
             ScheduleRow {
                 cores,
                 fifo_rounds: fifo_total,

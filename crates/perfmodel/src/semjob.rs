@@ -171,7 +171,10 @@ mod tests {
         for (np, t_paper) in paper_strong {
             let t = m.step_time(np, 1024) * 1000.0;
             let err = (t - t_paper).abs() / t_paper;
-            assert!(err < 0.02, "strong np={np}: model {t:.2} vs paper {t_paper}");
+            assert!(
+                err < 0.02,
+                "strong np={np}: model {t:.2} vs paper {t_paper}"
+            );
         }
     }
 

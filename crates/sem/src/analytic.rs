@@ -42,9 +42,7 @@ pub fn womersley_u(y: f64, t: f64, amp: f64, omega: f64, nu: f64, h: f64) -> f64
     let wr = kr * h / 2.0;
     let wi = ki * h / 2.0;
     // cosh(z) for complex z.
-    let cosh = |re: f64, im: f64| -> (f64, f64) {
-        (re.cosh() * im.cos(), re.sinh() * im.sin())
-    };
+    let cosh = |re: f64, im: f64| -> (f64, f64) { (re.cosh() * im.cos(), re.sinh() * im.sin()) };
     let (czr, czi) = cosh(zr, zi);
     let (cwr, cwi) = cosh(wr, wi);
     // ratio = cosh(z)/cosh(w)
@@ -54,7 +52,7 @@ pub fn womersley_u(y: f64, t: f64, amp: f64, omega: f64, nu: f64, h: f64) -> f64
     // û = (A/(iω)) (1 - ratio) = -(iA/ω)(1 - ratio)
     let ur = -amp / omega * -(0.0 - ri); // Re[-i(1-r)] = -(Im(1-r)) = ri
     let ui = -amp / omega * (1.0 - rr); // Im[-i(1-r)] = -(Re(1-r)) = rr-1 ... see below
-    // u(t) = Re[û e^{iωt}] = ur cos ωt − ui sin ωt
+                                        // u(t) = Re[û e^{iωt}] = ur cos ωt − ui sin ωt
     let (c, s_) = ((omega * t).cos(), (omega * t).sin());
     ur * c - ui * s_
 }

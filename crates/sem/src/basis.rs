@@ -23,7 +23,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
     // endpoint limit L_n'(±1) = (±1)^{n-1} n(n+1)/2.
     let dp = if (x * x - 1.0).abs() < 1e-14 {
         let nf = n as f64;
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 - 1)
+        };
         sign * nf * (nf + 1.0) / 2.0
     } else {
         n as f64 * (p0 - x * p1) / (1.0 - x * x)
@@ -282,7 +286,11 @@ mod tests {
     #[test]
     fn interpolation_reproduces_polynomials() {
         let b = GllBasis::new(6);
-        let u: Vec<f64> = b.points.iter().map(|&x| 3.0 * x.powi(5) - x + 0.5).collect();
+        let u: Vec<f64> = b
+            .points
+            .iter()
+            .map(|&x| 3.0 * x.powi(5) - x + 0.5)
+            .collect();
         for &xi in &[-0.913f64, -0.4, 0.0, 0.5721, 0.99] {
             let exact = 3.0 * xi.powi(5) - xi + 0.5;
             assert!((b.eval(&u, xi) - exact).abs() < 1e-11);

@@ -1,8 +1,13 @@
 //! Preconditioned conjugate-gradient solver for the matrix-free SEM
 //! operators (the paper's "Helmholtz and Poisson iterative solvers ... based
 //! on conjugate gradient method").
+//!
+//! Vector primitives route through [`nkg_simd::par`]: with one rayon
+//! thread (`RAYON_NUM_THREADS=1`) they are bitwise identical to the serial
+//! kernels; with more threads, reductions use fixed-size chunks so the
+//! iteration history is reproducible for any thread count.
 
-use nkg_simd::kernels::{axpy, dot};
+use nkg_simd::par::{par_axpy, par_dot, par_xpby};
 
 /// Outcome of a CG solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,8 +49,8 @@ pub fn pcg(
     for i in 0..n {
         r[i] = b[i] - ap[i];
     }
-    let bnorm = dot(b, b).sqrt().max(1e-300);
-    let mut rnorm = dot(&r, &r).sqrt();
+    let bnorm = par_dot(b, b).sqrt().max(1e-300);
+    let mut rnorm = par_dot(&r, &r).sqrt();
     if rnorm <= tol * bnorm {
         return CgResult {
             iterations: 0,
@@ -55,10 +60,10 @@ pub fn pcg(
     }
     precond(&r, &mut z);
     p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
+    let mut rz = par_dot(&r, &z);
     for it in 1..=max_iter {
         apply(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = par_dot(&p, &ap);
         if pap <= 0.0 {
             // Operator not SPD on this subspace (or round-off breakdown).
             return CgResult {
@@ -68,9 +73,9 @@ pub fn pcg(
             };
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
-        rnorm = dot(&r, &r).sqrt();
+        par_axpy(alpha, &p, x);
+        par_axpy(-alpha, &ap, &mut r);
+        rnorm = par_dot(&r, &r).sqrt();
         if rnorm <= tol * bnorm {
             return CgResult {
                 iterations: it,
@@ -79,12 +84,10 @@ pub fn pcg(
             };
         }
         precond(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        let rz_new = par_dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        par_xpby(&z, beta, &mut p);
     }
     CgResult {
         iterations: max_iter,

@@ -133,13 +133,9 @@ impl NsSolver2d {
     }
 
     /// Set the initial velocity from functions of `(x, y)`.
-    pub fn set_initial(
-        &mut self,
-        fu: impl Fn(f64, f64) -> f64,
-        fv: impl Fn(f64, f64) -> f64,
-    ) {
-        self.u = self.space.project(|x, y| fu(x, y));
-        self.v = self.space.project(|x, y| fv(x, y));
+    pub fn set_initial(&mut self, fu: impl Fn(f64, f64) -> f64, fv: impl Fn(f64, f64) -> f64) {
+        self.u = self.space.project(fu);
+        self.v = self.space.project(fv);
         self.u_prev.copy_from_slice(&self.u);
         self.v_prev.copy_from_slice(&self.v);
     }
@@ -212,9 +208,11 @@ impl NsSolver2d {
                 fv = f.1;
             }
             // Force is evaluated at t^{n+1} directly (no extrapolation).
-            ustar[i] = alpha[0] * self.u[i] + alpha[1] * self.u_prev[i]
+            ustar[i] = alpha[0] * self.u[i]
+                + alpha[1] * self.u_prev[i]
                 + dt * (-(beta[0] * nu0[i] + beta[1] * self.nu_hist[0][i]) + fu);
-            vstar[i] = alpha[0] * self.v[i] + alpha[1] * self.v_prev[i]
+            vstar[i] = alpha[0] * self.v[i]
+                + alpha[1] * self.v_prev[i]
                 + dt * (-(beta[0] * nv0[i] + beta[1] * self.nv_hist[0][i]) + fv);
         }
 
@@ -262,8 +260,18 @@ impl NsSolver2d {
         // --- Step 3: viscous Helmholtz  (−∇² + λ) u^{n+1} = λ_ν ũ.
         let lambda = gamma0 / (self.cfg.nu * dt);
         let scale = 1.0 / (self.cfg.nu * dt);
-        let bu: Vec<f64> = self.space.apply_mass(&ustar).iter().map(|&x| x * scale).collect();
-        let bv: Vec<f64> = self.space.apply_mass(&vstar).iter().map(|&x| x * scale).collect();
+        let bu: Vec<f64> = self
+            .space
+            .apply_mass(&ustar)
+            .iter()
+            .map(|&x| x * scale)
+            .collect();
+        let bv: Vec<f64> = self
+            .space
+            .apply_mass(&vstar)
+            .iter()
+            .map(|&x| x * scale)
+            .collect();
         let (ubc, vbc): (Vec<f64>, Vec<f64>) = self
             .vel_dofs
             .iter()
@@ -359,9 +367,7 @@ mod tests {
         for _ in 0..600 {
             ns.step();
         }
-        let err = ns
-            .space
-            .l2_error(&ns.u, |_, y| poiseuille_u(y, f0, nu, h));
+        let err = ns.space.l2_error(&ns.u, |_, y| poiseuille_u(y, f0, nu, h));
         assert!(err < 1e-7, "Poiseuille error {err}");
         let verr = ns.space.l2_norm(&ns.v);
         assert!(verr < 1e-8, "cross-flow {verr}");
@@ -394,10 +400,7 @@ mod tests {
             |_, _, _| 0.0,
             |_, _, _| (0.0, 0.0),
         );
-        ns.set_initial(
-            |x, y| kovasznay(x, y, re).0,
-            |x, y| kovasznay(x, y, re).1,
-        );
+        ns.set_initial(|x, y| kovasznay(x, y, re).0, |x, y| kovasznay(x, y, re).1);
         for _ in 0..150 {
             ns.step();
         }
@@ -460,8 +463,7 @@ mod tests {
             |_, _, _| (0.0, 0.0),
         );
         let dofs: Vec<usize> = ns.velocity_bc_dofs().to_vec();
-        let map: HashMap<usize, (f64, f64)> =
-            dofs.iter().map(|&d| (d, (7.0, -2.0))).collect();
+        let map: HashMap<usize, (f64, f64)> = dofs.iter().map(|&d| (d, (7.0, -2.0))).collect();
         ns.set_velocity_override(map);
         ns.step();
         for &d in &dofs {

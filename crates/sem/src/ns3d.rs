@@ -122,7 +122,8 @@ impl NsSolver3d {
             let [x, y, z] = self.space.coords[i];
             let f = (self.force)(x, y, z, t_new);
             for c in 0..3 {
-                star[c][i] = alpha[0] * self.vel[c][i] + alpha[1] * self.vel_prev[c][i]
+                star[c][i] = alpha[0] * self.vel[c][i]
+                    + alpha[1] * self.vel_prev[c][i]
                     + dt * (-(beta[0] * adv[c][i] + beta[1] * self.adv_prev[c][i]) + f[c]);
             }
         }

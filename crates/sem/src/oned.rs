@@ -226,25 +226,13 @@ impl Solver1d {
                     inlet_states[s].0
                 } else {
                     let lo = off - 1; // last node of previous element
-                    self.riemann(
-                        s,
-                        self.a[s][lo],
-                        self.u[s][lo],
-                        a_e[0],
-                        u_e[0],
-                    )
+                    self.riemann(s, self.a[s][lo], self.u[s][lo], a_e[0], u_e[0])
                 };
                 let (astar_r, ustar_r) = if e == self.nel - 1 {
                     inlet_states[s].1
                 } else {
                     let ro = off + np; // first node of next element
-                    self.riemann(
-                        s,
-                        a_e[np - 1],
-                        u_e[np - 1],
-                        self.a[s][ro],
-                        self.u[s][ro],
-                    )
+                    self.riemann(s, a_e[np - 1], u_e[np - 1], self.a[s][ro], self.u[s][ro])
                 };
                 // Strong-form DG lifting at the two end nodes:
                 // dq/dt += -(F(q⁻) - F*)·n / (w J) with n = -1 left, +1 right.
@@ -510,14 +498,7 @@ mod tests {
     #[test]
     fn invariants_round_trip() {
         let net = vessel(2.0e5);
-        let s = Solver1d::new(
-            net,
-            4,
-            3,
-            1050.0,
-            0.0,
-            Inflow::Velocity(Box::new(|_| 0.0)),
-        );
+        let s = Solver1d::new(net, 4, 3, 1050.0, 0.0, Inflow::Velocity(Box::new(|_| 0.0)));
         let (a, u) = (1.3e-4, 0.2);
         let w1 = u + 4.0 * s.wave_speed(0, a);
         let w2 = u - 4.0 * s.wave_speed(0, a);
@@ -530,14 +511,7 @@ mod tests {
     fn pulse_travels_at_wave_speed() {
         // Put a small area bump mid-vessel, zero inflow; track its peak.
         let net = vessel(2.0e5);
-        let mut s = Solver1d::new(
-            net,
-            6,
-            20,
-            1050.0,
-            0.0,
-            Inflow::Velocity(Box::new(|_| 0.0)),
-        );
+        let mut s = Solver1d::new(net, 6, 20, 1050.0, 0.0, Inflow::Velocity(Box::new(|_| 0.0)));
         let np = 7;
         let length = 0.2;
         let n_total = 20 * np;
@@ -642,10 +616,7 @@ mod tests {
             s.step(dt);
         }
         let q_parent = s.outlet_flow(0);
-        let q_daughters: f64 = s.net.children[0]
-            .iter()
-            .map(|&d| s.inlet_flow(d))
-            .sum();
+        let q_daughters: f64 = s.net.children[0].iter().map(|&d| s.inlet_flow(d)).sum();
         assert!(
             (q_parent - q_daughters).abs() < 0.02 * q_parent.abs().max(1e-12),
             "junction mass: parent {q_parent}, daughters {q_daughters}"
@@ -661,14 +632,7 @@ mod tests {
         // Zero inflow, short time: volume change only through the
         // Windkessel outlet, which sees ~zero flow.
         let net = vessel(2.0e5);
-        let mut s = Solver1d::new(
-            net,
-            4,
-            6,
-            1050.0,
-            0.0,
-            Inflow::Velocity(Box::new(|_| 0.0)),
-        );
+        let mut s = Solver1d::new(net, 4, 6, 1050.0, 0.0, Inflow::Velocity(Box::new(|_| 0.0)));
         let v0 = s.total_volume();
         let dt = s.cfl_dt(0.3);
         for _ in 0..50 {

@@ -802,8 +802,7 @@ mod tests {
     #[test]
     fn mapped_mesh_area() {
         // Shear-mapped rectangle preserves area.
-        let mesh = QuadMesh::rectangle(3, 3, 0.0, 2.0, 0.0, 1.0)
-            .mapped(|[x, y]| [x + 0.3 * y, y]);
+        let mesh = QuadMesh::rectangle(3, 3, 0.0, 2.0, 0.0, 1.0).mapped(|[x, y]| [x + 0.3 * y, y]);
         let s = Space2d::new(mesh, 4, false);
         assert!((s.area() - 2.0).abs() < 1e-10);
     }

@@ -164,62 +164,112 @@ impl Space3d {
         s.sqrt()
     }
 
-    /// Matrix-free Helmholtz operator `A u = ∫∇v·∇u + λ∫v u`.
-    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
-        out.iter_mut().for_each(|o| *o = 0.0);
+    /// One element's local Helmholtz application `ol = D'GD ul + λ M ul`
+    /// (gather → tensor derivatives → metric flux → divergence). Scratch
+    /// buffers are caller-provided so the serial path can reuse them;
+    /// the arithmetic is identical on every path.
+    #[allow(clippy::too_many_arguments)]
+    fn helmholtz_elem(
+        &self,
+        e: usize,
+        lambda: f64,
+        u: &[f64],
+        ul: &mut [f64],
+        du: &mut [Vec<f64>; 3],
+        fl: &mut [Vec<f64>; 3],
+        ol: &mut [f64],
+    ) {
         let n = self.basis.n();
         let nloc = self.nloc();
         let d = &self.basis.d;
-        let mut ul = vec![0.0f64; nloc];
-        let mut du = [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]];
-        let mut fl = [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]];
-        let mut ol = vec![0.0f64; nloc];
-        for (e, map) in self.gmap.iter().enumerate() {
-            let g = &self.geom[e];
-            for (k, &gidx) in map.iter().enumerate() {
-                ul[k] = u[gidx];
-            }
-            // Reference derivatives along each axis.
-            for kz in 0..n {
-                for ky in 0..n {
-                    for kx in 0..n {
-                        let loc = (kz * n + ky) * n + kx;
-                        let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
-                        for m in 0..n {
-                            s0 += d[kx * n + m] * ul[(kz * n + ky) * n + m];
-                            s1 += d[ky * n + m] * ul[(kz * n + m) * n + kx];
-                            s2 += d[kz * n + m] * ul[(m * n + ky) * n + kx];
-                        }
-                        du[0][loc] = s0;
-                        du[1][loc] = s1;
-                        du[2][loc] = s2;
+        let map = &self.gmap[e];
+        let g = &self.geom[e];
+        for (k, &gidx) in map.iter().enumerate() {
+            ul[k] = u[gidx];
+        }
+        // Reference derivatives along each axis.
+        for kz in 0..n {
+            for ky in 0..n {
+                for kx in 0..n {
+                    let loc = (kz * n + ky) * n + kx;
+                    let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+                    for m in 0..n {
+                        s0 += d[kx * n + m] * ul[(kz * n + ky) * n + m];
+                        s1 += d[ky * n + m] * ul[(kz * n + m) * n + kx];
+                        s2 += d[kz * n + m] * ul[(m * n + ky) * n + kx];
                     }
+                    du[0][loc] = s0;
+                    du[1][loc] = s1;
+                    du[2][loc] = s2;
                 }
             }
-            // Flux = G · du (symmetric 3x3 metric).
-            for k in 0..nloc {
-                let (a, b, c) = (du[0][k], du[1][k], du[2][k]);
-                fl[0][k] = g.g[0][k] * a + g.g[1][k] * b + g.g[2][k] * c;
-                fl[1][k] = g.g[1][k] * a + g.g[3][k] * b + g.g[4][k] * c;
-                fl[2][k] = g.g[2][k] * a + g.g[4][k] * b + g.g[5][k] * c;
-            }
-            // out = Σ_a D_aᵀ f_a + λ M u.
-            for kz in 0..n {
-                for ky in 0..n {
-                    for kx in 0..n {
-                        let loc = (kz * n + ky) * n + kx;
-                        let mut s = 0.0;
-                        for m in 0..n {
-                            s += d[m * n + kx] * fl[0][(kz * n + ky) * n + m];
-                            s += d[m * n + ky] * fl[1][(kz * n + m) * n + kx];
-                            s += d[m * n + kz] * fl[2][(m * n + ky) * n + kx];
-                        }
-                        ol[loc] = s + lambda * g.mass[loc] * ul[loc];
+        }
+        // Flux = G · du (symmetric 3x3 metric).
+        for k in 0..nloc {
+            let (a, b, c) = (du[0][k], du[1][k], du[2][k]);
+            fl[0][k] = g.g[0][k] * a + g.g[1][k] * b + g.g[2][k] * c;
+            fl[1][k] = g.g[1][k] * a + g.g[3][k] * b + g.g[4][k] * c;
+            fl[2][k] = g.g[2][k] * a + g.g[4][k] * b + g.g[5][k] * c;
+        }
+        // ol = Σ_a D_aᵀ f_a + λ M u.
+        for kz in 0..n {
+            for ky in 0..n {
+                for kx in 0..n {
+                    let loc = (kz * n + ky) * n + kx;
+                    let mut s = 0.0;
+                    for m in 0..n {
+                        s += d[m * n + kx] * fl[0][(kz * n + ky) * n + m];
+                        s += d[m * n + ky] * fl[1][(kz * n + m) * n + kx];
+                        s += d[m * n + kz] * fl[2][(m * n + ky) * n + kx];
                     }
+                    ol[loc] = s + lambda * g.mass[loc] * ul[loc];
                 }
             }
-            for (k, &gidx) in map.iter().enumerate() {
-                out[gidx] += ol[k];
+        }
+    }
+
+    /// Matrix-free Helmholtz operator `A u = ∫∇v·∇u + λ∫v u`.
+    ///
+    /// With more than one rayon thread the per-element applications run in
+    /// parallel (each element is independent) and the gather-scatter runs
+    /// serially in element order afterward — the same scatter order as the
+    /// serial path, so the result is bitwise identical to serial at every
+    /// thread count.
+    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        let nloc = self.nloc();
+        let nelem = self.gmap.len();
+        let fresh_scratch = || {
+            (
+                vec![0.0f64; nloc],
+                [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]],
+                [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]],
+            )
+        };
+        if rayon::current_num_threads() > 1 && nelem > 1 {
+            use rayon::prelude::*;
+            let locals: Vec<Vec<f64>> = (0..nelem)
+                .into_par_iter()
+                .map(|e| {
+                    let (mut ul, mut du, mut fl) = fresh_scratch();
+                    let mut ol = vec![0.0f64; nloc];
+                    self.helmholtz_elem(e, lambda, u, &mut ul, &mut du, &mut fl, &mut ol);
+                    ol
+                })
+                .collect();
+            for (e, ol) in locals.iter().enumerate() {
+                for (k, &gidx) in self.gmap[e].iter().enumerate() {
+                    out[gidx] += ol[k];
+                }
+            }
+        } else {
+            let (mut ul, mut du, mut fl) = fresh_scratch();
+            let mut ol = vec![0.0f64; nloc];
+            for e in 0..nelem {
+                self.helmholtz_elem(e, lambda, u, &mut ul, &mut du, &mut fl, &mut ol);
+                for (k, &gidx) in self.gmap[e].iter().enumerate() {
+                    out[gidx] += ol[k];
+                }
             }
         }
     }
@@ -576,6 +626,62 @@ mod tests {
         for w in errs.windows(2) {
             assert!(w[1] < w[0] / 5.0, "not spectral: {errs:?}");
         }
+    }
+
+    /// The element-parallel operator application must be bitwise identical
+    /// to the serial path for any rayon thread count (same per-element
+    /// arithmetic, same element-order scatter).
+    #[test]
+    fn apply_helmholtz_bitwise_thread_invariant() {
+        let s = box_space(3, 2, 2, 4);
+        let u: Vec<f64> = (0..s.nglobal)
+            .map(|i| ((i * 7 + 3) % 23) as f64 * 0.17 - 1.5)
+            .collect();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut out = vec![0.0; s.nglobal];
+                    s.apply_helmholtz(0.9, &u, &mut out);
+                    out
+                })
+        };
+        let serial = run(1);
+        for threads in [2usize, 8] {
+            let par = run(threads);
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} dof {i}");
+            }
+        }
+    }
+
+    /// Full solve reproducibility: the CG iteration history (and thus the
+    /// solution bits) must not depend on the thread count when the
+    /// reductions use fixed chunking.
+    #[test]
+    fn solve_reproducible_across_thread_counts() {
+        let pi = std::f64::consts::PI;
+        let exact = move |x: f64, y: f64, z: f64| (pi * x).sin() * (pi * y).sin() * (pi * z).sin();
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let s = box_space(2, 2, 2, 4);
+                    let rhs = s.weak_rhs(|x, y, z| 3.0 * pi * pi * exact(x, y, z));
+                    let bnd = s.boundary_dofs(|_| true);
+                    let zeros = vec![0.0; bnd.len()];
+                    s.solve_helmholtz(0.0, &rhs, &bnd, &zeros, 1e-10, 2000)
+                })
+        };
+        let (u2, r2) = run(2);
+        let (u8, r8) = run(8);
+        assert!(r2.converged && r8.converged);
+        assert_eq!(r2.iterations, r8.iterations);
+        assert!(u2.iter().zip(&u8).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

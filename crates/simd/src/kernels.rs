@@ -106,10 +106,7 @@ pub fn wdot_vec(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
     let chunks = n / 8 * 8;
     let mut acc = [0.0f64; 8];
-    for (xc, yc) in x[..chunks]
-        .chunks_exact(8)
-        .zip(y[..chunks].chunks_exact(8))
-    {
+    for (xc, yc) in x[..chunks].chunks_exact(8).zip(y[..chunks].chunks_exact(8)) {
         for k in 0..8 {
             acc[k] += xc[k] * yc[k] * yc[k];
         }
@@ -128,10 +125,7 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     let n = x.len();
     let chunks = n / 8 * 8;
     let mut acc = [0.0f64; 8];
-    for (xc, yc) in x[..chunks]
-        .chunks_exact(8)
-        .zip(y[..chunks].chunks_exact(8))
-    {
+    for (xc, yc) in x[..chunks].chunks_exact(8).zip(y[..chunks].chunks_exact(8)) {
         for k in 0..8 {
             acc[k] += xc[k] * yc[k];
         }

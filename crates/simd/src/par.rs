@@ -1,0 +1,156 @@
+//! Rayon-parallel wrappers over the [`crate::kernels`] primitives, for the
+//! long global vectors of the SEM conjugate-gradient solvers.
+//!
+//! Determinism contract (matching the DPD force sweep's):
+//!
+//! * with **one** rayon thread (`RAYON_NUM_THREADS=1` or a
+//!   `ThreadPoolBuilder::num_threads(1)` install), every function here
+//!   dispatches straight to its serial kernel — results are *bitwise*
+//!   identical to the serial path;
+//! * with more than one thread, reductions are computed over fixed-size
+//!   chunks ([`PAR_CHUNK`]) whose partial sums are combined serially in
+//!   chunk order. The chunking does not depend on the thread count, so
+//!   the result is bitwise identical for *any* parallel thread count —
+//!   it differs from the serial kernel only by the (deterministic)
+//!   regrouping of the summation.
+//!
+//! Elementwise updates (`par_axpy`, `par_xpby`) carry no reduction, so
+//! they are bitwise identical to serial at every thread count.
+
+use crate::kernels;
+use rayon::prelude::*;
+
+/// Fixed reduction chunk length: independent of the thread count so that
+/// parallel reductions are reproducible on any machine.
+pub const PAR_CHUNK: usize = 4096;
+
+/// Below this length, parallel dispatch costs more than it saves; run the
+/// serial kernel directly.
+const PAR_MIN: usize = 2 * PAR_CHUNK;
+
+#[inline]
+fn serial_only(n: usize) -> bool {
+    n < PAR_MIN || rayon::current_num_threads() <= 1
+}
+
+/// Dot product `Σ x[i]·y[i]`, parallel over fixed chunks.
+pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    if serial_only(x.len()) {
+        return kernels::dot(x, y);
+    }
+    let partials: Vec<f64> = x
+        .par_chunks(PAR_CHUNK)
+        .zip(y.par_chunks(PAR_CHUNK))
+        .map(|(a, b)| kernels::dot(a, b))
+        .collect();
+    // Serial combine in chunk order: fixed regrouping, thread-independent.
+    partials.iter().sum()
+}
+
+/// Squared 2-norm `Σ x[i]²`, parallel over fixed chunks.
+pub fn par_norm2(x: &[f64]) -> f64 {
+    par_dot(x, x)
+}
+
+/// `y[i] += a·x[i]`, parallel over fixed chunks (bitwise equal to serial).
+pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    if serial_only(x.len()) {
+        kernels::axpy(a, x, y);
+        return;
+    }
+    y.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|(yc, xc)| kernels::axpy(a, xc, yc));
+}
+
+/// `p[i] = x[i] + b·p[i]` (the CG direction update), parallel over fixed
+/// chunks (bitwise equal to serial).
+pub fn par_xpby(x: &[f64], b: f64, p: &mut [f64]) {
+    assert_eq!(x.len(), p.len());
+    let kernel = |xc: &[f64], pc: &mut [f64]| {
+        for (pi, xi) in pc.iter_mut().zip(xc) {
+            *pi = xi + b * *pi;
+        }
+    };
+    if serial_only(x.len()) {
+        kernel(x, p);
+        return;
+    }
+    p.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|(pc, xc)| kernel(xc, pc));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 + 11) % 97) as f64 * 0.125 - 6.0)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i * 53 + 29) % 89) as f64 * 0.25 - 11.0)
+            .collect();
+        (x, y)
+    }
+
+    fn with_threads<R>(t: usize, f: impl FnOnce() -> R) -> R {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn one_thread_is_bitwise_serial() {
+        let (x, y) = data(3 * PAR_CHUNK + 17);
+        let serial = kernels::dot(&x, &y);
+        let par = with_threads(1, || par_dot(&x, &y));
+        assert_eq!(serial.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn parallel_reduction_thread_count_invariant() {
+        let (x, y) = data(5 * PAR_CHUNK + 123);
+        let d2 = with_threads(2, || par_dot(&x, &y));
+        let d3 = with_threads(3, || par_dot(&x, &y));
+        let d8 = with_threads(8, || par_dot(&x, &y));
+        assert_eq!(d2.to_bits(), d3.to_bits());
+        assert_eq!(d2.to_bits(), d8.to_bits());
+        // And close to the serial kernel (different regrouping only).
+        let serial = kernels::dot(&x, &y);
+        assert!((d2 - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_and_xpby_bitwise_match_serial() {
+        let (x, y) = data(4 * PAR_CHUNK + 5);
+        for t in [1usize, 2, 8] {
+            let mut ys = y.clone();
+            kernels::axpy(0.37, &x, &mut ys);
+            let mut yp = y.clone();
+            with_threads(t, || par_axpy(0.37, &x, &mut yp));
+            assert!(ys.iter().zip(&yp).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+            let mut ps = y.clone();
+            for (pi, xi) in ps.iter_mut().zip(&x) {
+                *pi = xi + 1.618 * *pi;
+            }
+            let mut pp = y.clone();
+            with_threads(t, || par_xpby(&x, 1.618, &mut pp));
+            assert!(ps.iter().zip(&pp).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn short_vectors_take_serial_path() {
+        let (x, y) = data(64);
+        let serial = kernels::dot(&x, &y);
+        let par = with_threads(8, || par_dot(&x, &y));
+        assert_eq!(serial.to_bits(), par.to_bits());
+    }
+}

@@ -51,11 +51,7 @@ impl UniformGrid2d {
 
     /// Sample a field by evaluating `f` at every grid point (`None` values
     /// become NaN = "outside domain", which ParaView blanks).
-    pub fn add_sampled_field(
-        &mut self,
-        name: &str,
-        f: impl Fn(f64, f64) -> Option<f64>,
-    ) {
+    pub fn add_sampled_field(&mut self, name: &str, f: impl Fn(f64, f64) -> Option<f64>) {
         let mut data = Vec::with_capacity(self.num_points());
         for j in 0..self.dims[1] {
             for i in 0..self.dims[0] {
@@ -97,8 +93,7 @@ impl UniformGrid2d {
             for i in 0..dims[0] {
                 let [x, y] = self.point(i, j);
                 let k = j * dims[0] + i;
-                if x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] && !patch_data[k].is_nan()
-                {
+                if x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] && !patch_data[k].is_nan() {
                     merged[k] = patch_data[k];
                 }
             }

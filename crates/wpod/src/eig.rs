@@ -169,7 +169,9 @@ mod tests {
         let mut b = vec![0.0f64; n * n];
         let mut state = 0x12345678u64;
         for x in &mut b {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *x = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         }
         let mut a = vec![0.0f64; n * n];

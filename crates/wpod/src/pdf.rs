@@ -169,6 +169,9 @@ mod tests {
             .collect();
         h.add_all(&xs);
         let mismatch = gaussian_mismatch(&h, mean(&xs), std_dev(&xs));
-        assert!(mismatch > 0.1, "uniform should not look Gaussian: {mismatch}");
+        assert!(
+            mismatch > 0.1,
+            "uniform should not look Gaussian: {mismatch}"
+        );
     }
 }

@@ -20,9 +20,8 @@ fn main() {
             let mesh = QuadMesh::rectangle(6, 4, 0.0, 2.0, 0.0, 1.0);
             let space = Space2d::new(mesh, 6, false);
             let ds = DistSpace2d::new(&space, &comm, 6);
-            let rhs = space.weak_rhs(move |x, y| {
-                pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin()
-            });
+            let rhs =
+                space.weak_rhs(move |x, y| pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin());
             let bnd = space.boundary_dofs(|_| true);
             let (x, iters) = ds.solve_dirichlet(&comm, 0.0, &rhs, &bnd, 1e-11, 4000);
             // Each rank reports its local error against the analytic

@@ -50,7 +50,9 @@ fn main() {
         }
     }
     let res = last.unwrap();
-    let ys: Vec<f64> = (0..bins).map(|b| (b as f64 + 0.5) * 6.4 / bins as f64).collect();
+    let ys: Vec<f64> = (0..bins)
+        .map(|b| (b as f64 + 0.5) * 6.4 / bins as f64)
+        .collect();
     let raw: Vec<f64> = res
         .mean
         .iter()

@@ -70,7 +70,11 @@ fn coupled_run_is_continuous_and_stable() {
     assert!(*pm < 0.01, "patch mismatch {pm}");
     // Continuum-atomistic continuity approaches the thermal-noise floor.
     let cc = report.continuity.last().unwrap();
-    assert!(*cc < 0.05, "NS-DPD continuity {cc} (history {:?})", report.continuity);
+    assert!(
+        *cc < 0.05,
+        "NS-DPD continuity {cc} (history {:?})",
+        report.continuity
+    );
     // DPD stays healthy: density and temperature within bounds.
     let rho = ng.atomistic.sim.number_density();
     assert!((rho - 3.0).abs() < 0.5, "density {rho}");
@@ -90,7 +94,10 @@ fn wpod_coprocessing_denoises_the_atomistic_field() {
     // comparable to the imposed DPD-side velocities; fluctuations bounded
     // by thermal noise.
     let max_fluct = res.fluctuation.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-    assert!(max_fluct < 3.0, "fluctuation out of thermal range: {max_fluct}");
+    assert!(
+        max_fluct < 3.0,
+        "fluctuation out of thermal range: {max_fluct}"
+    );
 }
 
 #[test]

@@ -17,9 +17,8 @@ fn distributed_poisson_invariant_under_rank_count() {
             let mesh = QuadMesh::rectangle(4, 3, 0.0, 2.0, 0.0, 1.0);
             let space = Space2d::new(mesh, 5, false);
             let ds = DistSpace2d::new(&space, &comm, 5);
-            let rhs = space.weak_rhs(move |x, y| {
-                pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin()
-            });
+            let rhs =
+                space.weak_rhs(move |x, y| pi * pi * 1.25 * (pi * x / 2.0).sin() * (pi * y).sin());
             let bnd = space.boundary_dofs(|_| true);
             let (x, _) = ds.solve_dirichlet(&comm, 0.0, &rhs, &bnd, 1e-12, 4000);
             // Return the owned portion, zeroed elsewhere, for global
@@ -68,8 +67,8 @@ fn hierarchy_over_modeled_torus_carries_interface_payloads() {
         assert_eq!(h.l2.size(), 4);
         assert_eq!(h.l3.size(), 4);
         // Interface members: ranks 2,3 of task 0 and 0,1 of task 1.
-        let member = (spec.l3_color == 0 && h.l3.rank() >= 2)
-            || (spec.l3_color == 1 && h.l3.rank() < 2);
+        let member =
+            (spec.l3_color == 0 && h.l3.rank() >= 2) || (spec.l3_color == 1 && h.l3.rank() < 2);
         if let Some(l4) = h.derive_l4(member) {
             let peer_root = if spec.l3_color == 0 { 4 } else { 2 };
             let link = InterfaceLink::establish(&h.world, l4, peer_root, 17);

@@ -1,6 +1,7 @@
 //! Property-based invariants across the core data structures and numerics
 //! (proptest), spanning the crate boundaries.
 
+use nektarg::dpd::cells::{CellGrid, LinkedCellGrid};
 use nektarg::dpd::Box3;
 use nektarg::mci::Universe;
 use nektarg::partition::{recursive_bisect, Graph, PartitionQuality};
@@ -8,6 +9,7 @@ use nektarg::sem::basis::{gll, lagrange_at, GllBasis};
 use nektarg::topo::Torus3D;
 use nektarg::wpod::eig::{symmetric_eigen, SymMatrix};
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -119,6 +121,38 @@ proptest! {
         for l in path {
             prop_assert!(l < t.num_links());
         }
+    }
+
+    /// The CSR cell grid enumerates exactly the legacy linked-list pair
+    /// set on random particle clouds (boxes ≥ 3 cells per axis, where the
+    /// legacy grid is correct), each pair exactly once.
+    #[test]
+    fn csr_pairs_equal_legacy_linked_list(
+        lx in 3.0f64..9.0, ly in 3.0f64..9.0, lz in 3.0f64..9.0,
+        frac in prop::collection::vec(prop::array::uniform3(0.0f64..1.0), 20..120),
+        periodic in prop::array::uniform3(any::<bool>()),
+    ) {
+        let bx = Box3::new([0.0; 3], [lx, ly, lz], periodic);
+        let pts: Vec<[f64; 3]> = frac
+            .iter()
+            .map(|f| [f[0] * lx, f[1] * ly, f[2] * lz])
+            .collect();
+        let mut csr = CellGrid::new(bx, 1.0);
+        csr.rebuild(&pts);
+        let mut legacy = LinkedCellGrid::new(bx, 1.0);
+        legacy.rebuild(&pts);
+        let mut a = HashSet::new();
+        let mut unique = true;
+        csr.for_each_pair(|i, j| {
+            unique &= a.insert((i.min(j), i.max(j)));
+        });
+        prop_assert!(unique, "CSR enumerated a pair twice");
+        let mut b = HashSet::new();
+        legacy.for_each_pair(|i, j| {
+            b.insert((i.min(j), i.max(j)));
+        });
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert!(a == b, "pair sets differ");
     }
 
     /// Jacobi eigen-decomposition: trace preserved, eigenvalues sorted,

@@ -1,0 +1,326 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Implements the surface this workspace's benches use: [`Criterion`] with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! `benchmark_group` (+ [`Throughput`]), [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a plain
+//! median-of-samples loop with text output — no statistics machinery, no
+//! HTML reports, no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up running time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, None, &id.into().label(), f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Compatibility no-op (the real crate parses CLI args here).
+    pub fn final_summary(&self) {}
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label());
+        run_bench(self.criterion, self.throughput, &label, f);
+        self
+    }
+
+    /// Close the group (reporting is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit parameter, rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            name: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self {
+            name: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Per-iteration work annotation for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations the routine must run this sample.
+    iters: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// `iter_with_large_drop` compatibility: identical to `iter` here.
+    pub fn iter_with_large_drop<R>(&mut self, routine: impl FnMut() -> R) {
+        self.iter(routine);
+    }
+}
+
+fn run_bench<F>(c: &Criterion, throughput: Option<Throughput>, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and per-iteration cost estimate.
+    let mut iters = 1u64;
+    let mut per_iter;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if warm_start.elapsed() >= c.warm_up_time {
+            break;
+        }
+        iters = (iters * 2).min(1 << 24);
+    }
+    // Choose iterations per sample to fill measurement_time.
+    let budget = c.measurement_time.as_secs_f64();
+    let per_sample = (budget / c.sample_size as f64 / per_iter.max(1e-9)).max(1.0) as u64;
+    let mut samples: Vec<f64> = (0..c.sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters: per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {:.3e} elem/s", n as f64 / median),
+        Throughput::Bytes(n) => format!("  thrpt: {:.3e} B/s", n as f64 / median),
+    });
+    println!(
+        "{label:<48} time: [{} {} {}]{}",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench `main` that runs the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("case", 7), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("a", 5).label(), "a/5");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

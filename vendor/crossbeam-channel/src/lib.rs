@@ -1,0 +1,50 @@
+//! Offline drop-in subset of `crossbeam-channel`.
+//!
+//! The workspace only uses unbounded MPSC channels with `send`,
+//! `recv_timeout` and `try_recv`; `std::sync::mpsc` provides exactly those
+//! semantics, so this crate re-exports thin wrappers. (The real crate's
+//! extras — `select!`, bounded rendezvous channels, MPMC receivers — are
+//! not part of the vendored surface.)
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Sending half of an unbounded channel.
+pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+/// Receiving half of an unbounded channel.
+pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(41i32).unwrap();
+        tx.send(42).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 41);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 42);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

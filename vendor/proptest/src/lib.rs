@@ -1,0 +1,396 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro over
+//! `fn name(arg in strategy, ...) { body }` items (with an optional
+//! `#![proptest_config(...)]` header), range strategies for floats and
+//! integers, `prop::collection::vec`, `prop::array::uniform3`,
+//! `any::<bool>()`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` family.
+//!
+//! Differences from the real crate: cases are plain random draws from a
+//! fixed per-test seed (deterministic across runs), there is **no
+//! shrinking**, and failures report the case number plus the panic-style
+//! message rather than a minimized input. That is sufficient for CI
+//! gating; reproduce locally by re-running the named test.
+
+use rand::rngs::SmallRng;
+pub use rand::Rng;
+use rand::{RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Per-test configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert!` (or friends) failed.
+    Fail(String),
+}
+
+/// Result type produced by the generated per-case closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// `any::<T>()` strategy marker.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over all values of `T` (only `bool` here).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical `any` strategy.
+pub trait ArbitraryValue {
+    /// Draw one value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+/// Strategy modules (subset of `proptest::prop`).
+pub mod collection {
+    use super::{SizeRange, SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, len)` — a vector whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi + 1)
+            };
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies (subset of `proptest::array`).
+pub mod array {
+    use super::{SmallRng, Strategy};
+
+    /// Strategy producing `[S::Value; 3]`.
+    pub struct Uniform3<S>(S);
+
+    /// Three independent draws from `strategy`.
+    pub fn uniform3<S: Strategy>(strategy: S) -> Uniform3<S> {
+        Uniform3(strategy)
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+            [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seed derived from the test's module path
+/// and name so every test draws an independent, reproducible stream.
+pub fn test_rng(name: &str) -> SmallRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Run the cases of one generated property test (used by [`proptest!`]).
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut SmallRng) -> TestCaseResult,
+) {
+    let mut rng = test_rng(name);
+    let mut ran = 0u32;
+    let mut rejected = 0u32;
+    while ran < config.cases {
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases * 64,
+                    "proptest '{name}': too many prop_assume! rejections"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {ran}: {msg}");
+            }
+        }
+    }
+}
+
+/// The macro-facing prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// `prop::...` paths: the real crate re-exports these under
+// `proptest::prelude::prop`; a module alias gives the same spelling.
+/// Alias module so `prop::collection::vec` etc. resolve.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// Assert inside a property test; failure fails the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |__proptest_rng| -> $crate::TestCaseResult {
+                        $(
+                            let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);
+                        )*
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $( $arg in $strat ),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_size_vec(v in prop::collection::vec(0.0f64..1.0, 9)) {
+            prop_assert_eq!(v.len(), 9);
+        }
+
+        #[test]
+        fn uniform3_bools(b in prop::array::uniform3(any::<bool>())) {
+            prop_assert_eq!(b.len(), 3);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+}

@@ -1,0 +1,713 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of `rayon` it uses: indexed parallel iterators over
+//! `Range<usize>`, slices and chunked slices, with `map` / `zip` /
+//! `enumerate` adapters and `for_each` / `collect` / `sum` consumers, plus
+//! [`current_num_threads`] and a [`ThreadPoolBuilder`] whose
+//! [`ThreadPool::install`] scopes an explicit thread count.
+//!
+//! Execution model: each consumer call splits its producer into
+//! `current_num_threads()` contiguous parts and runs them on scoped OS
+//! threads (inline when one thread). Splits are always contiguous and
+//! in-order, so order-preserving consumers (`collect`) return exactly the
+//! sequential result ordering regardless of thread count — the property
+//! the DPD/SEM deterministic parallel paths rely on.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> usize {
+    static ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Number of threads parallel consumers will use on this thread.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE.with(|o| o.get()).unwrap_or_else(env_threads)
+}
+
+/// Builder for an explicit-thread-count scope (subset of rayon's).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (environment-derived) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the thread count (0 = environment default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num_threads.unwrap_or_else(env_threads),
+        })
+    }
+}
+
+/// A handle carrying an explicit thread count; [`ThreadPool::install`]
+/// makes it the current count for the duration of a closure.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the current count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|o| o.replace(Some(self.n)));
+        let out = f();
+        POOL_OVERRIDE.with(|o| o.set(prev));
+        out
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producers: splittable, iterable sources.
+// ---------------------------------------------------------------------------
+
+/// A splittable data source an indexed parallel iterator draws from.
+pub trait Producer: Sized + Send {
+    /// Item yielded.
+    type Item: Send;
+    /// Sequential iterator for one part.
+    type IntoSeq: Iterator<Item = Self::Item>;
+    /// Remaining length.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential traversal of this part.
+    fn into_seq(self) -> Self::IntoSeq;
+}
+
+/// Producer over `Range<usize>`.
+pub struct RangeProducer(Range<usize>);
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoSeq = Range<usize>;
+    fn len(&self) -> usize {
+        self.0.end.saturating_sub(self.0.start)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let m = self.0.start + mid;
+        (RangeProducer(self.0.start..m), RangeProducer(m..self.0.end))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0
+    }
+}
+
+/// Producer over `&[T]`.
+pub struct SliceProducer<'a, T: Sync>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoSeq = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (SliceProducer(a), SliceProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]`.
+pub struct SliceMutProducer<'a, T: Send>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoSeq = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (SliceMutProducer(a), SliceMutProducer(b))
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over immutable chunks of a slice.
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoSeq = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(elems);
+        (
+            ChunksProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer over mutable chunks of a slice.
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoSeq = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let elems = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(elems);
+        (
+            ChunksMutProducer {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Map adapter.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type IntoSeq = std::iter::Map<P::IntoSeq, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            MapProducer {
+                base: a,
+                f: self.f.clone(),
+            },
+            MapProducer { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Zip adapter (truncates to the shorter source, like rayon).
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoSeq = std::iter::Zip<A::IntoSeq, B::IntoSeq>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (ZipProducer { a: a1, b: b1 }, ZipProducer { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Enumerate adapter (global index, stable under splitting).
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    #[allow(clippy::type_complexity)]
+    type IntoSeq = std::iter::Map<
+        std::iter::Enumerate<P::IntoSeq>,
+        Box<dyn FnMut((usize, P::Item)) -> (usize, P::Item) + Send>,
+    >;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            EnumerateProducer {
+                base: a,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::IntoSeq {
+        let off = self.offset;
+        self.base
+            .into_seq()
+            .enumerate()
+            .map(Box::new(move |(i, x)| (off + i, x)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution: contiguous in-order splits onto scoped threads.
+// ---------------------------------------------------------------------------
+
+fn execute<P, R, F>(producer: P, per_part: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let n = producer.len();
+    if threads == 1 || n <= 1 {
+        return vec![per_part(producer)];
+    }
+    let parts = threads.min(n);
+    let mut queue = Vec::with_capacity(parts);
+    let mut rest = producer;
+    let mut remaining = n;
+    for k in 0..parts {
+        let take = remaining.div_ceil(parts - k);
+        let (head, tail) = rest.split_at(take);
+        queue.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    let f = &per_part;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queue
+            .into_iter()
+            .map(|part| scope.spawn(move || f(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The user-facing iterator wrapper.
+// ---------------------------------------------------------------------------
+
+/// An indexed parallel iterator over a [`Producer`].
+pub struct ParIter<P>(P);
+
+impl<P: Producer> ParIter<P> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Map each item.
+    pub fn map<R, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        F: Fn(P::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        ParIter(MapProducer { base: self.0, f })
+    }
+
+    /// Pair up with another parallel iterator.
+    pub fn zip<Q>(
+        self,
+        other: impl IntoParallelIterator<Producer = Q>,
+    ) -> ParIter<ZipProducer<P, Q>>
+    where
+        Q: Producer,
+    {
+        ParIter(ZipProducer {
+            a: self.0,
+            b: other.into_par_iter().0,
+        })
+    }
+
+    /// Attach global indices.
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter(EnumerateProducer {
+            base: self.0,
+            offset: 0,
+        })
+    }
+
+    /// Hint accepted for API compatibility; splitting ignores it.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        execute(self.0, |part| part.into_seq().for_each(&f));
+    }
+
+    /// Collect into a container (only `Vec<T>` is supported). Ordering is
+    /// identical to the sequential iteration for any thread count.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParIter<P::Item>,
+    {
+        let parts = execute(self.0, |part| part.into_seq().collect::<Vec<_>>());
+        C::from_parts(parts)
+    }
+
+    /// Sum the items. Per-thread partials are combined in split order, so
+    /// the result is deterministic for a fixed thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        execute(self.0, |part| part.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Fold-reduce: `identity` seeds each part, `op` combines.
+    pub fn reduce<F, ID>(self, identity: ID, op: F) -> P::Item
+    where
+        F: Fn(P::Item, P::Item) -> P::Item + Sync,
+        ID: Fn() -> P::Item + Sync,
+    {
+        let parts = execute(self.0, |part| part.into_seq().fold(identity(), &op));
+        parts.into_iter().fold(identity(), op)
+    }
+}
+
+/// Collection buildable from in-order per-thread parts.
+pub trait FromParIter<T> {
+    /// Concatenate the ordered parts.
+    fn from_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParIter<T> for Vec<T> {
+    fn from_parts(parts: Vec<Vec<T>>) -> Self {
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (mirroring rayon's prelude).
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Backing producer.
+    type Producer: Producer;
+    /// Make the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Producer = RangeProducer;
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        ParIter(RangeProducer(self))
+    }
+}
+
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Producer = P;
+    fn into_par_iter(self) -> ParIter<P> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Producer = SliceProducer<'a, T>;
+    fn into_par_iter(self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter(SliceProducer(self))
+    }
+}
+
+/// `par_iter` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Producer type.
+    type Producer: Producer<Item = Self::Item>;
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Producer>;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter(SliceProducer(self))
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter(SliceProducer(self))
+    }
+}
+
+/// `par_iter_mut` on mutable references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type.
+    type Item: Send + 'a;
+    /// Producer type.
+    type Producer: Producer<Item = Self::Item>;
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Producer>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Producer = SliceMutProducer<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutProducer<'a, T>> {
+        ParIter(SliceMutProducer(self))
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Producer = SliceMutProducer<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<SliceMutProducer<'a, T>> {
+        ParIter(SliceMutProducer(self))
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size > 0);
+        ParIter(ChunksProducer { slice: self, size })
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous mutable chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(size > 0);
+        ParIter(ChunksMutProducer { slice: self, size })
+    }
+}
+
+/// Iterator types (rayon module-path compatibility).
+pub mod iter {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// The prelude: glob-import to get the entry-point traits.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon join worker panicked"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn collect_order_is_sequential_for_any_thread_count() {
+        let expect: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        for t in [1, 2, 3, 8] {
+            let got: Vec<usize> =
+                with_threads(t, || (0..1000).into_par_iter().map(|i| i * 3).collect());
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 997];
+        with_threads(4, || {
+            v.par_iter_mut().for_each(|x| *x += 1);
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn zip_and_enumerate_line_up() {
+        let a: Vec<usize> = (0..100).collect();
+        let b: Vec<usize> = (100..200).collect();
+        let got: Vec<(usize, usize)> = with_threads(3, || {
+            a.par_iter()
+                .zip(b.par_iter())
+                .enumerate()
+                .map(|(i, (x, y))| (i, *x + *y))
+                .collect()
+        });
+        for (i, (idx, s)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*s, 100 + 2 * i);
+        }
+    }
+
+    #[test]
+    fn chunks_cover_slice_exactly() {
+        let v: Vec<f64> = (0..1003).map(|i| i as f64).collect();
+        let sums: Vec<f64> = with_threads(4, || {
+            v.par_chunks(100).map(|c| c.iter().sum::<f64>()).collect()
+        });
+        assert_eq!(sums.len(), 11);
+        let total: f64 = sums.iter().sum();
+        assert_eq!(total, (1002.0 * 1003.0) / 2.0);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let outside = current_num_threads();
+        with_threads(7, || assert_eq!(current_num_threads(), 7));
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}
