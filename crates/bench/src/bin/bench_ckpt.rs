@@ -1,0 +1,108 @@
+//! Checkpoint write/restore latency and size at production-shaped scale:
+//! a DPD domain with N ≈ 1e5 particles (ρ = 3) plus its open boundary,
+//! snapshotted through the `nkg-ckpt` container (CRC32 per section, atomic
+//! temp + rename) and restored into a freshly constructed sim.
+//!
+//! Appends one JSON record per run to `BENCH_ckpt.json` (JSON Lines) and
+//! prints the same numbers to stdout.
+
+use nkg_bench::{append_jsonl, header, time_median};
+use nkg_ckpt::{SnapshotFile, SnapshotWriter};
+use nkg_dpd::inflow::OpenBoundaryX;
+use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
+use nkg_dpd::Box3;
+
+fn build(n_target: usize) -> DpdSim {
+    // Slab channel sized for ρ = 3 at the requested count, with an open
+    // x boundary so the snapshot carries the full coupling surface state.
+    let l = (n_target as f64 / 3.0).cbrt();
+    let bx = Box3::new([0.0; 3], [l; 3], [false, false, true]);
+    let cfg = DpdConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    let mut ob = OpenBoundaryX::new(8, 8, 3.0, 1.0, [0.0; 3], 0);
+    ob.target_count = Some(sim.particles.len());
+    sim.set_open_x(ob);
+    sim
+}
+
+fn main() {
+    let n_target = 100_000usize;
+    let reps = 5;
+    let mut sim = build(n_target);
+    // A few steps so the snapshot captures a mid-run state (forces, flux
+    // debt, step counters), not a freshly filled box.
+    for _ in 0..3 {
+        sim.step();
+    }
+    let n = sim.particles.len();
+
+    header(&format!("nkg-ckpt snapshot round trip, N = {n} (ρ = 3)"));
+
+    let dir = std::env::temp_dir().join("nkg_bench_ckpt");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let path = dir.join("bench.nkgc");
+
+    // Serialize-only (no I/O): container assembly + CRC32.
+    let t_encode = time_median(reps, || {
+        let mut w = SnapshotWriter::new();
+        w.add_snapshot(&sim);
+        std::hint::black_box(w.to_bytes());
+    });
+
+    // Full atomic write: temp sibling + fsync + rename.
+    let mut bytes_written = 0u64;
+    let t_write = time_median(reps, || {
+        let mut w = SnapshotWriter::new();
+        w.add_snapshot(&sim);
+        bytes_written = w.write_atomic(&path).expect("checkpoint write");
+    });
+
+    // Validate + restore into a compatibly constructed fresh sim.
+    let t_restore = time_median(reps, || {
+        let mut fresh = build(n_target);
+        let file = SnapshotFile::read_from(&path).expect("checkpoint read");
+        file.restore_into(&mut fresh).expect("checkpoint restore");
+        std::hint::black_box(&fresh);
+    });
+
+    // Restore fidelity check: bitwise positions after one more step each.
+    let mut fresh = build(n_target);
+    SnapshotFile::read_from(&path)
+        .unwrap()
+        .restore_into(&mut fresh)
+        .unwrap();
+    sim.step();
+    fresh.step();
+    let bitwise = sim
+        .particles
+        .pos
+        .iter()
+        .zip(&fresh.particles.pos)
+        .all(|(a, b)| (0..3).all(|k| a[k].to_bits() == b[k].to_bits()));
+    assert!(bitwise, "restored sim diverged from the original");
+
+    let mib = bytes_written as f64 / (1024.0 * 1024.0);
+    println!("snapshot size                       {bytes_written} bytes ({mib:.2} MiB)");
+    println!("phase                                s (median of {reps})   MiB/s");
+    for (name, t) in [
+        ("encode (container + CRC32)", t_encode),
+        ("write_atomic (fsync + rename)", t_write),
+        ("read + validate + restore", t_restore),
+    ] {
+        println!("{name:<34}  {t:>9.4}          {:>8.1}", mib / t);
+    }
+    println!("bitwise continuation after restore: verified");
+
+    let record = format!(
+        "{{\"bench\":\"ckpt_round_trip\",\"n_particles\":{n},\"reps\":{reps},\
+         \"snapshot_bytes\":{bytes_written},\
+         \"encode_seconds\":{t_encode:.6},\"write_seconds\":{t_write:.6},\
+         \"restore_seconds\":{t_restore:.6},\"bitwise_continuation\":true}}"
+    );
+    append_jsonl("BENCH_ckpt.json", &record);
+    println!("\nappended record to BENCH_ckpt.json");
+}

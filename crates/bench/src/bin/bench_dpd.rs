@@ -113,14 +113,20 @@ fn main() {
         );
     }
 
-    // --- JSON record ----------------------------------------------------
-    let json = format!(
-        "{{\n  \"bench\": \"dpd_hot_path\",\n  \"n_particles\": {n},\n  \"density\": 3.0,\n  \"rc\": 1.0,\n  \"rayon_threads\": {threads},\n  \"reps\": {reps},\n  \"force_sweep_seconds\": {{\n    \"seed_serial_linked_list\": {t_legacy:.6},\n    \"csr_serial\": {t_csr_serial:.6},\n    \"csr_parallel\": {t_csr_par:.6}\n  }},\n  \"full_step_seconds\": {{\n    \"serial_backend\": {t_step_serial:.6},\n    \"parallel_backend\": {t_step_par:.6},\n    \"parallel_reorder20\": {t_step_par_reord:.6}\n  }},\n  \"speedup_vs_seed_serial\": {{\n    \"csr_serial\": {:.3},\n    \"csr_parallel\": {:.3}\n  }}\n}}\n",
+    // --- JSON record (one line appended per run: JSON Lines) ------------
+    let record = format!(
+        "{{\"bench\":\"dpd_hot_path\",\"n_particles\":{n},\"density\":3.0,\"rc\":1.0,\
+         \"rayon_threads\":{threads},\"reps\":{reps},\
+         \"force_sweep_seconds\":{{\"seed_serial_linked_list\":{t_legacy:.6},\
+         \"csr_serial\":{t_csr_serial:.6},\"csr_parallel\":{t_csr_par:.6}}},\
+         \"full_step_seconds\":{{\"serial_backend\":{t_step_serial:.6},\
+         \"parallel_backend\":{t_step_par:.6},\"parallel_reorder20\":{t_step_par_reord:.6}}},\
+         \"speedup_vs_seed_serial\":{{\"csr_serial\":{:.3},\"csr_parallel\":{:.3}}}}}",
         t_legacy / t_csr_serial,
         t_legacy / t_csr_par,
     );
-    std::fs::write("BENCH_dpd.json", &json).expect("write BENCH_dpd.json");
-    println!("\nwrote BENCH_dpd.json");
+    nkg_bench::append_jsonl("BENCH_dpd.json", &record);
+    println!("\nappended record to BENCH_dpd.json");
     println!("(the ISSUE target — ≥2x over seed serial — assumes ≥4 cores; the");
     println!(" rayon_threads field records what this host actually provided)");
 }

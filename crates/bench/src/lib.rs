@@ -36,6 +36,20 @@ pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[reps / 2]
 }
 
+/// Append one compact JSON record as a single line to `path` (JSON Lines:
+/// repeated benchmark invocations accumulate a history instead of
+/// overwriting the previous run's numbers).
+pub fn append_jsonl(path: &str, record: &str) {
+    use std::io::Write as _;
+    debug_assert!(!record.contains('\n'), "JSONL records must be single-line");
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("open {path}: {e}"));
+    writeln!(f, "{record}").unwrap_or_else(|e| panic!("append to {path}: {e}"));
+}
+
 /// Print a ruled section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

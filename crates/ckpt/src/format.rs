@@ -1,0 +1,319 @@
+//! The on-disk snapshot container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "NKGC" | format_version: u32 | section_count: u32
+//! per section:  tag: u32 | payload_len: u64 | crc32(payload): u32 | payload
+//! ```
+//!
+//! Integrity policy: the reader validates magic, format version, section
+//! framing and every section CRC *before* handing out a single payload
+//! byte, so a torn or bit-rotted file is rejected atomically rather than
+//! half-loaded. Writes go to a `.tmp` sibling which is fsynced and then
+//! renamed over the destination — a crash mid-write leaves the previous
+//! checkpoint intact.
+
+use crate::crc32::crc32;
+use crate::{tag_name, CkptError, Snapshot};
+use std::fs;
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// File magic: "NKGC" (NεκTαr-G Checkpoint).
+pub const MAGIC: [u8; 4] = *b"NKGC";
+
+/// Current format version. Bump on any incompatible layout change; readers
+/// refuse other versions with [`CkptError::Version`] instead of guessing.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 4 + 4 + 4;
+const SECTION_HEADER_LEN: usize = 4 + 8 + 4;
+
+/// Collects tagged sections and serializes them into one snapshot file.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw section. Tags must be unique within one snapshot.
+    pub fn add(&mut self, tag: u32, payload: Vec<u8>) {
+        assert!(
+            !self.sections.iter().any(|(t, _)| *t == tag),
+            "duplicate section tag {}",
+            tag_name(tag)
+        );
+        self.sections.push((tag, payload));
+    }
+
+    /// Append a component's state as a section under its own tag.
+    pub fn add_snapshot<T: Snapshot>(&mut self, x: &T) {
+        let mut enc = crate::codec::Enc::new();
+        x.snapshot(&mut enc);
+        self.add(T::TAG, enc.into_bytes());
+    }
+
+    /// Serialize the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body: usize = self
+            .sections
+            .iter()
+            .map(|(_, p)| SECTION_HEADER_LEN + p.len())
+            .sum();
+        let mut out = Vec::with_capacity(HEADER_LEN + body);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Atomically write the snapshot to `path` (temp sibling + fsync +
+    /// rename). Returns the number of bytes written.
+    pub fn write_atomic(&self, path: &Path) -> Result<u64, CkptError> {
+        let bytes = self.to_bytes();
+        let tmp = tmp_path(path);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// A fully validated snapshot loaded into memory.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotFile {
+    /// Parse and validate a snapshot image: magic, version, framing and
+    /// every per-section CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let ranges = scan(bytes, true)?;
+        Ok(Self {
+            sections: ranges
+                .into_iter()
+                .map(|(tag, r)| (tag, bytes[r].to_vec()))
+                .collect(),
+        })
+    }
+
+    /// Read and validate a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Self, CkptError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<u32> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Payload of the section tagged `tag`.
+    pub fn payload(&self, tag: u32) -> Result<&[u8], CkptError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+            .ok_or(CkptError::MissingSection { tag })
+    }
+
+    /// Restore a component from its section, requiring the payload to be
+    /// consumed exactly.
+    pub fn restore_into<T: Snapshot>(&self, x: &mut T) -> Result<(), CkptError> {
+        let mut dec = crate::codec::Dec::new(self.payload(T::TAG)?);
+        x.restore(&mut dec)?;
+        dec.finish()
+    }
+}
+
+/// Scan the container framing, returning `(tag, payload range)` per
+/// section. With `verify_crc` unset the stored checksums are ignored —
+/// that is the entry point the fault injector uses to aim a corruption at
+/// a chosen section without tripping over it.
+pub(crate) fn scan(bytes: &[u8], verify_crc: bool) -> Result<Vec<(u32, Range<usize>)>, CkptError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CkptError::Truncated);
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CkptError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let mut sections = Vec::with_capacity(count);
+    let mut off = HEADER_LEN;
+    for _ in 0..count {
+        if bytes.len() - off < SECTION_HEADER_LEN {
+            return Err(CkptError::Truncated);
+        }
+        let tag = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap());
+        off += SECTION_HEADER_LEN;
+        if bytes.len() - off < len {
+            return Err(CkptError::Truncated);
+        }
+        let payload = off..off + len;
+        if verify_crc && crc32(&bytes[payload.clone()]) != crc {
+            return Err(CkptError::Corrupt { tag });
+        }
+        sections.push((tag, payload));
+        off += len;
+    }
+    if off != bytes.len() {
+        return Err(CkptError::Malformed("trailing bytes after last section"));
+    }
+    Ok(sections)
+}
+
+/// The temp sibling used by atomic writes.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".tmp");
+    PathBuf::from(s)
+}
+
+/// The rotation sibling holding the previous good snapshot.
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(".prev");
+    PathBuf::from(s)
+}
+
+/// Rotate: if `path` exists, rename it to [`prev_path`] so the next write
+/// cannot destroy the last known-good snapshot.
+pub fn rotate_previous(path: &Path) -> Result<(), CkptError> {
+    if path.exists() {
+        fs::rename(path, prev_path(path))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag4;
+
+    fn sample() -> SnapshotWriter {
+        let mut w = SnapshotWriter::new();
+        w.add(tag4(b"AAAA"), vec![1, 2, 3, 4, 5]);
+        w.add(tag4(b"BBBB"), vec![9; 100]);
+        w
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let bytes = sample().to_bytes();
+        let f = SnapshotFile::from_bytes(&bytes).unwrap();
+        assert_eq!(f.tags(), vec![tag4(b"AAAA"), tag4(b"BBBB")]);
+        assert_eq!(f.payload(tag4(b"AAAA")).unwrap(), &[1, 2, 3, 4, 5]);
+        assert!(matches!(
+            f.payload(tag4(b"CCCC")),
+            Err(CkptError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(CkptError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_rejected_with_both_versions() {
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        match SnapshotFile::from_bytes(&bytes) {
+            Err(CkptError::Version { found, expected }) => {
+                assert_eq!(found, 99);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_corruption_names_the_section() {
+        let mut bytes = sample().to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF; // last byte of section BBBB
+        match SnapshotFile::from_bytes(&bytes) {
+            Err(CkptError::Corrupt { tag }) => assert_eq!(tag, tag4(b"BBBB")),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() - 50, 10, 3] {
+            assert!(
+                matches!(
+                    SnapshotFile::from_bytes(&bytes[..cut]),
+                    Err(CkptError::Truncated)
+                ),
+                "cut at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate section tag")]
+    fn duplicate_tags_refused() {
+        let mut w = sample();
+        w.add(tag4(b"AAAA"), vec![]);
+    }
+
+    #[test]
+    fn atomic_write_and_rotation() {
+        let dir = std::env::temp_dir().join("nkg_ckpt_format_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.nkgc");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(prev_path(&path));
+
+        sample().write_atomic(&path).unwrap();
+        assert!(SnapshotFile::read_from(&path).is_ok());
+        // Rotate, write a second generation: both must validate.
+        rotate_previous(&path).unwrap();
+        let mut w2 = SnapshotWriter::new();
+        w2.add(tag4(b"AAAA"), vec![7, 7]);
+        w2.write_atomic(&path).unwrap();
+        assert!(SnapshotFile::read_from(&path).is_ok());
+        assert!(SnapshotFile::read_from(&prev_path(&path)).is_ok());
+        assert_eq!(
+            SnapshotFile::read_from(&prev_path(&path))
+                .unwrap()
+                .payload(tag4(b"AAAA"))
+                .unwrap(),
+            &[1, 2, 3, 4, 5]
+        );
+        // No temp residue.
+        assert!(!tmp_path(&path).exists());
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::multipatch::Multipatch2d;
 use crate::scaling::UnitScaling;
+use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_dpd::sim::DpdSim;
 
 /// The embedding of a DPD box into continuum coordinates.
@@ -148,6 +149,54 @@ impl AtomisticDomain {
     }
 }
 
+impl Snapshot for AtomisticDomain {
+    const TAG: u32 = nkg_ckpt::tag4(b"ATOM");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        // Embedding is configuration; the bin midpoints derive from it and
+        // the DPD geometry, so only the embedding itself is recorded.
+        enc.put(self.embedding.origin_ns[0]);
+        enc.put(self.embedding.origin_ns[1]);
+        enc.put(self.embedding.scaling.unit_ns);
+        enc.put(self.embedding.scaling.unit_dpd);
+        enc.put(self.embedding.scaling.nu_ns);
+        enc.put(self.embedding.scaling.nu_dpd);
+        self.sim.snapshot(enc);
+        enc.put_slice(&self.continuity_history);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        let origin = dec.take::<f64>()?;
+        let origin = [origin, dec.take::<f64>()?];
+        let scaling = [
+            dec.take::<f64>()?,
+            dec.take::<f64>()?,
+            dec.take::<f64>()?,
+            dec.take::<f64>()?,
+        ];
+        let mine = [
+            self.embedding.scaling.unit_ns,
+            self.embedding.scaling.unit_dpd,
+            self.embedding.scaling.nu_ns,
+            self.embedding.scaling.nu_dpd,
+        ];
+        let same = origin
+            .iter()
+            .zip(&self.embedding.origin_ns)
+            .chain(scaling.iter().zip(&mine))
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            return Err(CkptError::Mismatch(format!(
+                "embedding {origin:?}/{scaling:?} in snapshot, {:?}/{mine:?} reconstructed",
+                self.embedding.origin_ns
+            )));
+        }
+        self.sim.restore(dec)?;
+        self.continuity_history = dec.take_vec::<f64>()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +288,46 @@ mod tests {
                 "Poiseuille interior velocity should be positive"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bitwise() {
+        let mut d = make_domain();
+        let mp = steady_continuum(10);
+        d.exchange_from_continuum(&mp);
+        for _ in 0..20 {
+            d.sim.step();
+        }
+        let bytes = nkg_ckpt::snapshot_bytes(&d);
+        let mut resumed = make_domain();
+        nkg_ckpt::restore_bytes(&mut resumed, &bytes).unwrap();
+        d.exchange_from_continuum(&mp);
+        resumed.exchange_from_continuum(&mp);
+        for _ in 0..10 {
+            d.sim.step();
+            resumed.sim.step();
+        }
+        assert_eq!(d.continuity_history.len(), resumed.continuity_history.len());
+        for (a, b) in d.continuity_history.iter().zip(&resumed.continuity_history) {
+            assert_eq!(a.to_bits(), b.to_bits(), "continuity history diverged");
+        }
+        for (a, b) in d.sim.particles.pos.iter().zip(&resumed.sim.particles.pos) {
+            for k in 0..3 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "positions diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_refuses_different_embedding() {
+        let d = make_domain();
+        let bytes = nkg_ckpt::snapshot_bytes(&d);
+        let mut other = make_domain();
+        other.embedding.origin_ns = [1.0, 0.3];
+        assert!(matches!(
+            nkg_ckpt::restore_bytes(&mut other, &bytes),
+            Err(CkptError::Mismatch(_))
+        ));
     }
 
     #[test]

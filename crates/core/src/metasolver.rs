@@ -1,15 +1,30 @@
 //! The NεκTαr-G metasolver facade: a multipatch continuum domain with an
 //! embedded atomistic domain, driven through the paper's time progression,
-//! with WPOD co-processing of the atomistic data.
+//! with WPOD co-processing of the atomistic data — plus the fault-tolerant
+//! run driver (periodic checkpointing, deterministic fault injection,
+//! resume with fallback to the previous good snapshot).
+//!
+//! Checkpoint timing: snapshots are taken at the *top* of an
+//! exchange-boundary continuum step, before that exchange fires. Because
+//! every stochastic draw in the system is a pure function of
+//! `(seed, step)` (see `nkg_dpd::streams`), a run restored from such a
+//! snapshot replays the remaining steps bitwise — same particle
+//! trajectories, same fields, same [`RunReport`].
 
 use crate::atomistic::AtomisticDomain;
 use crate::multipatch::Multipatch2d;
 use crate::progression::TimeProgression;
+use nkg_ckpt::{
+    prev_path, rotate_previous, CkptError, Dec, Enc, FaultPlan, Snapshot, SnapshotFile,
+    SnapshotWriter,
+};
 use nkg_dpd::sim::BinSampler;
 use nkg_wpod::window::{WindowPod, WindowResult};
+use std::path::{Path, PathBuf};
 
-/// Summary of one coupled run.
-#[derive(Debug, Clone, Default)]
+/// Cumulative summary of a coupled run (totals since construction or the
+/// restored checkpoint's origin, not since the last `run` call).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Continuum steps taken.
     pub ns_steps: usize,
@@ -27,6 +42,115 @@ pub struct RunReport {
     pub wpod_windows: usize,
 }
 
+impl Snapshot for RunReport {
+    const TAG: u32 = nkg_ckpt::tag4(b"RPRT");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        enc.put(self.ns_steps as u64);
+        enc.put(self.dpd_steps as u64);
+        enc.put(self.exchanges as u64);
+        enc.put_slice(&self.continuity);
+        enc.put_slice(&self.patch_mismatch);
+        enc.put(self.platelet_census.len() as u64);
+        for &(p, t, a, ad) in &self.platelet_census {
+            enc.put(p as u64);
+            enc.put(t as u64);
+            enc.put(a as u64);
+            enc.put(ad as u64);
+        }
+        enc.put(self.wpod_windows as u64);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        self.ns_steps = dec.take::<u64>()? as usize;
+        self.dpd_steps = dec.take::<u64>()? as usize;
+        self.exchanges = dec.take::<u64>()? as usize;
+        self.continuity = dec.take_vec::<f64>()?;
+        self.patch_mismatch = dec.take_vec::<f64>()?;
+        let n = dec.take::<u64>()? as usize;
+        let mut census = Vec::with_capacity(n);
+        for _ in 0..n {
+            census.push((
+                dec.take::<u64>()? as usize,
+                dec.take::<u64>()? as usize,
+                dec.take::<u64>()? as usize,
+                dec.take::<u64>()? as usize,
+            ));
+        }
+        self.platelet_census = census;
+        self.wpod_windows = dec.take::<u64>()? as usize;
+        Ok(())
+    }
+}
+
+/// Periodic checkpointing plan for [`NektarG::run_to`].
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Snapshot destination; the previous generation rotates to a `.prev`
+    /// sibling before each write.
+    pub path: PathBuf,
+    /// Checkpoint whenever this many exchanges have completed since the
+    /// last snapshot (i.e. at the top of the exchange-boundary step where
+    /// the completed-exchange count is a positive multiple of this).
+    pub every_k_exchanges: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint to `path` every `every_k_exchanges` exchanges.
+    pub fn new(path: impl Into<PathBuf>, every_k_exchanges: u64) -> Self {
+        assert!(every_k_exchanges >= 1);
+        Self {
+            path: path.into(),
+            every_k_exchanges,
+        }
+    }
+}
+
+/// Why a driven run stopped early.
+#[derive(Debug)]
+pub enum RunError {
+    /// The fault plan killed the run (stands in for a node loss).
+    Killed {
+        /// Exchanges completed when the run died.
+        exchanges: usize,
+        /// Continuum step in progress when the run died.
+        ns_step: usize,
+    },
+    /// A checkpoint could not be written or tampered with.
+    Ckpt(CkptError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Killed { exchanges, ns_step } => {
+                write!(
+                    f,
+                    "run killed after exchange {exchanges} (ns step {ns_step})"
+                )
+            }
+            RunError::Ckpt(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CkptError> for RunError {
+    fn from(e: CkptError) -> Self {
+        RunError::Ckpt(e)
+    }
+}
+
+/// Which snapshot generation a [`NektarG::resume_latest`] landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeSource {
+    /// The primary snapshot validated and restored.
+    Primary,
+    /// The primary was damaged; the `.prev` generation restored instead.
+    Fallback,
+}
+
 /// The coupled metasolver.
 pub struct NektarG {
     /// The macro-scale solver (multipatch continuum).
@@ -39,7 +163,14 @@ pub struct NektarG {
     pub wpod: Option<(BinSampler, WindowPod)>,
     /// Latest WPOD window result.
     pub last_wpod: Option<WindowResult>,
+    /// Cumulative run accounting; `report.ns_steps` is the solver's
+    /// position on the absolute continuum-step axis.
+    pub report: RunReport,
 }
+
+/// Tag of the run-level metadata section (WPOD attachment flag and the
+/// latest window result).
+const META_TAG: u32 = nkg_ckpt::tag4(b"META");
 
 impl NektarG {
     /// Assemble the metasolver.
@@ -54,6 +185,7 @@ impl NektarG {
             progression,
             wpod: None,
             last_wpod: None,
+            report: RunReport::default(),
         }
     }
 
@@ -64,39 +196,177 @@ impl NektarG {
         self
     }
 
-    /// Run `ns_steps` continuum steps with the full time progression.
+    /// Run `ns_steps` more continuum steps with the full time progression.
+    /// Returns the cumulative report.
     pub fn run(&mut self, ns_steps: usize) -> RunReport {
-        let mut report = RunReport::default();
-        for step in 0..ns_steps {
+        self.run_to(self.report.ns_steps + ns_steps, None, None)
+            .expect("run without checkpoint policy or fault plan cannot fail")
+    }
+
+    /// Advance to absolute continuum step `target_ns_step`, optionally
+    /// writing rotating checkpoints per `policy` and suffering the
+    /// disasters scripted in `fault`.
+    ///
+    /// The exchange schedule is absolute: exchanges fire before every step
+    /// where [`TimeProgression::exchange_at`] holds, regardless of how the
+    /// run is chopped into `run`/`run_to` calls or checkpoint restarts.
+    pub fn run_to(
+        &mut self,
+        target_ns_step: usize,
+        policy: Option<&CheckpointPolicy>,
+        fault: Option<&FaultPlan>,
+    ) -> Result<RunReport, RunError> {
+        while self.report.ns_steps < target_ns_step {
+            let step = self.report.ns_steps;
             if self.progression.exchange_at(step) {
-                self.atomistic.exchange_from_continuum(&self.continuum);
-                report.exchanges += 1;
-                if let Some(err) = self.atomistic.latest_continuity_error() {
-                    report.continuity.push(err);
+                if let Some(pol) = policy {
+                    let done = self.report.exchanges as u64;
+                    if done > 0 && done.is_multiple_of(pol.every_k_exchanges) {
+                        self.checkpoint_rotating(&pol.path)?;
+                        if let Some(f) = fault {
+                            f.tamper(&pol.path)?;
+                        }
+                    }
                 }
-                report
+                self.atomistic.exchange_from_continuum(&self.continuum);
+                self.report.exchanges += 1;
+                if let Some(err) = self.atomistic.latest_continuity_error() {
+                    self.report.continuity.push(err);
+                }
+                self.report
                     .patch_mismatch
                     .push(self.continuum.interface_mismatch());
-                report
+                self.report
                     .platelet_census
                     .push(self.atomistic.sim.platelet_census());
+                if let Some(f) = fault {
+                    if f.kill_after_exchange == Some(self.report.exchanges as u64) {
+                        return Err(RunError::Killed {
+                            exchanges: self.report.exchanges,
+                            ns_step: step,
+                        });
+                    }
+                }
             }
             self.continuum.step();
-            report.ns_steps += 1;
+            self.report.ns_steps += 1;
             for _ in 0..self.progression.substeps {
                 self.atomistic.sim.step();
-                report.dpd_steps += 1;
+                self.report.dpd_steps += 1;
                 if let Some((sampler, wpod)) = &mut self.wpod {
                     if let Some(snap) = sampler.accumulate(&self.atomistic.sim) {
                         if let Some(res) = wpod.push(snap) {
-                            report.wpod_windows += 1;
+                            self.report.wpod_windows += 1;
                             self.last_wpod = Some(res);
                         }
                     }
                 }
             }
         }
-        report
+        Ok(self.report.clone())
+    }
+
+    /// Write one run-level checkpoint (atomic temp + rename). Returns the
+    /// bytes written.
+    pub fn checkpoint(&self, path: &Path) -> Result<u64, CkptError> {
+        let mut w = SnapshotWriter::new();
+        w.add_snapshot(&self.progression);
+        w.add_snapshot(&self.continuum);
+        w.add_snapshot(&self.atomistic);
+        w.add_snapshot(&self.report);
+        if let Some((sampler, wpod)) = &self.wpod {
+            w.add_snapshot(sampler);
+            w.add_snapshot(wpod);
+        }
+        let mut enc = Enc::new();
+        enc.put_bool(self.wpod.is_some());
+        match &self.last_wpod {
+            None => enc.put_bool(false),
+            Some(res) => {
+                enc.put_bool(true);
+                enc.put_slice(&res.mean);
+                enc.put_slice(&res.fluctuation);
+                enc.put(res.split as u64);
+                enc.put_slice(&res.eigenvalues);
+            }
+        }
+        w.add(META_TAG, enc.into_bytes());
+        w.write_atomic(path)
+    }
+
+    /// Rotate the existing snapshot at `path` to its `.prev` sibling, then
+    /// write a fresh one — the last known-good generation survives a
+    /// failure during (or corruption after) the new write.
+    pub fn checkpoint_rotating(&self, path: &Path) -> Result<u64, CkptError> {
+        rotate_previous(path)?;
+        self.checkpoint(path)
+    }
+
+    /// Restore run state from a snapshot into this (compatibly
+    /// constructed) instance. Configuration sections are verified, not
+    /// overwritten; all evolving state is replaced.
+    pub fn restore_from(&mut self, path: &Path) -> Result<(), CkptError> {
+        let file = SnapshotFile::read_from(path)?;
+        let mut dec = Dec::new(file.payload(META_TAG)?);
+        let has_wpod = dec.take_bool()?;
+        if has_wpod != self.wpod.is_some() {
+            return Err(CkptError::Mismatch(format!(
+                "snapshot {} WPOD co-processing, reconstructed instance {}",
+                if has_wpod { "has" } else { "lacks" },
+                if self.wpod.is_some() {
+                    "has it"
+                } else {
+                    "lacks it"
+                },
+            )));
+        }
+        file.restore_into(&mut self.progression)?;
+        file.restore_into(&mut self.continuum)?;
+        file.restore_into(&mut self.atomistic)?;
+        file.restore_into(&mut self.report)?;
+        if let Some((sampler, wpod)) = &mut self.wpod {
+            file.restore_into(sampler)?;
+            file.restore_into(wpod)?;
+        }
+        self.last_wpod = if dec.take_bool()? {
+            Some(WindowResult {
+                mean: dec.take_vec::<f64>()?,
+                fluctuation: dec.take_vec::<f64>()?,
+                split: dec.take::<u64>()? as usize,
+                eigenvalues: dec.take_vec::<f64>()?,
+            })
+        } else {
+            None
+        };
+        dec.finish()
+    }
+
+    /// Resume from the snapshot at `path`: `make_fresh` reconstructs the
+    /// metasolver exactly as the original program did (same configuration,
+    /// same seeds), then the snapshot replaces the evolving state.
+    pub fn resume(make_fresh: impl Fn() -> Self, path: &Path) -> Result<Self, CkptError> {
+        let mut s = make_fresh();
+        s.restore_from(path)?;
+        Ok(s)
+    }
+
+    /// Resume from `path`, falling back to the rotated `.prev` generation
+    /// when the primary is damaged (bad CRC, truncation, bad magic or
+    /// version). Configuration mismatches do *not* fall back — a snapshot
+    /// from a different setup is an operator error, not media damage.
+    pub fn resume_latest(
+        make_fresh: impl Fn() -> Self,
+        path: &Path,
+    ) -> Result<(Self, ResumeSource), CkptError> {
+        let mut s = make_fresh();
+        match s.restore_from(path) {
+            Ok(()) => return Ok((s, ResumeSource::Primary)),
+            Err(e) if e.is_integrity() => {}
+            Err(e) => return Err(e),
+        }
+        let mut s = make_fresh();
+        s.restore_from(&prev_path(path))?;
+        Ok((s, ResumeSource::Fallback))
     }
 }
 
@@ -135,6 +405,12 @@ mod tests {
         NektarG::new(mp, atom, TimeProgression::new(5, 4))
     }
 
+    fn ckpt_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nkg_metasolver_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn step_accounting_follows_progression() {
         let mut ng = small_metasolver();
@@ -143,6 +419,20 @@ mod tests {
         assert_eq!(report.dpd_steps, 8 * 5);
         assert_eq!(report.exchanges, 2); // at steps 0 and 4
         assert_eq!(report.patch_mismatch.len(), 2);
+    }
+
+    #[test]
+    fn run_reports_are_cumulative_on_an_absolute_schedule() {
+        let mut ng = small_metasolver();
+        let r1 = ng.run(3);
+        assert_eq!(r1.ns_steps, 3);
+        assert_eq!(r1.exchanges, 1); // step 0
+        let r2 = ng.run(6);
+        // Steps 3..9: exchanges at the absolute steps 4 and 8 — the
+        // schedule does not restart per call.
+        assert_eq!(r2.ns_steps, 9);
+        assert_eq!(r2.exchanges, 3);
+        assert_eq!(r2.dpd_steps, 45);
     }
 
     #[test]
@@ -165,5 +455,166 @@ mod tests {
         let report = ng.run(4);
         assert_eq!(report.platelet_census.len(), 1);
         assert_eq!(report.platelet_census[0], (0, 0, 0, 0));
+    }
+
+    /// The tentpole guarantee: checkpoint at exchange k, kill, resume,
+    /// finish — the composed run's report and final state match the
+    /// uninterrupted run bitwise.
+    #[test]
+    fn killed_run_resumes_bitwise() {
+        let path = ckpt_dir().join("bitwise.nkgc");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+
+        // Reference: 12 steps uninterrupted (exchanges at 0, 4, 8).
+        let mut reference = small_metasolver();
+        let ref_report = reference.run(12);
+
+        // Victim: checkpoint every exchange, killed right after the 2nd
+        // (i.e. after the exchange at step 4; the snapshot on disk was
+        // taken at the top of step 4, before that exchange).
+        let mut victim = small_metasolver();
+        let policy = CheckpointPolicy::new(&path, 1);
+        let err = victim
+            .run_to(12, Some(&policy), Some(&FaultPlan::kill_after(2)))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Killed { exchanges: 2, .. }));
+
+        let mut resumed = NektarG::resume(small_metasolver, &path).unwrap();
+        assert_eq!(resumed.report.ns_steps, 4);
+        assert_eq!(resumed.report.exchanges, 1);
+        let res_report = resumed.run_to(12, None, None).unwrap();
+
+        assert_eq!(res_report, ref_report, "reports diverged after resume");
+        let (a, b) = (
+            &reference.atomistic.sim.particles,
+            &resumed.atomistic.sim.particles,
+        );
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.pos.iter().zip(&b.pos) {
+            for k in 0..3 {
+                assert_eq!(
+                    p[k].to_bits(),
+                    q[k].to_bits(),
+                    "particle positions diverged"
+                );
+            }
+        }
+        for (p, q) in a.vel.iter().zip(&b.vel) {
+            for k in 0..3 {
+                assert_eq!(
+                    p[k].to_bits(),
+                    q[k].to_bits(),
+                    "particle velocities diverged"
+                );
+            }
+        }
+        for (s1, s2) in reference
+            .continuum
+            .patches
+            .iter()
+            .zip(&resumed.continuum.patches)
+        {
+            for (x, y) in s1.u.iter().zip(&s2.u) {
+                assert_eq!(x.to_bits(), y.to_bits(), "continuum field diverged");
+            }
+        }
+    }
+
+    /// CRC rejection + fallback: the freshest snapshot is corrupted after
+    /// every write; resume_latest must detect it and restore the `.prev`
+    /// generation, and the finished run still matches bitwise.
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous_generation() {
+        let path = ckpt_dir().join("fallback.nkgc");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+
+        let mut reference = small_metasolver();
+        let ref_report = reference.run(12);
+
+        let mut victim = small_metasolver();
+        let policy = CheckpointPolicy::new(&path, 1);
+        let err = victim
+            .run_to(12, Some(&policy), Some(&FaultPlan::kill_after(3)))
+            .unwrap_err();
+        assert!(matches!(err, RunError::Killed { exchanges: 3, .. }));
+        // Two generations now exist: `path` (top of step 8) and `.prev`
+        // (top of step 4). Damage the primary.
+        nkg_ckpt::fault::corrupt_section(&path, AtomisticDomain::TAG).unwrap();
+
+        let (mut resumed, source) = NektarG::resume_latest(small_metasolver, &path).unwrap();
+        assert_eq!(source, ResumeSource::Fallback);
+        assert_eq!(resumed.report.ns_steps, 4);
+        let res_report = resumed.run_to(12, None, None).unwrap();
+        assert_eq!(res_report, ref_report, "fallback resume diverged");
+    }
+
+    #[test]
+    fn version_mismatch_refused_without_fallback() {
+        let path = ckpt_dir().join("version.nkgc");
+        let mut ng = small_metasolver();
+        ng.run(4);
+        ng.checkpoint(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99; // format version field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            NektarG::resume(small_metasolver, &path),
+            Err(CkptError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn resume_refuses_wpod_attachment_mismatch() {
+        let path = ckpt_dir().join("wpod_mismatch.nkgc");
+        let mut ng = small_metasolver();
+        ng.run(4);
+        ng.checkpoint(&path).unwrap();
+        let make_with_wpod = || {
+            small_metasolver().with_wpod(
+                BinSampler::new(1, 6, 0, 2),
+                nkg_wpod::window::WindowPod::new(4, 4, 2.0),
+            )
+        };
+        assert!(matches!(
+            NektarG::resume(make_with_wpod, &path),
+            Err(CkptError::Mismatch(_))
+        ));
+    }
+
+    /// WPOD accumulator state rides along in the run-level checkpoint: a
+    /// window straddling the kill still matches the uninterrupted run.
+    #[test]
+    fn wpod_state_survives_resume() {
+        let path = ckpt_dir().join("wpod_resume.nkgc");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(prev_path(&path));
+        let make = || {
+            small_metasolver().with_wpod(
+                BinSampler::new(1, 6, 0, 2),
+                nkg_wpod::window::WindowPod::new(4, 4, 2.0),
+            )
+        };
+        let mut reference = make();
+        let ref_report = reference.run(12);
+
+        let mut victim = make();
+        let policy = CheckpointPolicy::new(&path, 1);
+        victim
+            .run_to(12, Some(&policy), Some(&FaultPlan::kill_after(2)))
+            .unwrap_err();
+        let mut resumed = NektarG::resume(make, &path).unwrap();
+        let res_report = resumed.run_to(12, None, None).unwrap();
+        assert_eq!(res_report, ref_report);
+        assert_eq!(res_report.wpod_windows, ref_report.wpod_windows);
+        let (a, b) = (
+            reference.last_wpod.as_ref().unwrap(),
+            resumed.last_wpod.as_ref().unwrap(),
+        );
+        assert_eq!(a.split, b.split);
+        for (x, y) in a.eigenvalues.iter().zip(&b.eigenvalues) {
+            assert_eq!(x.to_bits(), y.to_bits(), "WPOD eigenvalues diverged");
+        }
     }
 }

@@ -8,6 +8,8 @@
 //! coupling interval, how many steps each solver must take and when
 //! exchanges fire, and it checks divisibility so drift cannot accumulate.
 
+use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
+
 /// Step-ratio plan for one continuum solver coupled to one atomistic
 /// solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,30 @@ impl TimeProgression {
     }
 }
 
+impl Snapshot for TimeProgression {
+    const TAG: u32 = nkg_ckpt::tag4(b"PROG");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        enc.put(self.substeps as u64);
+        enc.put(self.exchange_every as u64);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        // Pure configuration: verify rather than overwrite, so a resume
+        // with a different step-ratio plan is rejected loudly.
+        let substeps = dec.take::<u64>()? as usize;
+        let exchange_every = dec.take::<u64>()? as usize;
+        if substeps != self.substeps || exchange_every != self.exchange_every {
+            return Err(CkptError::Mismatch(format!(
+                "time progression {substeps}/{exchange_every} in snapshot, \
+                 {}/{} reconstructed",
+                self.substeps, self.exchange_every
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +118,19 @@ mod tests {
     #[should_panic]
     fn zero_substeps_rejected() {
         TimeProgression::new(0, 1);
+    }
+
+    #[test]
+    fn snapshot_verifies_ratios() {
+        let tp = TimeProgression::new(5, 4);
+        let bytes = nkg_ckpt::snapshot_bytes(&tp);
+        let mut same = TimeProgression::new(5, 4);
+        nkg_ckpt::restore_bytes(&mut same, &bytes).unwrap();
+        let mut other = TimeProgression::new(5, 8);
+        assert!(matches!(
+            nkg_ckpt::restore_bytes(&mut other, &bytes),
+            Err(CkptError::Mismatch(_))
+        ));
     }
 
     #[test]

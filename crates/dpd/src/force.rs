@@ -75,6 +75,13 @@ impl SpeciesMatrix {
 /// Counter-based symmetric random sample, approximately standard normal
 /// (sum of 4 scaled uniforms; the DPD thermostat only requires zero mean,
 /// unit variance and finite moments — Groot & Warren use uniforms).
+///
+/// Stream-key convention: the pair-noise stream is keyed on
+/// `(seed, step, min(i,j), max(i,j))`. Every other stochastic draw in the
+/// engine (inflow, feedback, fill, platelet seeding) follows the analogous
+/// `(seed, DOMAIN, step, site, lane)` keying in [`crate::streams`] — state
+/// lives in the key, never in a mutated generator, so checkpoints carry no
+/// RNG internals and restarts replay draws exactly.
 #[inline]
 pub fn pair_noise(seed: u64, step: u64, i: usize, j: usize) -> f64 {
     let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);

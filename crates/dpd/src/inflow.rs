@@ -10,11 +10,17 @@
 //! carried over), placed uniformly in a thin buffer slab with the target
 //! velocity plus thermal noise. Particles leaving through either x face are
 //! deleted.
+//!
+//! Insertion randomness is counter-based (see [`crate::streams`]): draws
+//! are keyed on `(seed, DOMAIN_INFLOW, step, bin, lane)` — respectively
+//! `(seed, DOMAIN_FEEDBACK, step, 0, lane)` for the density-feedback
+//! top-up — so there is no generator state to checkpoint and a resumed run
+//! inserts byte-identical particles.
 
 use crate::domain::Box3;
 use crate::particles::Particles;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::streams::{StreamLane, DOMAIN_FEEDBACK, DOMAIN_INFLOW};
+use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 
 /// Flux-driven open boundary along x.
 #[derive(Debug, Clone)]
@@ -97,14 +103,16 @@ impl OpenBoundaryX {
         removed
     }
 
-    /// Insert particles at the inflow according to the per-bin flux.
-    /// Returns the number inserted.
+    /// Insert particles at the inflow according to the per-bin flux,
+    /// drawing counter-based randomness keyed on `(seed, step)`. Returns
+    /// the number inserted.
     pub fn insert_inflow(
         &mut self,
         p: &mut Particles,
         bx: &Box3,
         dt: f64,
-        rng: &mut SmallRng,
+        seed: u64,
+        step: u64,
     ) -> usize {
         let (ny, nz) = self.bins;
         let ly = (bx.hi[1] - bx.lo[1]) / ny as f64;
@@ -115,17 +123,18 @@ impl OpenBoundaryX {
         for iz in 0..nz {
             for iy in 0..ny {
                 let b = iz * ny + iy;
+                let mut lane = StreamLane::new(seed, DOMAIN_INFLOW, step, b as u64);
                 let un = self.target[b][0].max(0.0); // inflow along +x only
                 self.debt[b] += self.rho * un * area * dt;
                 while self.debt[b] >= 1.0 {
                     self.debt[b] -= 1.0;
-                    let y = bx.lo[1] + (iy as f64 + rng.gen::<f64>()) * ly;
-                    let z = bx.lo[2] + (iz as f64 + rng.gen::<f64>()) * lz;
-                    let x = bx.lo[0] + rng.gen::<f64>() * slab;
+                    let y = bx.lo[1] + (iy as f64 + lane.u01()) * ly;
+                    let z = bx.lo[2] + (iz as f64 + lane.u01()) * lz;
+                    let x = bx.lo[0] + lane.u01() * slab;
                     let vel = [
-                        self.target[b][0] + self.vth * gaussian(rng),
-                        self.target[b][1] + self.vth * gaussian(rng),
-                        self.target[b][2] + self.vth * gaussian(rng),
+                        self.target[b][0] + self.vth * lane.gaussian(),
+                        self.target[b][1] + self.vth * lane.gaussian(),
+                        self.target[b][2] + self.vth * lane.gaussian(),
                     ];
                     p.push([x, y, z], vel, self.species);
                     inserted += 1;
@@ -138,18 +147,19 @@ impl OpenBoundaryX {
             if deficit > 0.0 {
                 self.feedback_debt += deficit * self.feedback_gain;
                 let slab = (0.1 * (bx.hi[0] - bx.lo[0])).min(1.0);
+                let mut lane = StreamLane::new(seed, DOMAIN_FEEDBACK, step, 0);
                 while self.feedback_debt >= 1.0 {
                     self.feedback_debt -= 1.0;
-                    let b = rng.gen_range(0..self.target.len());
+                    let b = lane.index(self.target.len());
                     let iy = b % ny;
                     let iz = b / ny;
-                    let y = bx.lo[1] + (iy as f64 + rng.gen::<f64>()) * ly;
-                    let z = bx.lo[2] + (iz as f64 + rng.gen::<f64>()) * lz;
-                    let x = bx.lo[0] + rng.gen::<f64>() * slab;
+                    let y = bx.lo[1] + (iy as f64 + lane.u01()) * ly;
+                    let z = bx.lo[2] + (iz as f64 + lane.u01()) * lz;
+                    let x = bx.lo[0] + lane.u01() * slab;
                     let vel = [
-                        self.target[b][0] + self.vth * gaussian(rng),
-                        self.target[b][1] + self.vth * gaussian(rng),
-                        self.target[b][2] + self.vth * gaussian(rng),
+                        self.target[b][0] + self.vth * lane.gaussian(),
+                        self.target[b][1] + self.vth * lane.gaussian(),
+                        self.target[b][2] + self.vth * lane.gaussian(),
                     ];
                     p.push([x, y, z], vel, self.species);
                     inserted += 1;
@@ -160,17 +170,62 @@ impl OpenBoundaryX {
     }
 }
 
-/// Standard normal via Box–Muller.
-pub fn gaussian(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(1e-300);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+impl Snapshot for OpenBoundaryX {
+    const TAG: u32 = nkg_ckpt::tag4(b"OBDX");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        // Geometry fingerprint (verified on restore).
+        enc.put(self.bins.0);
+        enc.put(self.bins.1);
+        // Evolving state.
+        enc.put_slice(&self.target);
+        enc.put(self.rho);
+        enc.put(self.vth);
+        enc.put_slice(&self.debt);
+        enc.put(self.species);
+        enc.put_bool(self.target_count.is_some());
+        enc.put(self.target_count.unwrap_or(0) as u64);
+        enc.put(self.feedback_gain);
+        enc.put(self.feedback_debt);
+        enc.put(self.control_gain);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        let (ny, nz) = (dec.take::<usize>()?, dec.take::<usize>()?);
+        if (ny, nz) != self.bins {
+            return Err(CkptError::Mismatch(format!(
+                "open boundary bins {:?} in snapshot, {:?} reconstructed",
+                (ny, nz),
+                self.bins
+            )));
+        }
+        let target = dec.take_vec::<[f64; 3]>()?;
+        if target.len() != ny * nz {
+            return Err(CkptError::Malformed("open boundary target length"));
+        }
+        self.target = target;
+        self.rho = dec.take()?;
+        self.vth = dec.take()?;
+        let debt = dec.take_vec::<f64>()?;
+        if debt.len() != ny * nz {
+            return Err(CkptError::Malformed("open boundary debt length"));
+        }
+        self.debt = debt;
+        self.species = dec.take()?;
+        let has_count = dec.take_bool()?;
+        let count = dec.take::<u64>()? as usize;
+        self.target_count = has_count.then_some(count);
+        self.feedback_gain = dec.take()?;
+        self.feedback_debt = dec.take()?;
+        self.control_gain = dec.take()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use nkg_ckpt::{restore_bytes, snapshot_bytes};
 
     fn bx() -> Box3 {
         Box3::new([0.0; 3], [10.0, 4.0, 4.0], [false, true, true])
@@ -193,12 +248,11 @@ mod tests {
     fn insertion_rate_matches_flux() {
         let mut b = OpenBoundaryX::new(2, 2, 3.0, 0.5, [1.0, 0.0, 0.0], 0);
         let mut p = Particles::new();
-        let mut rng = SmallRng::seed_from_u64(3);
         let dt = 0.01;
         let steps = 500;
         let mut total = 0;
-        for _ in 0..steps {
-            total += b.insert_inflow(&mut p, &bx(), dt, &mut rng);
+        for s in 0..steps {
+            total += b.insert_inflow(&mut p, &bx(), dt, 3, s);
         }
         // Expected: rho * u * A_total * dt * steps = 3 * 1 * 16 * 0.01 * 500 = 240.
         let expect = 240.0;
@@ -213,14 +267,31 @@ mod tests {
     }
 
     #[test]
+    fn insertion_is_deterministic_in_the_key() {
+        let run = || {
+            let mut b = OpenBoundaryX::new(2, 2, 3.0, 1.0, [1.0, 0.0, 0.0], 0);
+            let mut p = Particles::new();
+            for s in 0..100 {
+                b.insert_inflow(&mut p, &bx(), 0.01, 42, s);
+            }
+            p
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.pos[i], b.pos[i]);
+            assert_eq!(a.vel[i], b.vel[i]);
+        }
+    }
+
+    #[test]
     fn per_bin_targets_respected() {
         let mut b = OpenBoundaryX::new(2, 1, 3.0, 0.0, [0.0; 3], 0);
         // Bottom bin flows, top bin is stagnant.
         b.set_targets(&[[2.0, 0.0, 0.0], [0.0, 0.0, 0.0]]);
         let mut p = Particles::new();
-        let mut rng = SmallRng::seed_from_u64(9);
-        for _ in 0..200 {
-            b.insert_inflow(&mut p, &bx(), 0.01, &mut rng);
+        for s in 0..200 {
+            b.insert_inflow(&mut p, &bx(), 0.01, 9, s);
         }
         assert!(!p.is_empty());
         // Every particle must be in the lower-y half.
@@ -237,24 +308,42 @@ mod tests {
     fn negative_target_inserts_nothing() {
         let mut b = OpenBoundaryX::new(1, 1, 3.0, 1.0, [-1.0, 0.0, 0.0], 0);
         let mut p = Particles::new();
-        let mut rng = SmallRng::seed_from_u64(1);
-        let n = b.insert_inflow(&mut p, &bx(), 1.0, &mut rng);
+        let n = b.insert_inflow(&mut p, &bx(), 1.0, 1, 0);
         assert_eq!(n, 0);
     }
 
     #[test]
-    fn gaussian_moments() {
-        let mut rng = SmallRng::seed_from_u64(11);
-        let n = 20_000;
-        let (mut m, mut v) = (0.0, 0.0);
-        for _ in 0..n {
-            let g = gaussian(&mut rng);
-            m += g;
-            v += g * g;
+    fn snapshot_round_trips_mid_debt_state() {
+        let mut b = OpenBoundaryX::new(2, 2, 3.0, 1.0, [0.7, 0.0, 0.0], 1);
+        b.target_count = Some(321);
+        let mut p = Particles::new();
+        for s in 0..37 {
+            b.insert_inflow(&mut p, &bx(), 0.013, 5, s);
         }
-        m /= n as f64;
-        v = v / n as f64 - m * m;
-        assert!(m.abs() < 0.02);
-        assert!((v - 1.0).abs() < 0.05);
+        let bytes = snapshot_bytes(&b);
+        let mut fresh = OpenBoundaryX::new(2, 2, 1.0, 2.0, [0.0; 3], 0);
+        restore_bytes(&mut fresh, &bytes).unwrap();
+        assert_eq!(fresh.debt, b.debt);
+        assert_eq!(fresh.target, b.target);
+        assert_eq!(fresh.target_count, Some(321));
+        assert_eq!(fresh.feedback_debt, b.feedback_debt);
+        // Restored and original boundaries insert identically from here on.
+        let mut pa = p.clone();
+        let mut pb = p.clone();
+        let na = b.insert_inflow(&mut pa, &bx(), 0.013, 5, 37);
+        let nb = fresh.insert_inflow(&mut pb, &bx(), 0.013, 5, 37);
+        assert_eq!(na, nb);
+        assert_eq!(pa.pos, pb.pos);
+    }
+
+    #[test]
+    fn snapshot_refuses_wrong_geometry() {
+        let b = OpenBoundaryX::new(2, 2, 3.0, 1.0, [0.5, 0.0, 0.0], 0);
+        let bytes = snapshot_bytes(&b);
+        let mut other = OpenBoundaryX::new(4, 1, 3.0, 1.0, [0.5, 0.0, 0.0], 0);
+        assert!(matches!(
+            restore_bytes(&mut other, &bytes),
+            Err(CkptError::Mismatch(_))
+        ));
     }
 }

@@ -32,7 +32,11 @@
 //!   laptop-scale stand-in for the paper's full RBC membranes;
 //! * [`sim`] — the integrator (modified velocity-Verlet) and measurement
 //!   machinery (temperature, momentum, velocity/density profiles, WPOD
-//!   snapshot sampling).
+//!   snapshot sampling);
+//! * [`streams`] — counter-based random streams keyed on
+//!   `(seed, domain, step, site, lane)` for every remaining stochastic
+//!   draw (fill, seeding, inflow), so checkpoints carry no RNG state and
+//!   resumed runs are bitwise identical.
 //!
 //! Validated physics (module tests): equilibrium kinetic temperature equals
 //! the thermostat set point, exact momentum conservation in periodic boxes,
@@ -47,6 +51,7 @@ pub mod particles;
 pub mod platelet;
 pub mod rbc;
 pub mod sim;
+pub mod streams;
 pub mod walls;
 
 pub use domain::Box3;

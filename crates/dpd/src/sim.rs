@@ -4,13 +4,13 @@
 use crate::cells::CellGrid;
 use crate::domain::Box3;
 use crate::force::{accumulate_pair_forces, accumulate_pair_forces_par, SpeciesMatrix};
-use crate::inflow::{gaussian, OpenBoundaryX};
+use crate::inflow::OpenBoundaryX;
 use crate::particles::{Particles, PlateletState};
 use crate::platelet::{adhesion_forces, update_states, PlateletParams, WallSites};
 use crate::rbc::CellModel;
+use crate::streams::{stream_u01, StreamLane, DOMAIN_FILL, DOMAIN_PLATELET_SEED};
 use crate::walls::{bounce_back_cylinder, bounce_back_plane, wall_force, EffectiveWallForce};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 
 /// Which pair-force sweep [`DpdSim::step`] runs.
 ///
@@ -132,7 +132,6 @@ pub struct DpdSim {
     /// present (they hold particle indices).
     pub reorder_every: u64,
     body_force: BodyForceFn,
-    rng: SmallRng,
     /// Steps taken.
     pub step_count: u64,
     /// Simulated time.
@@ -162,7 +161,6 @@ impl DpdSim {
             force_backend: ForceBackend::default(),
             reorder_every: 0,
             body_force: Box::new(|_| [0.0; 3]),
-            rng: SmallRng::seed_from_u64(cfg.seed),
             particles: Particles::new(),
             step_count: 0,
             time: 0.0,
@@ -173,16 +171,18 @@ impl DpdSim {
     }
 
     /// Fill the domain with solvent (species 0) at the configured density,
-    /// thermal velocities at `k_B T`.
+    /// thermal velocities at `k_B T`. Counter-based: the fill is a pure
+    /// function of `(seed, step_count)`, keyed per particle ordinal.
     pub fn fill_solvent(&mut self) {
         let n = (self.cfg.density * self.interior_volume()).round() as usize;
         let vth = self.cfg.kbt.sqrt();
-        for _ in 0..n {
-            let p = self.random_interior_point();
+        for i in 0..n {
+            let mut lane = StreamLane::new(self.cfg.seed, DOMAIN_FILL, self.step_count, i as u64);
+            let p = self.random_interior_point(&mut lane);
             let v = [
-                vth * gaussian(&mut self.rng),
-                vth * gaussian(&mut self.rng),
-                vth * gaussian(&mut self.rng),
+                vth * lane.gaussian(),
+                vth * lane.gaussian(),
+                vth * lane.gaussian(),
             ];
             self.particles.push(p, v, 0);
         }
@@ -197,7 +197,8 @@ impl DpdSim {
     }
 
     /// Convert a fraction of solvent particles into passive platelets
-    /// (species 1). Returns the number converted.
+    /// (species 1). Counter-based, keyed per particle index. Returns the
+    /// number converted.
     pub fn seed_platelets(&mut self, fraction: f64) -> usize {
         let mut count = 0;
         let total = self.particles.len();
@@ -206,7 +207,14 @@ impl DpdSim {
             if count >= want {
                 break;
             }
-            if self.particles.species[i] == 0 && self.rng.gen::<f64>() < fraction * 2.0 {
+            let u = stream_u01(
+                self.cfg.seed,
+                DOMAIN_PLATELET_SEED,
+                self.step_count,
+                i as u64,
+                0,
+            );
+            if self.particles.species[i] == 0 && u < fraction * 2.0 {
                 self.particles.species[i] = 1;
                 self.particles.state[i] = PlateletState::Passive;
                 count += 1;
@@ -246,11 +254,11 @@ impl DpdSim {
         }
     }
 
-    fn random_interior_point(&mut self) -> [f64; 3] {
+    fn random_interior_point(&self, lane: &mut StreamLane) -> [f64; 3] {
         loop {
             let mut p = [0.0; 3];
             for k in 0..3 {
-                p[k] = self.bx.lo[k] + self.rng.gen::<f64>() * (self.bx.hi[k] - self.bx.lo[k]);
+                p[k] = self.bx.lo[k] + lane.u01() * (self.bx.hi[k] - self.bx.lo[k]);
             }
             match self.walls {
                 WallGeometry::CylinderX(r) => {
@@ -438,8 +446,13 @@ impl DpdSim {
         // for the remainder of the step.
         if let Some(ob) = &mut self.open_x {
             ob.delete_outflow(&mut self.particles, &self.bx);
-            let inserted = ob.insert_inflow(&mut self.particles, &self.bx, dt, &mut self.rng);
-            let _ = inserted;
+            ob.insert_inflow(
+                &mut self.particles,
+                &self.bx,
+                dt,
+                self.cfg.seed,
+                self.step_count,
+            );
         }
         if self.step_count == 0 || self.open_x.is_some() {
             // Forces may be stale (initial step or population changed).
@@ -572,6 +585,227 @@ impl DpdSim {
     }
 }
 
+/// Encode a platelet state as `(tag, argument)`.
+fn state_to_wire(s: PlateletState) -> (u8, u64) {
+    match s {
+        PlateletState::NotPlatelet => (0, 0),
+        PlateletState::Passive => (1, 0),
+        PlateletState::Triggered(step) => (2, step),
+        PlateletState::Active => (3, 0),
+        PlateletState::Adhered(site) => (4, site as u64),
+    }
+}
+
+fn state_from_wire(tag: u8, arg: u64) -> Result<PlateletState, CkptError> {
+    Ok(match tag {
+        0 => PlateletState::NotPlatelet,
+        1 => PlateletState::Passive,
+        2 => PlateletState::Triggered(arg),
+        3 => PlateletState::Active,
+        4 => PlateletState::Adhered(arg as u32),
+        _ => return Err(CkptError::Malformed("platelet state tag out of range")),
+    })
+}
+
+fn wall_to_wire(w: WallGeometry) -> (u8, f64) {
+    match w {
+        WallGeometry::None => (0, 0.0),
+        WallGeometry::SlabY => (1, 0.0),
+        WallGeometry::CylinderX(r) => (2, r),
+    }
+}
+
+fn backend_to_wire(b: ForceBackend) -> u8 {
+    match b {
+        ForceBackend::Auto => 0,
+        ForceBackend::Serial => 1,
+        ForceBackend::Parallel => 2,
+    }
+}
+
+impl Snapshot for DpdSim {
+    const TAG: u32 = nkg_ckpt::tag4(b"DPDS");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        // --- Configuration fingerprint (verified bitwise on restore). ---
+        for v in [
+            self.cfg.rc,
+            self.cfg.kbt,
+            self.cfg.dt,
+            self.cfg.density,
+            self.cfg.a,
+            self.cfg.gamma,
+            self.cfg.gamma_wall,
+            self.cfg.lambda,
+        ] {
+            enc.put(v);
+        }
+        enc.put(self.cfg.seed);
+        enc.put_slice(&self.bx.lo);
+        enc.put_slice(&self.bx.hi);
+        for p in self.bx.periodic {
+            enc.put_bool(p);
+        }
+        let (wtag, wr) = wall_to_wire(self.walls);
+        enc.put(wtag);
+        enc.put(wr);
+        enc.put(backend_to_wire(self.force_backend));
+        enc.put(self.matrix.num_species() as u64);
+        // --- Evolving state (overwritten on restore). ---
+        enc.put_slice(&self.matrix.a);
+        enc.put_slice(&self.matrix.gamma);
+        enc.put(self.reorder_every);
+        enc.put(self.step_count);
+        enc.put(self.time);
+        enc.put(self.last_pair_count);
+        enc.put_slice(&self.particles.pos);
+        enc.put_slice(&self.particles.vel);
+        enc.put_slice(&self.particles.force);
+        enc.put_slice(&self.particles.species);
+        let (tags, args): (Vec<u8>, Vec<u64>) = self
+            .particles
+            .state
+            .iter()
+            .map(|&s| state_to_wire(s))
+            .unzip();
+        enc.put_slice(&tags);
+        enc.put_slice(&args);
+        enc.put_slice(&self.sites.pos);
+        for v in [
+            self.platelet_params.trigger_dist,
+            self.platelet_params.de,
+            self.platelet_params.beta,
+            self.platelet_params.r0,
+            self.platelet_params.cutoff,
+            self.platelet_params.bond_dist,
+            self.platelet_params.spring_k,
+        ] {
+            enc.put(v);
+        }
+        enc.put(self.platelet_params.delay_steps);
+        enc.put(self.cells.len() as u64);
+        for cell in &self.cells {
+            enc.put_slice(&cell.beads);
+            for v in [cell.r0, cell.k_spring, cell.k_bend, cell.k_area, cell.area0] {
+                enc.put(v);
+            }
+        }
+        enc.put_bool(self.open_x.is_some());
+        if let Some(ob) = &self.open_x {
+            ob.snapshot(enc);
+        }
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        let mismatch = |what: &str| CkptError::Mismatch(format!("DPD {what} differs"));
+        let cfg = [
+            self.cfg.rc,
+            self.cfg.kbt,
+            self.cfg.dt,
+            self.cfg.density,
+            self.cfg.a,
+            self.cfg.gamma,
+            self.cfg.gamma_wall,
+            self.cfg.lambda,
+        ];
+        for want in cfg {
+            if dec.take::<f64>()?.to_bits() != want.to_bits() {
+                return Err(mismatch("config"));
+            }
+        }
+        if dec.take::<u64>()? != self.cfg.seed {
+            return Err(mismatch("seed"));
+        }
+        if dec.take_vec::<f64>()? != self.bx.lo || dec.take_vec::<f64>()? != self.bx.hi {
+            return Err(mismatch("box"));
+        }
+        for p in self.bx.periodic {
+            if dec.take_bool()? != p {
+                return Err(mismatch("periodicity"));
+            }
+        }
+        let (wtag, wr) = wall_to_wire(self.walls);
+        if dec.take::<u8>()? != wtag || dec.take::<f64>()?.to_bits() != wr.to_bits() {
+            return Err(mismatch("wall geometry"));
+        }
+        if dec.take::<u8>()? != backend_to_wire(self.force_backend) {
+            return Err(mismatch("force backend"));
+        }
+        let n_species = dec.take::<u64>()? as usize;
+        if n_species != self.matrix.num_species() {
+            return Err(mismatch("species count"));
+        }
+        let a = dec.take_vec::<f64>()?;
+        let gamma = dec.take_vec::<f64>()?;
+        if a.len() != n_species * n_species || gamma.len() != a.len() {
+            return Err(CkptError::Malformed("species matrix size"));
+        }
+        self.matrix.a = a;
+        self.matrix.gamma = gamma;
+        self.reorder_every = dec.take()?;
+        self.step_count = dec.take()?;
+        self.time = dec.take()?;
+        self.last_pair_count = dec.take()?;
+        let pos = dec.take_vec::<[f64; 3]>()?;
+        let vel = dec.take_vec::<[f64; 3]>()?;
+        let force = dec.take_vec::<[f64; 3]>()?;
+        let species = dec.take_vec::<u8>()?;
+        let tags = dec.take_vec::<u8>()?;
+        let args = dec.take_vec::<u64>()?;
+        let n = pos.len();
+        if [
+            vel.len(),
+            force.len(),
+            species.len(),
+            tags.len(),
+            args.len(),
+        ] != [n; 5]
+        {
+            return Err(CkptError::Malformed("particle array lengths disagree"));
+        }
+        let mut state = Vec::with_capacity(n);
+        for (&t, &a) in tags.iter().zip(&args) {
+            state.push(state_from_wire(t, a)?);
+        }
+        self.particles = Particles {
+            pos,
+            vel,
+            force,
+            species,
+            state,
+        };
+        self.sites.pos = dec.take_vec::<[f64; 3]>()?;
+        self.platelet_params.trigger_dist = dec.take()?;
+        self.platelet_params.de = dec.take()?;
+        self.platelet_params.beta = dec.take()?;
+        self.platelet_params.r0 = dec.take()?;
+        self.platelet_params.cutoff = dec.take()?;
+        self.platelet_params.bond_dist = dec.take()?;
+        self.platelet_params.spring_k = dec.take()?;
+        self.platelet_params.delay_steps = dec.take()?;
+        let n_cells = dec.take::<u64>()? as usize;
+        let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
+        for _ in 0..n_cells {
+            cells.push(CellModel {
+                beads: dec.take_vec::<usize>()?,
+                r0: dec.take()?,
+                k_spring: dec.take()?,
+                k_bend: dec.take()?,
+                k_area: dec.take()?,
+                area0: dec.take()?,
+            });
+        }
+        self.cells = cells;
+        let has_ob = dec.take_bool()?;
+        match (&mut self.open_x, has_ob) {
+            (Some(ob), true) => ob.restore(dec)?,
+            (None, false) => {}
+            _ => return Err(mismatch("open boundary presence")),
+        }
+        Ok(())
+    }
+}
+
 /// Bin-averaged snapshot sampler for WPOD co-processing: accumulates the
 /// velocity field over `n_ts` steps on a 1D slab grid (bin size of order
 /// `r_c`, as in the paper), then emits a snapshot.
@@ -626,6 +860,45 @@ impl BinSampler {
         self.cnt.iter_mut().for_each(|x| *x = 0.0);
         self.steps = 0;
         Some(snap)
+    }
+}
+
+impl Snapshot for BinSampler {
+    const TAG: u32 = nkg_ckpt::tag4(b"BSMP");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        // Sampling geometry fingerprint (verified), then accumulators.
+        enc.put(self.axis as u64);
+        enc.put(self.bins as u64);
+        enc.put(self.component as u64);
+        enc.put(self.n_ts as u64);
+        enc.put_slice(&self.acc);
+        enc.put_slice(&self.cnt);
+        enc.put(self.steps as u64);
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        let geom = [
+            dec.take::<u64>()? as usize,
+            dec.take::<u64>()? as usize,
+            dec.take::<u64>()? as usize,
+            dec.take::<u64>()? as usize,
+        ];
+        if geom != [self.axis, self.bins, self.component, self.n_ts] {
+            return Err(CkptError::Mismatch(format!(
+                "bin sampler geometry {geom:?} in snapshot, {:?} reconstructed",
+                [self.axis, self.bins, self.component, self.n_ts]
+            )));
+        }
+        let acc = dec.take_vec::<f64>()?;
+        let cnt = dec.take_vec::<f64>()?;
+        if acc.len() != self.bins || cnt.len() != self.bins {
+            return Err(CkptError::Malformed("bin sampler accumulator length"));
+        }
+        self.acc = acc;
+        self.cnt = cnt;
+        self.steps = dec.take::<u64>()? as usize;
+        Ok(())
     }
 }
 
@@ -853,17 +1126,25 @@ mod tests {
         ob.target_count = Some(sim.particles.len());
         sim.set_open_x(ob);
         let n0 = sim.particles.len();
-        for _ in 0..1200 {
+        for _ in 0..1000 {
             sim.step();
         }
+        // Mean streamwise velocity approaches the imposed 0.5; average over
+        // a trailing window (an instantaneous mean fluctuates with the slow
+        // momentum modes of the open system).
+        let mut mean_u = 0.0;
+        let samples = 200;
+        for _ in 0..samples {
+            sim.step();
+            mean_u +=
+                sim.particles.vel.iter().map(|v| v[0]).sum::<f64>() / sim.particles.len() as f64;
+        }
+        mean_u /= samples as f64;
         let n1 = sim.particles.len();
         assert!(
             (n1 as f64 - n0 as f64).abs() < 0.15 * n0 as f64,
             "density drift: {n0} -> {n1}"
         );
-        // Mean streamwise velocity approaches the imposed 0.5.
-        let mean_u: f64 =
-            sim.particles.vel.iter().map(|v| v[0]).sum::<f64>() / sim.particles.len() as f64;
         assert!(
             (mean_u - 0.5).abs() < 0.15,
             "mean streamwise velocity {mean_u}"
@@ -935,6 +1216,74 @@ mod tests {
             "no platelets activated: census {:?}",
             sim.platelet_census()
         );
+    }
+
+    /// The headline contract at the DPD level: snapshot mid-run, restore
+    /// into a compatibly constructed sim, continue both — every future
+    /// state byte matches, including the open-boundary insertion stream.
+    #[test]
+    fn checkpoint_resume_is_bitwise() {
+        let build = || {
+            let cfg = DpdConfig {
+                seed: 21,
+                ..Default::default()
+            };
+            let bx = Box3::new([0.0; 3], [8.0, 4.0, 4.0], [false, true, true]);
+            let mut sim = DpdSim::new(cfg, bx, WallGeometry::None);
+            sim.fill_solvent();
+            let mut ob = OpenBoundaryX::new(2, 2, 3.0, 1.0, [0.5, 0.0, 0.0], 0);
+            ob.target_count = Some(sim.particles.len());
+            sim.set_open_x(ob);
+            sim
+        };
+        let mut reference = build();
+        for _ in 0..30 {
+            reference.step();
+        }
+        let bytes = nkg_ckpt::snapshot_bytes(&reference);
+        let mut resumed = build();
+        nkg_ckpt::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.step_count, reference.step_count);
+        for _ in 0..20 {
+            reference.step();
+            resumed.step();
+        }
+        assert_eq!(reference.particles.len(), resumed.particles.len());
+        for i in 0..reference.particles.len() {
+            for k in 0..3 {
+                assert_eq!(
+                    reference.particles.pos[i][k].to_bits(),
+                    resumed.particles.pos[i][k].to_bits(),
+                    "position diverged at particle {i} axis {k}"
+                );
+                assert_eq!(
+                    reference.particles.vel[i][k].to_bits(),
+                    resumed.particles.vel[i][k].to_bits(),
+                    "velocity diverged at particle {i} axis {k}"
+                );
+            }
+        }
+        assert_eq!(reference.time.to_bits(), resumed.time.to_bits());
+        assert_eq!(reference.last_pair_count, resumed.last_pair_count);
+    }
+
+    /// A snapshot must refuse to load into a sim built with different
+    /// physics parameters.
+    #[test]
+    fn checkpoint_refuses_config_mismatch() {
+        let sim = periodic_box(30);
+        let bytes = nkg_ckpt::snapshot_bytes(&sim);
+        let cfg = DpdConfig {
+            seed: 31, // differs
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
+        let mut other = DpdSim::new(cfg, bx, WallGeometry::None);
+        other.fill_solvent();
+        assert!(matches!(
+            nkg_ckpt::restore_bytes(&mut other, &bytes),
+            Err(CkptError::Mismatch(_))
+        ));
     }
 
     #[test]

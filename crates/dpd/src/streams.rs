@@ -1,0 +1,177 @@
+//! Counter-based random streams for setup and boundary stochastics.
+//!
+//! Stream-key convention (the companion of the pair-noise keying in
+//! [`crate::force::pair_noise`], which hashes `(seed, step, min(i,j),
+//! max(i,j))`): every remaining stochastic draw in the DPD engine is a pure
+//! function of
+//!
+//! ```text
+//! (seed, DOMAIN, step, site, lane)
+//! ```
+//!
+//! * `seed`   — [`crate::DpdConfig::seed`], one per run;
+//! * `DOMAIN` — a constant separating unrelated consumers (solvent fill,
+//!   platelet seeding, inflow insertion, density feedback) so they never
+//!   alias each other's streams;
+//! * `step`   — the simulation step counter at draw time;
+//! * `site`   — the spatial index the draw belongs to (inflow bin,
+//!   particle index, 0 when there is none);
+//! * `lane`   — the draw ordinal within one `(domain, step, site)` cell.
+//!
+//! Hashing the key with a splitmix64 finalization yields the sample.
+//! Because the state is the *key*, not a mutated generator, checkpoints
+//! carry no RNG internals at all: a resumed run re-derives every future
+//! draw from `(seed, step_count)` it already stores, which is what makes
+//! bitwise-identical restart possible. The price is that draws within one
+//! cell must be counted by `lane` — [`StreamLane`] does that bookkeeping.
+
+/// Domain constant: solvent fill ([`crate::DpdSim::fill_solvent`]).
+pub const DOMAIN_FILL: u64 = 1;
+/// Domain constant: platelet seeding ([`crate::DpdSim::seed_platelets`]).
+pub const DOMAIN_PLATELET_SEED: u64 = 2;
+/// Domain constant: flux-driven inflow insertion.
+pub const DOMAIN_INFLOW: u64 = 3;
+/// Domain constant: density-feedback insertion.
+pub const DOMAIN_FEEDBACK: u64 = 4;
+
+/// One 64-bit sample of the `(seed, domain, step, site, lane)` stream.
+#[inline]
+pub fn stream_u64(seed: u64, domain: u64, step: u64, site: u64, lane: u64) -> u64 {
+    let mut z = seed ^ domain.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z ^= step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= site.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= lane.wrapping_mul(0x94D0_49BB_1331_11EB);
+    // splitmix64 finalization.
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform sample in `[0, 1)` from the stream.
+#[inline]
+pub fn stream_u01(seed: u64, domain: u64, step: u64, site: u64, lane: u64) -> f64 {
+    (stream_u64(seed, domain, step, site, lane) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Lane-counting cursor over one `(seed, domain, step, site)` stream cell.
+///
+/// Each draw consumes the next lane, giving sequential code the ergonomics
+/// of a stateful generator while staying a pure function of the key — the
+/// lane counter is *never* serialized; it restarts at zero wherever the
+/// enclosing code re-opens the cell, which the call sites guarantee by
+/// opening a fresh cursor per `(step, site)`.
+#[derive(Debug, Clone)]
+pub struct StreamLane {
+    seed: u64,
+    domain: u64,
+    step: u64,
+    site: u64,
+    lane: u64,
+}
+
+impl StreamLane {
+    /// Open the `(seed, domain, step, site)` cell at lane 0.
+    pub fn new(seed: u64, domain: u64, step: u64, site: u64) -> Self {
+        Self {
+            seed,
+            domain,
+            step,
+            site,
+            lane: 0,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let v = stream_u64(self.seed, self.domain, self.step, self.site, self.lane);
+        self.lane += 1;
+        v
+    }
+
+    /// Next uniform in `[0, 1)`.
+    #[inline]
+    pub fn u01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next standard normal (Box–Muller over two uniform lanes).
+    #[inline]
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.u01().max(1e-300);
+        let u2 = self.u01();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Next index uniform in `0..n` (modulo bias is ~`n / 2⁶⁴`, negligible
+    /// for the bin counts this serves).
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_lane_separated() {
+        let a = stream_u64(7, DOMAIN_INFLOW, 3, 5, 0);
+        assert_eq!(a, stream_u64(7, DOMAIN_INFLOW, 3, 5, 0));
+        assert_ne!(a, stream_u64(7, DOMAIN_INFLOW, 3, 5, 1));
+        assert_ne!(a, stream_u64(7, DOMAIN_FEEDBACK, 3, 5, 0));
+        assert_ne!(a, stream_u64(7, DOMAIN_INFLOW, 4, 5, 0));
+        assert_ne!(a, stream_u64(8, DOMAIN_INFLOW, 3, 5, 0));
+    }
+
+    #[test]
+    fn lane_cursor_matches_direct_keying() {
+        let mut lane = StreamLane::new(11, DOMAIN_FILL, 0, 2);
+        assert_eq!(lane.next_u64(), stream_u64(11, DOMAIN_FILL, 0, 2, 0));
+        assert_eq!(lane.next_u64(), stream_u64(11, DOMAIN_FILL, 0, 2, 1));
+        let u = stream_u01(11, DOMAIN_FILL, 0, 2, 2);
+        assert_eq!(lane.u01(), u);
+    }
+
+    #[test]
+    fn u01_in_range_and_roughly_uniform() {
+        let n = 20_000;
+        let mut mean = 0.0;
+        for i in 0..n {
+            let u = stream_u01(3, DOMAIN_FILL, 0, i, 0);
+            assert!((0.0..1.0).contains(&u));
+            mean += u;
+        }
+        mean /= n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let n = 20_000;
+        let (mut m, mut v) = (0.0, 0.0);
+        for i in 0..n {
+            let g = StreamLane::new(11, DOMAIN_INFLOW, i, 0).gaussian();
+            m += g;
+            v += g * g;
+        }
+        m /= n as f64;
+        v = v / n as f64 - m * m;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "variance {v}");
+    }
+
+    #[test]
+    fn index_covers_all_bins() {
+        let mut seen = [false; 7];
+        let mut lane = StreamLane::new(5, DOMAIN_FEEDBACK, 0, 0);
+        for _ in 0..500 {
+            seen[lane.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

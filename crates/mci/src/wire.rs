@@ -33,6 +33,24 @@ macro_rules! impl_wire {
 
 impl_wire!(f64, f32, u64, i64, u32, i32, u8);
 
+impl Wire for [f64; 3] {
+    const SIZE: usize = 24;
+    #[inline]
+    fn put(self, out: &mut Vec<u8>) {
+        for c in self {
+            c.put(out);
+        }
+    }
+    #[inline]
+    fn get(bytes: &[u8]) -> Self {
+        [
+            f64::get(&bytes[0..8]),
+            f64::get(&bytes[8..16]),
+            f64::get(&bytes[16..24]),
+        ]
+    }
+}
+
 impl Wire for usize {
     const SIZE: usize = 8;
     #[inline]

@@ -19,6 +19,7 @@
 //! inter-patch and continuum→atomistic conditions enter the solver.
 
 use crate::space2d::Space2d;
+use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_mesh::quad::BoundaryTag;
 use std::collections::HashMap;
 
@@ -334,6 +335,118 @@ impl NsSolver2d {
     }
 }
 
+impl Snapshot for NsSolver2d {
+    const TAG: u32 = nkg_ckpt::tag4(b"NSSV");
+
+    fn snapshot(&self, enc: &mut Enc) {
+        // --- Configuration/discretization fingerprint (verified). ---
+        enc.put(self.cfg.nu);
+        enc.put(self.cfg.dt);
+        enc.put(self.cfg.time_order as u64);
+        enc.put(self.cfg.tol);
+        enc.put(self.cfg.max_iter as u64);
+        enc.put(self.space.nglobal as u64);
+        enc.put_slice(&self.vel_dofs);
+        enc.put_slice(&self.p_dofs);
+        // --- Evolving state. ---
+        enc.put_slice(&self.u);
+        enc.put_slice(&self.v);
+        enc.put_slice(&self.p);
+        enc.put_slice(&self.u_prev);
+        enc.put_slice(&self.v_prev);
+        for h in &self.nu_hist {
+            enc.put_slice(h);
+        }
+        for h in &self.nv_hist {
+            enc.put_slice(h);
+        }
+        enc.put(self.time);
+        enc.put(self.steps as u64);
+        enc.put(self.cg_iterations as u64);
+        // Override maps, sorted by DoF id so the encoding is canonical.
+        let mut vo: Vec<(&usize, &(f64, f64))> = self.overrides.iter().collect();
+        vo.sort_by_key(|(k, _)| **k);
+        enc.put(vo.len() as u64);
+        for (k, (ou, ov)) in vo {
+            enc.put(*k);
+            enc.put(*ou);
+            enc.put(*ov);
+        }
+        let mut po: Vec<(&usize, &f64)> = self.p_overrides.iter().collect();
+        po.sort_by_key(|(k, _)| **k);
+        enc.put(po.len() as u64);
+        for (k, pv) in po {
+            enc.put(*k);
+            enc.put(*pv);
+        }
+    }
+
+    fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
+        let mismatch = |what: &str| CkptError::Mismatch(format!("NS solver {what} differs"));
+        let bits = [self.cfg.nu, self.cfg.dt];
+        for want in bits {
+            if dec.take::<f64>()?.to_bits() != want.to_bits() {
+                return Err(mismatch("config"));
+            }
+        }
+        if dec.take::<u64>()? as usize != self.cfg.time_order {
+            return Err(mismatch("time order"));
+        }
+        if dec.take::<f64>()?.to_bits() != self.cfg.tol.to_bits() {
+            return Err(mismatch("tolerance"));
+        }
+        if dec.take::<u64>()? as usize != self.cfg.max_iter {
+            return Err(mismatch("iteration cap"));
+        }
+        let n = self.space.nglobal;
+        if dec.take::<u64>()? as usize != n {
+            return Err(mismatch("global DoF count"));
+        }
+        if dec.take_vec::<usize>()? != self.vel_dofs || dec.take_vec::<usize>()? != self.p_dofs {
+            return Err(mismatch("boundary DoF layout"));
+        }
+        let field = |dec: &mut Dec<'_>| -> Result<Vec<f64>, CkptError> {
+            let f = dec.take_vec::<f64>()?;
+            if f.len() != n {
+                return Err(CkptError::Malformed("field length"));
+            }
+            Ok(f)
+        };
+        self.u = field(dec)?;
+        self.v = field(dec)?;
+        self.p = field(dec)?;
+        self.u_prev = field(dec)?;
+        self.v_prev = field(dec)?;
+        for h in &mut self.nu_hist {
+            *h = field(dec)?;
+        }
+        for h in &mut self.nv_hist {
+            *h = field(dec)?;
+        }
+        self.time = dec.take()?;
+        self.steps = dec.take::<u64>()? as usize;
+        self.cg_iterations = dec.take::<u64>()? as usize;
+        let n_vo = dec.take::<u64>()? as usize;
+        let mut overrides = HashMap::with_capacity(n_vo.min(1 << 20));
+        for _ in 0..n_vo {
+            let k = dec.take::<usize>()?;
+            let ou = dec.take::<f64>()?;
+            let ov = dec.take::<f64>()?;
+            overrides.insert(k, (ou, ov));
+        }
+        self.overrides = overrides;
+        let n_po = dec.take::<u64>()? as usize;
+        let mut p_overrides = HashMap::with_capacity(n_po.min(1 << 20));
+        for _ in 0..n_po {
+            let k = dec.take::<usize>()?;
+            let pv = dec.take::<f64>()?;
+            p_overrides.insert(k, pv);
+        }
+        self.p_overrides = p_overrides;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +629,81 @@ mod tests {
             err < 0.02 * scale,
             "Womersley error {err} vs amplitude scale {scale}"
         );
+    }
+
+    /// Snapshot mid-run, restore into a freshly constructed solver,
+    /// continue both: fields stay bitwise identical (the solver is fully
+    /// deterministic, so this checks the snapshot captures *all* evolving
+    /// state, including the multistep histories).
+    #[test]
+    fn checkpoint_resume_is_bitwise() {
+        let build = || {
+            let mesh = QuadMesh::rectangle(2, 2, 0.0, 2.0, 0.0, 1.0);
+            let space = Space2d::new(mesh, 4, true);
+            let cfg = NsConfig {
+                nu: 0.5,
+                dt: 5e-3,
+                time_order: 2,
+                tol: 1e-12,
+                max_iter: 4000,
+            };
+            NsSolver2d::new(
+                space,
+                cfg,
+                |t| t == BoundaryTag::Wall,
+                |_, _, _| (0.0, 0.0),
+                |_| false,
+                |_, _, _| 0.0,
+                |_, _, _| (0.4, 0.0),
+            )
+        };
+        let mut reference = build();
+        for _ in 0..7 {
+            reference.step();
+        }
+        let bytes = nkg_ckpt::snapshot_bytes(&reference);
+        let mut resumed = build();
+        nkg_ckpt::restore_bytes(&mut resumed, &bytes).unwrap();
+        for _ in 0..5 {
+            reference.step();
+            resumed.step();
+        }
+        for i in 0..reference.space.nglobal {
+            assert_eq!(reference.u[i].to_bits(), resumed.u[i].to_bits(), "u[{i}]");
+            assert_eq!(reference.v[i].to_bits(), resumed.v[i].to_bits(), "v[{i}]");
+            assert_eq!(reference.p[i].to_bits(), resumed.p[i].to_bits(), "p[{i}]");
+        }
+        assert_eq!(reference.time.to_bits(), resumed.time.to_bits());
+        assert_eq!(reference.cg_iterations, resumed.cg_iterations);
+    }
+
+    /// A snapshot refuses to restore into a solver with a different
+    /// discretization or time step.
+    #[test]
+    fn checkpoint_refuses_different_dt() {
+        let build = |dt: f64| {
+            let mesh = QuadMesh::rectangle(2, 2, 0.0, 1.0, 0.0, 1.0);
+            let space = Space2d::new(mesh, 3, false);
+            NsSolver2d::new(
+                space,
+                NsConfig {
+                    dt,
+                    ..Default::default()
+                },
+                |_| true,
+                |_, _, _| (0.0, 0.0),
+                |_| false,
+                |_, _, _| 0.0,
+                |_, _, _| (0.0, 0.0),
+            )
+        };
+        let a = build(1e-3);
+        let bytes = nkg_ckpt::snapshot_bytes(&a);
+        let mut b = build(2e-3);
+        assert!(matches!(
+            nkg_ckpt::restore_bytes(&mut b, &bytes),
+            Err(CkptError::Mismatch(_))
+        ));
     }
 
     /// Zero initial condition, zero forcing, zero BCs stays identically zero.

@@ -5,9 +5,15 @@
 //!
 //! ```bash
 //! cargo run --release --example aneurysm
+//! # Long runs: write a rotating checkpoint every 2 exchanges and resume
+//! # a killed run from it (bitwise — the resumed run matches one that
+//! # never stopped):
+//! cargo run --release --example aneurysm -- --checkpoint-every 2 --checkpoint aneurysm.nkgc
+//! cargo run --release --example aneurysm -- --resume aneurysm.nkgc
 //! ```
 
 use nektarg::coupling::atomistic::{AtomisticDomain, Embedding};
+use nektarg::coupling::metasolver::CheckpointPolicy;
 use nektarg::coupling::multipatch::poiseuille_multipatch;
 use nektarg::coupling::{NektarG, TimeProgression, UnitScaling};
 use nektarg::dpd::inflow::OpenBoundaryX;
@@ -15,8 +21,53 @@ use nektarg::dpd::platelet::{PlateletParams, WallSites};
 use nektarg::dpd::sim::{DpdConfig, DpdSim, WallGeometry};
 use nektarg::dpd::Box3;
 use nektarg::mesh::patchgraph::PatchGraph;
+use std::path::PathBuf;
+
+/// Checkpoint-related command line options.
+struct Options {
+    /// Write a rotating checkpoint to this path every `every` exchanges.
+    checkpoint: Option<(PathBuf, u64)>,
+    /// Resume from this snapshot (falling back to its `.prev` rotation).
+    resume: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        checkpoint: None,
+        resume: None,
+    };
+    let mut path = PathBuf::from("aneurysm.nkgc");
+    let mut every = 2u64;
+    let mut want_checkpoint = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--checkpoint" => {
+                path = PathBuf::from(value("--checkpoint"));
+                want_checkpoint = true;
+            }
+            "--checkpoint-every" => {
+                every = value("--checkpoint-every")
+                    .parse()
+                    .expect("--checkpoint-every takes an exchange count");
+                want_checkpoint = true;
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
+            other => panic!("unknown argument {other} (see the example header)"),
+        }
+    }
+    if want_checkpoint {
+        opts.checkpoint = Some((path, every));
+    }
+    opts
+}
 
 fn main() {
+    let opts = parse_args();
     println!("aneurysm scenario: multipatch vessel + platelet-laden DPD sac\n");
 
     // Report the paper-scale decomposition this stands in for.
@@ -27,6 +78,61 @@ fn main() {
         full.total_unknowns() as f64 / 1e9
     );
 
+    // Build the run exactly as a resume would reconstruct it: the setup
+    // code is the configuration; the snapshot only replaces evolving state.
+    let mut meta = match &opts.resume {
+        Some(path) => {
+            let (meta, source) = NektarG::resume_latest(build_metasolver, path)
+                .unwrap_or_else(|e| panic!("resume from {}: {e}", path.display()));
+            println!(
+                "resumed from {} ({source:?} generation) at continuum step {}\n",
+                path.display(),
+                meta.report.ns_steps
+            );
+            meta
+        }
+        None => build_metasolver(),
+    };
+    println!(
+        "sac: {} particles, {} adhesion sites",
+        meta.atomistic.sim.particles.len(),
+        meta.atomistic.sim.sites.pos.len()
+    );
+    let policy = opts
+        .checkpoint
+        .map(|(path, every)| CheckpointPolicy::new(path, every));
+    if let Some(pol) = &policy {
+        println!(
+            "checkpointing to {} every {} exchanges (previous generation kept as .prev)",
+            pol.path.display(),
+            pol.every_k_exchanges
+        );
+    }
+
+    println!("\nround     NS-DPD continuity  platelets (passive/triggered/active/adhered)");
+    let first_round = meta.report.ns_steps / 10;
+    for round in first_round..6 {
+        let target = meta.report.ns_steps + 10;
+        let report = meta
+            .run_to(target, policy.as_ref(), None)
+            .expect("run failed");
+        let (p, t, a, ad) = *report.platelet_census.last().unwrap();
+        println!(
+            "{:>8}  {:>17.4}  {p:>7} / {t} / {a} / {ad}",
+            round,
+            report.continuity.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+    let (_, _, a, ad) = meta.atomistic.sim.platelet_census();
+    println!(
+        "\nthrombus population (active + adhered): {} — clot formation under way",
+        a + ad
+    );
+}
+
+/// Assemble the scenario. Deterministic in the seed: a resumed run and an
+/// uninterrupted one produce bitwise-identical trajectories.
+fn build_metasolver() -> NektarG {
     // Continuum: 3 overlapping patches; the middle one hosts the sac.
     let (nu_ns, height) = (0.004, 1.0);
     let force = 8.0 * nu_ns * 0.1;
@@ -47,7 +153,7 @@ fn main() {
     let bx = Box3::new([0.0; 3], [10.0, 6.0, 4.0], [false, false, true]);
     let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
     sim.fill_solvent();
-    let n_platelets = sim.seed_platelets(0.06);
+    sim.seed_platelets(0.06);
     sim.sites = WallSites::on_plane(40, 1, 0.0, [3.0, 0.0, 0.0], [8.0, 0.0, 4.0], 5);
     sim.platelet_params = PlateletParams {
         delay_steps: 100,
@@ -57,12 +163,6 @@ fn main() {
     let mut ob = OpenBoundaryX::new(4, 1, 3.0, 1.0, [0.0; 3], 0);
     ob.target_count = Some(sim.particles.len());
     sim.set_open_x(ob);
-    println!(
-        "sac: {} particles, {} platelets, {} adhesion sites",
-        sim.particles.len(),
-        n_platelets,
-        sim.sites.pos.len()
-    );
 
     let scaling = UnitScaling {
         unit_ns: 1.0,
@@ -77,21 +177,5 @@ fn main() {
             scaling,
         },
     );
-    let mut meta = NektarG::new(continuum, atom, TimeProgression::new(20, 10));
-
-    println!("\nexchange  NS-DPD continuity  platelets (passive/triggered/active/adhered)");
-    for round in 0..6 {
-        let report = meta.run(10);
-        let (p, t, a, ad) = *report.platelet_census.last().unwrap();
-        println!(
-            "{:>8}  {:>17.4}  {p:>7} / {t} / {a} / {ad}",
-            round,
-            report.continuity.last().copied().unwrap_or(f64::NAN)
-        );
-    }
-    let (_, _, a, ad) = meta.atomistic.sim.platelet_census();
-    println!(
-        "\nthrombus population (active + adhered): {} — clot formation under way",
-        a + ad
-    );
+    NektarG::new(continuum, atom, TimeProgression::new(20, 10))
 }

@@ -117,10 +117,12 @@ fn progression_ratios_respected_under_composition() {
     let mut ng = build_metasolver(false);
     let r1 = ng.run(7);
     let r2 = ng.run(13);
+    // Reports are cumulative and the exchange schedule is absolute:
+    // run one covers steps 0..7 (exchanges before steps 0 and 5), run two
+    // continues over steps 7..20 (exchanges before steps 10 and 15).
     assert_eq!(r1.dpd_steps, 70);
-    assert_eq!(r2.dpd_steps, 130);
-    // Each `run` call restarts the exchange schedule at its first step
-    // (exchange before steps 0 and 5 of run one; 0, 5 and 10 of run two).
+    assert_eq!(r2.dpd_steps, 200);
     assert_eq!(r1.exchanges, 2);
-    assert_eq!(r2.exchanges, 3);
+    assert_eq!(r2.exchanges, 4);
+    assert_eq!(r2.ns_steps, 20);
 }

@@ -1,0 +1,192 @@
+//! Round-trip properties of every [`nektarg::ckpt::Snapshot`] impl:
+//! encode ∘ decode = id. Each case snapshots a randomized instance,
+//! restores it into a compatibly constructed fresh one, and demands the
+//! re-encoded bytes match the original byte-for-byte — deterministic
+//! canonical encodings (sorted override maps, bit-exact floats) make the
+//! byte comparison equivalent to deep state equality.
+
+use nektarg::ckpt::{restore_bytes, snapshot_bytes, CkptError, Snapshot};
+use nektarg::coupling::atomistic::{AtomisticDomain, Embedding};
+use nektarg::coupling::metasolver::RunReport;
+use nektarg::coupling::multipatch::poiseuille_multipatch;
+use nektarg::coupling::{TimeProgression, UnitScaling};
+use nektarg::dpd::inflow::OpenBoundaryX;
+use nektarg::dpd::sim::{BinSampler, DpdConfig, DpdSim, WallGeometry};
+use nektarg::dpd::Box3;
+use nektarg::wpod::window::WindowPod;
+use proptest::prelude::*;
+
+/// Round trip plus re-encode: restore into `fresh`, then require identical
+/// canonical bytes.
+fn assert_round_trip<T: Snapshot>(original: &T, fresh: &mut T) -> Result<(), TestCaseError> {
+    let bytes = snapshot_bytes(original);
+    restore_bytes(fresh, &bytes).map_err(|e| TestCaseError::Fail(format!("restore: {e}")))?;
+    prop_assert_eq!(
+        bytes,
+        snapshot_bytes(fresh),
+        "re-encoded snapshot differs from the original"
+    );
+    Ok(())
+}
+
+fn small_sim(seed: u64) -> DpdSim {
+    let cfg = DpdConfig {
+        seed,
+        ..Default::default()
+    };
+    let bx = Box3::new([0.0; 3], [5.0, 5.0, 3.0], [false, false, true]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    let mut ob = OpenBoundaryX::new(3, 1, 3.0, 1.0, [0.1, 0.0, 0.0], 0);
+    ob.target_count = Some(sim.particles.len());
+    sim.set_open_x(ob);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// DpdSim (with its nested open boundary): any reachable mid-run state
+    /// round-trips, and the restored sim continues bitwise.
+    #[test]
+    fn dpd_sim_round_trips(seed in 0u64..1_000, steps in 0usize..6) {
+        let mut sim = small_sim(seed);
+        for _ in 0..steps {
+            sim.step();
+        }
+        let mut fresh = small_sim(seed);
+        assert_round_trip(&sim, &mut fresh)?;
+        sim.step();
+        fresh.step();
+        for (a, b) in sim.particles.pos.iter().zip(&fresh.particles.pos) {
+            for k in 0..3 {
+                prop_assert_eq!(a[k].to_bits(), b[k].to_bits());
+            }
+        }
+    }
+
+    /// The open boundary alone, with accumulated flux debt.
+    #[test]
+    fn open_boundary_round_trips(seed in 0u64..1_000, steps in 1usize..5) {
+        let mut sim = small_sim(seed);
+        for _ in 0..steps {
+            sim.step();
+        }
+        let original = sim.open_x.clone().unwrap();
+        let mut fresh = OpenBoundaryX::new(3, 1, 3.0, 1.0, [0.1, 0.0, 0.0], 0);
+        fresh.target_count = original.target_count;
+        assert_round_trip(&original, &mut fresh)?;
+    }
+
+    /// The profile sampler mid-accumulation.
+    #[test]
+    fn bin_sampler_round_trips(seed in 0u64..1_000, steps in 1usize..5) {
+        let mut sim = small_sim(seed);
+        let mut sampler = BinSampler::new(1, 5, 0, 3);
+        for _ in 0..steps {
+            sim.step();
+            sampler.accumulate(&sim);
+        }
+        let mut fresh = BinSampler::new(1, 5, 0, 3);
+        assert_round_trip(&sampler, &mut fresh)?;
+    }
+
+    /// The multipatch continuum (nested per-patch NS solvers with their
+    /// history ladders and interface overrides).
+    #[test]
+    fn multipatch_round_trips(steps in 0usize..4, force in 0.1f64..0.8) {
+        let mut mp = poiseuille_multipatch(4.0, 1.0, 8, 2, 2, 3, 0.5, force, 5e-3);
+        for _ in 0..steps {
+            mp.step();
+        }
+        let mut fresh = poiseuille_multipatch(4.0, 1.0, 8, 2, 2, 3, 0.5, force, 5e-3);
+        assert_round_trip(&mp, &mut fresh)?;
+    }
+
+    /// The WPOD accumulator at an arbitrary point of its window cycle.
+    #[test]
+    fn window_pod_round_trips(
+        window in 2usize..6,
+        stride in 1usize..4,
+        pushes in 0usize..15,
+        dim in 1usize..9,
+    ) {
+        let mut w = WindowPod::new(window, stride, 2.0);
+        for i in 0..pushes {
+            w.push((0..dim).map(|j| ((i * dim + j) as f64).sin()).collect());
+        }
+        let mut fresh = WindowPod::new(window, stride, 2.0);
+        assert_round_trip(&w, &mut fresh)?;
+    }
+
+    /// The run report is plain data: arbitrary contents round-trip.
+    #[test]
+    fn run_report_round_trips(
+        ns_steps in 0usize..10_000,
+        continuity in prop::collection::vec(-1.0f64..1.0, 0..8),
+        counts in prop::collection::vec(0usize..999, 0..8),
+    ) {
+        let census: Vec<(usize, usize, usize, usize)> = counts
+            .iter()
+            .map(|&c| (c, c / 2, c % 7, c % 3))
+            .collect();
+        let report = RunReport {
+            ns_steps,
+            dpd_steps: ns_steps * 20,
+            exchanges: census.len(),
+            continuity: continuity.clone(),
+            patch_mismatch: continuity,
+            platelet_census: census,
+            wpod_windows: ns_steps / 7,
+        };
+        let mut fresh = RunReport::default();
+        assert_round_trip(&report, &mut fresh)?;
+        prop_assert_eq!(&report, &fresh);
+    }
+
+    /// Time progression is pure config: round-trips into an equal instance
+    /// and refuses a different one.
+    #[test]
+    fn progression_round_trips(substeps in 1usize..30, every in 1usize..20) {
+        let tp = TimeProgression::new(substeps, every);
+        let mut fresh = TimeProgression::new(substeps, every);
+        assert_round_trip(&tp, &mut fresh)?;
+        let mut other = TimeProgression::new(substeps + 1, every);
+        prop_assert!(matches!(
+            restore_bytes(&mut other, &snapshot_bytes(&tp)),
+            Err(CkptError::Mismatch(_))
+        ));
+    }
+}
+
+/// The composed atomistic domain (embedding fingerprint + nested DPD
+/// section + continuity history). One deterministic case — the inner DpdSim
+/// is already property-tested above.
+#[test]
+fn atomistic_domain_round_trips() {
+    let make = || {
+        let sim = small_sim(17);
+        AtomisticDomain::new(
+            sim,
+            Embedding {
+                origin_ns: [2.0, 0.3],
+                scaling: UnitScaling {
+                    unit_ns: 1.0,
+                    unit_dpd: 0.05,
+                    nu_ns: 0.004,
+                    nu_dpd: 0.85,
+                },
+            },
+        )
+    };
+    let mut d = make();
+    d.continuity_history = vec![0.25, 0.125, 0.0625];
+    for _ in 0..3 {
+        d.sim.step();
+    }
+    let mut fresh = make();
+    let bytes = snapshot_bytes(&d);
+    restore_bytes(&mut fresh, &bytes).unwrap();
+    assert_eq!(bytes, snapshot_bytes(&fresh));
+    assert_eq!(fresh.continuity_history, vec![0.25, 0.125, 0.0625]);
+}
