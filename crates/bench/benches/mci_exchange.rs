@@ -15,11 +15,7 @@ fn bench_exchange(c: &mut Criterion) {
                     let l3 = world.split(Some(domain), world.rank()).unwrap();
                     let l4 = l3.split(Some(0), l3.rank()).unwrap();
                     let peer_root = if domain == 0 { members } else { 0 };
-                    let link = InterfaceLink {
-                        l4,
-                        peer_root_world: peer_root,
-                        tag: 3,
-                    };
+                    let link = InterfaceLink::new(l4, peer_root, 3);
                     let mine = vec![world.rank() as f64; 128];
                     for _ in 0..16 {
                         let got = link.exchange(&world, &mine, 128);

@@ -38,11 +38,7 @@ fn main() {
         let l3 = world.split(Some(domain), world.rank()).unwrap();
         let l4 = l3.split(Some(0), l3.rank()).unwrap();
         let peer_root = if domain == 0 { MEMBERS } else { 0 };
-        let link = InterfaceLink {
-            l4,
-            peer_root_world: peer_root,
-            tag: 1,
-        };
+        let link = InterfaceLink::new(l4, peer_root, 1);
         let mine = vec![world.rank() as f64; VALUES];
         for _ in 0..100 {
             let got = link.exchange(&world, &mine, VALUES);

@@ -1,0 +1,161 @@
+//! Fault-tolerance overhead of the MCI runtime: latency of the plain
+//! three-step exchange vs the retrying [`InterfaceLink::exchange_ft`] on a
+//! clean network and on a lossy one, plus the wall-clock time-to-recover
+//! of a replica failover (master killed mid-exchange, slave promoted,
+//! resumed from the dead master's checkpoint).
+//!
+//! Appends one JSON record per run to `BENCH_mci.json` (JSON Lines) and
+//! prints the same numbers to stdout.
+
+use nkg_bench::{append_jsonl, header, time_median};
+use nkg_coupling::atomistic::{AtomisticDomain, Embedding};
+use nkg_coupling::failover::{driver_outcome, run_replicated, FailoverConfig};
+use nkg_coupling::metasolver::NektarG;
+use nkg_coupling::multipatch::poiseuille_multipatch;
+use nkg_coupling::{TimeProgression, UnitScaling};
+use nkg_dpd::inflow::OpenBoundaryX;
+use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
+use nkg_dpd::Box3;
+use nkg_mci::{FaultPlan, InterfaceLink, MsgAction, MsgMatcher, Pick, RetryPolicy, Universe};
+use std::time::{Duration, Instant};
+
+const PAYLOAD: usize = 1024; // f64 values per side per exchange
+const EXCHANGES: usize = 500;
+const REPS: usize = 3;
+
+/// Seconds per exchange for one 2-rank universe performing `EXCHANGES`
+/// root-to-root exchanges of `PAYLOAD` values each way.
+fn seconds_per_exchange(ft: bool, plan: Option<FaultPlan>) -> f64 {
+    let total = time_median(REPS, || {
+        let mut u = Universe::new(2).with_recv_timeout(Duration::from_secs(60));
+        if let Some(p) = plan.clone() {
+            u = u.with_fault_plan(p);
+        }
+        let out = u.run_surviving(move |world| {
+            let l3 = world.split(Some(world.rank()), 0).unwrap();
+            let l4 = l3.split(Some(0), 0).unwrap();
+            let peer = 1 - world.rank();
+            let link = InterfaceLink::new(l4, peer, 7);
+            let mine = vec![world.rank() as f64; PAYLOAD];
+            let policy = RetryPolicy {
+                max_attempts: 40,
+                attempt_timeout: Duration::from_millis(5),
+                backoff: Duration::from_millis(1),
+                backoff_factor: 2,
+            };
+            for _ in 0..EXCHANGES {
+                let got = if ft {
+                    link.exchange_ft(&world, &mine, PAYLOAD, &policy)
+                        .expect("retry schedule must outlast the drop plan")
+                } else {
+                    link.exchange(&world, &mine, PAYLOAD)
+                };
+                std::hint::black_box(got.len());
+            }
+        });
+        assert!(out.dead.is_empty());
+    });
+    total / EXCHANGES as f64
+}
+
+/// The small coupled system the fault-tolerance tests use: 12 continuum
+/// steps, 3 exchange windows.
+fn make_metasolver() -> NektarG {
+    let mp = poiseuille_multipatch(6.0, 1.0, 12, 2, 2, 3, 0.5, 0.4, 5e-3);
+    let cfg = DpdConfig {
+        seed: 31,
+        ..Default::default()
+    };
+    let bx = Box3::new([0.0; 3], [6.0, 6.0, 3.0], [false, false, true]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    let mut ob = OpenBoundaryX::new(3, 1, 3.0, 1.0, [0.0; 3], 0);
+    ob.target_count = Some(sim.particles.len());
+    sim.set_open_x(ob);
+    let embedding = Embedding {
+        origin_ns: [2.5, 0.35],
+        scaling: UnitScaling {
+            unit_ns: 1.0,
+            unit_dpd: 0.05,
+            nu_ns: 0.5,
+            nu_dpd: 0.85,
+        },
+    };
+    NektarG::new(
+        mp,
+        AtomisticDomain::new(sim, embedding),
+        TimeProgression::new(5, 4),
+    )
+}
+
+fn main() {
+    header(&format!(
+        "MCI fault tolerance: {PAYLOAD} f64 per side, {EXCHANGES} exchanges, median of {REPS}"
+    ));
+
+    let plain = seconds_per_exchange(false, None);
+    let ft_clean = seconds_per_exchange(true, None);
+    // A lossy network dropping 1 in 8 of one side's root-to-root frames:
+    // every loss costs at least one 5 ms attempt timeout before the
+    // retransmission protocol repairs the window.
+    let drop_plan = FaultPlan::new().with_rule(
+        MsgMatcher::flow(0, 1).with_tag(7),
+        Pick::Seeded {
+            seed: 2024,
+            num: 1,
+            den: 8,
+        },
+        MsgAction::Drop,
+    );
+    let ft_lossy = seconds_per_exchange(true, Some(drop_plan));
+
+    println!("exchange path                      µs per exchange");
+    for (name, t) in [
+        ("plain exchange", plain),
+        ("exchange_ft, clean network", ft_clean),
+        ("exchange_ft, 1/8 frames dropped", ft_lossy),
+    ] {
+        println!("{name:<34} {:>10.1}", t * 1e6);
+    }
+    println!(
+        "retry-layer overhead on a clean network: {:+.1}%",
+        (ft_clean / plain - 1.0) * 100.0
+    );
+
+    // Failover: 3 replicas, master killed posting its window-2 report.
+    let dir = std::env::temp_dir().join("nkg_bench_mci");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let cfg = FailoverConfig {
+        status_deadline: Duration::from_secs(5),
+        ctrl_deadline: Duration::from_secs(120),
+        ..FailoverConfig::new(3, 12, dir.join("bench.nkgc"))
+    };
+    let u = Universe::new(4).with_fault_plan(FaultPlan::new().kill_rank(1, 2));
+    let t0 = Instant::now();
+    let run = run_replicated(&u, cfg, make_metasolver);
+    let total = t0.elapsed().as_secs_f64();
+    let driver = driver_outcome(&run);
+    let recover = driver
+        .time_to_recover
+        .expect("the kill plan must force a failover")
+        .as_secs_f64();
+    println!(
+        "\nfailover (3 replicas, master killed mid-exchange):\n\
+         time to recover (promotion + checkpoint resume + re-exchange)  {:.4} s\n\
+         whole 12-step replicated run                                   {total:.4} s\n\
+         events: {:?}",
+        recover, driver.events
+    );
+
+    let record = format!(
+        "{{\"bench\":\"mci_fault_tolerance\",\"payload_f64\":{PAYLOAD},\
+         \"exchanges\":{EXCHANGES},\"reps\":{REPS},\
+         \"plain_seconds_per_exchange\":{plain:.9},\
+         \"ft_clean_seconds_per_exchange\":{ft_clean:.9},\
+         \"ft_lossy_seconds_per_exchange\":{ft_lossy:.9},\
+         \"failover_time_to_recover_seconds\":{recover:.6},\
+         \"failover_run_seconds\":{total:.6}}}"
+    );
+    append_jsonl("BENCH_mci.json", &record);
+    println!("\nappended record to BENCH_mci.json");
+}

@@ -201,6 +201,31 @@ pub fn prev_path(path: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
+/// Rank-scoped sibling of a snapshot path: `foo.nkgc` → `foo.rank3.nkgc`
+/// (or `foo` → `foo.rank3` when there is no extension). In a replicated
+/// run every replica checkpoints to its own rank-scoped file, and a
+/// promoted replica restores from the *dead master's* file by naming the
+/// master's rank — rank-scoped restore without any shared registry.
+pub fn rank_path(path: &Path, rank: usize) -> PathBuf {
+    let suffix = format!("rank{rank}");
+    match path.extension() {
+        Some(ext) => {
+            let mut p = path.to_path_buf();
+            let mut name = suffix;
+            name.push('.');
+            name.push_str(&ext.to_string_lossy());
+            p.set_extension(name);
+            p
+        }
+        None => {
+            let mut s = path.as_os_str().to_os_string();
+            s.push(".");
+            s.push(&suffix);
+            PathBuf::from(s)
+        }
+    }
+}
+
 /// Rotate: if `path` exists, rename it to [`prev_path`] so the next write
 /// cannot destroy the last known-good snapshot.
 pub fn rotate_previous(path: &Path) -> Result<(), CkptError> {
@@ -214,6 +239,23 @@ pub fn rotate_previous(path: &Path) -> Result<(), CkptError> {
 mod tests {
     use super::*;
     use crate::tag4;
+
+    #[test]
+    fn rank_path_respects_extension() {
+        assert_eq!(
+            rank_path(Path::new("/tmp/run.nkgc"), 3),
+            PathBuf::from("/tmp/run.rank3.nkgc")
+        );
+        assert_eq!(
+            rank_path(Path::new("/tmp/run"), 0),
+            PathBuf::from("/tmp/run.rank0")
+        );
+        // Rank-scoped paths compose with the .prev rotation sibling.
+        assert_eq!(
+            prev_path(&rank_path(Path::new("a.nkgc"), 1)),
+            PathBuf::from("a.rank1.nkgc.prev")
+        );
+    }
 
     fn sample() -> SnapshotWriter {
         let mut w = SnapshotWriter::new();

@@ -30,7 +30,9 @@ pub mod format;
 
 pub use codec::{Dec, Enc};
 pub use fault::FaultPlan;
-pub use format::{prev_path, rotate_previous, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use format::{
+    prev_path, rank_path, rotate_previous, SnapshotFile, SnapshotWriter, FORMAT_VERSION, MAGIC,
+};
 
 use std::fmt;
 

@@ -1,0 +1,421 @@
+//! Replica failover for the coupled metasolver (paper Fig. 6 semantics,
+//! made survivable).
+//!
+//! [`run_replicated`] runs one driver rank plus `n` replica ranks on an
+//! MCI universe. Every replica advances an identical, deterministic
+//! [`NektarG`] (hot standby) and writes rotating rank-scoped checkpoints;
+//! the *master* replica additionally reports each exchange window's
+//! interface physics to the driver. The driver is the continuum-side
+//! consumer of those windows and applies the degradation policy:
+//!
+//! 1. **Hold-last-value** — when the master misses its window deadline but
+//!    is still alive, the driver re-uses the previous window's boundary
+//!    values for one `τ` window and records the degradation.
+//! 2. **Failover** — when the master is dead (or misses twice running),
+//!    the driver promotes the lowest live replica. The promoted replica
+//!    resumes from the *dead master's* last `nkg-ckpt` snapshot
+//!    ([`nkg_ckpt::rank_path`]-scoped restore, falling back to a fresh
+//!    deterministic rebuild when the master never checkpointed),
+//!    re-establishes the reporting link, re-runs the missed window and
+//!    re-exchanges it. Because checkpoints are taken at the top of an
+//!    exchange-boundary step and every stochastic stream is counter-based,
+//!    the recovered window is bitwise identical to the fault-free run —
+//!    the held value is overwritten and the final trace carries no trace
+//!    of the disaster.
+//!
+//! Degradations are recorded twice: in the driver's
+//! [`DriverOutcome::events`] and in the affected replica's
+//! [`RunReport::held_exchanges`] / [`RunReport::failovers`].
+
+use crate::metasolver::{CheckpointPolicy, NektarG, RunReport};
+use nkg_ckpt::rank_path;
+use nkg_mci::{Comm, FaultRun, RecvError, Tag, Universe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Status frames travel replica → driver on `TAG_STATUS_BASE + replica`.
+const TAG_STATUS_BASE: Tag = 0x4000;
+/// Control frames travel driver → replica on `TAG_CTRL_BASE + replica`.
+const TAG_CTRL_BASE: Tag = 0x4100;
+
+/// Physics values reported per exchange window (continuity error, patch
+/// mismatch, 4-component platelet census).
+const TRACE_WIDTH: usize = 6;
+
+/// Configuration of a replicated run.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Number of replicas (the universe must have `n_replicas + 1` ranks:
+    /// rank 0 drives, rank `1 + i` hosts replica `i`).
+    pub n_replicas: usize,
+    /// Continuum steps to advance in total.
+    pub total_ns_steps: usize,
+    /// Base snapshot path; replica `i` checkpoints to
+    /// `rank_path(ckpt_base, i)`.
+    pub ckpt_base: PathBuf,
+    /// Checkpoint cadence in exchanges (see [`CheckpointPolicy`]).
+    pub every_k_exchanges: u64,
+    /// How long the driver waits for the master's window report before
+    /// degrading to hold-last-value.
+    pub status_deadline: Duration,
+    /// How long a replica waits for the driver's control frame before
+    /// declaring the run lost.
+    pub ctrl_deadline: Duration,
+}
+
+impl FailoverConfig {
+    /// Sensible test/demo defaults around a snapshot base path.
+    pub fn new(n_replicas: usize, total_ns_steps: usize, ckpt_base: impl Into<PathBuf>) -> Self {
+        Self {
+            n_replicas,
+            total_ns_steps,
+            ckpt_base: ckpt_base.into(),
+            every_k_exchanges: 1,
+            // Wide enough that an honest replica's window compute never
+            // trips it on a loaded machine; a dead master is detected via
+            // `PeerDead` long before the deadline.
+            status_deadline: Duration::from_secs(2),
+            ctrl_deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One recorded degradation of the coupling boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationEvent {
+    /// Window `window` missed its deadline; the previous window's boundary
+    /// values were held for one `τ`.
+    HeldLastValue {
+        /// The 1-based exchange window that was held.
+        window: u64,
+    },
+    /// The master was replaced at window `window`.
+    Failover {
+        /// The 1-based exchange window where the failover happened.
+        window: u64,
+        /// Replica index of the dead/late master.
+        from: u64,
+        /// Replica index of the promoted replica.
+        to: u64,
+    },
+    /// A failover's re-exchange arrived and overwrote the held value —
+    /// the trace for `window` is exact again.
+    Recovered {
+        /// The re-exchanged window.
+        window: u64,
+    },
+}
+
+/// What the driver rank saw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverOutcome {
+    /// Per-window interface physics, `TRACE_WIDTH` values each, in window
+    /// order. Held windows that were later re-exchanged hold the exact
+    /// values; held windows that never recovered hold the previous
+    /// window's values (the documented degradation bound).
+    pub trace: Vec<Vec<f64>>,
+    /// Degradations, in the order they occurred.
+    pub events: Vec<DegradationEvent>,
+    /// Replica index acting as master at the end of the run.
+    pub active_master: usize,
+    /// Wall-clock time from declaring failover to the promoted replica's
+    /// re-exchange landing, if a failover happened.
+    pub time_to_recover: Option<Duration>,
+}
+
+/// Per-rank result of [`run_replicated`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankOutcome {
+    /// Rank 0: the driver's view of the run.
+    Driver(DriverOutcome),
+    /// Ranks `1 + i`: replica `i`'s final run report.
+    Replica(Box<RunReport>),
+}
+
+/// The driver's view of a run where the [`DriverOutcome`] is expected.
+///
+/// # Panics
+/// Panics if rank 0 died (the driver is not replicated).
+pub fn driver_outcome(run: &FaultRun<RankOutcome>) -> &DriverOutcome {
+    match run.results[0].as_ref() {
+        Some(RankOutcome::Driver(d)) => d,
+        _ => panic!("rank 0 did not produce a driver outcome"),
+    }
+}
+
+/// Replica `i`'s final report, `None` if that rank died.
+pub fn replica_report(run: &FaultRun<RankOutcome>, replica: usize) -> Option<&RunReport> {
+    match run.results[1 + replica].as_ref() {
+        Some(RankOutcome::Replica(r)) => Some(r),
+        Some(RankOutcome::Driver(_)) => panic!("rank {} is the driver", 1 + replica),
+        None => None,
+    }
+}
+
+/// Run the replicated metasolver on `universe` (size `n_replicas + 1`).
+///
+/// `make` must deterministically reconstruct the same [`NektarG`] on every
+/// call — the same contract as [`NektarG::resume`] — so that replicas are
+/// bitwise clones of each other and a promoted replica's re-run reproduces
+/// the dead master's windows exactly.
+pub fn run_replicated(
+    universe: &Universe,
+    cfg: FailoverConfig,
+    make: impl Fn() -> NektarG + Send + Sync + 'static,
+) -> FaultRun<RankOutcome> {
+    assert_eq!(
+        universe.size(),
+        cfg.n_replicas + 1,
+        "universe must have one driver rank plus one rank per replica"
+    );
+    assert!(cfg.n_replicas >= 1, "need at least one replica");
+    let make = Arc::new(make);
+    universe.run_surviving(move |world| {
+        if world.rank() == 0 {
+            RankOutcome::Driver(drive(&world, &cfg, &*make))
+        } else {
+            RankOutcome::Replica(Box::new(replicate(&world, &cfg, &*make)))
+        }
+    })
+}
+
+fn status_tag(replica: usize) -> Tag {
+    TAG_STATUS_BASE + replica as Tag
+}
+
+fn ctrl_tag(replica: usize) -> Tag {
+    TAG_CTRL_BASE + replica as Tag
+}
+
+/// Build the `[window, gen, physics...]` status frame for window `w`.
+fn status_frame(w: u64, gen: u64, ng: &NektarG) -> Vec<f64> {
+    let r = &ng.report;
+    let mut f = Vec::with_capacity(2 + TRACE_WIDTH);
+    f.push(f64::from_bits(w));
+    f.push(f64::from_bits(gen));
+    f.push(r.continuity.last().copied().unwrap_or(0.0));
+    f.push(r.patch_mismatch.last().copied().unwrap_or(0.0));
+    let census = r.platelet_census.last().copied().unwrap_or((0, 0, 0, 0));
+    f.push(census.0 as f64);
+    f.push(census.1 as f64);
+    f.push(census.2 as f64);
+    f.push(census.3 as f64);
+    f
+}
+
+/// The driver: consume one status frame per exchange window from the
+/// active master, applying hold-last-value and failover on misses.
+fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> DriverOutcome {
+    // One construction just to read the exchange schedule.
+    let progression = make().progression;
+    let windows = progression.num_exchanges(cfg.total_ns_steps) as u64;
+    let mut master: usize = 0;
+    let mut gen: u64 = 0;
+    let mut trace: Vec<Vec<f64>> = Vec::with_capacity(windows as usize);
+    let mut events = Vec::new();
+    let mut time_to_recover = None;
+    let mut consecutive_misses = 0u32;
+
+    // Receive the frame for window `w` at generation `gen` from `replica`,
+    // skipping stale retransmissions of earlier windows or generations.
+    let await_window = |replica: usize, w: u64, gen: u64, deadline: Duration| loop {
+        match world.recv_deadline::<f64>(1 + replica, status_tag(replica), deadline) {
+            Ok(frame) => {
+                let (sw, sgen) = (frame[0].to_bits(), frame[1].to_bits());
+                if sw < w || sgen < gen {
+                    continue; // stale window or pre-failover generation
+                }
+                assert_eq!((sw, sgen), (w, gen), "master ahead of driver");
+                return Ok(frame[2..].to_vec());
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    for w in 1..=windows {
+        match await_window(master, w, gen, cfg.status_deadline) {
+            Ok(values) => {
+                consecutive_misses = 0;
+                trace.push(values);
+                let ctrl = [
+                    f64::from_bits(w),
+                    f64::from_bits(master as u64),
+                    0.0, // no resume
+                    0.0, // not held
+                    f64::from_bits(gen),
+                ];
+                for r in 0..cfg.n_replicas {
+                    if world.is_alive(1 + r) {
+                        world.send(&ctrl, 1 + r, ctrl_tag(r));
+                    }
+                }
+            }
+            Err(err) => {
+                // Degradation step 1: hold the previous window's values.
+                consecutive_misses += 1;
+                let held = trace
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| vec![0.0; TRACE_WIDTH]);
+                trace.push(held);
+                events.push(DegradationEvent::HeldLastValue { window: w });
+                let master_dead =
+                    matches!(err, RecvError::PeerDead { .. }) || !world.is_alive(1 + master);
+                if !master_dead && consecutive_misses < 2 {
+                    // Transient lateness: degrade for this one τ window and
+                    // move on; the late frame will be skipped as stale.
+                    let ctrl = [
+                        f64::from_bits(w),
+                        f64::from_bits(master as u64),
+                        0.0,
+                        1.0, // held
+                        f64::from_bits(gen),
+                    ];
+                    for r in 0..cfg.n_replicas {
+                        if world.is_alive(1 + r) {
+                            world.send(&ctrl, 1 + r, ctrl_tag(r));
+                        }
+                    }
+                    continue;
+                }
+                // Degradation step 2: failover to the lowest live replica.
+                let recover_started = Instant::now();
+                let liveness = world.liveness();
+                let promoted = (0..cfg.n_replicas)
+                    .find(|&r| r != master && liveness.alive[1 + r])
+                    .unwrap_or_else(|| {
+                        panic!("window {w}: master {master} lost and no live replica remains")
+                    });
+                let from = master;
+                master = promoted;
+                gen += 1;
+                consecutive_misses = 0;
+                events.push(DegradationEvent::Failover {
+                    window: w,
+                    from: from as u64,
+                    to: master as u64,
+                });
+                let ctrl = |resume: bool| {
+                    [
+                        f64::from_bits(w),
+                        f64::from_bits(master as u64),
+                        if resume { 1.0 } else { 0.0 },
+                        1.0, // this window was held
+                        f64::from_bits(gen),
+                    ]
+                };
+                for r in 0..cfg.n_replicas {
+                    if world.is_alive(1 + r) {
+                        world.send(&ctrl(r == master), 1 + r, ctrl_tag(r));
+                    }
+                }
+                // Await the promoted replica's re-exchange of window `w`.
+                // The ctrl deadline applies: resuming includes a restore
+                // plus a window re-run, which dwarfs a status round-trip.
+                match await_window(master, w, gen, cfg.ctrl_deadline) {
+                    Ok(values) => {
+                        // Exact again: overwrite the held entry.
+                        *trace.last_mut().unwrap() = values;
+                        events.push(DegradationEvent::Recovered { window: w });
+                        time_to_recover.get_or_insert_with(|| recover_started.elapsed());
+                        let ack = [
+                            f64::from_bits(w),
+                            f64::from_bits(master as u64),
+                            0.0,
+                            0.0,
+                            f64::from_bits(gen),
+                        ];
+                        world.send(&ack, 1 + master, ctrl_tag(master));
+                    }
+                    Err(e) => {
+                        panic!("window {w}: promoted replica {master} never re-exchanged: {e}")
+                    }
+                }
+            }
+        }
+    }
+    DriverOutcome {
+        trace,
+        events,
+        active_master: master,
+        time_to_recover,
+    }
+}
+
+/// One replica: advance the metasolver window by window, checkpointing to
+/// a rank-scoped snapshot; report windows while master; obey control
+/// frames (adopting promotions, resuming from the dead master's
+/// checkpoint when promoted).
+fn replicate(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> RunReport {
+    let my_index = world.rank() - 1;
+    let my_ckpt = rank_path(&cfg.ckpt_base, my_index);
+    let policy = CheckpointPolicy::new(&my_ckpt, cfg.every_k_exchanges);
+    let mut ng = make();
+    let mut master: usize = 0;
+    let mut gen: u64 = 0;
+    let windows = ng.progression.num_exchanges(cfg.total_ns_steps) as u64;
+    let exchange_every = ng.progression.exchange_every;
+    for w in 1..=windows {
+        let target = (w as usize * exchange_every).min(cfg.total_ns_steps);
+        ng.run_to(target, Some(&policy), None)
+            .expect("replica advance cannot fail without a file-level fault plan");
+        // The window compute phase sends nothing; let peers see progress.
+        world.heartbeat();
+        if my_index == master {
+            world.send(&status_frame(w, gen, &ng), 0, status_tag(my_index));
+        }
+        // Await the driver's verdict for this window (twice when promoted:
+        // once to order the resume, once to acknowledge the re-exchange).
+        loop {
+            let ctrl = world
+                .recv_deadline::<f64>(0, ctrl_tag(my_index), cfg.ctrl_deadline)
+                .unwrap_or_else(|e| {
+                    panic!("replica {my_index}: no control frame for window {w}: {e}")
+                });
+            let cw = ctrl[0].to_bits();
+            if cw < w {
+                continue; // stale control frame
+            }
+            assert_eq!(cw, w, "driver ahead of replica");
+            let new_master = ctrl[1].to_bits() as usize;
+            let resume = ctrl[2] != 0.0;
+            let held = ctrl[3] != 0.0;
+            let old_master = master;
+            master = new_master;
+            gen = ctrl[4].to_bits();
+            if resume {
+                // Promoted: resume from the dead master's rank-scoped
+                // snapshot (its state at the top of the last checkpointed
+                // exchange boundary), falling back to a fresh deterministic
+                // rebuild if the master died before its first checkpoint.
+                let dead_ckpt = rank_path(&cfg.ckpt_base, old_master);
+                ng = if dead_ckpt.exists() {
+                    match NektarG::resume_latest(make, &dead_ckpt) {
+                        Ok((resumed, _)) => resumed,
+                        Err(_) => make(),
+                    }
+                } else {
+                    make()
+                };
+                ng.run_to(target, Some(&policy), None)
+                    .expect("promoted re-run cannot fail");
+                if held {
+                    ng.report.held_exchanges.push(w);
+                }
+                ng.report
+                    .failovers
+                    .push((w, old_master as u64, my_index as u64));
+                world.send(&status_frame(w, gen, &ng), 0, status_tag(my_index));
+                continue; // wait for the acknowledging control frame
+            }
+            if held && my_index == master {
+                // My window was consumed as hold-last-value (transient
+                // lateness, no failover).
+                ng.report.held_exchanges.push(w);
+            }
+            break;
+        }
+    }
+    ng.report
+}

@@ -28,10 +28,14 @@
 //!   outlet Dirichlet), the paper's peripheral-network mechanism;
 //! * [`metasolver`] — the top-level [`metasolver::NektarG`] facade driving
 //!   a multipatch continuum domain with an embedded atomistic domain and
-//!   platelet aggregation through the full time progression.
+//!   platelet aggregation through the full time progression;
+//! * [`failover`] — replicated execution of the metasolver with
+//!   hold-last-value degradation and master → slave failover over the MCI
+//!   fault-tolerant runtime (DESIGN.md §11).
 
 pub mod atomistic;
 pub mod dist;
+pub mod failover;
 pub mod metasolver;
 pub mod multipatch;
 pub mod oned_coupling;

@@ -40,6 +40,26 @@ pub struct RunReport {
     pub platelet_census: Vec<(usize, usize, usize, usize)>,
     /// WPOD results produced by the co-processor.
     pub wpod_windows: usize,
+    /// Exchange windows (1-based) where the coupling boundary degraded to
+    /// hold-last-value because the peer missed its deadline.
+    pub held_exchanges: Vec<u64>,
+    /// Replica failovers as `(exchange_window, from_replica, to_replica)`.
+    pub failovers: Vec<(u64, u64, u64)>,
+}
+
+impl RunReport {
+    /// Whether the *physics* of two runs agree bitwise — every field except
+    /// the degradation bookkeeping (`held_exchanges`, `failovers`), which
+    /// legitimately differs between a faulty run and its clean reference.
+    pub fn physics_matches(&self, other: &RunReport) -> bool {
+        self.ns_steps == other.ns_steps
+            && self.dpd_steps == other.dpd_steps
+            && self.exchanges == other.exchanges
+            && self.continuity == other.continuity
+            && self.patch_mismatch == other.patch_mismatch
+            && self.platelet_census == other.platelet_census
+            && self.wpod_windows == other.wpod_windows
+    }
 }
 
 impl Snapshot for RunReport {
@@ -59,6 +79,13 @@ impl Snapshot for RunReport {
             enc.put(ad as u64);
         }
         enc.put(self.wpod_windows as u64);
+        enc.put_slice(&self.held_exchanges);
+        enc.put(self.failovers.len() as u64);
+        for &(w, from, to) in &self.failovers {
+            enc.put(w);
+            enc.put(from);
+            enc.put(to);
+        }
     }
 
     fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
@@ -79,6 +106,13 @@ impl Snapshot for RunReport {
         }
         self.platelet_census = census;
         self.wpod_windows = dec.take::<u64>()? as usize;
+        self.held_exchanges = dec.take_vec::<u64>()?;
+        let n = dec.take::<u64>()? as usize;
+        let mut failovers = Vec::with_capacity(n);
+        for _ in 0..n {
+            failovers.push((dec.take::<u64>()?, dec.take::<u64>()?, dec.take::<u64>()?));
+        }
+        self.failovers = failovers;
         Ok(())
     }
 }

@@ -1,12 +1,14 @@
 //! Communicators: contexts, point-to-point messaging and `split`.
 
-use crate::envelope::{Envelope, Mailbox};
+use crate::envelope::{Envelope, Mailbox, RecvError};
+use crate::liveness::LivenessView;
 use crate::universe::Inner;
 use crate::wire::{decode, encode, Wire};
 use crate::{Tag, RESERVED_TAG_BASE};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Internal tags (at or above [`RESERVED_TAG_BASE`]).
 pub(crate) mod itag {
@@ -113,6 +115,8 @@ impl Comm {
             src: self.my_world_rank(),
             tag,
             data: encode(data),
+            // The transport stamps the real sequence number on post.
+            seq: 0,
         };
         self.inner.post(self.ranks[dst], env);
     }
@@ -146,6 +150,69 @@ impl Comm {
         self.mailbox
             .borrow_mut()
             .probe(self.ctx, self.ranks[src], tag)
+    }
+
+    /// Non-blocking typed receive: `Ok(Some(data))` if a matching message
+    /// has already arrived, `Ok(None)` if not, `Err(PeerDead)` if the
+    /// sender is dead and nothing from it remains buffered.
+    pub fn try_recv<T: Wire>(&self, src: usize, tag: Tag) -> Result<Option<Vec<T>>, RecvError> {
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tag {tag:#x} is reserved for internal use"
+        );
+        let world_src = self.ranks[src];
+        let mut mb = self.mailbox.borrow_mut();
+        if let Some(env) = mb.try_match(self.ctx, world_src, tag) {
+            return Ok(Some(decode(&env.data)));
+        }
+        if self.inner.liveness.is_dead(world_src) {
+            // Re-drain once: the death flag may postdate a final message.
+            if let Some(env) = mb.try_match(self.ctx, world_src, tag) {
+                return Ok(Some(decode(&env.data)));
+            }
+            return Err(RecvError::PeerDead { src: world_src });
+        }
+        Ok(None)
+    }
+
+    /// Blocking typed receive with an explicit deadline and a typed error
+    /// surface — the fault-tolerant sibling of [`Comm::recv`]. Resolves to
+    /// [`RecvError::PeerDead`] promptly if the sender dies while we wait.
+    pub fn recv_deadline<T: Wire>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<T>, RecvError> {
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tag {tag:#x} is reserved for internal use"
+        );
+        self.mailbox
+            .borrow_mut()
+            .recv_match_deadline(self.ctx, self.ranks[src], tag, timeout)
+            .map(|env| decode(&env.data))
+    }
+
+    // ------------------------------------------------------------------
+    // Liveness
+    // ------------------------------------------------------------------
+
+    /// Record an explicit heartbeat for this rank. Message posts and
+    /// receipts beat implicitly; long compute phases that neither send nor
+    /// receive should call this so peers can see progress.
+    pub fn heartbeat(&self) {
+        self.inner.liveness.beat(self.my_world_rank());
+    }
+
+    /// Whether communicator index `i` has not been declared dead.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.inner.liveness.is_alive(self.ranks[i])
+    }
+
+    /// Snapshot of the whole machine's liveness, indexed by **world** rank.
+    pub fn liveness(&self) -> LivenessView {
+        self.inner.liveness.view()
     }
 
     // ------------------------------------------------------------------

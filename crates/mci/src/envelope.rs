@@ -1,11 +1,14 @@
 //! Message envelopes and per-rank mailboxes.
 
+use crate::liveness::Liveness;
 use crate::Tag;
 use crossbeam_channel::Receiver;
-use std::time::Duration;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One message in flight on the virtual network.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Envelope {
     /// Communicator context the message belongs to.
     pub ctx: u64,
@@ -15,7 +18,63 @@ pub struct Envelope {
     pub tag: Tag,
     /// Encoded payload bytes.
     pub data: Vec<u8>,
+    /// Universe-unique transport sequence number. A duplicated message
+    /// (fault-injected or retried at the transport) carries the *same*
+    /// number as the original, so receivers can discard the copy.
+    pub seq: u64,
 }
+
+/// Why a fallible receive did not produce a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No matching message within the allowed wait.
+    Timeout {
+        /// Communicator context of the posted receive.
+        ctx: u64,
+        /// Expected sender (world rank).
+        src: usize,
+        /// Expected tag.
+        tag: Tag,
+        /// How long the receive actually waited.
+        waited: Duration,
+        /// Arrived-but-unmatched messages buffered at the receiver.
+        pending: usize,
+    },
+    /// The expected sender has been declared dead and no matching message
+    /// from it remains buffered; it can never arrive.
+    PeerDead {
+        /// The dead sender (world rank).
+        src: usize,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout {
+                ctx,
+                src,
+                tag,
+                waited,
+                pending,
+            } => write!(
+                f,
+                "receive (ctx={ctx:#x}, src={src}, tag={tag:#x}) timed out after {waited:?} \
+                 with {pending} unmatched pending message(s) — likely deadlock"
+            ),
+            RecvError::PeerDead { src } => {
+                write!(f, "peer world rank {src} is dead; message can never arrive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// How finely a blocked receive re-checks liveness while waiting. Small
+/// enough that a peer death resolves a blocked receive promptly, large
+/// enough not to spin.
+const LIVENESS_POLL: Duration = Duration::from_millis(2);
 
 /// The receive side of one rank: the incoming channel plus a buffer of
 /// messages that have arrived but not yet been matched by a receive.
@@ -23,20 +82,60 @@ pub struct Envelope {
 /// Matching is MPI-like: a receive names `(ctx, src, tag)` and takes the
 /// *earliest arrived* message with those coordinates; messages for other
 /// coordinates are left buffered in arrival order.
+///
+/// When a fault plan is installed on the universe, the mailbox also
+/// deduplicates by transport sequence number: a message whose `seq` has
+/// already been accepted is discarded on intake, which makes duplicated
+/// and retried deliveries idempotent.
 pub struct Mailbox {
     rx: Receiver<Envelope>,
     pending: Vec<Envelope>,
     timeout: Duration,
     my_rank: usize,
+    liveness: Arc<Liveness>,
+    dedup: bool,
+    seen: HashSet<u64>,
 }
 
 impl Mailbox {
-    pub(crate) fn new(rx: Receiver<Envelope>, timeout: Duration, my_rank: usize) -> Self {
+    pub(crate) fn new(
+        rx: Receiver<Envelope>,
+        timeout: Duration,
+        my_rank: usize,
+        liveness: Arc<Liveness>,
+        dedup: bool,
+    ) -> Self {
         Self {
             rx,
             pending: Vec::new(),
             timeout,
             my_rank,
+            liveness,
+            dedup,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Accept one arrived envelope into the pending buffer, unless dedup
+    /// recognizes its sequence number as already accepted.
+    fn intake(&mut self, env: Envelope) {
+        if self.dedup && !self.seen.insert(env.seq) {
+            return;
+        }
+        self.liveness.beat(self.my_rank);
+        self.pending.push(env);
+    }
+
+    fn take_match(&mut self, ctx: u64, src: usize, tag: Tag) -> Option<Envelope> {
+        self.pending
+            .iter()
+            .position(|e| e.ctx == ctx && e.src == src && e.tag == tag)
+            .map(|pos| self.pending.remove(pos))
+    }
+
+    fn drain_channel(&mut self) {
+        while let Ok(env) = self.rx.try_recv() {
+            self.intake(env);
         }
     }
 
@@ -46,40 +145,74 @@ impl Mailbox {
     /// Panics if no matching message arrives within the universe's receive
     /// timeout — by construction of the runtime this indicates a deadlock or
     /// a mismatched communication pattern, and failing loudly is preferable
-    /// to hanging the test suite.
+    /// to hanging the test suite. Also panics if the expected sender dies
+    /// with no matching message buffered; fallible callers should use
+    /// [`Mailbox::recv_match_deadline`] instead.
     pub fn recv_match(&mut self, ctx: u64, src: usize, tag: Tag) -> Envelope {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.ctx == ctx && e.src == src && e.tag == tag)
-        {
-            return self.pending.remove(pos);
+        let timeout = self.timeout;
+        match self.recv_match_deadline(ctx, src, tag, timeout) {
+            Ok(env) => env,
+            Err(e) => panic!("rank {}: {e}", self.my_rank),
         }
+    }
+
+    /// Blocking matched receive with an explicit deadline and a typed
+    /// error surface instead of a panic.
+    ///
+    /// While waiting, the receive re-checks the sender's liveness every
+    /// couple of milliseconds: a dead peer resolves to
+    /// [`RecvError::PeerDead`] as soon as the buffered backlog is known
+    /// not to contain a match, rather than burning the whole deadline.
+    pub fn recv_match_deadline(
+        &mut self,
+        ctx: u64,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Envelope, RecvError> {
+        let start = Instant::now();
         loop {
-            match self.rx.recv_timeout(self.timeout) {
-                Ok(env) => {
-                    if env.ctx == ctx && env.src == src && env.tag == tag {
-                        return env;
-                    }
-                    self.pending.push(env);
+            self.drain_channel();
+            if let Some(env) = self.take_match(ctx, src, tag) {
+                return Ok(env);
+            }
+            if self.liveness.is_dead(src) {
+                // One more drain: the death flag may have been set after
+                // the final message was posted but before we saw it.
+                self.drain_channel();
+                if let Some(env) = self.take_match(ctx, src, tag) {
+                    return Ok(env);
                 }
-                Err(_) => panic!(
-                    "rank {}: receive (ctx={ctx:#x}, src={src}, tag={tag:#x}) timed out after {:?} \
-                     with {} unmatched pending message(s) — likely deadlock",
-                    self.my_rank,
-                    self.timeout,
-                    self.pending.len()
-                ),
+                return Err(RecvError::PeerDead { src });
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return Err(RecvError::Timeout {
+                    ctx,
+                    src,
+                    tag,
+                    waited: elapsed,
+                    pending: self.pending.len(),
+                });
+            }
+            let wait = LIVENESS_POLL.min(timeout - elapsed);
+            // Sleep on the channel itself so arrival wakes us immediately.
+            if let Ok(env) = self.rx.recv_timeout(wait) {
+                self.intake(env);
             }
         }
     }
 
+    /// Non-blocking matched receive: `Some(env)` if a matching message has
+    /// already arrived, `None` otherwise.
+    pub fn try_match(&mut self, ctx: u64, src: usize, tag: Tag) -> Option<Envelope> {
+        self.drain_channel();
+        self.take_match(ctx, src, tag)
+    }
+
     /// Non-blocking probe: is a matching message already available?
     pub fn probe(&mut self, ctx: u64, src: usize, tag: Tag) -> bool {
-        // Drain the channel without blocking so the pending buffer is current.
-        while let Ok(env) = self.rx.try_recv() {
-            self.pending.push(env);
-        }
+        self.drain_channel();
         self.pending
             .iter()
             .any(|e| e.ctx == ctx && e.src == src && e.tag == tag)

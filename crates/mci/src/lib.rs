@@ -36,6 +36,16 @@
 //! for longer than the universe's receive timeout panics — turning deadlocks
 //! into test failures instead of hangs.
 //!
+//! ## Fault tolerance
+//!
+//! A [`FaultPlan`] installed with [`Universe::with_fault_plan`] scripts
+//! deterministic disasters at the transport: rank kills at the *k*-th post
+//! and drop/delay/duplicate rules over `(ctx, src, dst, tag)` patterns.
+//! Run faulty programs with [`Universe::run_surviving`]; recover with the
+//! typed receive surface ([`Comm::try_recv`], [`Comm::recv_deadline`],
+//! [`RecvError`]), the per-universe liveness view ([`Comm::liveness`]),
+//! and the retrying [`InterfaceLink::exchange_ft`]. See DESIGN.md §11.
+//!
 //! ```
 //! use nkg_mci::Universe;
 //!
@@ -51,13 +61,20 @@
 pub mod collectives;
 pub mod comm;
 pub mod envelope;
+pub mod fault;
 pub mod hierarchy;
+pub mod liveness;
 pub mod universe;
 pub mod wire;
 
 pub use comm::Comm;
-pub use hierarchy::{Hierarchy, HierarchySpec, InterfaceLink, ReplicaSet};
-pub use universe::{MsgStats, Universe};
+pub use envelope::RecvError;
+pub use fault::{FaultPlan, FaultStats, MsgAction, MsgMatcher, MsgRule, Pick, RankKill};
+pub use hierarchy::{
+    ExchangeError, Hierarchy, HierarchySpec, InterfaceLink, ReplicaSet, RetryPolicy,
+};
+pub use liveness::{Liveness, LivenessView};
+pub use universe::{FaultRun, MsgStats, Universe};
 pub use wire::Wire;
 
 /// Message tag type (user tags must stay below [`RESERVED_TAG_BASE`]).

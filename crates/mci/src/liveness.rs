@@ -1,0 +1,114 @@
+//! Rank liveness: heartbeat counters and death flags shared by one run.
+//!
+//! The paper's metasolver spans thousands of ranks for days; a coupling
+//! layer that cannot *observe* a lost peer can only hang. This module is
+//! the observation side of the MCI fault model: every rank owns one
+//! heartbeat counter (bumped on every message it posts or receives, plus
+//! explicit [`crate::Comm::heartbeat`] calls) and one death flag (set by
+//! the transport when a scripted fault kills the rank). Receives consult
+//! the flags so a blocked receive on a dead peer resolves to
+//! [`crate::RecvError::PeerDead`] instead of a timeout, and failover
+//! logic consults the [`LivenessView`] to pick the lowest live replica.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared liveness state of one universe run, indexed by world rank.
+pub struct Liveness {
+    beats: Vec<AtomicU64>,
+    dead: Vec<AtomicBool>,
+}
+
+impl Liveness {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn size(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Record one heartbeat for `rank`.
+    pub(crate) fn beat(&self, rank: usize) {
+        self.beats[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark `rank` dead (scripted kill or observed loss).
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::SeqCst);
+    }
+
+    /// Whether `rank` has been declared dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Whether `rank` is (still) alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        !self.is_dead(rank)
+    }
+
+    /// Heartbeats observed from `rank` so far.
+    pub fn beats(&self, rank: usize) -> u64 {
+        self.beats[rank].load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough snapshot of the whole machine's liveness.
+    pub fn view(&self) -> LivenessView {
+        LivenessView {
+            alive: (0..self.size()).map(|r| self.is_alive(r)).collect(),
+            beats: (0..self.size()).map(|r| self.beats(r)).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of the machine's liveness, indexed by world rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessView {
+    /// `alive[r]` is false once world rank `r` has been declared dead.
+    pub alive: Vec<bool>,
+    /// Heartbeat count observed from each world rank.
+    pub beats: Vec<u64>,
+}
+
+impl LivenessView {
+    /// World ranks still alive, in rank order.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&r| self.alive[r]).collect()
+    }
+
+    /// World ranks declared dead, in rank order.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&r| !self.alive[r]).collect()
+    }
+
+    /// True when no rank has died.
+    pub fn all_alive(&self) -> bool {
+        self.alive.iter().all(|&a| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_and_death_flags() {
+        let lv = Liveness::new(3);
+        assert!(lv.view().all_alive());
+        lv.beat(1);
+        lv.beat(1);
+        assert_eq!(lv.beats(1), 2);
+        lv.mark_dead(2);
+        assert!(lv.is_dead(2));
+        assert!(lv.is_alive(0));
+        let v = lv.view();
+        assert_eq!(v.live_ranks(), vec![0, 1]);
+        assert_eq!(v.dead_ranks(), vec![2]);
+        assert!(!v.all_alive());
+        assert_eq!(v.beats[1], 2);
+    }
+}

@@ -1,12 +1,15 @@
-//! The virtual machine: rank launch, routing tables and traffic statistics.
+//! The virtual machine: rank launch, routing tables, traffic statistics,
+//! and the transport-level fault layer.
 
 use crate::comm::Comm;
 use crate::envelope::{Envelope, Mailbox};
+use crate::fault::{Decision, FaultPlan, FaultState, FaultStats, MsgAction, ScriptedKill};
+use crate::liveness::Liveness;
 use crossbeam_channel::{unbounded, Sender};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Once};
 use std::time::Duration;
 
 /// Aggregate traffic counters for one run. Collectives are implemented with
@@ -19,26 +22,163 @@ pub struct MsgStats {
     pub bytes: u64,
 }
 
+/// A fault-delayed message parked at the transport until enough later
+/// traffic on the same `src → dst` flow has been delivered.
+struct Delayed {
+    dst: usize,
+    remaining: u64,
+    env: Envelope,
+}
+
 pub(crate) struct Inner {
     pub senders: Vec<Sender<Envelope>>,
     pub ctx_counter: AtomicU64,
     pub msg_count: AtomicU64,
     pub byte_count: AtomicU64,
+    pub seq_counter: AtomicU64,
+    pub liveness: Arc<Liveness>,
+    pub fault: Option<FaultState>,
+    delayed: Mutex<Vec<Delayed>>,
 }
 
 impl Inner {
-    pub fn post(&self, dst: usize, env: Envelope) {
+    /// Post one message. This is the single chokepoint all traffic passes
+    /// through, so it is where the fault plan judges every message and
+    /// where heartbeats and sequence numbers are stamped.
+    pub fn post(&self, dst: usize, mut env: Envelope) {
+        self.liveness.beat(env.src);
+        env.seq = self.seq_counter.fetch_add(1, Ordering::Relaxed);
         self.msg_count.fetch_add(1, Ordering::Relaxed);
         self.byte_count
             .fetch_add(env.data.len() as u64, Ordering::Relaxed);
-        self.senders[dst]
-            .send(env)
-            .expect("virtual network: destination rank has exited");
+        match self
+            .fault
+            .as_ref()
+            .map_or(Decision::Deliver, |f| f.on_post(&env, dst))
+        {
+            Decision::Kill => {
+                let rank = env.src;
+                self.liveness.mark_dead(rank);
+                std::panic::panic_any(ScriptedKill { rank });
+            }
+            Decision::Act(MsgAction::Drop) => {}
+            Decision::Act(MsgAction::Duplicate) => {
+                let src = env.src;
+                self.deliver(dst, env.clone());
+                // The extra copy is a transport artifact: a real network may
+                // deliver a duplicate after the receiver has finalized, so a
+                // closed mailbox just swallows it.
+                self.deliver_one(dst, env, true);
+                if self.fault.is_some() {
+                    self.tick_delayed(src, dst);
+                }
+            }
+            Decision::Act(MsgAction::Delay { after_flow_msgs }) => {
+                if after_flow_msgs == 0 {
+                    self.deliver(dst, env);
+                } else {
+                    self.delayed.lock().unwrap().push(Delayed {
+                        dst,
+                        remaining: after_flow_msgs,
+                        env,
+                    });
+                }
+            }
+            Decision::Deliver => self.deliver(dst, env),
+        }
+    }
+
+    /// Hand one envelope to the destination mailbox, releasing any parked
+    /// delayed messages on the same flow whose counters reach zero.
+    fn deliver(&self, dst: usize, env: Envelope) {
+        let src = env.src;
+        self.deliver_one(dst, env, false);
+        if self.fault.is_some() {
+            self.tick_delayed(src, dst);
+        }
+    }
+
+    /// `best_effort` marks transport-generated extras (duplicate copies,
+    /// delayed releases): a real network may deliver those after the
+    /// receiver has finalized, so a closed mailbox swallows them silently
+    /// instead of flagging a protocol error.
+    fn deliver_one(&self, dst: usize, env: Envelope, best_effort: bool) {
+        if self.senders[dst].send(env).is_err() {
+            if best_effort {
+                return;
+            }
+            // The destination's channel is closed: its thread has exited.
+            // If it died by scripted kill the flag may lag the disconnect
+            // by an instant, so give it a moment before concluding this is
+            // a genuine protocol error.
+            if self.liveness.is_dead(dst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            if self.liveness.is_dead(dst) {
+                return;
+            }
+            panic!("virtual network: destination rank has exited");
+        }
+    }
+
+    /// A message on `src → dst` was just delivered: decrement parked
+    /// delayed messages on that flow and flush the ones that come due.
+    /// Flushed messages do not re-enter the countdown (no cascades).
+    fn tick_delayed(&self, src: usize, dst: usize) {
+        let due: Vec<Delayed> = {
+            let mut parked = self.delayed.lock().unwrap();
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < parked.len() {
+                if parked[i].env.src == src && parked[i].dst == dst {
+                    parked[i].remaining -= 1;
+                    if parked[i].remaining == 0 {
+                        due.push(parked.swap_remove(i));
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            due
+        };
+        for d in due {
+            self.deliver_one(d.dst, d.env, true);
+        }
     }
 
     pub fn alloc_ctx(&self, n: u64) -> u64 {
         self.ctx_counter.fetch_add(n, Ordering::Relaxed)
     }
+}
+
+/// Outcome of a [`Universe::run_surviving`] call: per-rank results with
+/// `None` for ranks the fault plan killed, the set of dead ranks, and the
+/// plan's fired/match counters for determinism assertions.
+#[derive(Debug)]
+pub struct FaultRun<R> {
+    /// Per-rank results in rank order; `None` where the rank was killed.
+    pub results: Vec<Option<R>>,
+    /// World ranks killed by the fault plan, in rank order.
+    pub dead: Vec<usize>,
+    /// Fault-plan counters for this run.
+    pub stats: FaultStats,
+}
+
+/// Install (once per process) a panic hook that stays silent for scripted
+/// kills — they are the *plan*, not a bug — while delegating every other
+/// panic to the previous hook.
+fn install_quiet_kill_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ScriptedKill>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// A virtual parallel machine with a fixed number of ranks.
@@ -50,10 +190,16 @@ impl Inner {
 ///
 /// The default receive timeout is 120 s; deadlocked programs therefore fail
 /// with a panic naming the blocked `(ctx, src, tag)` instead of hanging.
+///
+/// A [`FaultPlan`] installed with [`Universe::with_fault_plan`] scripts
+/// deterministic disasters — rank kills and message drop/delay/duplicate —
+/// at the transport; run such programs with [`Universe::run_surviving`],
+/// which reports killed ranks instead of panicking.
 pub struct Universe {
     size: usize,
     recv_timeout: Duration,
     stats: Arc<(AtomicU64, AtomicU64)>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Universe {
@@ -67,12 +213,21 @@ impl Universe {
             size,
             recv_timeout: Duration::from_secs(120),
             stats: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
+            fault_plan: None,
         }
     }
 
     /// Override the blocked-receive timeout (deadlock detector).
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Install a fault plan. Every subsequent run applies it at the
+    /// transport; mailboxes additionally deduplicate by sequence number so
+    /// duplicated/retried deliveries are idempotent.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -93,14 +248,46 @@ impl Universe {
     /// communicator. Returns per-rank results in rank order.
     ///
     /// # Panics
-    /// Propagates the first rank panic (after joining all threads that can
-    /// be joined), so failures inside rank bodies surface in tests.
+    /// Joins **all** rank threads, then propagates a combined panic naming
+    /// every failed rank with its payload — a multi-rank failure reports
+    /// the whole failed set, not an arbitrary first casualty. Also panics
+    /// if an installed fault plan killed any rank; use
+    /// [`Universe::run_surviving`] for programs expected to lose ranks.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(Comm) -> R + Send + Sync + 'static,
     {
+        let out = self.run_surviving(f);
+        assert!(
+            out.dead.is_empty(),
+            "fault plan killed rank(s) {:?}; use run_surviving for runs that lose ranks",
+            out.dead
+        );
+        out.results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// Run an SPMD program that may lose ranks to the installed fault plan.
+    ///
+    /// Scripted kills are absorbed: the killed rank's result slot is `None`
+    /// and its world rank is listed in [`FaultRun::dead`]. Genuine panics
+    /// (assertion failures, deadlock timeouts) are still collected from
+    /// *all* ranks and propagated as one combined panic.
+    pub fn run_surviving<R, F>(&self, f: F) -> FaultRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
         let n = self.size;
+        let liveness = Arc::new(Liveness::new(n));
+        let dedup = self.fault_plan.is_some();
+        if self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| !p.kills.is_empty())
+        {
+            install_quiet_kill_hook();
+        }
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
         let inner = Arc::new(Inner {
             senders,
@@ -108,11 +295,16 @@ impl Universe {
             ctx_counter: AtomicU64::new(1),
             msg_count: AtomicU64::new(0),
             byte_count: AtomicU64::new(0),
+            seq_counter: AtomicU64::new(0),
+            liveness: Arc::clone(&liveness),
+            fault: self.fault_plan.clone().map(|plan| FaultState::new(plan, n)),
+            delayed: Mutex::new(Vec::new()),
         });
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(n);
         for (rank, rx) in receivers.into_iter().enumerate() {
             let inner = Arc::clone(&inner);
+            let liveness = Arc::clone(&liveness);
             let f = Arc::clone(&f);
             let timeout = self.recv_timeout;
             handles.push(
@@ -122,20 +314,44 @@ impl Universe {
                     // the Linux default but be explicit for portability.
                     .stack_size(8 << 20)
                     .spawn(move || {
-                        let mailbox = Rc::new(RefCell::new(Mailbox::new(rx, timeout, rank)));
+                        let mailbox = Rc::new(RefCell::new(Mailbox::new(
+                            rx,
+                            timeout,
+                            rank,
+                            Arc::clone(&liveness),
+                            dedup,
+                        )));
                         let world =
                             Comm::world(inner, mailbox, rank, (0..n).collect::<Vec<_>>().into());
-                        f(world)
+                        // Any unwind — scripted kill or genuine panic — marks
+                        // this rank dead so peers blocked on it resolve to
+                        // PeerDead promptly instead of waiting out the full
+                        // receive timeout.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(world))) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                liveness.mark_dead(rank);
+                                std::panic::resume_unwind(e);
+                            }
+                        }
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
         let mut results = Vec::with_capacity(n);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
+        let mut dead = Vec::new();
+        let mut failures: Vec<(usize, String)> = Vec::new();
+        for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(r) => results.push(r),
-                Err(e) => panic = panic.or(Some(e)),
+                Ok(r) => results.push(Some(r)),
+                Err(e) => {
+                    results.push(None);
+                    if e.downcast_ref::<ScriptedKill>().is_some() {
+                        dead.push(rank);
+                    } else {
+                        failures.push((rank, payload_string(e.as_ref())));
+                    }
+                }
             }
         }
         // Fold this run's traffic into the universe-level counters.
@@ -145,16 +361,48 @@ impl Universe {
         self.stats
             .1
             .fetch_add(inner.byte_count.load(Ordering::Relaxed), Ordering::Relaxed);
-        if let Some(e) = panic {
-            std::panic::resume_unwind(e);
+        let stats = inner
+            .fault
+            .as_ref()
+            .map(|fs| fs.stats())
+            .unwrap_or_default();
+        if !failures.is_empty() {
+            let ranks: Vec<usize> = failures.iter().map(|(r, _)| *r).collect();
+            let detail: Vec<String> = failures
+                .iter()
+                .map(|(r, msg)| format!("rank {r}: {msg}"))
+                .collect();
+            panic!(
+                "{}/{} ranks panicked (failed ranks {:?}) — {}",
+                failures.len(),
+                n,
+                ranks,
+                detail.join("; ")
+            );
         }
-        results
+        FaultRun {
+            results,
+            dead,
+            stats,
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload for the combined error report.
+fn payload_string(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{MsgAction, MsgMatcher, Pick};
 
     #[test]
     fn single_rank_runs() {
@@ -192,6 +440,24 @@ mod tests {
     }
 
     #[test]
+    fn all_rank_panics_reported() {
+        let u = Universe::new(4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            u.run(|comm| {
+                if comm.rank() % 2 == 1 {
+                    panic!("boom-{}", comm.rank());
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("2/4 ranks panicked"), "got: {msg}");
+        assert!(msg.contains("[1, 3]"), "got: {msg}");
+        assert!(msg.contains("rank 1: boom-1"), "got: {msg}");
+        assert!(msg.contains("rank 3: boom-3"), "got: {msg}");
+    }
+
+    #[test]
     fn stats_accumulate() {
         let u = Universe::new(2);
         u.run(|comm| {
@@ -217,5 +483,95 @@ mod tests {
                 let _: Vec<f64> = comm.recv(1, 9);
             }
         });
+    }
+
+    #[test]
+    fn scripted_kill_reported_not_propagated() {
+        let u = Universe::new(3).with_fault_plan(FaultPlan::new().kill_rank(2, 1));
+        let out = u.run_surviving(|comm| {
+            if comm.rank() == 2 {
+                // This send is rank 2's first post: it dies here.
+                comm.send(&[1.0f64], 0, 3);
+                unreachable!("rank 2 must die on its first send");
+            }
+            comm.rank()
+        });
+        assert_eq!(out.dead, vec![2]);
+        assert_eq!(out.results[0], Some(0));
+        assert_eq!(out.results[1], Some(1));
+        assert_eq!(out.results[2], None);
+        assert_eq!(out.stats.sends_per_rank[2], 1);
+    }
+
+    #[test]
+    fn duplicate_rule_is_invisible_to_receiver() {
+        let plan =
+            FaultPlan::new().with_rule(MsgMatcher::flow(0, 1), Pick::Always, MsgAction::Duplicate);
+        let u = Universe::new(2).with_fault_plan(plan);
+        let out = u.run_surviving(|comm| {
+            if comm.rank() == 0 {
+                comm.send(&[4.0f64, 5.0], 1, 7);
+                0.0
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                assert_eq!(v, vec![4.0, 5.0]);
+                // The duplicate was dropped by seq dedup, so a second
+                // receive would block; verify nothing extra is pending.
+                std::thread::sleep(Duration::from_millis(20));
+                v.iter().sum()
+            }
+        });
+        assert!(out.dead.is_empty());
+        assert_eq!(out.results[1], Some(9.0));
+        assert_eq!(out.stats.rule_fired, vec![1]);
+    }
+
+    #[test]
+    fn delay_rule_reorders_flow() {
+        // Delay the first message on 0→1 until one later message on the
+        // same flow has been delivered; the receiver still gets both by
+        // tag, just in swapped arrival order.
+        let plan = FaultPlan::new().with_rule(
+            MsgMatcher::flow(0, 1),
+            Pick::Nth(1),
+            MsgAction::Delay { after_flow_msgs: 1 },
+        );
+        let u = Universe::new(2).with_fault_plan(plan);
+        let out = u.run_surviving(|comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.0f64], 1, 11);
+                comm.send(&[2.0f64], 1, 12);
+                vec![]
+            } else {
+                // Receive in reverse tag order to show both arrived.
+                let b: Vec<f64> = comm.recv(0, 12);
+                let a: Vec<f64> = comm.recv(0, 11);
+                vec![a[0], b[0]]
+            }
+        });
+        assert!(out.dead.is_empty());
+        assert_eq!(out.results[1], Some(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn drop_rule_counts_fire() {
+        let plan = FaultPlan::new().with_rule(
+            MsgMatcher::flow(0, 1).with_tag(5),
+            Pick::Nth(1),
+            MsgAction::Drop,
+        );
+        let u = Universe::new(2).with_fault_plan(plan);
+        let out = u.run_surviving(|comm| {
+            if comm.rank() == 0 {
+                comm.send(&[1.0f64], 1, 5); // dropped
+                comm.send(&[2.0f64], 1, 5); // delivered
+            } else {
+                let v: Vec<f64> = comm.recv(0, 5);
+                assert_eq!(v, vec![2.0]);
+            }
+        });
+        assert!(out.dead.is_empty());
+        assert_eq!(out.stats.rule_matches, vec![2]);
+        assert_eq!(out.stats.rule_fired, vec![1]);
     }
 }

@@ -1,0 +1,197 @@
+//! Degenerate-input coverage for the collective layer: size-1
+//! communicators, empty payload vectors, and `split` where every rank
+//! passes `None`. These are the edges a coupling layer actually hits —
+//! an interface owned by one rank, a zero-length boundary trace, a patch
+//! that opts out of a sub-communicator — and they must behave like their
+//! MPI counterparts instead of hanging or panicking.
+
+use nkg_mci::collectives::ReduceOp;
+use nkg_mci::Universe;
+
+// ---------------------------------------------------------------------
+// Size-1 communicators: every collective must degenerate to the identity.
+// ---------------------------------------------------------------------
+
+#[test]
+fn size1_barrier_and_bcast() {
+    Universe::new(1).run(|comm| {
+        comm.barrier();
+        let mut data = vec![1.5f64, -2.0];
+        comm.bcast(0, &mut data);
+        assert_eq!(data, vec![1.5, -2.0]);
+    });
+}
+
+#[test]
+fn size1_reduce_and_allreduce() {
+    Universe::new(1).run(|comm| {
+        let out = comm.reduce(0, &[3.0, 4.0], ReduceOp::Sum).unwrap();
+        assert_eq!(out, vec![3.0, 4.0]);
+        assert_eq!(comm.allreduce_sum(&[7.0]), vec![7.0]);
+        assert_eq!(comm.allreduce_scalar_min(-1.0), -1.0);
+        assert_eq!(comm.allreduce_scalar_max(-1.0), -1.0);
+    });
+}
+
+#[test]
+fn size1_gather_scatter_allgather_alltoall() {
+    Universe::new(1).run(|comm| {
+        let parts = comm.gather(0, &[9.0f64]).unwrap();
+        assert_eq!(parts, vec![vec![9.0]]);
+        let mine = comm.scatter(0, Some(&[vec![5.0f64, 6.0]]));
+        assert_eq!(mine, vec![5.0, 6.0]);
+        let all = comm.allgather(&[8.0f64]);
+        assert_eq!(all, vec![vec![8.0]]);
+        let got = comm.alltoall(&[vec![2.0f64]]);
+        assert_eq!(got, vec![vec![2.0]]);
+    });
+}
+
+#[test]
+fn size1_subcommunicator_from_split() {
+    // A split that isolates every rank produces size-1 communicators that
+    // must still run the full collective suite.
+    Universe::new(3).run(|comm| {
+        let solo = comm.split(Some(comm.rank()), 0).unwrap();
+        assert_eq!(solo.size(), 1);
+        solo.barrier();
+        assert_eq!(
+            solo.allreduce_scalar_sum(comm.rank() as f64),
+            comm.rank() as f64
+        );
+        let parts = solo.gather(0, &[1.0f64]).unwrap();
+        assert_eq!(parts.len(), 1);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Empty payloads: zero-length vectors travel and come back zero-length.
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_bcast() {
+    Universe::new(4).run(|comm| {
+        let mut data: Vec<f64> = if comm.rank() == 0 {
+            Vec::new()
+        } else {
+            vec![99.0] // must be replaced by the (empty) broadcast payload
+        };
+        comm.bcast(0, &mut data);
+        assert!(data.is_empty());
+    });
+}
+
+#[test]
+fn empty_reduce_and_allreduce() {
+    Universe::new(3).run(|comm| {
+        let out = comm.reduce(0, &[], ReduceOp::Sum);
+        if comm.rank() == 0 {
+            assert_eq!(out.unwrap(), Vec::<f64>::new());
+        } else {
+            assert!(out.is_none());
+        }
+        assert_eq!(comm.allreduce_sum(&[]), Vec::<f64>::new());
+    });
+}
+
+#[test]
+fn empty_gather_and_gatherv_mixed() {
+    Universe::new(4).run(|comm| {
+        // Everyone empty.
+        let parts = comm.gather::<f64>(0, &[]);
+        if comm.rank() == 0 {
+            let parts = parts.unwrap();
+            assert_eq!(parts.len(), 4);
+            assert!(parts.iter().all(|p| p.is_empty()));
+        }
+        // Mixed: odd ranks contribute, even ranks are empty (gatherv).
+        let mine: Vec<f64> = if comm.rank() % 2 == 1 {
+            vec![comm.rank() as f64]
+        } else {
+            Vec::new()
+        };
+        let parts = comm.gather(0, &mine);
+        if comm.rank() == 0 {
+            let parts = parts.unwrap();
+            assert_eq!(parts[0], Vec::<f64>::new());
+            assert_eq!(parts[1], vec![1.0]);
+            assert_eq!(parts[2], Vec::<f64>::new());
+            assert_eq!(parts[3], vec![3.0]);
+        }
+    });
+}
+
+#[test]
+fn empty_scatter_and_scatterv_mixed() {
+    Universe::new(3).run(|comm| {
+        // Everyone receives empty.
+        let parts: Option<Vec<Vec<f64>>> = if comm.rank() == 0 {
+            Some(vec![Vec::new(), Vec::new(), Vec::new()])
+        } else {
+            None
+        };
+        let mine = comm.scatter(0, parts.as_deref());
+        assert!(mine.is_empty());
+        // Mixed lengths, including an empty slot (scatterv).
+        let parts: Option<Vec<Vec<f64>>> = if comm.rank() == 0 {
+            Some(vec![vec![0.5], Vec::new(), vec![2.0, 2.5]])
+        } else {
+            None
+        };
+        let mine = comm.scatter(0, parts.as_deref());
+        let expect: Vec<f64> = match comm.rank() {
+            0 => vec![0.5],
+            1 => Vec::new(),
+            _ => vec![2.0, 2.5],
+        };
+        assert_eq!(mine, expect);
+    });
+}
+
+#[test]
+fn empty_allgather_and_alltoall() {
+    Universe::new(3).run(|comm| {
+        let all = comm.allgather::<f64>(&[]);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|p| p.is_empty()));
+        let got = comm.alltoall::<f64>(&vec![Vec::new(); 3]);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|p| p.is_empty()));
+    });
+}
+
+// ---------------------------------------------------------------------
+// split where every rank passes None (all MPI_UNDEFINED).
+// ---------------------------------------------------------------------
+
+#[test]
+fn split_all_none_yields_no_communicators() {
+    Universe::new(4).run(|comm| {
+        let sub = comm.split(None, comm.rank());
+        assert!(sub.is_none());
+        // The parent communicator must remain fully usable afterwards.
+        comm.barrier();
+        assert_eq!(comm.allreduce_scalar_sum(1.0), 4.0);
+    });
+}
+
+#[test]
+fn split_all_none_repeated() {
+    // Repeated all-None splits must not leak contexts or wedge the root's
+    // reply protocol.
+    Universe::new(2).run(|comm| {
+        for _ in 0..3 {
+            assert!(comm.split(None, 0).is_none());
+        }
+        let sub = comm.split(Some(0), comm.rank()).unwrap();
+        assert_eq!(sub.size(), 2);
+    });
+}
+
+#[test]
+fn split_all_none_on_size1() {
+    Universe::new(1).run(|comm| {
+        assert!(comm.split(None, 0).is_none());
+        assert!(comm.split(Some(7), 0).is_some());
+    });
+}

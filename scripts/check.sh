@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fault-injection integration suite =="
+cargo test -q --test integration_fault
+
 echo "All checks passed."

@@ -95,11 +95,7 @@ fn traffic_counters_scale_with_interface_size() {
             let l3 = world.split(Some(domain), world.rank()).unwrap();
             let l4 = l3.split(Some(0), l3.rank()).unwrap();
             let peer_root = if domain == 0 { members } else { 0 };
-            let link = InterfaceLink {
-                l4,
-                peer_root_world: peer_root,
-                tag: 5,
-            };
+            let link = InterfaceLink::new(l4, peer_root, 5);
             let mine = vec![1.0f64; 64];
             let _ = link.exchange(&world, &mine, 64);
         });

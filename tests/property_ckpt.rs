@@ -138,6 +138,8 @@ proptest! {
             patch_mismatch: continuity,
             platelet_census: census,
             wpod_windows: ns_steps / 7,
+            held_exchanges: (0..(ns_steps % 4) as u64).collect(),
+            failovers: vec![(ns_steps as u64 % 5, 0, 1); ns_steps % 3],
         };
         let mut fresh = RunReport::default();
         assert_round_trip(&report, &mut fresh)?;
