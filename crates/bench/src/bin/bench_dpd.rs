@@ -113,6 +113,51 @@ fn main() {
         );
     }
 
+    // --- Thread-pool sweep ---------------------------------------------
+    // Scaling of the two parallel paths over explicit pool sizes. Each row
+    // records the size the pool *actually* provided (a container quota can
+    // hand back fewer threads than requested).
+    let max_t = std::thread::available_parallelism().map_or(threads, |p| p.get());
+    let mut sizes = vec![1usize, 2, 4, max_t];
+    sizes.sort_unstable();
+    sizes.dedup();
+    println!("\nthread-pool sweep                   s/sweep    s/step    vs 1-thread sweep");
+    let mut sweep_1t = 0.0;
+    for &k in &sizes {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(k)
+            .build()
+            .expect("pool build");
+        let actual = pool.current_num_threads();
+        let (t_sweep, t_step) = pool.install(|| {
+            let t_sweep = time_median(reps, || {
+                sim.particles.clear_forces();
+                accumulate_pair_forces_par(&mut sim.particles, &csr, &bx, &m, 1.0, 1.0, 0.01, 1, 1);
+            });
+            sim.force_backend = ForceBackend::Parallel;
+            let t_step = time_median(reps, || sim.step());
+            (t_sweep, t_step)
+        });
+        if k == 1 {
+            sweep_1t = t_sweep;
+        }
+        println!(
+            "{:<34}  {t_sweep:>9.4}  {t_step:>8.4}  {:>17.2}x",
+            format!("pool = {k} (actual {actual})"),
+            sweep_1t / t_sweep
+        );
+        nkg_bench::append_jsonl(
+            "BENCH_dpd.json",
+            &format!(
+                "{{\"bench\":\"dpd_thread_sweep\",\"n_particles\":{n},\"pool_threads_requested\":{k},\
+                 \"pool_threads_actual\":{actual},\"reps\":{reps},\
+                 \"csr_parallel_sweep_seconds\":{t_sweep:.6},\"parallel_step_seconds\":{t_step:.6},\
+                 \"sweep_speedup_vs_1_thread\":{:.3}}}",
+                sweep_1t / t_sweep
+            ),
+        );
+    }
+
     // --- JSON record (one line appended per run: JSON Lines) ------------
     let record = format!(
         "{{\"bench\":\"dpd_hot_path\",\"n_particles\":{n},\"density\":3.0,\"rc\":1.0,\

@@ -26,7 +26,9 @@ pub const MAGIC: [u8; 4] = *b"NKGC";
 
 /// Current format version. Bump on any incompatible layout change; readers
 /// refuse other versions with [`CkptError::Version`] instead of guessing.
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2: NS solver sections carry projection warm-start bases and
+/// per-step elliptic telemetry (run reports grew matching vectors).
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 4 + 4 + 4;
 const SECTION_HEADER_LEN: usize = 4 + 8 + 4;

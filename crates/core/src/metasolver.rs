@@ -45,6 +45,18 @@ pub struct RunReport {
     pub held_exchanges: Vec<u64>,
     /// Replica failovers as `(exchange_window, from_replica, to_replica)`.
     pub failovers: Vec<(u64, u64, u64)>,
+    /// Per continuum step: pressure-Poisson CG iterations summed over the
+    /// patches.
+    pub pressure_iters_per_step: Vec<u64>,
+    /// Per continuum step: viscous Helmholtz CG iterations summed over
+    /// patches and velocity components.
+    pub viscous_iters_per_step: Vec<u64>,
+    /// Per continuum step: worst final elliptic residual over all patch
+    /// solves.
+    pub elliptic_residual_per_step: Vec<f64>,
+    /// Continuum steps (0-based) where an elliptic solve reported a CG
+    /// breakdown (`pᵀAp ≤ 0`) — always worth investigating.
+    pub breakdown_steps: Vec<u64>,
 }
 
 impl RunReport {
@@ -86,6 +98,10 @@ impl Snapshot for RunReport {
             enc.put(from);
             enc.put(to);
         }
+        enc.put_slice(&self.pressure_iters_per_step);
+        enc.put_slice(&self.viscous_iters_per_step);
+        enc.put_slice(&self.elliptic_residual_per_step);
+        enc.put_slice(&self.breakdown_steps);
     }
 
     fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
@@ -113,6 +129,10 @@ impl Snapshot for RunReport {
             failovers.push((dec.take::<u64>()?, dec.take::<u64>()?, dec.take::<u64>()?));
         }
         self.failovers = failovers;
+        self.pressure_iters_per_step = dec.take_vec::<u64>()?;
+        self.viscous_iters_per_step = dec.take_vec::<u64>()?;
+        self.elliptic_residual_per_step = dec.take_vec::<f64>()?;
+        self.breakdown_steps = dec.take_vec::<u64>()?;
         Ok(())
     }
 }
@@ -283,6 +303,19 @@ impl NektarG {
                 }
             }
             self.continuum.step();
+            let solve = self.continuum.last_step_stats();
+            self.report
+                .pressure_iters_per_step
+                .push(solve.pressure_iterations as u64);
+            self.report
+                .viscous_iters_per_step
+                .push(solve.viscous_iterations as u64);
+            self.report
+                .elliptic_residual_per_step
+                .push(solve.pressure_residual.max(solve.viscous_residual));
+            if solve.breakdown {
+                self.report.breakdown_steps.push(step as u64);
+            }
             self.report.ns_steps += 1;
             for _ in 0..self.progression.substeps {
                 self.atomistic.sim.step();

@@ -24,7 +24,7 @@
 
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_mesh::quad::{BoundaryTag, QuadMesh};
-use nkg_sem::ns2d::{NsConfig, NsSolver2d};
+use nkg_sem::ns2d::{NsConfig, NsSolver2d, StepSolveStats};
 use nkg_sem::space2d::Space2d;
 use std::collections::HashMap;
 
@@ -157,6 +157,24 @@ impl Multipatch2d {
         }
     }
 
+    /// Elliptic-solve telemetry of the most recent coupled step, aggregated
+    /// over the patches: iterations sum, residuals and projection-basis
+    /// sizes take the worst (largest) patch, breakdown flags OR together.
+    pub fn last_step_stats(&self) -> StepSolveStats {
+        let mut agg = StepSolveStats::default();
+        for s in &self.patches {
+            let st = s.last_step_stats();
+            agg.pressure_iterations += st.pressure_iterations;
+            agg.pressure_residual = agg.pressure_residual.max(st.pressure_residual);
+            agg.pressure_proj_dim = agg.pressure_proj_dim.max(st.pressure_proj_dim);
+            agg.viscous_iterations += st.viscous_iterations;
+            agg.viscous_residual = agg.viscous_residual.max(st.viscous_residual);
+            agg.viscous_proj_dim = agg.viscous_proj_dim.max(st.viscous_proj_dim);
+            agg.breakdown |= st.breakdown;
+        }
+        agg
+    }
+
     /// Fig. 9 metric: RMS over all interface DoFs of the velocity
     /// difference between the local solution and the donor's interior
     /// solution at the same physical point (u and v combined, both cut
@@ -281,6 +299,7 @@ pub fn poiseuille_multipatch(
             time_order: 2,
             tol: 1e-11,
             max_iter: 4000,
+            ..NsConfig::default()
         };
         let upstream_cut = pi.checked_sub(1).map(|c| BoundaryTag::Interface(c as u32));
         let downstream_cut = BoundaryTag::Interface(pi as u32);

@@ -18,6 +18,40 @@ pub struct CgResult {
     pub residual: f64,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// True when the iteration stopped because `pᵀAp ≤ 0`: the operator
+    /// (or preconditioner) is not SPD on the Krylov subspace, or round-off
+    /// destroyed the search direction. The residual reported alongside is
+    /// the last *valid* one, so `converged: false, breakdown: true` must
+    /// never be read as "ran out of iterations".
+    pub breakdown: bool,
+}
+
+/// Reusable buffers for [`pcg_ws`]: four length-`n` vectors that would
+/// otherwise be reallocated on every solve. A persistent solver object
+/// (see [`crate::precon::EllipticSolver`]) keeps one of these alive so the
+/// time-stepping hot loop performs zero heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct CgWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow (never shrink) the buffers to length `n`.
+    fn ensure(&mut self, n: usize) {
+        if self.r.len() < n {
+            self.r.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.p.resize(n, 0.0);
+            self.ap.resize(n, 0.0);
+        }
+    }
 }
 
 /// Solve `A x = b` by preconditioned CG.
@@ -30,69 +64,91 @@ pub struct CgResult {
 /// The caller is responsible for masking Dirichlet DoFs inside `apply` and
 /// `precond` (residual components at masked DoFs must come out zero).
 pub fn pcg(
+    apply: impl FnMut(&[f64], &mut [f64]),
+    precond: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    pcg_ws(apply, precond, b, x, tol, max_iter, &mut CgWorkspace::new())
+}
+
+/// [`pcg`] with caller-provided workspace: no heap allocation when the
+/// workspace buffers are already at least `b.len()` long.
+#[allow(clippy::too_many_arguments)]
+pub fn pcg_ws(
     mut apply: impl FnMut(&[f64], &mut [f64]),
     mut precond: impl FnMut(&[f64], &mut [f64]),
     b: &[f64],
     x: &mut [f64],
     tol: f64,
     max_iter: usize,
+    ws: &mut CgWorkspace,
 ) -> CgResult {
     let n = b.len();
     assert_eq!(x.len(), n);
-    let mut r = vec![0.0f64; n];
-    let mut z = vec![0.0f64; n];
-    let mut p = vec![0.0f64; n];
-    let mut ap = vec![0.0f64; n];
+    ws.ensure(n);
+    let (r, z, p, ap) = (
+        &mut ws.r[..n],
+        &mut ws.z[..n],
+        &mut ws.p[..n],
+        &mut ws.ap[..n],
+    );
 
     // r = b - A x
-    apply(x, &mut ap);
+    apply(x, ap);
     for i in 0..n {
         r[i] = b[i] - ap[i];
     }
     let bnorm = par_dot(b, b).sqrt().max(1e-300);
-    let mut rnorm = par_dot(&r, &r).sqrt();
+    let mut rnorm = par_dot(r, r).sqrt();
     if rnorm <= tol * bnorm {
         return CgResult {
             iterations: 0,
             residual: rnorm,
             converged: true,
+            breakdown: false,
         };
     }
-    precond(&r, &mut z);
-    p.copy_from_slice(&z);
-    let mut rz = par_dot(&r, &z);
+    precond(r, z);
+    p.copy_from_slice(z);
+    let mut rz = par_dot(r, z);
     for it in 1..=max_iter {
-        apply(&p, &mut ap);
-        let pap = par_dot(&p, &ap);
+        apply(p, ap);
+        let pap = par_dot(p, ap);
         if pap <= 0.0 {
             // Operator not SPD on this subspace (or round-off breakdown).
             return CgResult {
                 iterations: it,
                 residual: rnorm,
                 converged: false,
+                breakdown: true,
             };
         }
         let alpha = rz / pap;
-        par_axpy(alpha, &p, x);
-        par_axpy(-alpha, &ap, &mut r);
-        rnorm = par_dot(&r, &r).sqrt();
+        par_axpy(alpha, p, x);
+        par_axpy(-alpha, ap, r);
+        rnorm = par_dot(r, r).sqrt();
         if rnorm <= tol * bnorm {
             return CgResult {
                 iterations: it,
                 residual: rnorm,
                 converged: true,
+                breakdown: false,
             };
         }
-        precond(&r, &mut z);
-        let rz_new = par_dot(&r, &z);
+        precond(r, z);
+        let rz_new = par_dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        par_xpby(&z, beta, &mut p);
+        par_xpby(z, beta, p);
     }
     CgResult {
         iterations: max_iter,
         residual: rnorm,
         converged: false,
+        breakdown: false,
     }
 }
 
@@ -211,6 +267,59 @@ mod tests {
         let res = pcg(dense_apply(&a), identity_precond, &b, &mut x, 1e-12, 10);
         assert_eq!(res.iterations, 0);
         assert!(res.converged);
+    }
+
+    #[test]
+    fn breakdown_flagged_on_indefinite_operator() {
+        // diag(1, -1) is indefinite: the first search direction along e₂
+        // gives pᵀAp = -1 ≤ 0, which must be reported as a breakdown, not
+        // as a mere iteration-budget failure.
+        let a = vec![vec![1.0, 0.0], vec![0.0, -1.0]];
+        let b = vec![0.0, 1.0];
+        let mut x = vec![0.0; 2];
+        let res = pcg(dense_apply(&a), identity_precond, &b, &mut x, 1e-12, 50);
+        assert!(!res.converged);
+        assert!(res.breakdown);
+        assert_eq!(res.iterations, 1);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise() {
+        let n = 40;
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            a[i][i] = 2.0;
+            if i > 0 {
+                a[i][i - 1] = -1.0;
+                a[i - 1][i] = -1.0;
+            }
+        }
+        let b = vec![1.0; n];
+        let mut ws = CgWorkspace::new();
+        let mut x0 = vec![0.0; n];
+        let r0 = pcg_ws(
+            dense_apply(&a),
+            identity_precond,
+            &b,
+            &mut x0,
+            1e-10,
+            500,
+            &mut ws,
+        );
+        // Second solve reuses the (now dirty) workspace: results must be
+        // bitwise identical to a fresh run.
+        let mut x1 = vec![0.0; n];
+        let r1 = pcg_ws(
+            dense_apply(&a),
+            identity_precond,
+            &b,
+            &mut x1,
+            1e-10,
+            500,
+            &mut ws,
+        );
+        assert_eq!(r0, r1);
+        assert_eq!(x0, x1);
     }
 
     #[test]

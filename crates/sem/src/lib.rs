@@ -33,11 +33,16 @@ pub mod cg;
 pub mod ns2d;
 pub mod ns3d;
 pub mod oned;
+pub mod precon;
 pub mod space2d;
 pub mod space3d;
 
 pub use basis::GllBasis;
-pub use cg::{pcg, CgResult};
-pub use ns2d::{NsConfig, NsSolver2d};
+pub use cg::{pcg, pcg_ws, CgResult, CgWorkspace};
+pub use ns2d::{NsConfig, NsSolver2d, StepSolveStats};
+pub use precon::{
+    ApplyScratch, DirichletMask, EllipticSolver, EllipticSpace, LowEnergyPrecon, PreconKind,
+    Preconditioner, SolveStats,
+};
 pub use space2d::Space2d;
 pub use space3d::Space3d;

@@ -18,6 +18,7 @@
 //! [`NsSolver2d::set_velocity_override`] — that is exactly how the paper's
 //! inter-patch and continuum→atomistic conditions enter the solver.
 
+use crate::precon::{EllipticSolver, PreconKind};
 use crate::space2d::Space2d;
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_mesh::quad::BoundaryTag;
@@ -36,6 +37,10 @@ pub struct NsConfig {
     pub tol: f64,
     /// CG iteration cap.
     pub max_iter: usize,
+    /// Preconditioner rung for the elliptic solves.
+    pub precon: PreconKind,
+    /// Successive-RHS projection depth (0 disables warm starts).
+    pub proj_depth: usize,
 }
 
 impl Default for NsConfig {
@@ -46,8 +51,100 @@ impl Default for NsConfig {
             time_order: 2,
             tol: 1e-10,
             max_iter: 4000,
+            precon: PreconKind::LowEnergyCoarse,
+            proj_depth: 8,
         }
     }
+}
+
+/// Stable numeric code of a [`PreconKind`] for snapshot fingerprints.
+pub(crate) fn precon_code(k: PreconKind) -> u64 {
+    match k {
+        PreconKind::None => 0,
+        PreconKind::Jacobi => 1,
+        PreconKind::LowEnergy => 2,
+        PreconKind::LowEnergyCoarse => 3,
+    }
+}
+
+/// Per-step elliptic-solve telemetry (pressure Poisson + the velocity
+/// Helmholtz solves), surfaced into the metasolver's `RunReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepSolveStats {
+    /// Pressure CG iterations.
+    pub pressure_iterations: usize,
+    /// Final pressure residual 2-norm.
+    pub pressure_residual: f64,
+    /// Projection-basis size used for the pressure warm start.
+    pub pressure_proj_dim: usize,
+    /// Velocity Helmholtz iterations, summed over components.
+    pub viscous_iterations: usize,
+    /// Largest final viscous residual over the components.
+    pub viscous_residual: f64,
+    /// Largest viscous projection-basis size over the components.
+    pub viscous_proj_dim: usize,
+    /// True when any solve hit a CG breakdown (`pᵀAp ≤ 0`).
+    pub breakdown: bool,
+}
+
+impl StepSolveStats {
+    pub(crate) fn snapshot_into(&self, enc: &mut Enc) {
+        enc.put(self.pressure_iterations as u64);
+        enc.put(self.pressure_residual);
+        enc.put(self.pressure_proj_dim as u64);
+        enc.put(self.viscous_iterations as u64);
+        enc.put(self.viscous_residual);
+        enc.put(self.viscous_proj_dim as u64);
+        enc.put(self.breakdown as u64);
+    }
+
+    pub(crate) fn restore_from(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        Ok(Self {
+            pressure_iterations: dec.take::<u64>()? as usize,
+            pressure_residual: dec.take()?,
+            pressure_proj_dim: dec.take::<u64>()? as usize,
+            viscous_iterations: dec.take::<u64>()? as usize,
+            viscous_residual: dec.take()?,
+            viscous_proj_dim: dec.take::<u64>()? as usize,
+            breakdown: dec.take::<u64>()? != 0,
+        })
+    }
+}
+
+/// Encode one engine's projection bases (per slot, age order).
+pub(crate) fn snapshot_proj(enc: &mut Enc, state: &crate::precon::ProjState) {
+    enc.put(state.len() as u64);
+    for slot in state {
+        enc.put(slot.len() as u64);
+        for (w, aw) in slot {
+            enc.put_slice(w);
+            enc.put_slice(aw);
+        }
+    }
+}
+
+/// Decode projection bases written by [`snapshot_proj`]; every vector must
+/// have length `n`.
+pub(crate) fn restore_proj(
+    dec: &mut Dec<'_>,
+    n: usize,
+) -> Result<crate::precon::ProjState, CkptError> {
+    let nslots = dec.take::<u64>()? as usize;
+    let mut state = Vec::with_capacity(nslots.min(16));
+    for _ in 0..nslots {
+        let nvec = dec.take::<u64>()? as usize;
+        let mut slot = Vec::with_capacity(nvec.min(1 << 10));
+        for _ in 0..nvec {
+            let w = dec.take_vec::<f64>()?;
+            let aw = dec.take_vec::<f64>()?;
+            if w.len() != n || aw.len() != n {
+                return Err(CkptError::Malformed("projection basis length"));
+            }
+            slot.push((w, aw));
+        }
+        state.push(slot);
+    }
+    Ok(state)
 }
 
 type VelBcFn = Box<dyn Fn(f64, f64, f64) -> (f64, f64) + Send>;
@@ -85,6 +182,12 @@ pub struct NsSolver2d {
     steps: usize,
     /// Cumulative CG iterations (pressure, viscous) — performance metric.
     pub cg_iterations: usize,
+    /// Persistent pressure-Poisson engine (λ = 0, one projection slot).
+    p_engine: EllipticSolver,
+    /// Persistent viscous Helmholtz engine; rebuilt when λ = γ₀/(νΔt)
+    /// changes (the order-1 → order-2 ramp after the first step).
+    v_engine: Option<EllipticSolver>,
+    last_stats: StepSolveStats,
 }
 
 impl NsSolver2d {
@@ -110,6 +213,23 @@ impl NsSolver2d {
         let vel_dofs = space.boundary_dofs(&vel_tags);
         let p_dofs = space.boundary_dofs(&p_tags);
         let n = space.nglobal;
+        // Pressure engine: pure-Neumann problems pin DoF 0 to fix the
+        // nullspace, exactly as the pre-engine solver did.
+        let p_pin = if p_dofs.is_empty() {
+            vec![0]
+        } else {
+            p_dofs.clone()
+        };
+        let p_engine = EllipticSolver::new(
+            &space,
+            0.0,
+            &p_pin,
+            cfg.precon,
+            cfg.tol,
+            cfg.max_iter,
+            1,
+            cfg.proj_depth,
+        );
         Self {
             space,
             cfg,
@@ -130,7 +250,15 @@ impl NsSolver2d {
             time: 0.0,
             steps: 0,
             cg_iterations: 0,
+            p_engine,
+            v_engine: None,
+            last_stats: StepSolveStats::default(),
         }
+    }
+
+    /// Elliptic-solve telemetry of the most recent [`NsSolver2d::step`].
+    pub fn last_step_stats(&self) -> StepSolveStats {
+        self.last_stats
     }
 
     /// Set the initial velocity from functions of `(x, y)`.
@@ -227,12 +355,11 @@ impl NsSolver2d {
         // Weak RHS of  -∇²p = -div :  b = -M·div.
         let mdiv = self.space.apply_mass(&div);
         let b: Vec<f64> = mdiv.iter().map(|&x| -x).collect();
-        let (p_dofs, p_vals): (Vec<usize>, Vec<f64>) = if self.p_dofs.is_empty() {
-            // Pure Neumann problem: pin one DoF to remove the nullspace.
-            (vec![0], vec![0.0])
+        let p_vals: Vec<f64> = if self.p_dofs.is_empty() {
+            // Pure Neumann problem: the engine pins DoF 0 at zero.
+            vec![0.0]
         } else {
-            let vals = self
-                .p_dofs
+            self.p_dofs
                 .iter()
                 .map(|&g| {
                     if let Some(&pv) = self.p_overrides.get(&g) {
@@ -242,14 +369,12 @@ impl NsSolver2d {
                         (self.p_bc)(x, y, t_new)
                     }
                 })
-                .collect();
-            (self.p_dofs.clone(), vals)
+                .collect()
         };
-        let (p_new, pres) =
-            self.space
-                .solve_helmholtz(0.0, &b, &p_dofs, &p_vals, self.cfg.tol, self.cfg.max_iter);
-        self.cg_iterations += pres.iterations;
-        self.p = p_new;
+        let pres = self
+            .p_engine
+            .solve_into(&self.space, &b, &p_vals, &mut self.p, 0);
+        self.cg_iterations += pres.cg.iterations;
 
         // Projection: ũ = u* − Δt ∇p.
         let (px, py) = self.space.gradient(&self.p);
@@ -285,31 +410,46 @@ impl NsSolver2d {
                 }
             })
             .unzip();
-        let (u_new, ures) = self.space.solve_helmholtz(
-            lambda,
-            &bu,
-            &self.vel_dofs,
-            &ubc,
-            self.cfg.tol,
-            self.cfg.max_iter,
-        );
-        let (v_new, vres) = self.space.solve_helmholtz(
-            lambda,
-            &bv,
-            &self.vel_dofs,
-            &vbc,
-            self.cfg.tol,
-            self.cfg.max_iter,
-        );
-        self.cg_iterations += ures.iterations + vres.iterations;
-
-        // Rotate histories.
+        // The viscous engine is rebuilt whenever λ changes (the order ramp
+        // after the first step); a rebuild discards the projection bases,
+        // which a changed operator invalidates anyway.
+        let rebuild = match &self.v_engine {
+            None => true,
+            Some(e) => e.lambda().to_bits() != lambda.to_bits(),
+        };
+        if rebuild {
+            self.v_engine = Some(EllipticSolver::new(
+                &self.space,
+                lambda,
+                &self.vel_dofs,
+                self.cfg.precon,
+                self.cfg.tol,
+                self.cfg.max_iter,
+                2,
+                self.cfg.proj_depth,
+            ));
+        }
+        // Rotate the velocity history first so the solves can write the
+        // fields in place.
         self.u_prev.copy_from_slice(&self.u);
         self.v_prev.copy_from_slice(&self.v);
+        let ve = self.v_engine.as_mut().expect("viscous engine just built");
+        let ures = ve.solve_into(&self.space, &bu, &ubc, &mut self.u, 0);
+        let vres = ve.solve_into(&self.space, &bv, &vbc, &mut self.v, 1);
+        self.cg_iterations += ures.cg.iterations + vres.cg.iterations;
+        self.last_stats = StepSolveStats {
+            pressure_iterations: pres.cg.iterations,
+            pressure_residual: pres.cg.residual,
+            pressure_proj_dim: pres.proj_dim,
+            viscous_iterations: ures.cg.iterations + vres.cg.iterations,
+            viscous_residual: ures.cg.residual.max(vres.cg.residual),
+            viscous_proj_dim: ures.proj_dim.max(vres.proj_dim),
+            breakdown: pres.cg.breakdown || ures.cg.breakdown || vres.cg.breakdown,
+        };
+
+        // Rotate the advection histories.
         self.nu_hist[0] = nu0;
         self.nv_hist[0] = nv0;
-        self.u = u_new;
-        self.v = v_new;
         self.time = t_new;
         self.steps += 1;
     }
@@ -345,6 +485,8 @@ impl Snapshot for NsSolver2d {
         enc.put(self.cfg.time_order as u64);
         enc.put(self.cfg.tol);
         enc.put(self.cfg.max_iter as u64);
+        enc.put(precon_code(self.cfg.precon));
+        enc.put(self.cfg.proj_depth as u64);
         enc.put(self.space.nglobal as u64);
         enc.put_slice(&self.vel_dofs);
         enc.put_slice(&self.p_dofs);
@@ -379,6 +521,19 @@ impl Snapshot for NsSolver2d {
             enc.put(*k);
             enc.put(*pv);
         }
+        // Projection warm-start bases: without them a resumed run would
+        // take different CG trajectories than the original (the fields
+        // would still converge, but not bitwise-identically).
+        snapshot_proj(enc, &self.p_engine.proj_export());
+        match &self.v_engine {
+            None => enc.put(0u64),
+            Some(e) => {
+                enc.put(1u64);
+                enc.put(e.lambda());
+                snapshot_proj(enc, &e.proj_export());
+            }
+        }
+        self.last_stats.snapshot_into(enc);
     }
 
     fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
@@ -397,6 +552,12 @@ impl Snapshot for NsSolver2d {
         }
         if dec.take::<u64>()? as usize != self.cfg.max_iter {
             return Err(mismatch("iteration cap"));
+        }
+        if dec.take::<u64>()? != precon_code(self.cfg.precon) {
+            return Err(mismatch("preconditioner"));
+        }
+        if dec.take::<u64>()? as usize != self.cfg.proj_depth {
+            return Err(mismatch("projection depth"));
         }
         let n = self.space.nglobal;
         if dec.take::<u64>()? as usize != n {
@@ -443,6 +604,26 @@ impl Snapshot for NsSolver2d {
             p_overrides.insert(k, pv);
         }
         self.p_overrides = p_overrides;
+        let p_state = restore_proj(dec, n)?;
+        self.p_engine.proj_import(&p_state);
+        self.v_engine = None;
+        if dec.take::<u64>()? != 0 {
+            let lambda: f64 = dec.take()?;
+            let v_state = restore_proj(dec, n)?;
+            let mut eng = EllipticSolver::new(
+                &self.space,
+                lambda,
+                &self.vel_dofs,
+                self.cfg.precon,
+                self.cfg.tol,
+                self.cfg.max_iter,
+                2,
+                self.cfg.proj_depth,
+            );
+            eng.proj_import(&v_state);
+            self.v_engine = Some(eng);
+        }
+        self.last_stats = StepSolveStats::restore_from(dec)?;
         Ok(())
     }
 }
@@ -467,6 +648,7 @@ mod tests {
             time_order: 2,
             tol: 1e-12,
             max_iter: 4000,
+            ..NsConfig::default()
         };
         let mut ns = NsSolver2d::new(
             space,
@@ -500,6 +682,7 @@ mod tests {
             time_order: 2,
             tol: 1e-11,
             max_iter: 6000,
+            ..NsConfig::default()
         };
         let mut ns = NsSolver2d::new(
             space,
@@ -601,6 +784,7 @@ mod tests {
             time_order: 2,
             tol: 1e-11,
             max_iter: 4000,
+            ..NsConfig::default()
         };
         let mut ns = NsSolver2d::new(
             space,
@@ -646,6 +830,7 @@ mod tests {
                 time_order: 2,
                 tol: 1e-12,
                 max_iter: 4000,
+                ..NsConfig::default()
             };
             NsSolver2d::new(
                 space,
@@ -704,6 +889,53 @@ mod tests {
             nkg_ckpt::restore_bytes(&mut b, &bytes),
             Err(CkptError::Mismatch(_))
         ));
+    }
+
+    /// Projection warm starts cut the cumulative CG work of a time-varying
+    /// run without changing the physics beyond the solver tolerance, and
+    /// per-step telemetry is populated.
+    #[test]
+    fn projection_warm_start_reduces_ns_iterations() {
+        let run = |proj_depth: usize| {
+            let mesh = QuadMesh::rectangle(2, 2, 0.0, 1.0, 0.0, 1.0);
+            let space = Space2d::new(mesh, 4, false);
+            let cfg = NsConfig {
+                nu: 0.05,
+                dt: 2e-3,
+                proj_depth,
+                ..NsConfig::default()
+            };
+            let mut ns = NsSolver2d::new(
+                space,
+                cfg,
+                |_| true,
+                |_, _, _| (0.0, 0.0),
+                |_| false,
+                |_, _, _| 0.0,
+                |_, _, t| ((4.0 * t).cos(), (3.0 * t).sin()),
+            );
+            for _ in 0..20 {
+                ns.step();
+            }
+            ns
+        };
+        let cold = run(0);
+        let warm = run(8);
+        assert!(
+            warm.cg_iterations < cold.cg_iterations,
+            "warm {} vs cold {}",
+            warm.cg_iterations,
+            cold.cg_iterations
+        );
+        let st = warm.last_step_stats();
+        assert!(st.pressure_iterations > 0 || st.pressure_residual >= 0.0);
+        assert!(st.pressure_proj_dim > 0);
+        assert!(!st.breakdown);
+        // Same flow either way (both solve to the same tolerance).
+        for i in 0..warm.space.nglobal {
+            assert!((warm.u[i] - cold.u[i]).abs() < 1e-7);
+            assert!((warm.v[i] - cold.v[i]).abs() < 1e-7);
+        }
     }
 
     /// Zero initial condition, zero forcing, zero BCs stays identically zero.

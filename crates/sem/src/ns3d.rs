@@ -2,11 +2,12 @@
 //! velocity-correction splitting as [`crate::ns2d`], on structured hex
 //! SEM spaces.
 
+use crate::precon::EllipticSolver;
 use crate::space3d::Space3d;
 use nkg_mesh::quad::BoundaryTag;
 use std::collections::HashMap;
 
-pub use crate::ns2d::NsConfig;
+pub use crate::ns2d::{NsConfig, StepSolveStats};
 
 type VelBcFn3 = Box<dyn Fn(f64, f64, f64, f64) -> [f64; 3] + Send>;
 type ForceFn3 = Box<dyn Fn(f64, f64, f64, f64) -> [f64; 3] + Send>;
@@ -32,6 +33,11 @@ pub struct NsSolver3d {
     steps: usize,
     /// Cumulative CG iterations.
     pub cg_iterations: usize,
+    /// Persistent pressure-Poisson engine (λ = 0, one projection slot).
+    p_engine: EllipticSolver,
+    /// Persistent viscous engine (3 slots); rebuilt when λ changes.
+    v_engine: Option<EllipticSolver>,
+    last_stats: StepSolveStats,
 }
 
 impl NsSolver3d {
@@ -50,6 +56,21 @@ impl NsSolver3d {
         let vel_dofs = space.boundary_dofs(&vel_tags);
         let p_dofs = space.boundary_dofs(&p_tags);
         let n = space.nglobal;
+        let p_pin = if p_dofs.is_empty() {
+            vec![0]
+        } else {
+            p_dofs.clone()
+        };
+        let p_engine = EllipticSolver::new(
+            &space,
+            0.0,
+            &p_pin,
+            cfg.precon,
+            cfg.tol,
+            cfg.max_iter,
+            1,
+            cfg.proj_depth,
+        );
         Self {
             space,
             cfg,
@@ -65,7 +86,15 @@ impl NsSolver3d {
             time: 0.0,
             steps: 0,
             cg_iterations: 0,
+            p_engine,
+            v_engine: None,
+            last_stats: StepSolveStats::default(),
         }
+    }
+
+    /// Elliptic-solve telemetry of the most recent [`NsSolver3d::step`].
+    pub fn last_step_stats(&self) -> StepSolveStats {
+        self.last_stats
     }
 
     /// Set the initial velocity field.
@@ -137,16 +166,15 @@ impl NsSolver3d {
         }
         let mdiv = self.space.apply_mass(&div);
         let b: Vec<f64> = mdiv.iter().map(|&x| -x).collect();
-        let (p_dofs, p_vals): (Vec<usize>, Vec<f64>) = if self.p_dofs.is_empty() {
-            (vec![0], vec![0.0])
+        let p_vals: Vec<f64> = if self.p_dofs.is_empty() {
+            vec![0.0]
         } else {
-            (self.p_dofs.clone(), vec![0.0; self.p_dofs.len()])
+            vec![0.0; self.p_dofs.len()]
         };
-        let (p_new, pres) =
-            self.space
-                .solve_helmholtz(0.0, &b, &p_dofs, &p_vals, self.cfg.tol, self.cfg.max_iter);
-        self.cg_iterations += pres.iterations;
-        self.p = p_new;
+        let pres = self
+            .p_engine
+            .solve_into(&self.space, &b, &p_vals, &mut self.p, 0);
+        self.cg_iterations += pres.cg.iterations;
         let pg = self.space.gradient(&self.p);
         for c in 0..3 {
             for i in 0..n {
@@ -168,6 +196,26 @@ impl NsSolver3d {
                 }
             })
             .collect();
+        let rebuild = match &self.v_engine {
+            None => true,
+            Some(e) => e.lambda().to_bits() != lambda.to_bits(),
+        };
+        if rebuild {
+            self.v_engine = Some(EllipticSolver::new(
+                &self.space,
+                lambda,
+                &self.vel_dofs,
+                self.cfg.precon,
+                self.cfg.tol,
+                self.cfg.max_iter,
+                3,
+                self.cfg.proj_depth,
+            ));
+        }
+        let mut visc_iters = 0;
+        let mut visc_res = 0.0f64;
+        let mut visc_proj = 0;
+        let mut breakdown = pres.cg.breakdown;
         for c in 0..3 {
             let bw: Vec<f64> = self
                 .space
@@ -176,18 +224,24 @@ impl NsSolver3d {
                 .map(|&x| x * scale)
                 .collect();
             let vals: Vec<f64> = bc_vals.iter().map(|v| v[c]).collect();
-            let (u_new, res) = self.space.solve_helmholtz(
-                lambda,
-                &bw,
-                &self.vel_dofs,
-                &vals,
-                self.cfg.tol,
-                self.cfg.max_iter,
-            );
-            self.cg_iterations += res.iterations;
             self.vel_prev[c].copy_from_slice(&self.vel[c]);
-            self.vel[c] = u_new;
+            let ve = self.v_engine.as_mut().expect("viscous engine just built");
+            let res = ve.solve_into(&self.space, &bw, &vals, &mut self.vel[c], c);
+            self.cg_iterations += res.cg.iterations;
+            visc_iters += res.cg.iterations;
+            visc_res = visc_res.max(res.cg.residual);
+            visc_proj = visc_proj.max(res.proj_dim);
+            breakdown |= res.cg.breakdown;
         }
+        self.last_stats = StepSolveStats {
+            pressure_iterations: pres.cg.iterations,
+            pressure_residual: pres.cg.residual,
+            pressure_proj_dim: pres.proj_dim,
+            viscous_iterations: visc_iters,
+            viscous_residual: visc_res,
+            viscous_proj_dim: visc_proj,
+            breakdown,
+        };
         self.adv_prev = adv;
         self.time = t_new;
         self.steps += 1;
@@ -248,6 +302,7 @@ mod tests {
             time_order: 2,
             tol: 1e-11,
             max_iter: 3000,
+            ..NsConfig::default()
         };
         // Walls: y faces only; z faces free-slip approximated by Dirichlet
         // of the analytic profile (keeps the problem 1D in y).
@@ -290,6 +345,7 @@ mod tests {
             time_order: 2,
             tol: 1e-11,
             max_iter: 3000,
+            ..NsConfig::default()
         };
         let mut ns = NsSolver3d::new(
             space,

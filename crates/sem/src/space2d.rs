@@ -3,7 +3,8 @@
 //! operators and boundary handling.
 
 use crate::basis::{lagrange_at, GllBasis};
-use crate::cg::{pcg, CgResult};
+use crate::cg::CgResult;
+use crate::precon::{ApplyScratch, EllipticSolver, EllipticSpace, NodeRole, PreconKind};
 use nkg_mesh::quad::{BoundaryTag, QuadMesh};
 use std::collections::HashMap;
 
@@ -212,54 +213,93 @@ impl Space2d {
         total.sqrt()
     }
 
-    /// Apply the global Helmholtz operator `A u = ∫∇v·∇u + λ ∫v u` to a
-    /// global vector (matrix-free, gather → element tensor kernels →
-    /// scatter-add).
-    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
-        out.iter_mut().for_each(|o| *o = 0.0);
+    /// One element's Helmholtz kernel on a gathered local vector:
+    /// `ol = DᵀGD ul + λ M ul`. Scratch is caller-provided so every path
+    /// (operator application, matrix probing) shares one set of buffers and
+    /// the arithmetic is identical everywhere.
+    fn helmholtz_elem_local(
+        &self,
+        e: usize,
+        lambda: f64,
+        ul: &[f64],
+        ur: &mut [f64],
+        us: &mut [f64],
+        f1: &mut [f64],
+        f2: &mut [f64],
+        ol: &mut [f64],
+    ) {
         let n = self.basis.n();
         let nloc = self.nloc();
         let d = &self.basis.d;
-        let mut ul = vec![0.0f64; nloc];
-        let mut ur = vec![0.0f64; nloc];
-        let mut us = vec![0.0f64; nloc];
-        let mut f1 = vec![0.0f64; nloc];
-        let mut f2 = vec![0.0f64; nloc];
-        let mut ol = vec![0.0f64; nloc];
+        let g = &self.geom[e];
+        // ur = ∂u/∂ξ ; us = ∂u/∂η
+        for j in 0..n {
+            for i in 0..n {
+                let mut sr = 0.0;
+                let mut ss = 0.0;
+                for m in 0..n {
+                    sr += d[i * n + m] * ul[j * n + m];
+                    ss += d[j * n + m] * ul[m * n + i];
+                }
+                ur[j * n + i] = sr;
+                us[j * n + i] = ss;
+            }
+        }
+        for k in 0..nloc {
+            f1[k] = g.g11[k] * ur[k] + g.g12[k] * us[k];
+            f2[k] = g.g12[k] * ur[k] + g.g22[k] * us[k];
+        }
+        // ol = Dξᵀ f1 + Dηᵀ f2 + λ M u
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for m in 0..n {
+                    s += d[m * n + i] * f1[j * n + m];
+                    s += d[m * n + j] * f2[m * n + i];
+                }
+                let k = j * n + i;
+                ol[k] = s + lambda * g.mass[k] * ul[k];
+            }
+        }
+    }
+
+    /// Apply the global Helmholtz operator `A u = ∫∇v·∇u + λ ∫v u` to a
+    /// global vector (matrix-free, gather → element tensor kernels →
+    /// scatter-add). Allocates scratch; the hot loops use
+    /// [`Space2d::apply_helmholtz_ws`].
+    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
+        self.apply_helmholtz_ws(lambda, u, out, &mut ApplyScratch::new());
+    }
+
+    /// [`Space2d::apply_helmholtz`] with caller-provided scratch: zero
+    /// heap allocation per application.
+    pub fn apply_helmholtz_ws(
+        &self,
+        lambda: f64,
+        u: &[f64],
+        out: &mut [f64],
+        ws: &mut ApplyScratch,
+    ) {
+        out.iter_mut().for_each(|o| *o = 0.0);
+        let nloc = self.nloc();
+        ws.ensure(nloc);
+        let ApplyScratch { ul, du, fl, ol, .. } = ws;
+        let [ur, us, _] = du;
+        let [f1, f2, _] = fl;
         for (e, map) in self.gmap.iter().enumerate() {
-            let g = &self.geom[e];
             for (k, &gid) in map.iter().enumerate() {
                 ul[k] = u[gid];
             }
-            // ur = ∂u/∂ξ ; us = ∂u/∂η
-            for j in 0..n {
-                for i in 0..n {
-                    let mut sr = 0.0;
-                    let mut ss = 0.0;
-                    for m in 0..n {
-                        sr += d[i * n + m] * ul[j * n + m];
-                        ss += d[j * n + m] * ul[m * n + i];
-                    }
-                    ur[j * n + i] = sr;
-                    us[j * n + i] = ss;
-                }
-            }
-            for k in 0..nloc {
-                f1[k] = g.g11[k] * ur[k] + g.g12[k] * us[k];
-                f2[k] = g.g12[k] * ur[k] + g.g22[k] * us[k];
-            }
-            // out = Dξᵀ f1 + Dηᵀ f2 + λ M u
-            for j in 0..n {
-                for i in 0..n {
-                    let mut s = 0.0;
-                    for m in 0..n {
-                        s += d[m * n + i] * f1[j * n + m];
-                        s += d[m * n + j] * f2[m * n + i];
-                    }
-                    let k = j * n + i;
-                    ol[k] = s + lambda * g.mass[k] * ul[k];
-                }
-            }
+            self.helmholtz_elem_local(
+                e,
+                lambda,
+                &ul[..nloc],
+                &mut ur[..nloc],
+                &mut us[..nloc],
+                &mut f1[..nloc],
+                &mut f2[..nloc],
+                &mut ol[..nloc],
+            );
             for (k, &gid) in map.iter().enumerate() {
                 out[gid] += ol[k];
             }
@@ -295,12 +335,22 @@ impl Space2d {
     /// derivatives mapped to physical space, averaged at shared DoFs.
     /// Returns `(du/dx, du/dy)` as global vectors.
     pub fn gradient(&self, u: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let mut gx = vec![0.0f64; self.nglobal];
+        let mut gy = vec![0.0f64; self.nglobal];
+        self.gradient_ws(u, &mut gx, &mut gy, &mut ApplyScratch::new());
+        (gx, gy)
+    }
+
+    /// [`Space2d::gradient`] into caller-provided outputs and scratch: no
+    /// per-call allocation.
+    pub fn gradient_ws(&self, u: &[f64], gx: &mut [f64], gy: &mut [f64], ws: &mut ApplyScratch) {
         let n = self.basis.n();
         let nloc = self.nloc();
         let d = &self.basis.d;
-        let mut gx = vec![0.0f64; self.nglobal];
-        let mut gy = vec![0.0f64; self.nglobal];
-        let mut ul = vec![0.0f64; nloc];
+        gx.iter_mut().for_each(|v| *v = 0.0);
+        gy.iter_mut().for_each(|v| *v = 0.0);
+        ws.ensure(nloc);
+        let ul = &mut ws.ul;
         for (e, map) in self.gmap.iter().enumerate() {
             let g = &self.geom[e];
             for (k, &gid) in map.iter().enumerate() {
@@ -324,7 +374,6 @@ impl Space2d {
             gx[gid] /= self.mult[gid];
             gy[gid] /= self.mult[gid];
         }
-        (gx, gy)
     }
 
     /// Global DoF ids lying on boundary edges whose tag satisfies `pred`.
@@ -365,55 +414,22 @@ impl Space2d {
         tol: f64,
         max_iter: usize,
     ) -> (Vec<f64>, CgResult) {
-        assert_eq!(dirichlet.len(), bc_value.len());
-        let mut is_bc = vec![false; self.nglobal];
-        let mut x = vec![0.0f64; self.nglobal];
-        for (&d, &v) in dirichlet.iter().zip(bc_value) {
-            is_bc[d] = true;
-            x[d] = v;
-        }
-        // b = rhs - A x_bc, masked.
-        let mut ax = vec![0.0f64; self.nglobal];
-        self.apply_helmholtz(lambda, &x, &mut ax);
-        let mut b = vec![0.0f64; self.nglobal];
-        for i in 0..self.nglobal {
-            b[i] = if is_bc[i] { 0.0 } else { rhs_weak[i] - ax[i] };
-        }
-        let diag = self.helmholtz_diagonal(lambda);
-        let mut du = vec![0.0f64; self.nglobal];
-        let is_bc_ref = &is_bc;
-        let res = pcg(
-            |p, out| {
-                // Masked operator: zero Dirichlet components in and out.
-                let mut pm = p.to_vec();
-                for (i, m) in pm.iter_mut().enumerate() {
-                    if is_bc_ref[i] {
-                        *m = 0.0;
-                    }
-                }
-                self.apply_helmholtz(lambda, &pm, out);
-                for (i, o) in out.iter_mut().enumerate() {
-                    if is_bc_ref[i] {
-                        *o = 0.0;
-                    }
-                }
-            },
-            |r, z| {
-                for i in 0..r.len() {
-                    z[i] = if is_bc_ref[i] { 0.0 } else { r[i] / diag[i] };
-                }
-            },
-            &b,
-            &mut du,
+        // One-shot engine: identical arithmetic to the historical inline
+        // solver (see `precon::tests::engine_matches_legacy_solver_bitwise`)
+        // without the per-iteration `p.to_vec()` clone.
+        let mut eng = EllipticSolver::new(
+            self,
+            lambda,
+            dirichlet,
+            PreconKind::Jacobi,
             tol,
             max_iter,
+            0,
+            0,
         );
-        for i in 0..self.nglobal {
-            if !is_bc[i] {
-                x[i] += du[i];
-            }
-        }
-        (x, res)
+        let mut x = vec![0.0f64; self.nglobal];
+        let stats = eng.solve_into(self, rhs_weak, bc_value, &mut x, usize::MAX);
+        (x, stats.cg)
     }
 
     /// Evaluate a global field at an arbitrary physical point by locating
@@ -437,6 +453,99 @@ impl Space2d {
             }
         }
         None
+    }
+}
+
+impl EllipticSpace for Space2d {
+    fn nglobal(&self) -> usize {
+        self.nglobal
+    }
+
+    fn num_elems(&self) -> usize {
+        self.gmap.len()
+    }
+
+    fn nloc(&self) -> usize {
+        self.nloc()
+    }
+
+    fn elem_gids(&self, e: usize) -> &[usize] {
+        &self.gmap[e]
+    }
+
+    fn apply_helmholtz_ws(&self, lambda: f64, u: &[f64], out: &mut [f64], ws: &mut ApplyScratch) {
+        Space2d::apply_helmholtz_ws(self, lambda, u, out, ws);
+    }
+
+    fn helmholtz_diag(&self, lambda: f64) -> Vec<f64> {
+        self.helmholtz_diagonal(lambda)
+    }
+
+    fn elem_matrix(&self, e: usize, lambda: f64, out: &mut [f64], ws: &mut ApplyScratch) {
+        let nloc = self.nloc();
+        assert!(out.len() >= nloc * nloc);
+        ws.ensure(nloc);
+        let ApplyScratch { ul, du, fl, ol, .. } = ws;
+        let [ur, us, _] = du;
+        let [f1, f2, _] = fl;
+        for l in 0..nloc {
+            ul[..nloc].iter_mut().for_each(|v| *v = 0.0);
+            ul[l] = 1.0;
+            self.helmholtz_elem_local(
+                e,
+                lambda,
+                &ul[..nloc],
+                &mut ur[..nloc],
+                &mut us[..nloc],
+                &mut f1[..nloc],
+                &mut f2[..nloc],
+                &mut ol[..nloc],
+            );
+            for k in 0..nloc {
+                out[k * nloc + l] = ol[k];
+            }
+        }
+    }
+
+    fn node_roles(&self) -> Vec<NodeRole> {
+        let n = self.basis.n();
+        let p = self.basis.p;
+        let mut roles = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                let bi = i == 0 || i == p;
+                let bj = j == 0 || j == p;
+                roles.push(match (bi, bj) {
+                    (true, true) => NodeRole::Vertex,
+                    // Local edge ids follow the boundary numbering:
+                    // 0 = η-min, 1 = ξ-max, 2 = η-max, 3 = ξ-min.
+                    (false, true) => NodeRole::Edge(if j == 0 { 0 } else { 2 }),
+                    (true, false) => NodeRole::Edge(if i == p { 1 } else { 3 }),
+                    (false, false) => NodeRole::Interior,
+                });
+            }
+        }
+        roles
+    }
+
+    fn corner_hats(&self) -> (Vec<usize>, Vec<Vec<f64>>) {
+        let n = self.basis.n();
+        let p = self.basis.p;
+        // Corner order matches the element vertex order of the mesh.
+        let locs = vec![0, p, p * n + p, p * n];
+        let pts = &self.basis.points;
+        let mut hats = vec![vec![0.0; n * n]; 4];
+        for j in 0..n {
+            for i in 0..n {
+                let (xi, eta) = (pts[i], pts[j]);
+                let k = j * n + i;
+                hats[0][k] = 0.25 * (1.0 - xi) * (1.0 - eta);
+                hats[1][k] = 0.25 * (1.0 + xi) * (1.0 - eta);
+                hats[2][k] = 0.25 * (1.0 + xi) * (1.0 + eta);
+                hats[3][k] = 0.25 * (1.0 - xi) * (1.0 + eta);
+            }
+        }
+        (locs, hats)
     }
 }
 

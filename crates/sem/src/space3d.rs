@@ -7,7 +7,8 @@
 //! isoparametric elements, e.g. the mapped tube of Table 2).
 
 use crate::basis::GllBasis;
-use crate::cg::{pcg, CgResult};
+use crate::cg::CgResult;
+use crate::precon::{ApplyScratch, EllipticSolver, EllipticSpace, NodeRole, PreconKind};
 use nkg_mesh::hex::HexMesh;
 use nkg_mesh::quad::BoundaryTag;
 
@@ -165,16 +166,14 @@ impl Space3d {
     }
 
     /// One element's local Helmholtz application `ol = D'GD ul + λ M ul`
-    /// (gather → tensor derivatives → metric flux → divergence). Scratch
-    /// buffers are caller-provided so the serial path can reuse them;
-    /// the arithmetic is identical on every path.
-    #[allow(clippy::too_many_arguments)]
-    fn helmholtz_elem(
+    /// on a pre-gathered local vector (tensor derivatives → metric flux →
+    /// divergence). Scratch buffers are caller-provided so every path can
+    /// reuse them; the arithmetic is identical on every path.
+    fn helmholtz_elem_local(
         &self,
         e: usize,
         lambda: f64,
-        u: &[f64],
-        ul: &mut [f64],
+        ul: &[f64],
         du: &mut [Vec<f64>; 3],
         fl: &mut [Vec<f64>; 3],
         ol: &mut [f64],
@@ -182,11 +181,7 @@ impl Space3d {
         let n = self.basis.n();
         let nloc = self.nloc();
         let d = &self.basis.d;
-        let map = &self.gmap[e];
         let g = &self.geom[e];
-        for (k, &gidx) in map.iter().enumerate() {
-            ul[k] = u[gidx];
-        }
         // Reference derivatives along each axis.
         for kz in 0..n {
             for ky in 0..n {
@@ -230,43 +225,59 @@ impl Space3d {
 
     /// Matrix-free Helmholtz operator `A u = ∫∇v·∇u + λ∫v u`.
     ///
+    /// Allocates scratch; the hot loops use
+    /// [`Space3d::apply_helmholtz_ws`].
+    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
+        self.apply_helmholtz_ws(lambda, u, out, &mut ApplyScratch::new());
+    }
+
+    /// [`Space3d::apply_helmholtz`] with caller-provided scratch.
+    ///
     /// With more than one rayon thread the per-element applications run in
-    /// parallel (each element is independent) and the gather-scatter runs
+    /// parallel (each element is independent, writing its slice of the
+    /// workspace's flat `locals` buffer) and the gather-scatter runs
     /// serially in element order afterward — the same scatter order as the
     /// serial path, so the result is bitwise identical to serial at every
-    /// thread count.
-    pub fn apply_helmholtz(&self, lambda: f64, u: &[f64], out: &mut [f64]) {
+    /// thread count. The serial path performs zero heap allocation.
+    pub fn apply_helmholtz_ws(
+        &self,
+        lambda: f64,
+        u: &[f64],
+        out: &mut [f64],
+        ws: &mut ApplyScratch,
+    ) {
         out.iter_mut().for_each(|o| *o = 0.0);
         let nloc = self.nloc();
         let nelem = self.gmap.len();
-        let fresh_scratch = || {
-            (
-                vec![0.0f64; nloc],
-                [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]],
-                [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]],
-            )
-        };
         if rayon::current_num_threads() > 1 && nelem > 1 {
             use rayon::prelude::*;
-            let locals: Vec<Vec<f64>> = (0..nelem)
-                .into_par_iter()
-                .map(|e| {
-                    let (mut ul, mut du, mut fl) = fresh_scratch();
-                    let mut ol = vec![0.0f64; nloc];
-                    self.helmholtz_elem(e, lambda, u, &mut ul, &mut du, &mut fl, &mut ol);
-                    ol
-                })
-                .collect();
-            for (e, ol) in locals.iter().enumerate() {
+            ws.ensure_locals(nelem * nloc);
+            ws.locals[..nelem * nloc]
+                .par_chunks_mut(nloc)
+                .enumerate()
+                .for_each(|(e, ol)| {
+                    let mut ul = vec![0.0f64; nloc];
+                    let mut du = [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]];
+                    let mut fl = [vec![0.0f64; nloc], vec![0.0f64; nloc], vec![0.0f64; nloc]];
+                    for (k, &gidx) in self.gmap[e].iter().enumerate() {
+                        ul[k] = u[gidx];
+                    }
+                    self.helmholtz_elem_local(e, lambda, &ul, &mut du, &mut fl, ol);
+                });
+            for e in 0..nelem {
+                let ol = &ws.locals[e * nloc..(e + 1) * nloc];
                 for (k, &gidx) in self.gmap[e].iter().enumerate() {
                     out[gidx] += ol[k];
                 }
             }
         } else {
-            let (mut ul, mut du, mut fl) = fresh_scratch();
-            let mut ol = vec![0.0f64; nloc];
+            ws.ensure(nloc);
+            let ApplyScratch { ul, du, fl, ol, .. } = ws;
             for e in 0..nelem {
-                self.helmholtz_elem(e, lambda, u, &mut ul, &mut du, &mut fl, &mut ol);
+                for (k, &gidx) in self.gmap[e].iter().enumerate() {
+                    ul[k] = u[gidx];
+                }
+                self.helmholtz_elem_local(e, lambda, &ul[..nloc], du, fl, &mut ol[..nloc]);
                 for (k, &gidx) in self.gmap[e].iter().enumerate() {
                     out[gidx] += ol[k];
                 }
@@ -307,15 +318,26 @@ impl Space3d {
 
     /// Collocation gradient, averaged at shared DoFs: `(∂u/∂x, ∂u/∂y, ∂u/∂z)`.
     pub fn gradient(&self, u: &[f64]) -> [Vec<f64>; 3] {
-        let n = self.basis.n();
-        let nloc = self.nloc();
-        let d = &self.basis.d;
         let mut out = [
             vec![0.0f64; self.nglobal],
             vec![0.0f64; self.nglobal],
             vec![0.0f64; self.nglobal],
         ];
-        let mut ul = vec![0.0f64; nloc];
+        self.gradient_ws(u, &mut out, &mut ApplyScratch::new());
+        out
+    }
+
+    /// [`Space3d::gradient`] into caller-provided outputs and scratch: no
+    /// per-call allocation.
+    pub fn gradient_ws(&self, u: &[f64], out: &mut [Vec<f64>; 3], ws: &mut ApplyScratch) {
+        let n = self.basis.n();
+        let nloc = self.nloc();
+        let d = &self.basis.d;
+        for b in out.iter_mut() {
+            b.iter_mut().for_each(|v| *v = 0.0);
+        }
+        ws.ensure(nloc);
+        let ul = &mut ws.ul;
         for (e, map) in self.gmap.iter().enumerate() {
             let g = &self.geom[e];
             for (k, &gidx) in map.iter().enumerate() {
@@ -345,7 +367,6 @@ impl Space3d {
                 out[b][gi] /= self.mult[gi];
             }
         }
-        out
     }
 
     /// Global DoFs on boundary faces selected by `pred`.
@@ -386,53 +407,141 @@ impl Space3d {
         tol: f64,
         max_iter: usize,
     ) -> (Vec<f64>, CgResult) {
-        assert_eq!(dirichlet.len(), bc_value.len());
-        let mut is_bc = vec![false; self.nglobal];
-        let mut x = vec![0.0f64; self.nglobal];
-        for (&d, &v) in dirichlet.iter().zip(bc_value) {
-            is_bc[d] = true;
-            x[d] = v;
-        }
-        let mut ax = vec![0.0f64; self.nglobal];
-        self.apply_helmholtz(lambda, &x, &mut ax);
-        let mut b = vec![0.0f64; self.nglobal];
-        for i in 0..self.nglobal {
-            b[i] = if is_bc[i] { 0.0 } else { rhs_weak[i] - ax[i] };
-        }
-        let diag = self.helmholtz_diagonal(lambda);
-        let mut du = vec![0.0f64; self.nglobal];
-        let is_bc_ref = &is_bc;
-        let res = pcg(
-            |pv, out| {
-                let mut pm = pv.to_vec();
-                for (i, m) in pm.iter_mut().enumerate() {
-                    if is_bc_ref[i] {
-                        *m = 0.0;
-                    }
-                }
-                self.apply_helmholtz(lambda, &pm, out);
-                for (i, o) in out.iter_mut().enumerate() {
-                    if is_bc_ref[i] {
-                        *o = 0.0;
-                    }
-                }
-            },
-            |r, z| {
-                for i in 0..r.len() {
-                    z[i] = if is_bc_ref[i] { 0.0 } else { r[i] / diag[i] };
-                }
-            },
-            &b,
-            &mut du,
+        // One-shot engine, Jacobi rung: same arithmetic as the historical
+        // inline solver without its per-iteration `p.to_vec()` clone.
+        let mut eng = EllipticSolver::new(
+            self,
+            lambda,
+            dirichlet,
+            PreconKind::Jacobi,
             tol,
             max_iter,
+            0,
+            0,
         );
-        for i in 0..self.nglobal {
-            if !is_bc[i] {
-                x[i] += du[i];
+        let mut x = vec![0.0f64; self.nglobal];
+        let stats = eng.solve_into(self, rhs_weak, bc_value, &mut x, usize::MAX);
+        (x, stats.cg)
+    }
+}
+
+impl EllipticSpace for Space3d {
+    fn nglobal(&self) -> usize {
+        self.nglobal
+    }
+
+    fn num_elems(&self) -> usize {
+        self.gmap.len()
+    }
+
+    fn nloc(&self) -> usize {
+        self.nloc()
+    }
+
+    fn elem_gids(&self, e: usize) -> &[usize] {
+        &self.gmap[e]
+    }
+
+    fn apply_helmholtz_ws(&self, lambda: f64, u: &[f64], out: &mut [f64], ws: &mut ApplyScratch) {
+        Space3d::apply_helmholtz_ws(self, lambda, u, out, ws);
+    }
+
+    fn helmholtz_diag(&self, lambda: f64) -> Vec<f64> {
+        self.helmholtz_diagonal(lambda)
+    }
+
+    fn elem_matrix(&self, e: usize, lambda: f64, out: &mut [f64], ws: &mut ApplyScratch) {
+        let nloc = self.nloc();
+        assert!(out.len() >= nloc * nloc);
+        ws.ensure(nloc);
+        let ApplyScratch { ul, du, fl, ol, .. } = ws;
+        for l in 0..nloc {
+            ul[..nloc].iter_mut().for_each(|v| *v = 0.0);
+            ul[l] = 1.0;
+            self.helmholtz_elem_local(e, lambda, &ul[..nloc], du, fl, &mut ol[..nloc]);
+            for k in 0..nloc {
+                out[k * nloc + l] = ol[k];
             }
         }
-        (x, res)
+    }
+
+    fn node_roles(&self) -> Vec<NodeRole> {
+        let n = self.basis.n();
+        let p = self.basis.p;
+        let ext = |i: usize| i == 0 || i == p;
+        let mut roles = Vec::with_capacity(n * n * n);
+        for kz in 0..n {
+            for ky in 0..n {
+                for kx in 0..n {
+                    let (bx, by, bz) = (ext(kx), ext(ky), ext(kz));
+                    let pinned = bx as u8 + by as u8 + bz as u8;
+                    roles.push(match pinned {
+                        3 => NodeRole::Vertex,
+                        2 => {
+                            // Edge id: free axis × which corner of the two
+                            // pinned axes (ascending axis order).
+                            let (free, hi_a, hi_b) = if !bx {
+                                (0u8, (ky == p) as u8, (kz == p) as u8)
+                            } else if !by {
+                                (1, (kx == p) as u8, (kz == p) as u8)
+                            } else {
+                                (2, (kx == p) as u8, (ky == p) as u8)
+                            };
+                            NodeRole::Edge(free * 4 + hi_a * 2 + hi_b)
+                        }
+                        1 => {
+                            let (axis, hi) = if bx {
+                                (0u8, (kx == p) as u8)
+                            } else if by {
+                                (1, (ky == p) as u8)
+                            } else {
+                                (2, (kz == p) as u8)
+                            };
+                            NodeRole::Face(axis * 2 + hi)
+                        }
+                        _ => NodeRole::Interior,
+                    });
+                }
+            }
+        }
+        roles
+    }
+
+    fn corner_hats(&self) -> (Vec<usize>, Vec<Vec<f64>>) {
+        let n = self.basis.n();
+        let p = self.basis.p;
+        let nloc = n * n * n;
+        // Same corner order (and trilinear shape signs) as the geometry.
+        let signs: [[f64; 3]; 8] = [
+            [-1.0, -1.0, -1.0],
+            [1.0, -1.0, -1.0],
+            [1.0, 1.0, -1.0],
+            [-1.0, 1.0, -1.0],
+            [-1.0, -1.0, 1.0],
+            [1.0, -1.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [-1.0, 1.0, 1.0],
+        ];
+        let at = |s: f64| if s > 0.0 { p } else { 0 };
+        let locs: Vec<usize> = signs
+            .iter()
+            .map(|s| (at(s[2]) * n + at(s[1])) * n + at(s[0]))
+            .collect();
+        let pts = &self.basis.points;
+        let mut hats = vec![vec![0.0; nloc]; 8];
+        for kz in 0..n {
+            for ky in 0..n {
+                for kx in 0..n {
+                    let loc = (kz * n + ky) * n + kx;
+                    let r = [pts[kx], pts[ky], pts[kz]];
+                    for (c, s) in signs.iter().enumerate() {
+                        hats[c][loc] =
+                            0.125 * (1.0 + s[0] * r[0]) * (1.0 + s[1] * r[1]) * (1.0 + s[2] * r[2]);
+                    }
+                }
+            }
+        }
+        (locs, hats)
     }
 }
 

@@ -19,4 +19,8 @@ cargo test --workspace -q
 echo "== fault-injection integration suite =="
 cargo test -q --test integration_fault
 
+echo "== elliptic engine smoke (ladder shape + JSON emitter) =="
+cargo run --release -q -p nkg-bench --bin ablation_precon -- --smoke
+cargo run --release -q -p nkg-bench --bin bench_sem -- --smoke
+
 echo "All checks passed."

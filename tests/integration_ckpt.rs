@@ -204,11 +204,11 @@ fn version_mismatch_is_refused() {
     ng.run(5);
     ng.checkpoint(&path).unwrap();
     let mut bytes = std::fs::read(&path).unwrap();
-    bytes[4] = 2; // format version field (little-endian u32 at offset 4)
+    bytes[4] = 99; // format version field (little-endian u32 at offset 4)
     std::fs::write(&path, &bytes).unwrap();
     match NektarG::resume(build_metasolver, &path) {
         Err(CkptError::Version { found, expected }) => {
-            assert_eq!(found, 2);
+            assert_eq!(found, 99);
             assert_eq!(expected, nektarg::ckpt::FORMAT_VERSION);
         }
         Err(other) => panic!("expected version refusal, got {other:?}"),

@@ -140,6 +140,10 @@ proptest! {
             wpod_windows: ns_steps / 7,
             held_exchanges: (0..(ns_steps % 4) as u64).collect(),
             failovers: vec![(ns_steps as u64 % 5, 0, 1); ns_steps % 3],
+            pressure_iters_per_step: (0..(ns_steps % 6) as u64).collect(),
+            viscous_iters_per_step: (0..(ns_steps % 5) as u64).map(|i| i * 3).collect(),
+            elliptic_residual_per_step: vec![1e-11; ns_steps % 4],
+            breakdown_steps: (0..(ns_steps % 2) as u64).collect(),
         };
         let mut fresh = RunReport::default();
         assert_round_trip(&report, &mut fresh)?;
