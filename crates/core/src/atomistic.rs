@@ -18,6 +18,7 @@ use crate::multipatch::Multipatch2d;
 use crate::scaling::UnitScaling;
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_dpd::sim::DpdSim;
+use nkg_sem::interp::InterpTable;
 
 /// The embedding of a DPD box into continuum coordinates.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +52,16 @@ pub struct AtomisticDomain {
     /// History of interface continuity errors (one entry per exchange):
     /// RMS over bins of |u_NS − u_DPD→NS| at the interface.
     pub continuity_history: Vec<f64>,
+    /// Whether exchanges interpolate through the precomputed table
+    /// (bitwise identical to the per-exchange patch/element scan; off =
+    /// the scan, kept as the benchmark baseline).
+    pub use_interp_tables: bool,
+    /// Lazily built interpolation table over the static bin midpoints:
+    /// per midpoint, the donor patch (first containing patch, matching
+    /// [`Multipatch2d::eval_velocity`]'s scan order) and the donor-element
+    /// Lagrange row. Derived from static configuration — never
+    /// checkpointed, rebuilt on first exchange after construction.
+    interp: Option<(Vec<usize>, InterpTable)>,
 }
 
 impl AtomisticDomain {
@@ -63,22 +74,47 @@ impl AtomisticDomain {
             .as_ref()
             .expect("atomistic domain needs an open x boundary");
         let (ny, nz) = ob.bins;
-        let mut mids = Vec::with_capacity(ny * nz);
         let ly = (sim.bx.hi[1] - sim.bx.lo[1]) / ny as f64;
-        for iz in 0..nz {
-            for iy in 0..ny {
+        // The continuum patch is 2D (x, y): the embedding has no z
+        // component, so every z-slab of the inflow face maps to the same
+        // (x, y) trace. Compute one y-row of midpoints and repeat it per
+        // slab explicitly — bin order matches `OpenBoundaryX` (y fastest,
+        // z outer), so `targets[iz*ny + iy]` pairs with the right bin.
+        let row: Vec<[f64; 2]> = (0..ny)
+            .map(|iy| {
                 let y = sim.bx.lo[1] + (iy as f64 + 0.5) * ly;
-                let p = [sim.bx.lo[0], y, 0.0];
-                let _ = iz;
-                mids.push(embedding.dpd_to_ns(p));
-            }
-        }
+                embedding.dpd_to_ns([sim.bx.lo[0], y, 0.0])
+            })
+            .collect();
+        let mids: Vec<[f64; 2]> = (0..nz).flat_map(|_| row.iter().copied()).collect();
         Self {
             sim,
             embedding,
             bin_midpoints_ns: mids,
             continuity_history: Vec::new(),
+            use_interp_tables: true,
+            interp: None,
         }
+    }
+
+    /// Build (or rebuild) the midpoint interpolation table against
+    /// `continuum`: per midpoint, the first patch whose mesh contains it
+    /// — identical tie-break to [`Multipatch2d::eval_velocity`] — plus
+    /// the donor element and Lagrange weights.
+    fn build_interp(&mut self, continuum: &Multipatch2d) {
+        let nloc = continuum.patches[0].space.nloc();
+        let mut pids = Vec::with_capacity(self.bin_midpoints_ns.len());
+        let mut table = InterpTable::with_capacity(nloc, self.bin_midpoints_ns.len());
+        for &[x, y] in &self.bin_midpoints_ns {
+            let pid = continuum
+                .patches
+                .iter()
+                .position(|s| s.space.locate(x, y).is_some())
+                .expect("interface midpoint outside continuum domain");
+            table.push(&continuum.patches[pid].space, x, y);
+            pids.push(pid);
+        }
+        self.interp = Some((pids, table));
     }
 
     /// The exchange: interpolate the continuum velocity at each interface
@@ -86,12 +122,25 @@ impl AtomisticDomain {
     /// Records the continuity metric against the current DPD state.
     pub fn exchange_from_continuum(&mut self, continuum: &Multipatch2d) {
         let vf = self.embedding.scaling.velocity_factor();
+        if self.use_interp_tables && self.interp.is_none() {
+            self.build_interp(continuum);
+        }
         let mut targets = Vec::with_capacity(self.bin_midpoints_ns.len());
-        for &[x, y] in &self.bin_midpoints_ns {
-            let (u, v) = continuum
-                .eval_velocity(x, y)
-                .expect("interface midpoint outside continuum domain");
-            targets.push([u * vf, v * vf, 0.0]);
+        if self.use_interp_tables {
+            let (pids, table) = self.interp.as_ref().expect("table just built");
+            for (q, &pid) in pids.iter().enumerate() {
+                let donor = &continuum.patches[pid];
+                let u = table.eval(&donor.space, &donor.u, q).expect("table row");
+                let v = table.eval(&donor.space, &donor.v, q).expect("table row");
+                targets.push([u * vf, v * vf, 0.0]);
+            }
+        } else {
+            for &[x, y] in &self.bin_midpoints_ns {
+                let (u, v) = continuum
+                    .eval_velocity(x, y)
+                    .expect("interface midpoint outside continuum domain");
+                targets.push([u * vf, v * vf, 0.0]);
+            }
         }
         // Continuity metric before imposing: compare DPD near-inlet bin
         // means (scaled back to NS units) with the fresh continuum values.
@@ -287,6 +336,80 @@ mod tests {
                 t[0] > 0.0,
                 "Poiseuille interior velocity should be positive"
             );
+        }
+    }
+
+    #[test]
+    fn midpoints_repeat_per_z_slab() {
+        let cfg = DpdConfig {
+            seed: 21,
+            ..Default::default()
+        };
+        let bx = Box3::new([0.0; 3], [8.0, 8.0, 4.0], [false, false, true]);
+        let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+        sim.fill_solvent();
+        sim.set_open_x(OpenBoundaryX::new(4, 3, 3.0, 1.0, [0.0; 3], 0));
+        let scaling = UnitScaling {
+            unit_ns: 1.0,
+            unit_dpd: 0.05,
+            nu_ns: NU_NS,
+            nu_dpd: 0.85,
+        };
+        let d = AtomisticDomain::new(
+            sim,
+            Embedding {
+                origin_ns: [2.0, 0.3],
+                scaling,
+            },
+        );
+        // (ny, nz) = (4, 3): 12 midpoints, each z-slab repeating the same
+        // y-row because the continuum is 2D (bin order y fastest, z outer).
+        assert_eq!(d.bin_midpoints_ns.len(), 12);
+        for iz in 1..3 {
+            for iy in 0..4 {
+                assert_eq!(d.bin_midpoints_ns[iz * 4 + iy], d.bin_midpoints_ns[iy]);
+            }
+        }
+    }
+
+    #[test]
+    fn table_exchange_matches_scan_bitwise() {
+        let mp = steady_continuum(20);
+        let mut with_table = make_domain();
+        let mut with_scan = make_domain();
+        with_scan.use_interp_tables = false;
+        for _ in 0..3 {
+            with_table.exchange_from_continuum(&mp);
+            with_scan.exchange_from_continuum(&mp);
+            for _ in 0..10 {
+                with_table.sim.step();
+                with_scan.sim.step();
+            }
+        }
+        let ta = &with_table.sim.open_x.as_ref().unwrap().target;
+        let tb = &with_scan.sim.open_x.as_ref().unwrap().target;
+        for (a, b) in ta.iter().zip(tb) {
+            for k in 0..3 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "targets diverged");
+            }
+        }
+        for (a, b) in with_table
+            .continuity_history
+            .iter()
+            .zip(&with_scan.continuity_history)
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "continuity diverged");
+        }
+        for (a, b) in with_table
+            .sim
+            .particles
+            .pos
+            .iter()
+            .zip(&with_scan.sim.particles.pos)
+        {
+            for k in 0..3 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "positions diverged");
+            }
         }
     }
 

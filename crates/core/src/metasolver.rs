@@ -21,10 +21,92 @@ use nkg_ckpt::{
 use nkg_dpd::sim::BinSampler;
 use nkg_wpod::window::{WindowPod, WindowResult};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// How [`NektarG::run_to`] schedules the two solvers between exchanges.
+///
+/// Between two exchange boundaries the continuum window (k NS steps) and
+/// the atomistic window (k·substeps DPD steps) only interact through the
+/// data already exchanged at the last boundary, so they may execute in any
+/// order — including concurrently. Both modes produce bitwise-identical
+/// state and [`RunReport`] physics; `Serial` is the reference ordering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutionPolicy {
+    /// The reference interleaving: one continuum step, then its DPD
+    /// substeps, repeated.
+    #[default]
+    Serial,
+    /// Run each inter-exchange window's continuum and atomistic tasks
+    /// concurrently (the paper's asynchronous metasolver execution), with
+    /// per-patch continuum fan-out, joining at the next exchange.
+    Overlapped,
+}
+
+/// Wall-clock account of one inter-exchange window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowTiming {
+    /// Time inside the continuum task (k NS steps).
+    pub continuum_s: f64,
+    /// Time inside the atomistic task (k·substeps DPD steps + WPOD).
+    pub atomistic_s: f64,
+    /// Time spent in the exchange at the window's opening boundary
+    /// (interpolation, scaling, interface metrics); zero for the window
+    /// that opens a run mid-interval.
+    pub exchange_s: f64,
+    /// Wall time of the whole window (exchange + both solver tasks).
+    pub window_s: f64,
+}
+
+/// Compact order-statistics view of a per-step iteration series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterStats {
+    /// Median (lower nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (lower nearest-rank).
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl IterStats {
+    fn of(series: &[u64]) -> Self {
+        if series.is_empty() {
+            return Self::default();
+        }
+        let mut s = series.to_vec();
+        s.sort_unstable();
+        let n = s.len();
+        Self {
+            p50: s[(n - 1) / 2],
+            p95: s[(n - 1) * 95 / 100],
+            max: s[n - 1],
+        }
+    }
+}
+
+/// Compact summary of the elliptic-solver telemetry in a [`RunReport`] —
+/// the headline numbers without hauling the raw per-step vectors around.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Continuum steps the summary covers.
+    pub steps: usize,
+    /// Pressure-Poisson CG iterations per step (summed over patches).
+    pub pressure: IterStats,
+    /// Viscous Helmholtz CG iterations per step (patches × components).
+    pub viscous: IterStats,
+    /// Worst final elliptic residual over the whole run.
+    pub worst_residual: f64,
+    /// Number of steps that reported a CG breakdown.
+    pub breakdowns: usize,
+}
 
 /// Cumulative summary of a coupled run (totals since construction or the
 /// restored checkpoint's origin, not since the last `run` call).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality compares the *physics and solver telemetry* — everything
+/// except [`window_timings`](Self::window_timings), which is wall-clock
+/// measurement and legitimately differs between bitwise-identical runs.
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Continuum steps taken.
     pub ns_steps: usize,
@@ -57,9 +139,66 @@ pub struct RunReport {
     /// Continuum steps (0-based) where an elliptic solve reported a CG
     /// breakdown (`pᵀAp ≤ 0`) — always worth investigating.
     pub breakdown_steps: Vec<u64>,
+    /// Per inter-exchange window: wall-clock timing of the continuum task,
+    /// atomistic task and exchange. Measurement only — excluded from
+    /// equality and from checkpoints.
+    pub window_timings: Vec<WindowTiming>,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.ns_steps == other.ns_steps
+            && self.dpd_steps == other.dpd_steps
+            && self.exchanges == other.exchanges
+            && self.continuity == other.continuity
+            && self.patch_mismatch == other.patch_mismatch
+            && self.platelet_census == other.platelet_census
+            && self.wpod_windows == other.wpod_windows
+            && self.held_exchanges == other.held_exchanges
+            && self.failovers == other.failovers
+            && self.pressure_iters_per_step == other.pressure_iters_per_step
+            && self.viscous_iters_per_step == other.viscous_iters_per_step
+            && self.elliptic_residual_per_step == other.elliptic_residual_per_step
+            && self.breakdown_steps == other.breakdown_steps
+    }
 }
 
 impl RunReport {
+    /// Compact order statistics of the elliptic-solver telemetry: p50/p95/
+    /// max iteration counts, worst residual and breakdown count.
+    pub fn solve_summary(&self) -> TelemetrySummary {
+        TelemetrySummary {
+            steps: self.pressure_iters_per_step.len(),
+            pressure: IterStats::of(&self.pressure_iters_per_step),
+            viscous: IterStats::of(&self.viscous_iters_per_step),
+            worst_residual: self
+                .elliptic_residual_per_step
+                .iter()
+                .fold(0.0_f64, |a, &b| a.max(b)),
+            breakdowns: self.breakdown_steps.len(),
+        }
+    }
+
+    /// Sum of the per-window timings.
+    pub fn timing_totals(&self) -> WindowTiming {
+        self.window_timings
+            .iter()
+            .fold(WindowTiming::default(), |a, w| WindowTiming {
+                continuum_s: a.continuum_s + w.continuum_s,
+                atomistic_s: a.atomistic_s + w.atomistic_s,
+                exchange_s: a.exchange_s + w.exchange_s,
+                window_s: a.window_s + w.window_s,
+            })
+    }
+
+    /// Overlap efficiency: total solver work (continuum + atomistic) over
+    /// total window wall time. Serial execution sits near 1.0; perfect
+    /// two-way overlap approaches 2.0. `None` until a window completes.
+    pub fn overlap_efficiency(&self) -> Option<f64> {
+        let t = self.timing_totals();
+        (t.window_s > 0.0).then(|| (t.continuum_s + t.atomistic_s) / t.window_s)
+    }
+
     /// Whether the *physics* of two runs agree bitwise — every field except
     /// the degradation bookkeeping (`held_exchanges`, `failovers`), which
     /// legitimately differs between a faulty run and its clean reference.
@@ -133,6 +272,10 @@ impl Snapshot for RunReport {
         self.viscous_iters_per_step = dec.take_vec::<u64>()?;
         self.elliptic_residual_per_step = dec.take_vec::<f64>()?;
         self.breakdown_steps = dec.take_vec::<u64>()?;
+        // Wall-clock timings are measurement, not state: never serialized
+        // (the format predates them and stays compatible) and meaningless
+        // across a restore boundary.
+        self.window_timings.clear();
         Ok(())
     }
 }
@@ -220,6 +363,8 @@ pub struct NektarG {
     /// Cumulative run accounting; `report.ns_steps` is the solver's
     /// position on the absolute continuum-step axis.
     pub report: RunReport,
+    /// How windows between exchanges execute (bitwise-equivalent modes).
+    pub policy: ExecutionPolicy,
 }
 
 /// Tag of the run-level metadata section (WPOD attachment flag and the
@@ -240,6 +385,7 @@ impl NektarG {
             wpod: None,
             last_wpod: None,
             report: RunReport::default(),
+            policy: ExecutionPolicy::default(),
         }
     }
 
@@ -247,6 +393,12 @@ impl NektarG {
     /// `sampler` and analyze windows with `wpod`.
     pub fn with_wpod(mut self, sampler: BinSampler, wpod: WindowPod) -> Self {
         self.wpod = Some((sampler, wpod));
+        self
+    }
+
+    /// Select the execution policy (see [`ExecutionPolicy`]).
+    pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -270,8 +422,13 @@ impl NektarG {
         policy: Option<&CheckpointPolicy>,
         fault: Option<&FaultPlan>,
     ) -> Result<RunReport, RunError> {
+        // Per-patch fan-out rides with the overlapped policy; both are
+        // bitwise-equivalent to the serial reference.
+        self.continuum.parallel = self.policy == ExecutionPolicy::Overlapped;
         while self.report.ns_steps < target_ns_step {
             let step = self.report.ns_steps;
+            let wstart = Instant::now();
+            let mut exchange_s = 0.0;
             if self.progression.exchange_at(step) {
                 if let Some(pol) = policy {
                     let done = self.report.exchanges as u64;
@@ -282,6 +439,7 @@ impl NektarG {
                         }
                     }
                 }
+                let t0 = Instant::now();
                 self.atomistic.exchange_from_continuum(&self.continuum);
                 self.report.exchanges += 1;
                 if let Some(err) = self.atomistic.latest_continuity_error() {
@@ -293,6 +451,7 @@ impl NektarG {
                 self.report
                     .platelet_census
                     .push(self.atomistic.sim.platelet_census());
+                exchange_s = t0.elapsed().as_secs_f64();
                 if let Some(f) = fault {
                     if f.kill_after_exchange == Some(self.report.exchanges as u64) {
                         return Err(RunError::Killed {
@@ -302,7 +461,37 @@ impl NektarG {
                     }
                 }
             }
+            // The window: every continuum step up to (exclusive) the next
+            // exchange boundary or the target. Within it the two solvers
+            // only depend on the exchange that just fired, so the window
+            // may run interleaved (serial) or concurrently (overlapped).
+            let mut wend = step + 1;
+            while wend < target_ns_step && !self.progression.exchange_at(wend) {
+                wend += 1;
+            }
+            let (continuum_s, atomistic_s) = match self.policy {
+                ExecutionPolicy::Serial => self.run_window_serial(wend - step),
+                ExecutionPolicy::Overlapped => self.run_window_overlapped(wend - step),
+            };
+            self.report.window_timings.push(WindowTiming {
+                continuum_s,
+                atomistic_s,
+                exchange_s,
+                window_s: wstart.elapsed().as_secs_f64(),
+            });
+        }
+        Ok(self.report.clone())
+    }
+
+    /// The reference window ordering: per continuum step, the NS step and
+    /// then its DPD substeps (with WPOD co-processing), interleaved.
+    fn run_window_serial(&mut self, n: usize) -> (f64, f64) {
+        let (mut continuum_s, mut atomistic_s) = (0.0, 0.0);
+        for _ in 0..n {
+            let step = self.report.ns_steps;
+            let t0 = Instant::now();
             self.continuum.step();
+            continuum_s += t0.elapsed().as_secs_f64();
             let solve = self.continuum.last_step_stats();
             self.report
                 .pressure_iters_per_step
@@ -317,6 +506,7 @@ impl NektarG {
                 self.report.breakdown_steps.push(step as u64);
             }
             self.report.ns_steps += 1;
+            let t1 = Instant::now();
             for _ in 0..self.progression.substeps {
                 self.atomistic.sim.step();
                 self.report.dpd_steps += 1;
@@ -329,8 +519,84 @@ impl NektarG {
                     }
                 }
             }
+            atomistic_s += t1.elapsed().as_secs_f64();
         }
-        Ok(self.report.clone())
+        (continuum_s, atomistic_s)
+    }
+
+    /// The overlapped window: the continuum task (n NS steps) runs on a
+    /// scoped thread while the atomistic task (n·substeps DPD steps plus
+    /// WPOD) runs on the caller's thread; both join before the next
+    /// exchange. Neither task reads what the other writes until the join,
+    /// so the state after the window — and the telemetry pushed into the
+    /// report — is bitwise identical to [`Self::run_window_serial`].
+    fn run_window_overlapped(&mut self, n: usize) -> (f64, f64) {
+        let base_step = self.report.ns_steps;
+        let substeps = self.progression.substeps;
+        // The vendored rayon pool override is thread-local: capture the
+        // caller's effective pool width and re-install it inside the
+        // spawned task so `ThreadPool::install(..)` callers keep control
+        // of the per-patch fan-out.
+        let nt = rayon::current_num_threads();
+        let Self {
+            continuum,
+            atomistic,
+            wpod,
+            last_wpod,
+            report,
+            ..
+        } = self;
+        let mut atomistic_s = 0.0;
+        let (continuum_s, stats) = std::thread::scope(|scope| {
+            let cont = scope.spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(nt)
+                    .build()
+                    .expect("thread pool");
+                pool.install(|| {
+                    let t0 = Instant::now();
+                    let mut stats = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        continuum.step();
+                        stats.push(continuum.last_step_stats());
+                    }
+                    (t0.elapsed().as_secs_f64(), stats)
+                })
+            });
+            let t1 = Instant::now();
+            for _ in 0..n {
+                for _ in 0..substeps {
+                    atomistic.sim.step();
+                    report.dpd_steps += 1;
+                    if let Some((sampler, wpod)) = wpod.as_mut() {
+                        if let Some(snap) = sampler.accumulate(&atomistic.sim) {
+                            if let Some(res) = wpod.push(snap) {
+                                report.wpod_windows += 1;
+                                *last_wpod = Some(res);
+                            }
+                        }
+                    }
+                }
+            }
+            atomistic_s = t1.elapsed().as_secs_f64();
+            cont.join().expect("continuum window task panicked")
+        });
+        for (i, solve) in stats.iter().enumerate() {
+            report
+                .pressure_iters_per_step
+                .push(solve.pressure_iterations as u64);
+            report
+                .viscous_iters_per_step
+                .push(solve.viscous_iterations as u64);
+            report
+                .elliptic_residual_per_step
+                .push(solve.pressure_residual.max(solve.viscous_residual));
+            if solve.breakdown {
+                report.breakdown_steps.push((base_step + i) as u64);
+            }
+        }
+        report.ns_steps += n;
+        (continuum_s, atomistic_s)
     }
 
     /// Write one run-level checkpoint (atomic temp + rename). Returns the
@@ -514,6 +780,87 @@ mod tests {
         assert!(ng.last_wpod.is_some());
         let res = ng.last_wpod.unwrap();
         assert_eq!(res.mean.len(), 6);
+    }
+
+    /// The tentpole invariant at unit scale: the overlapped policy's
+    /// report and fields match the serial reference bitwise, while its
+    /// wall-clock telemetry is populated.
+    #[test]
+    fn overlapped_matches_serial_bitwise() {
+        let make = || {
+            small_metasolver().with_wpod(
+                BinSampler::new(1, 6, 0, 2),
+                nkg_wpod::window::WindowPod::new(4, 4, 2.0),
+            )
+        };
+        let mut serial = make();
+        let rs = serial.run(12);
+        let mut overlapped = make().with_policy(ExecutionPolicy::Overlapped);
+        let ro = overlapped.run(12);
+        assert_eq!(rs, ro, "overlapped report diverged from serial");
+        for (x, y) in rs
+            .elliptic_residual_per_step
+            .iter()
+            .zip(&ro.elliptic_residual_per_step)
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (s1, s2) in serial
+            .continuum
+            .patches
+            .iter()
+            .zip(&overlapped.continuum.patches)
+        {
+            for (x, y) in s1.u.iter().zip(&s2.u).chain(s1.p.iter().zip(&s2.p)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "continuum field diverged");
+            }
+        }
+        for (p, q) in serial
+            .atomistic
+            .sim
+            .particles
+            .pos
+            .iter()
+            .zip(&overlapped.atomistic.sim.particles.pos)
+        {
+            for k in 0..3 {
+                assert_eq!(p[k].to_bits(), q[k].to_bits(), "particles diverged");
+            }
+        }
+        // Timing telemetry: one entry per window (exchanges at 0, 4, 8 →
+        // windows [0,4), [4,8), [8,12)), all with positive wall time.
+        for r in [&rs, &ro] {
+            assert_eq!(r.window_timings.len(), 3);
+            assert!(r.window_timings.iter().all(|w| w.window_s > 0.0));
+            assert!(r.overlap_efficiency().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn solve_summary_orders_percentiles() {
+        let mut ng = small_metasolver();
+        let report = ng.run(8);
+        let s = report.solve_summary();
+        assert_eq!(s.steps, 8);
+        assert!(s.pressure.p50 <= s.pressure.p95 && s.pressure.p95 <= s.pressure.max);
+        assert!(s.viscous.p50 <= s.viscous.p95 && s.viscous.p95 <= s.viscous.max);
+        assert!(s.pressure.max > 0, "pressure solves should iterate");
+        assert!(s.worst_residual.is_finite());
+        assert_eq!(s.breakdowns, 0);
+    }
+
+    /// Wall-clock timings must not leak into checkpoints or equality:
+    /// a report with timings equals its restored (timing-free) twin.
+    #[test]
+    fn timings_excluded_from_equality_and_snapshot() {
+        let mut ng = small_metasolver();
+        let report = ng.run(8);
+        assert!(!report.window_timings.is_empty());
+        let bytes = nkg_ckpt::snapshot_bytes(&report);
+        let mut restored = RunReport::default();
+        nkg_ckpt::restore_bytes(&mut restored, &bytes).unwrap();
+        assert!(restored.window_timings.is_empty());
+        assert_eq!(report, restored);
     }
 
     #[test]

@@ -24,8 +24,10 @@
 
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_mesh::quad::{BoundaryTag, QuadMesh};
+use nkg_sem::interp::InterpTable;
 use nkg_sem::ns2d::{NsConfig, NsSolver2d, StepSolveStats};
 use nkg_sem::space2d::Space2d;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A multipatch 2D Navier–Stokes solver over overlapping patches.
@@ -36,6 +38,20 @@ pub struct Multipatch2d {
     vel_links: Vec<Vec<(usize, usize)>>,
     /// Per patch: downstream-interface DoFs receiving donor pressure.
     p_links: Vec<Vec<(usize, usize)>>,
+    /// Per patch: precomputed interpolation rows for `vel_links` (row `q`
+    /// pairs with `vel_links[pi][q]`, built against the donor's space).
+    vel_interp: Vec<InterpTable>,
+    /// Per patch: precomputed interpolation rows for `p_links`.
+    p_interp: Vec<InterpTable>,
+    /// Whether interface evaluations use the precomputed tables (bitwise
+    /// identical to the historical element scan; off = the scan, kept as
+    /// the benchmark baseline).
+    pub use_interp_tables: bool,
+    /// Fan donor evaluation and patch stepping out over per-patch tasks.
+    /// Overrides are computed from pre-exchange state and each patch's
+    /// step touches only its own fields, so the fan-out is bitwise
+    /// identical to the serial order for any thread count.
+    pub parallel: bool,
     /// Externally imposed pressure overrides (e.g. from a 1D outflow
     /// network), merged into every exchange so they survive time stepping.
     pub extra_p_overrides: Vec<HashMap<usize, f64>>,
@@ -94,12 +110,64 @@ impl Multipatch2d {
             vel_links.push(upstream);
             p_links.push(downstream);
         }
+        // Interface interpolation tables: every link's query point is
+        // static (the receiving DoF's coordinates), so the donor element
+        // and Lagrange weights are resolved once here.
+        let build_tables = |links: &[Vec<(usize, usize)>]| -> Vec<InterpTable> {
+            links
+                .iter()
+                .enumerate()
+                .map(|(pi, ll)| {
+                    let nloc = patches[pi].space.nloc();
+                    let mut t = InterpTable::with_capacity(nloc, ll.len());
+                    for &(dof, donor) in ll {
+                        let [x, y] = patches[pi].space.coords[dof];
+                        assert!(
+                            t.push(&patches[donor].space, x, y),
+                            "interface DoF outside donor patch"
+                        );
+                    }
+                    t
+                })
+                .collect()
+        };
+        let vel_interp = build_tables(&vel_links);
+        let p_interp = build_tables(&p_links);
         let extra = vec![HashMap::new(); patches.len()];
         Self {
             patches,
             vel_links,
             p_links,
+            vel_interp,
+            p_interp,
+            use_interp_tables: true,
+            parallel: false,
             extra_p_overrides: extra,
+        }
+    }
+
+    /// Evaluate the donor field for link entry `q` of a link list of patch
+    /// `pi`: the precomputed table dot product by default, the historical
+    /// element scan when tables are disabled. Both paths are bitwise
+    /// identical (see `nkg_sem::interp`).
+    fn eval_link(
+        &self,
+        pi: usize,
+        links: &[(usize, usize)],
+        table: &InterpTable,
+        q: usize,
+        field: impl Fn(&NsSolver2d) -> &[f64],
+    ) -> f64 {
+        let (dof, donor) = links[q];
+        let dsp = &self.patches[donor].space;
+        if self.use_interp_tables {
+            table
+                .eval(dsp, field(&self.patches[donor]), q)
+                .expect("interface DoF outside donor patch")
+        } else {
+            let [x, y] = self.patches[pi].space.coords[dof];
+            dsp.eval_at(field(&self.patches[donor]), x, y)
+                .expect("interface DoF outside donor patch")
         }
     }
 
@@ -109,39 +177,34 @@ impl Multipatch2d {
     }
 
     /// Perform the once-per-step interface exchange: upstream cuts receive
-    /// donor velocity, downstream cuts receive donor pressure.
+    /// donor velocity, downstream cuts receive donor pressure. All donor
+    /// evaluations read pre-exchange state, so patches fan out as
+    /// independent tasks when [`Multipatch2d::parallel`] is set — the
+    /// override maps are identical either way.
     pub fn exchange(&mut self) {
         let np = self.patches.len();
-        let mut vel_over: Vec<HashMap<usize, (f64, f64)>> = vec![HashMap::new(); np];
-        let mut p_over: Vec<HashMap<usize, f64>> = vec![HashMap::new(); np];
-        for pi in 0..np {
-            for &(dof, donor) in &self.vel_links[pi] {
-                let [x, y] = self.patches[pi].space.coords[dof];
-                let dsp = &self.patches[donor].space;
-                let u = dsp
-                    .eval_at(&self.patches[donor].u, x, y)
-                    .expect("interface DoF outside donor patch");
-                let v = dsp
-                    .eval_at(&self.patches[donor].v, x, y)
-                    .expect("interface DoF outside donor patch");
-                vel_over[pi].insert(dof, (u, v));
+        #[allow(clippy::type_complexity)]
+        let eval_patch = |pi: usize| -> (HashMap<usize, (f64, f64)>, HashMap<usize, f64>) {
+            let mut vo = HashMap::with_capacity(self.vel_links[pi].len());
+            let mut po = HashMap::with_capacity(self.p_links[pi].len());
+            for (q, &(dof, _)) in self.vel_links[pi].iter().enumerate() {
+                let u = self.eval_link(pi, &self.vel_links[pi], &self.vel_interp[pi], q, |s| &s.u);
+                let v = self.eval_link(pi, &self.vel_links[pi], &self.vel_interp[pi], q, |s| &s.v);
+                vo.insert(dof, (u, v));
             }
-            for &(dof, donor) in &self.p_links[pi] {
-                let [x, y] = self.patches[pi].space.coords[dof];
-                let dsp = &self.patches[donor].space;
-                let p = dsp
-                    .eval_at(&self.patches[donor].p, x, y)
-                    .expect("interface DoF outside donor patch");
-                p_over[pi].insert(dof, p);
+            for (q, &(dof, _)) in self.p_links[pi].iter().enumerate() {
+                let p = self.eval_link(pi, &self.p_links[pi], &self.p_interp[pi], q, |s| &s.p);
+                po.insert(dof, p);
             }
-        }
-        for (pi, ((solver, vo), mut po)) in self
-            .patches
-            .iter_mut()
-            .zip(vel_over)
-            .zip(p_over)
-            .enumerate()
-        {
+            (vo, po)
+        };
+        let overrides: Vec<_> = if self.parallel && np > 1 {
+            (0..np).into_par_iter().map(eval_patch).collect()
+        } else {
+            (0..np).map(eval_patch).collect()
+        };
+        for (pi, (vo, mut po)) in overrides.into_iter().enumerate() {
+            let solver = &mut self.patches[pi];
             solver.set_velocity_override(vo);
             po.extend(self.extra_p_overrides[pi].iter());
             solver.set_pressure_override(po);
@@ -149,11 +212,17 @@ impl Multipatch2d {
     }
 
     /// One coupled time step: exchange interface data, then advance every
-    /// patch.
+    /// patch — serially, or as deterministic per-patch tasks when
+    /// [`Multipatch2d::parallel`] is set (each patch's step touches only
+    /// its own fields, so parallel order cannot change the result).
     pub fn step(&mut self) {
         self.exchange();
-        for s in &mut self.patches {
-            s.step();
+        if self.parallel && self.patches.len() > 1 {
+            self.patches.par_iter_mut().for_each(|s| s.step());
+        } else {
+            for s in &mut self.patches {
+                s.step();
+            }
         }
     }
 
@@ -183,22 +252,36 @@ impl Multipatch2d {
         let mut sum = 0.0;
         let mut count = 0usize;
         for pi in 0..self.patches.len() {
-            for links in [&self.vel_links[pi], &self.p_links[pi]] {
-                for &(dof, donor) in links {
-                    let [x, y] = self.patches[pi].space.coords[dof];
-                    let dsp = &self.patches[donor].space;
-                    if let (Some(du), Some(dv)) = (
-                        dsp.eval_at(&self.patches[donor].u, x, y),
-                        dsp.eval_at(&self.patches[donor].v, x, y),
-                    ) {
-                        sum += (self.patches[pi].u[dof] - du).powi(2)
-                            + (self.patches[pi].v[dof] - dv).powi(2);
-                        count += 2;
-                    }
+            for (links, table) in [
+                (&self.vel_links[pi], &self.vel_interp[pi]),
+                (&self.p_links[pi], &self.p_interp[pi]),
+            ] {
+                for (q, &(dof, _)) in links.iter().enumerate() {
+                    let du = self.eval_link(pi, links, table, q, |s| &s.u);
+                    let dv = self.eval_link(pi, links, table, q, |s| &s.v);
+                    sum += (self.patches[pi].u[dof] - du).powi(2)
+                        + (self.patches[pi].v[dof] - dv).powi(2);
+                    count += 2;
                 }
             }
         }
         (sum / count.max(1) as f64).sqrt()
+    }
+
+    /// The static interface query set, in evaluation order: for every link
+    /// entry of every patch, the donor patch id and the physical query
+    /// point. This is exactly the point set the interpolation tables
+    /// precompute; exposed for benchmarks and diagnostics.
+    pub fn interface_queries(&self) -> Vec<(usize, [f64; 2])> {
+        let mut out = Vec::new();
+        for pi in 0..self.patches.len() {
+            for links in [&self.vel_links[pi], &self.p_links[pi]] {
+                for &(dof, donor) in links.iter() {
+                    out.push((donor, self.patches[pi].space.coords[dof]));
+                }
+            }
+        }
+        out
     }
 
     /// Evaluate the multipatch velocity at a physical point (first
@@ -393,6 +476,67 @@ mod tests {
             nkg_ckpt::restore_bytes(&mut other, &bytes),
             Err(CkptError::Mismatch(_))
         ));
+    }
+
+    /// Interface evaluation through the precomputed tables must reproduce
+    /// the historical element-scan path bitwise, step after step.
+    #[test]
+    fn interp_tables_match_scan_bitwise() {
+        let mut tabled = poiseuille_multipatch(6.0, 1.0, 12, 2, 3, 4, 0.5, 0.4, 5e-3);
+        let mut scanned = poiseuille_multipatch(6.0, 1.0, 12, 2, 3, 4, 0.5, 0.4, 5e-3);
+        assert!(tabled.use_interp_tables);
+        scanned.use_interp_tables = false;
+        for _ in 0..30 {
+            tabled.step();
+            scanned.step();
+        }
+        assert_eq!(
+            tabled.interface_mismatch().to_bits(),
+            scanned.interface_mismatch().to_bits(),
+            "mismatch metric diverged between tables and scan"
+        );
+        for (a, b) in tabled.patches.iter().zip(&scanned.patches) {
+            for (x, y) in a.u.iter().zip(&b.u) {
+                assert_eq!(x.to_bits(), y.to_bits(), "u diverged: tables vs scan");
+            }
+            for (x, y) in a.p.iter().zip(&b.p) {
+                assert_eq!(x.to_bits(), y.to_bits(), "p diverged: tables vs scan");
+            }
+        }
+    }
+
+    /// Parallel per-patch exchange + stepping must be bitwise identical to
+    /// the serial order for any thread count.
+    #[test]
+    fn parallel_patches_match_serial_bitwise() {
+        let mut serial = poiseuille_multipatch(6.0, 1.0, 12, 2, 3, 4, 0.5, 0.4, 5e-3);
+        let mut parallel = poiseuille_multipatch(6.0, 1.0, 12, 2, 3, 4, 0.5, 0.4, 5e-3);
+        parallel.parallel = true;
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            for _ in 0..10 {
+                serial.step();
+                pool.install(|| parallel.step());
+            }
+            for (a, b) in serial.patches.iter().zip(&parallel.patches) {
+                for (x, y) in a.u.iter().zip(&b.u) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "u diverged: parallel patches ({threads} threads) vs serial"
+                    );
+                }
+                for (x, y) in a.v.iter().zip(&b.v) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "v diverged");
+                }
+                for (x, y) in a.p.iter().zip(&b.p) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "p diverged");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Precomputed point-interpolation tables for static query sets.
+//!
+//! [`Space2d::eval_at`] locates the containing element with an O(elements)
+//! scan and a Newton inversion of the bilinear map, then allocates two
+//! Lagrange-coefficient vectors — fine for one-off probes, ruinous when
+//! the same static points (interface DoFs, embedded-domain bin midpoints)
+//! are evaluated every coupled step. An [`InterpTable`] performs the
+//! location and weight computation once; each subsequent evaluation is a
+//! dense dot product of `(P+1)²` precomputed tensor-Lagrange weights with
+//! the field values of one donor element.
+//!
+//! Bitwise contract: [`InterpTable::eval`] reproduces
+//! [`Space2d::eval_at`] exactly. `eval_at` accumulates
+//! `(lj[j] * li[i]) * u[g]` in local-node order `k = j·(P+1) + i`; the
+//! table stores `w[k] = lj[j] * li[i]` (the same left-associated product)
+//! and accumulates `w[k] * u[g]` in the same order, so every partial sum
+//! is identical to the scanning path.
+
+use crate::space2d::Space2d;
+
+/// Precomputed interpolation rows: one donor element id plus `(P+1)²`
+/// tensor-product Lagrange weights per query point.
+///
+/// Rows may be appended against *different* spaces (e.g. per-point donor
+/// patches) as long as all spaces share the polynomial order; the caller
+/// must pass the same space used at [`push`](InterpTable::push) time back
+/// to [`eval`](InterpTable::eval) for that row.
+#[derive(Debug, Clone)]
+pub struct InterpTable {
+    /// Local nodes per element, `(P+1)²` — the weight stride.
+    nloc: usize,
+    /// Donor element per point (`None`: the point was outside the space).
+    elems: Vec<Option<u32>>,
+    /// Flat weights, `nloc` per point (zeros for unlocated points).
+    weights: Vec<f64>,
+}
+
+impl InterpTable {
+    /// Empty table for elements of `nloc` local nodes, preallocated for
+    /// `cap` query points.
+    pub fn with_capacity(nloc: usize, cap: usize) -> Self {
+        Self {
+            nloc,
+            elems: Vec::with_capacity(cap),
+            weights: Vec::with_capacity(cap * nloc),
+        }
+    }
+
+    /// Locate `(x, y)` in `space` and append its interpolation row.
+    /// Returns whether the point was found; an unlocated point appends a
+    /// `None` row so indices stay aligned with the caller's point list.
+    pub fn push(&mut self, space: &Space2d, x: f64, y: f64) -> bool {
+        debug_assert_eq!(space.nloc(), self.nloc, "donor space order mismatch");
+        match space.locate(x, y) {
+            Some((e, xi, eta)) => {
+                self.elems.push(Some(e as u32));
+                space.interp_weights_into(xi, eta, &mut self.weights);
+                true
+            }
+            None => {
+                self.elems.push(None);
+                self.weights.extend(std::iter::repeat_n(0.0, self.nloc));
+                false
+            }
+        }
+    }
+
+    /// Build a table over `points` against a single space.
+    pub fn build(space: &Space2d, points: &[[f64; 2]]) -> Self {
+        let mut t = Self::with_capacity(space.nloc(), points.len());
+        for &[x, y] in points {
+            t.push(space, x, y);
+        }
+        t
+    }
+
+    /// Number of query points.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the table holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Whether point `q` was located at build time.
+    pub fn found(&self, q: usize) -> bool {
+        self.elems[q].is_some()
+    }
+
+    /// Evaluate the global field `u` of `space` at query point `q`:
+    /// bitwise identical to `space.eval_at(u, x_q, y_q)`. `space` must be
+    /// the space point `q` was pushed against.
+    pub fn eval(&self, space: &Space2d, u: &[f64], q: usize) -> Option<f64> {
+        let e = self.elems[q]? as usize;
+        let w = &self.weights[q * self.nloc..(q + 1) * self.nloc];
+        let gids = &space.gmap[e];
+        let mut val = 0.0;
+        for (wk, &g) in w.iter().zip(gids) {
+            val += wk * u[g];
+        }
+        Some(val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nkg_mesh::quad::QuadMesh;
+
+    fn space(nx: usize, ny: usize, p: usize) -> Space2d {
+        let mesh = QuadMesh::rectangle(nx, ny, 0.0, 2.0, 0.0, 1.0);
+        Space2d::new(mesh, p, false)
+    }
+
+    #[test]
+    fn table_matches_eval_at_bitwise() {
+        let s = space(5, 3, 4);
+        let u: Vec<f64> = s
+            .coords
+            .iter()
+            .map(|&[x, y]| (1.3 * x).sin() * (0.7 + y * y) + 0.1 * x * y)
+            .collect();
+        let pts: Vec<[f64; 2]> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 39.0;
+                [2.0 * t, (0.3 + 0.6 * t * t).min(1.0)]
+            })
+            .collect();
+        let table = InterpTable::build(&s, &pts);
+        for (q, &[x, y]) in pts.iter().enumerate() {
+            let direct = s.eval_at(&u, x, y).unwrap();
+            let tabled = table.eval(&s, &u, q).unwrap();
+            assert_eq!(
+                direct.to_bits(),
+                tabled.to_bits(),
+                "table diverged from eval_at at point {q} ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn outside_points_stay_aligned() {
+        let s = space(2, 2, 3);
+        let pts = [[0.5, 0.5], [5.0, 0.5], [1.5, 0.25]];
+        let table = InterpTable::build(&s, &pts);
+        let u = vec![1.0; s.nglobal];
+        assert_eq!(table.len(), 3);
+        assert!(table.found(0) && !table.found(1) && table.found(2));
+        assert!(table.eval(&s, &u, 1).is_none());
+        // Interpolating the constant-1 field returns 1 (partition of unity).
+        assert!((table.eval(&s, &u, 2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_node_hits_reproduce_nodal_values() {
+        let s = space(3, 2, 5);
+        let u: Vec<f64> = (0..s.nglobal).map(|i| i as f64 * 0.37).collect();
+        // Query the DoF coordinates themselves: the Lagrange row collapses
+        // to a Kronecker delta and the table must return the nodal value.
+        let pts: Vec<[f64; 2]> = s.coords.iter().copied().take(25).collect();
+        let table = InterpTable::build(&s, &pts);
+        for (q, _) in pts.iter().enumerate() {
+            let direct = s.eval_at(&u, pts[q][0], pts[q][1]).unwrap();
+            let tabled = table.eval(&s, &u, q).unwrap();
+            assert_eq!(direct.to_bits(), tabled.to_bits());
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`basis`] — Gauss–Lobatto–Legendre quadrature, differentiation and
 //!   interpolation;
 //! * [`cg`] — matrix-free preconditioned conjugate gradients;
+//! * [`interp`] — precomputed point-interpolation tables: static query
+//!   sets (interface DoFs, embedded-domain bin midpoints) resolve to one
+//!   donor element plus tensor-Lagrange weights at assembly, so every
+//!   coupled-step evaluation is a short dense dot product;
 //! * [`space2d`] / [`space3d`] — continuous-Galerkin discretizations on
 //!   quadrilateral / hexahedral meshes: global numbering (with optional
 //!   streamwise periodicity), curvilinear geometric factors, Helmholtz
@@ -30,6 +34,7 @@
 pub mod analytic;
 pub mod basis;
 pub mod cg;
+pub mod interp;
 pub mod ns2d;
 pub mod ns3d;
 pub mod oned;
@@ -39,6 +44,7 @@ pub mod space3d;
 
 pub use basis::GllBasis;
 pub use cg::{pcg, pcg_ws, CgResult, CgWorkspace};
+pub use interp::InterpTable;
 pub use ns2d::{NsConfig, NsSolver2d, StepSolveStats};
 pub use precon::{
     ApplyScratch, DirichletMask, EllipticSolver, EllipticSpace, LowEnergyPrecon, PreconKind,

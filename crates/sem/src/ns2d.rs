@@ -147,9 +147,9 @@ pub(crate) fn restore_proj(
     Ok(state)
 }
 
-type VelBcFn = Box<dyn Fn(f64, f64, f64) -> (f64, f64) + Send>;
-type ScalarBcFn = Box<dyn Fn(f64, f64, f64) -> f64 + Send>;
-type ForceFn = Box<dyn Fn(f64, f64, f64) -> (f64, f64) + Send>;
+type VelBcFn = Box<dyn Fn(f64, f64, f64) -> (f64, f64) + Send + Sync>;
+type ScalarBcFn = Box<dyn Fn(f64, f64, f64) -> f64 + Send + Sync>;
+type ForceFn = Box<dyn Fn(f64, f64, f64) -> (f64, f64) + Send + Sync>;
 
 /// 2D incompressible Navier–Stokes solver.
 pub struct NsSolver2d {
@@ -204,10 +204,10 @@ impl NsSolver2d {
         space: Space2d,
         cfg: NsConfig,
         vel_tags: impl Fn(BoundaryTag) -> bool,
-        vel_bc: impl Fn(f64, f64, f64) -> (f64, f64) + Send + 'static,
+        vel_bc: impl Fn(f64, f64, f64) -> (f64, f64) + Send + Sync + 'static,
         p_tags: impl Fn(BoundaryTag) -> bool,
-        p_bc: impl Fn(f64, f64, f64) -> f64 + Send + 'static,
-        force: impl Fn(f64, f64, f64) -> (f64, f64) + Send + 'static,
+        p_bc: impl Fn(f64, f64, f64) -> f64 + Send + Sync + 'static,
+        force: impl Fn(f64, f64, f64) -> (f64, f64) + Send + Sync + 'static,
     ) -> Self {
         assert!(matches!(cfg.time_order, 1 | 2), "time order must be 1 or 2");
         let vel_dofs = space.boundary_dofs(&vel_tags);

@@ -432,27 +432,55 @@ impl Space2d {
         (x, stats.cg)
     }
 
+    /// Locate the element containing a physical point: an O(elements)
+    /// linear scan with Newton inversion of each bilinear map, returning
+    /// `(element, ξ, η)` for the *first* containing element (the tie-break
+    /// every interpolation path shares). `None` if the point lies outside
+    /// the mesh (with tolerance `1e-8`).
+    pub fn locate(&self, x: f64, y: f64) -> Option<(usize, f64, f64)> {
+        for (e, verts) in self.mesh.elems.iter().enumerate() {
+            let vs = verts.map(|v| self.mesh.coords[v]);
+            if let Some((xi, eta)) = invert_bilinear(&vs, x, y) {
+                return Some((e, xi, eta));
+            }
+        }
+        None
+    }
+
+    /// Append the `(P+1)²` tensor-product Lagrange weights at reference
+    /// point `(ξ, η)` to `out`, in local-node order `k = j·(P+1) + i`:
+    /// `w[k] = lj[j] · li[i]`. A field evaluation is then the dot product
+    /// of this row with the element's nodal values — bitwise the inner
+    /// loop of [`Space2d::eval_at`].
+    pub fn interp_weights_into(&self, xi: f64, eta: f64, out: &mut Vec<f64>) {
+        let n = self.basis.n();
+        let li = lagrange_at(&self.basis.points, xi);
+        let lj = lagrange_at(&self.basis.points, eta);
+        out.reserve(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                out.push(lj[j] * li[i]);
+            }
+        }
+    }
+
     /// Evaluate a global field at an arbitrary physical point by locating
     /// the containing element (Newton inversion of the bilinear map) and
     /// interpolating with the tensor Lagrange basis. Returns `None` if the
     /// point lies outside the mesh (with tolerance `1e-8`).
+    ///
+    /// For static point sets evaluated repeatedly, precompute an
+    /// [`crate::interp::InterpTable`] instead — bitwise the same result
+    /// without the per-call element scan and weight allocation.
     pub fn eval_at(&self, u: &[f64], x: f64, y: f64) -> Option<f64> {
-        let n = self.basis.n();
-        for (e, verts) in self.mesh.elems.iter().enumerate() {
-            let vs: Vec<[f64; 2]> = verts.iter().map(|&v| self.mesh.coords[v]).collect();
-            if let Some((xi, eta)) = invert_bilinear(&vs, x, y) {
-                let li = lagrange_at(&self.basis.points, xi);
-                let lj = lagrange_at(&self.basis.points, eta);
-                let mut val = 0.0;
-                for j in 0..n {
-                    for i in 0..n {
-                        val += lj[j] * li[i] * u[self.gmap[e][j * n + i]];
-                    }
-                }
-                return Some(val);
-            }
+        let (e, xi, eta) = self.locate(x, y)?;
+        let mut w = Vec::new();
+        self.interp_weights_into(xi, eta, &mut w);
+        let mut val = 0.0;
+        for (wk, &g) in w.iter().zip(&self.gmap[e]) {
+            val += wk * u[g];
         }
-        None
+        Some(val)
     }
 }
 

@@ -19,6 +19,10 @@ cargo test --workspace -q
 echo "== fault-injection integration suite =="
 cargo test -q --test integration_fault
 
+echo "== thread invariance: overlap suite, 1 rayon thread vs default pool =="
+RAYON_NUM_THREADS=1 cargo test -q -p nkg-coupling --test integration_overlap
+cargo test -q -p nkg-coupling --test integration_overlap
+
 echo "== elliptic engine smoke (ladder shape + JSON emitter) =="
 cargo run --release -q -p nkg-bench --bin ablation_precon -- --smoke
 cargo run --release -q -p nkg-bench --bin bench_sem -- --smoke

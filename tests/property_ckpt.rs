@@ -144,6 +144,9 @@ proptest! {
             viscous_iters_per_step: (0..(ns_steps % 5) as u64).map(|i| i * 3).collect(),
             elliptic_residual_per_step: vec![1e-11; ns_steps % 4],
             breakdown_steps: (0..(ns_steps % 2) as u64).collect(),
+            // Wall-clock telemetry: excluded from snapshots and equality,
+            // so it must not survive the round trip.
+            window_timings: vec![Default::default(); ns_steps % 3],
         };
         let mut fresh = RunReport::default();
         assert_round_trip(&report, &mut fresh)?;
