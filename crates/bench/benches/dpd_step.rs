@@ -32,7 +32,7 @@ fn bench_force_paths(c: &mut Criterion) {
     let mut sim = DpdSim::new(cfg, bx, WallGeometry::None);
     sim.fill_solvent();
     let mut grid = CellGrid::new(bx, 1.0);
-    grid.rebuild(&sim.particles.pos);
+    grid.rebuild_soa(&sim.particles.x, &sim.particles.y, &sim.particles.z);
     let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
     let mut g = c.benchmark_group("dpd/forces");
     g.bench_function("serial_half_sweep", |b| {

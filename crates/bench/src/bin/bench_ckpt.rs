@@ -79,9 +79,9 @@ fn main() {
     fresh.step();
     let bitwise = sim
         .particles
-        .pos
+        .pos_aos()
         .iter()
-        .zip(&fresh.particles.pos)
+        .zip(&fresh.particles.pos_aos())
         .all(|(a, b)| (0..3).all(|k| a[k].to_bits() == b[k].to_bits()));
     assert!(bitwise, "restored sim diverged from the original");
 

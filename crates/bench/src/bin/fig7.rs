@@ -33,9 +33,9 @@ fn run_case(label: &str, gamma: f64, seed: u64) {
         sim.step();
         if let Some(s) = sampler.accumulate(&sim) {
             // Per-particle fluctuations against the bin mean.
-            for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
-                let b = ((p[1] / 6.0 * bins as f64) as usize).min(bins - 1);
-                fluct.push(v[0] - s[b]);
+            for i in 0..sim.particles.len() {
+                let b = ((sim.particles.y[i] / 6.0 * bins as f64) as usize).min(bins - 1);
+                fluct.push(sim.particles.vx[i] - s[b]);
             }
             snaps.push(s);
         }

@@ -50,6 +50,13 @@ pub fn append_jsonl(path: &str, record: &str) {
     writeln!(f, "{record}").unwrap_or_else(|e| panic!("append to {path}: {e}"));
 }
 
+/// Overwrite `path` with a single consolidated JSON document. Use for
+/// benchmarks whose output is one self-contained record per run (the
+/// latest run is the only one that matters, e.g. `BENCH_dpd.json`).
+pub fn write_json(path: &str, document: &str) {
+    std::fs::write(path, format!("{document}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
 /// Print a ruled section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

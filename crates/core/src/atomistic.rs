@@ -170,10 +170,12 @@ impl AtomisticDomain {
         let buf = 2.0 * self.sim.cfg.rc;
         let mut sums = vec![[0.0f64; 3]; nbins];
         let mut counts = vec![0usize; nbins];
-        for (p, v) in self.sim.particles.pos.iter().zip(&self.sim.particles.vel) {
+        for i in 0..self.sim.particles.len() {
+            let p = self.sim.particles.pos(i);
             if p[0] < self.sim.bx.lo[0] + buf {
                 let b = ob.bin_of(&self.sim.bx, p[1], p[2]);
                 counts[b] += 1;
+                let v = self.sim.particles.vel(i);
                 for k in 0..3 {
                     sums[b][k] += v[k];
                 }
@@ -403,9 +405,9 @@ mod tests {
         for (a, b) in with_table
             .sim
             .particles
-            .pos
+            .pos_aos()
             .iter()
-            .zip(&with_scan.sim.particles.pos)
+            .zip(&with_scan.sim.particles.pos_aos())
         {
             for k in 0..3 {
                 assert_eq!(a[k].to_bits(), b[k].to_bits(), "positions diverged");
@@ -434,7 +436,13 @@ mod tests {
         for (a, b) in d.continuity_history.iter().zip(&resumed.continuity_history) {
             assert_eq!(a.to_bits(), b.to_bits(), "continuity history diverged");
         }
-        for (a, b) in d.sim.particles.pos.iter().zip(&resumed.sim.particles.pos) {
+        for (a, b) in d
+            .sim
+            .particles
+            .pos_aos()
+            .iter()
+            .zip(&resumed.sim.particles.pos_aos())
+        {
             for k in 0..3 {
                 assert_eq!(a[k].to_bits(), b[k].to_bits(), "positions diverged");
             }

@@ -819,9 +819,9 @@ mod tests {
             .atomistic
             .sim
             .particles
-            .pos
+            .pos_aos()
             .iter()
-            .zip(&overlapped.atomistic.sim.particles.pos)
+            .zip(&overlapped.atomistic.sim.particles.pos_aos())
         {
             for k in 0..3 {
                 assert_eq!(p[k].to_bits(), q[k].to_bits(), "particles diverged");
@@ -905,7 +905,8 @@ mod tests {
             &resumed.atomistic.sim.particles,
         );
         assert_eq!(a.len(), b.len());
-        for (p, q) in a.pos.iter().zip(&b.pos) {
+        let (pa, pb) = (a.pos_aos(), b.pos_aos());
+        for (p, q) in pa.iter().zip(&pb) {
             for k in 0..3 {
                 assert_eq!(
                     p[k].to_bits(),
@@ -914,7 +915,8 @@ mod tests {
                 );
             }
         }
-        for (p, q) in a.vel.iter().zip(&b.vel) {
+        let (va, vb) = (a.vel_aos(), b.vel_aos());
+        for (p, q) in va.iter().zip(&vb) {
             for k in 0..3 {
                 assert_eq!(
                     p[k].to_bits(),

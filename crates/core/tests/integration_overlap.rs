@@ -63,7 +63,9 @@ fn assert_state_bitwise(a: &NektarG, b: &NektarG, what: &str) {
     }
     let (pa, pb) = (&a.atomistic.sim.particles, &b.atomistic.sim.particles);
     assert_eq!(pa.len(), pb.len(), "{what}: particle count diverged");
-    for (p, q) in pa.pos.iter().zip(&pb.pos).chain(pa.vel.iter().zip(&pb.vel)) {
+    let (ppa, ppb) = (pa.pos_aos(), pb.pos_aos());
+    let (pva, pvb) = (pa.vel_aos(), pb.vel_aos());
+    for (p, q) in ppa.iter().zip(&ppb).chain(pva.iter().zip(&pvb)) {
         for k in 0..3 {
             assert_eq!(p[k].to_bits(), q[k].to_bits(), "{what}: particles diverged");
         }

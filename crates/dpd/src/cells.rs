@@ -41,6 +41,10 @@ pub struct CellGrid {
     /// Particle indices, counting-sorted by cell (stable: ascending index
     /// within each cell).
     order: Vec<usize>,
+    /// Inverse of `order`: `rank[i]` is the CSR position of particle `i`.
+    /// The chunked half-list sweep uses it to index dense per-chunk force
+    /// buffers by CSR position instead of particle id.
+    rank: Vec<usize>,
     /// Scratch: cell id per particle (kept between rebuilds to avoid
     /// reallocation).
     cell_id: Vec<usize>,
@@ -84,6 +88,7 @@ impl CellGrid {
             ncell,
             starts: vec![0; ncell + 1],
             order: Vec::new(),
+            rank: Vec::new(),
             cell_id: Vec::new(),
             cursor: vec![0; ncell],
             nbr_fwd,
@@ -103,14 +108,25 @@ impl CellGrid {
         (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
     }
 
-    /// Rebuild the CSR structure from positions: one counting sort, O(N).
+    /// Rebuild the CSR structure from AoS positions: one counting sort,
+    /// O(N). (Convenience wrapper over [`CellGrid::rebuild_soa`] for tests
+    /// and legacy-baseline comparisons.)
     pub fn rebuild(&mut self, pos: &[[f64; 3]]) {
-        let n = pos.len();
+        self.rebuild_impl(pos.len(), |i| pos[i]);
+    }
+
+    /// Rebuild the CSR structure from SoA component arrays.
+    pub fn rebuild_soa(&mut self, x: &[f64], y: &[f64], z: &[f64]) {
+        assert!(x.len() == y.len() && x.len() == z.len());
+        self.rebuild_impl(x.len(), |i| [x[i], y[i], z[i]]);
+    }
+
+    fn rebuild_impl(&mut self, n: usize, pos: impl Fn(usize) -> [f64; 3]) {
         self.cell_id.clear();
         self.cell_id.reserve(n);
         self.starts.iter_mut().for_each(|s| *s = 0);
-        for &p in pos {
-            let c = self.cell_of(p);
+        for i in 0..n {
+            let c = self.cell_of(pos(i));
             self.cell_id.push(c);
             self.starts[c + 1] += 1;
         }
@@ -122,6 +138,10 @@ impl CellGrid {
         for (i, &c) in self.cell_id.iter().enumerate() {
             self.order[self.cursor[c]] = i;
             self.cursor[c] += 1;
+        }
+        self.rank.resize(n, 0);
+        for (k, &i) in self.order.iter().enumerate() {
+            self.rank[i] = k;
         }
     }
 
@@ -136,6 +156,71 @@ impl CellGrid {
     /// SoA makes neighbor traversal walk memory near-sequentially.
     pub fn sorted_order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// Inverse permutation of [`CellGrid::sorted_order`]: CSR position of
+    /// each particle index.
+    pub fn rank(&self) -> &[usize] {
+        &self.rank
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.ncell
+    }
+
+    /// CSR offset of cell `c` (first position of its particles in
+    /// [`CellGrid::sorted_order`]). `cell_start(num_cells())` is the total
+    /// particle count.
+    #[inline]
+    pub fn cell_start(&self, c: usize) -> usize {
+        self.starts[c]
+    }
+
+    /// Precomputed forward half-neighborhood of cell `c` (wrapped,
+    /// deduplicated ids `c2 > c`).
+    #[inline]
+    pub fn fwd_neighbors(&self, c: usize) -> &[u32] {
+        let lo = self.nbr_fwd_starts[c] as usize;
+        let hi = self.nbr_fwd_starts[c + 1] as usize;
+        &self.nbr_fwd[lo..hi]
+    }
+
+    /// Split the cell range into at most `target` contiguous chunks with
+    /// approximately equal particle counts (by the CSR offsets). The cut
+    /// points depend only on the grid contents and `target` — never on the
+    /// thread count — so per-chunk force accumulation reduced in chunk
+    /// order is bitwise thread-count-invariant.
+    pub fn balanced_cell_chunks(&self, target: usize) -> Vec<(usize, usize)> {
+        let n = self.order.len();
+        let m = target.clamp(1, self.ncell.max(1));
+        let mut chunks = Vec::with_capacity(m);
+        let mut clo = 0usize;
+        for k in 1..=m {
+            if clo >= self.ncell {
+                break;
+            }
+            let mut chi = if k == m {
+                self.ncell
+            } else {
+                let goal = k * n / m;
+                let mut c = clo + 1;
+                while c < self.ncell && self.starts[c] < goal {
+                    c += 1;
+                }
+                c
+            };
+            if chi <= clo {
+                chi = clo + 1;
+            }
+            chunks.push((clo, chi));
+            clo = chi;
+        }
+        if let Some(last) = chunks.last_mut() {
+            last.1 = self.ncell;
+        }
+        chunks
     }
 
     /// Visit every unordered pair `(i, j)` within the cutoff structure:

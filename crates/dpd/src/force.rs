@@ -13,21 +13,41 @@
 //! `ζ_ij` is a symmetric (ζ_ij = ζ_ji) zero-mean unit-variance random
 //! variable drawn *counter-based* from `(step, min(i,j), max(i,j))`, so the
 //! force evaluation is order-independent and can run in parallel without
-//! changing the physics.
+//! changing the physics. The step-constant prefix of the draw
+//! (`seed ^ step·φ`) is hoisted out of the inner loop into
+//! [`PairParams::base`]; [`pair_noise`] remains bitwise identical.
 //!
-//! Both sweeps evaluate the identical [`pair_force`] kernel. In the full
-//! sweep each particle sums over its whole neighborhood; because IEEE
-//! negation is exact (`fl(a−b) = −fl(b−a)`, and `min_image`, `e`, `ζ` are
-//! all antisymmetric or symmetric under `i ↔ j`), the two one-sided
-//! evaluations of a pair produce *bitwise* equal-and-opposite forces —
-//! Newton's third law survives the parallel path exactly, and results are
-//! independent of the thread count (the per-particle summation order is
-//! fixed by the CSR cell order, and the parallel collect preserves index
-//! order).
+//! Three sweeps evaluate the identical pair kernel:
+//!
+//! * [`accumulate_pair_forces`] — serial half-list sweep. Candidate
+//!   distances are precomputed per cell through the batched
+//!   `nkg-simd` min-image kernel (SoA gather, vectorized `r²` test), and
+//!   each unordered pair is evaluated once with `±F` scatter. Per-particle
+//!   accumulation order is identical to the historical pair-at-a-time
+//!   sweep, so results are bitwise stable across the refactor.
+//! * [`accumulate_pair_forces_par`] — parallel half-list sweep. Cells are
+//!   cut into a fixed number of contiguous chunks balanced by particle
+//!   count ([`CellGrid::balanced_cell_chunks`]); each chunk accumulates
+//!   `+F` and own-range `−F` into a dense CSR-position-indexed buffer and
+//!   spills out-of-range `−F` contributions to a replay list. Buffers are
+//!   reduced in fixed chunk order, so the result depends only on the grid
+//!   contents — never on the thread count.
+//! * [`accumulate_pair_forces_full_par`] — the historical full-list sweep
+//!   kept as a toggleable baseline: each particle independently sums over
+//!   its whole neighborhood (twice the pair work, write-conflict-free).
+//!   Because IEEE negation is exact and `ζ` is symmetric, the two
+//!   one-sided evaluations of a pair are bitwise equal-and-opposite, and
+//!   the order-preserving parallel collect makes the result independent of
+//!   the thread count.
 
 use crate::cells::CellGrid;
 use crate::domain::Box3;
 use crate::particles::Particles;
+
+/// Number of cell chunks for the parallel half-list sweep. A compile-time
+/// constant so the chunk structure — and therefore the accumulation order —
+/// is a function of the grid alone, independent of the thread count.
+pub const HALF_SWEEP_CHUNKS: usize = 16;
 
 /// Per-species-pair DPD coefficients.
 #[derive(Debug, Clone)]
@@ -72,20 +92,21 @@ impl SpeciesMatrix {
     }
 }
 
-/// Counter-based symmetric random sample, approximately standard normal
-/// (sum of 4 scaled uniforms; the DPD thermostat only requires zero mean,
-/// unit variance and finite moments — Groot & Warren use uniforms).
-///
-/// Stream-key convention: the pair-noise stream is keyed on
-/// `(seed, step, min(i,j), max(i,j))`. Every other stochastic draw in the
-/// engine (inflow, feedback, fill, platelet seeding) follows the analogous
-/// `(seed, DOMAIN, step, site, lane)` keying in [`crate::streams`] — state
-/// lives in the key, never in a mutated generator, so checkpoints carry no
-/// RNG internals and restarts replay draws exactly.
+/// Step-constant prefix of the pair-noise key: everything in the splitmix64
+/// chain that does not depend on the pair `(i, j)`. Computing it once per
+/// sweep removes one xor-multiply from every pair draw with bitwise-equal
+/// output.
 #[inline]
-pub fn pair_noise(seed: u64, step: u64, i: usize, j: usize) -> f64 {
+pub fn noise_base(seed: u64, step: u64) -> u64 {
+    seed ^ step.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Pair draw continued from a precomputed [`noise_base`]. See
+/// [`pair_noise`] for the stream-key convention.
+#[inline]
+pub fn pair_noise_from_base(base: u64, i: usize, j: usize) -> f64 {
     let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);
-    let mut z = seed ^ step.wrapping_mul(0x9E3779B97F4A7C15);
+    let mut z = base;
     z ^= lo.wrapping_mul(0xBF58476D1CE4E5B9);
     z ^= hi.wrapping_mul(0x94D049BB133111EB);
     // splitmix64 finalization, twice for two uniforms.
@@ -102,6 +123,21 @@ pub fn pair_noise(seed: u64, step: u64, i: usize, j: usize) -> f64 {
     u * (6.0f64).sqrt()
 }
 
+/// Counter-based symmetric random sample, approximately standard normal
+/// (sum of 4 scaled uniforms; the DPD thermostat only requires zero mean,
+/// unit variance and finite moments — Groot & Warren use uniforms).
+///
+/// Stream-key convention: the pair-noise stream is keyed on
+/// `(seed, step, min(i,j), max(i,j))`. Every other stochastic draw in the
+/// engine (inflow, feedback, fill, platelet seeding) follows the analogous
+/// `(seed, DOMAIN, step, site, lane)` keying in [`crate::streams`] — state
+/// lives in the key, never in a mutated generator, so checkpoints carry no
+/// RNG internals and restarts replay draws exactly.
+#[inline]
+pub fn pair_noise(seed: u64, step: u64, i: usize, j: usize) -> f64 {
+    pair_noise_from_base(noise_base(seed, step), i, j)
+}
+
 /// Shared per-pair parameters that do not vary across pairs.
 #[derive(Debug, Clone, Copy)]
 pub struct PairParams {
@@ -115,47 +151,222 @@ pub struct PairParams {
     pub seed: u64,
     /// Time step counter (the noise counter).
     pub step: u64,
+    /// Hoisted step-constant noise prefix ([`noise_base`]).
+    pub base: u64,
+}
+
+impl PairParams {
+    /// Precompute the per-sweep constants for `(rc, kbt, dt, seed, step)`.
+    pub fn new(rc: f64, kbt: f64, dt: f64, seed: u64, step: u64) -> Self {
+        Self {
+            rc,
+            kbt,
+            inv_sqrt_dt: 1.0 / dt.sqrt(),
+            seed,
+            step,
+            base: noise_base(seed, step),
+        }
+    }
+}
+
+/// Read-only SoA views the pair kernel consumes. Holds borrows of the
+/// position/velocity component arrays and species — never the force
+/// arrays, so callers keep a disjoint mutable borrow for accumulation.
+#[derive(Clone, Copy)]
+pub struct PairInputs<'a> {
+    /// Position components.
+    pub x: &'a [f64],
+    /// Position components.
+    pub y: &'a [f64],
+    /// Position components.
+    pub z: &'a [f64],
+    /// Velocity components.
+    pub vx: &'a [f64],
+    /// Velocity components.
+    pub vy: &'a [f64],
+    /// Velocity components.
+    pub vz: &'a [f64],
+    /// Species indices.
+    pub species: &'a [u8],
+}
+
+impl<'a> PairInputs<'a> {
+    /// Borrow the read-only arrays of a particle container.
+    pub fn of(p: &'a Particles) -> Self {
+        Self {
+            x: &p.x,
+            y: &p.y,
+            z: &p.z,
+            vx: &p.vx,
+            vy: &p.vy,
+            vz: &p.vz,
+            species: &p.species,
+        }
+    }
+}
+
+/// Post-cutoff Groot–Warren kernel: force on `i` from `j` given the
+/// already-computed minimum-image displacement `d` and squared distance
+/// `r2`. Arithmetic order matches the historical kernel exactly.
+#[inline]
+fn pair_force_from_d(
+    prm: &PairParams,
+    inp: &PairInputs<'_>,
+    matrix: &SpeciesMatrix,
+    d: [f64; 3],
+    r2: f64,
+    i: usize,
+    j: usize,
+) -> [f64; 3] {
+    let r = r2.sqrt();
+    let w = 1.0 - r / prm.rc;
+    let e = [d[0] / r, d[1] / r, d[2] / r];
+    let (a, gamma) = matrix.get(inp.species[i], inp.species[j]);
+    let sigma = (2.0 * gamma * prm.kbt).sqrt();
+    let vij = [
+        inp.vx[i] - inp.vx[j],
+        inp.vy[i] - inp.vy[j],
+        inp.vz[i] - inp.vz[j],
+    ];
+    let ev = e[0] * vij[0] + e[1] * vij[1] + e[2] * vij[2];
+    let zeta = pair_noise_from_base(prm.base, i, j);
+    let fmag = a * w - gamma * w * w * ev + sigma * w * zeta * prm.inv_sqrt_dt;
+    [fmag * e[0], fmag * e[1], fmag * e[2]]
 }
 
 /// The Groot–Warren pair kernel: force on particle `i` from particle `j`,
-/// or `None` outside the cutoff. Both sweeps call exactly this function,
-/// so serial and parallel paths evaluate bit-identical per-pair physics;
-/// swapping `i ↔ j` negates the result exactly (IEEE negation is exact
-/// and `ζ` is symmetric).
+/// or `None` outside the cutoff. Every sweep evaluates exactly this
+/// function's arithmetic, so serial and parallel paths compute
+/// bit-identical per-pair physics; swapping `i ↔ j` negates the result
+/// exactly (IEEE negation is exact and `ζ` is symmetric).
 #[inline]
 pub fn pair_force(
     prm: &PairParams,
     bx: &Box3,
-    pos: &[[f64; 3]],
-    vel: &[[f64; 3]],
-    species: &[u8],
+    inp: &PairInputs<'_>,
     matrix: &SpeciesMatrix,
     i: usize,
     j: usize,
 ) -> Option<[f64; 3]> {
-    let d = bx.min_image(pos[i], pos[j]);
+    let d = bx.min_image(
+        [inp.x[i], inp.y[i], inp.z[i]],
+        [inp.x[j], inp.y[j], inp.z[j]],
+    );
     let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
     if r2 >= prm.rc * prm.rc || r2 < 1e-24 {
         return None;
     }
-    let r = r2.sqrt();
-    let w = 1.0 - r / prm.rc;
-    let e = [d[0] / r, d[1] / r, d[2] / r];
-    let (a, gamma) = matrix.get(species[i], species[j]);
-    let sigma = (2.0 * gamma * prm.kbt).sqrt();
-    let vij = [
-        vel[i][0] - vel[j][0],
-        vel[i][1] - vel[j][1],
-        vel[i][2] - vel[j][2],
-    ];
-    let ev = e[0] * vij[0] + e[1] * vij[1] + e[2] * vij[2];
-    let zeta = pair_noise(prm.seed, prm.step, i, j);
-    let fmag = a * w - gamma * w * w * ev + sigma * w * zeta * prm.inv_sqrt_dt;
-    Some([fmag * e[0], fmag * e[1], fmag * e[2]])
+    Some(pair_force_from_d(prm, inp, matrix, d, r2, i, j))
+}
+
+/// Reusable gather/batch buffers for the cell sweep (one per thread of
+/// execution; kept out of the hot loop to avoid reallocation).
+#[derive(Default)]
+struct SweepScratch {
+    /// Candidate particle indices of the current cell neighborhood.
+    idx: Vec<u32>,
+    /// Gathered candidate coordinates (SoA).
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    gz: Vec<f64>,
+    /// Batched minimum-image displacements and squared distances.
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    r2: Vec<f64>,
+}
+
+/// Half-list sweep over the cell range `[clo, chi)`: every unordered pair
+/// whose *owning* cell (the lower cell id of the pair) lies in the range is
+/// evaluated exactly once, in deterministic order, and handed to `apply`.
+///
+/// Per cell, candidate coordinates (own cell + forward neighbors) are
+/// gathered once into contiguous SoA buffers and the cutoff test runs
+/// through the vectorized `nkg-simd` batch kernel; only surviving pairs
+/// evaluate the scalar force kernel. The enumeration guarantees each
+/// particle's contributions arrive in the same relative order as the
+/// historical pair-at-a-time loop, so per-particle sums are bitwise
+/// reproducible.
+#[allow(clippy::too_many_arguments)]
+fn sweep_half_cells(
+    prm: &PairParams,
+    bx: &Box3,
+    inp: &PairInputs<'_>,
+    matrix: &SpeciesMatrix,
+    grid: &CellGrid,
+    clo: usize,
+    chi: usize,
+    scratch: &mut SweepScratch,
+    mut apply: impl FnMut(usize, usize, [f64; 3]),
+) -> u64 {
+    let l = bx.lengths();
+    let periodic = bx.periodic;
+    let rc2 = prm.rc * prm.rc;
+    let mut pairs = 0u64;
+    for c in clo..chi {
+        let own = grid.cell_particles(c);
+        if own.is_empty() {
+            continue;
+        }
+        scratch.idx.clear();
+        scratch.gx.clear();
+        scratch.gy.clear();
+        scratch.gz.clear();
+        let mut gather = |j: usize| {
+            scratch.idx.push(j as u32);
+            scratch.gx.push(inp.x[j]);
+            scratch.gy.push(inp.y[j]);
+            scratch.gz.push(inp.z[j]);
+        };
+        for &i in own {
+            gather(i);
+        }
+        for &c2 in grid.fwd_neighbors(c) {
+            for &j in grid.cell_particles(c2 as usize) {
+                gather(j);
+            }
+        }
+        let total = scratch.idx.len();
+        for (a, &i) in own.iter().enumerate() {
+            let lo = a + 1;
+            let m = total - lo;
+            if m == 0 {
+                continue;
+            }
+            scratch.dx.resize(m, 0.0);
+            scratch.dy.resize(m, 0.0);
+            scratch.dz.resize(m, 0.0);
+            scratch.r2.resize(m, 0.0);
+            nkg_simd::min_image_dist2_batch(
+                [inp.x[i], inp.y[i], inp.z[i]],
+                &scratch.gx[lo..],
+                &scratch.gy[lo..],
+                &scratch.gz[lo..],
+                l,
+                periodic,
+                &mut scratch.dx,
+                &mut scratch.dy,
+                &mut scratch.dz,
+                &mut scratch.r2,
+            );
+            for k in 0..m {
+                let r2 = scratch.r2[k];
+                if r2 >= rc2 || r2 < 1e-24 {
+                    continue;
+                }
+                let j = scratch.idx[lo + k] as usize;
+                let d = [scratch.dx[k], scratch.dy[k], scratch.dz[k]];
+                let fv = pair_force_from_d(prm, inp, matrix, d, r2, i, j);
+                pairs += 1;
+                apply(i, j, fv);
+            }
+        }
+    }
+    pairs
 }
 
 /// Serial half sweep: evaluate each unordered pair once and apply the
-/// force to both particles (`p.force` must be pre-zeroed or hold external
+/// force to both particles (`p` forces must be pre-zeroed or hold external
 /// forces to accumulate onto). Returns the number of interacting pairs.
 #[allow(clippy::too_many_arguments)]
 pub fn accumulate_pair_forces(
@@ -169,38 +380,60 @@ pub fn accumulate_pair_forces(
     seed: u64,
     step: u64,
 ) -> u64 {
-    let prm = PairParams {
-        rc,
-        kbt,
-        inv_sqrt_dt: 1.0 / dt.sqrt(),
-        seed,
-        step,
+    let prm = PairParams::new(rc, kbt, dt, seed, step);
+    // Split borrows: read pos/vel/species, write the force components.
+    let inp = PairInputs {
+        x: &p.x,
+        y: &p.y,
+        z: &p.z,
+        vx: &p.vx,
+        vy: &p.vy,
+        vz: &p.vz,
+        species: &p.species,
     };
-    let mut pairs = 0u64;
-    // Split borrows: read pos/vel/species, write force.
-    let pos = &p.pos;
-    let vel = &p.vel;
-    let species = &p.species;
-    let force = &mut p.force;
-    grid.for_each_pair(|i, j| {
-        if let Some(fv) = pair_force(&prm, bx, pos, vel, species, matrix, i, j) {
-            pairs += 1;
-            for k in 0..3 {
-                force[i][k] += fv[k];
-                force[j][k] -= fv[k];
-            }
-        }
-    });
-    pairs
+    let fx = &mut p.fx;
+    let fy = &mut p.fy;
+    let fz = &mut p.fz;
+    let mut scratch = SweepScratch::default();
+    sweep_half_cells(
+        &prm,
+        bx,
+        &inp,
+        matrix,
+        grid,
+        0,
+        grid.num_cells(),
+        &mut scratch,
+        |i, j, fv| {
+            fx[i] += fv[0];
+            fy[i] += fv[1];
+            fz[i] += fv[2];
+            fx[j] -= fv[0];
+            fy[j] -= fv[1];
+            fz[j] -= fv[2];
+        },
+    )
 }
 
-/// Rayon-parallel full sweep: each particle independently sums the kernel
-/// over its whole neighborhood (twice the pair work of
-/// [`accumulate_pair_forces`], but write-conflict-free). Exact pairwise
-/// antisymmetry of [`pair_force`] keeps momentum conserved bitwise, and
-/// the order-preserving parallel collect makes the result independent of
-/// the rayon thread count. Returns the number of interacting pairs (each
-/// pair is seen from both sides; the double count is halved).
+/// Per-chunk output of the parallel half sweep.
+struct ChunkForces {
+    /// Dense `±F` accumulators for the chunk's own CSR range, indexed by
+    /// CSR position minus the chunk base.
+    own: Vec<[f64; 3]>,
+    /// `−F` contributions to particles outside the chunk's CSR range
+    /// (forward-neighbor cells of the chunk's last cells), replayed during
+    /// the ordered reduction.
+    spill: Vec<(u32, [f64; 3])>,
+    hits: u64,
+}
+
+/// Parallel half sweep: each unordered pair is computed once, `±F` lands
+/// in deterministic per-chunk buffers, and chunks are reduced in fixed
+/// order — bitwise identical for any thread count (chunk boundaries are a
+/// function of the grid alone; rayon's contiguous in-order splits never
+/// reorder the chunk list). Serial and parallel half sweeps agree to
+/// rounding (≤ 1e-12 per component), not bitwise: partial sums associate
+/// differently. Returns the number of interacting pairs.
 #[allow(clippy::too_many_arguments)]
 pub fn accumulate_pair_forces_par(
     p: &mut Particles,
@@ -214,42 +447,120 @@ pub fn accumulate_pair_forces_par(
     step: u64,
 ) -> u64 {
     use rayon::prelude::*;
-    let prm = PairParams {
-        rc,
-        kbt,
-        inv_sqrt_dt: 1.0 / dt.sqrt(),
-        seed,
-        step,
+    let prm = PairParams::new(rc, kbt, dt, seed, step);
+    let chunks = grid.balanced_cell_chunks(HALF_SWEEP_CHUNKS);
+    let rank = grid.rank();
+    let order = grid.sorted_order();
+    assert!(p.len() <= u32::MAX as usize, "particle count overflows u32");
+    let outs: Vec<ChunkForces> = {
+        let inp = PairInputs::of(p);
+        chunks
+            .par_iter()
+            .map(|&(clo, chi)| {
+                let base = grid.cell_start(clo);
+                let own_n = grid.cell_start(chi) - base;
+                let mut own = vec![[0.0f64; 3]; own_n];
+                let mut spill: Vec<(u32, [f64; 3])> = Vec::new();
+                let mut scratch = SweepScratch::default();
+                let hits = sweep_half_cells(
+                    &prm,
+                    bx,
+                    &inp,
+                    matrix,
+                    grid,
+                    clo,
+                    chi,
+                    &mut scratch,
+                    |i, j, fv| {
+                        let ri = rank[i] - base;
+                        own[ri][0] += fv[0];
+                        own[ri][1] += fv[1];
+                        own[ri][2] += fv[2];
+                        let rj = rank[j];
+                        if rj >= base && rj < base + own_n {
+                            let rj = rj - base;
+                            own[rj][0] -= fv[0];
+                            own[rj][1] -= fv[1];
+                            own[rj][2] -= fv[2];
+                        } else {
+                            spill.push((j as u32, [-fv[0], -fv[1], -fv[2]]));
+                        }
+                    },
+                );
+                ChunkForces { own, spill, hits }
+            })
+            .collect()
     };
-    let pos = &p.pos;
-    let vel = &p.vel;
-    let species = &p.species;
-    let n = pos.len();
-    let add: Vec<([f64; 3], u64)> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut fi = [0.0f64; 3];
-            let mut hits = 0u64;
-            grid.for_each_candidate(pos[i], |j| {
-                if j == i {
-                    return;
-                }
-                if let Some(fv) = pair_force(&prm, bx, pos, vel, species, matrix, i, j) {
-                    hits += 1;
-                    for k in 0..3 {
-                        fi[k] += fv[k];
-                    }
-                }
-            });
-            (fi, hits)
-        })
-        .collect();
     let mut hits = 0u64;
-    for (f, (a, h)) in p.force.iter_mut().zip(&add) {
-        hits += h;
-        for k in 0..3 {
-            f[k] += a[k];
+    for (&(clo, _), out) in chunks.iter().zip(&outs) {
+        let base = grid.cell_start(clo);
+        for (k, f) in out.own.iter().enumerate() {
+            let i = order[base + k];
+            p.fx[i] += f[0];
+            p.fy[i] += f[1];
+            p.fz[i] += f[2];
         }
+        for &(j, f) in &out.spill {
+            let j = j as usize;
+            p.fx[j] += f[0];
+            p.fy[j] += f[1];
+            p.fz[j] += f[2];
+        }
+        hits += out.hits;
+    }
+    hits
+}
+
+/// Rayon-parallel full sweep (baseline): each particle independently sums
+/// the kernel over its whole neighborhood (twice the pair work of the
+/// half-list sweeps, but write-conflict-free). Exact pairwise antisymmetry
+/// of [`pair_force`] keeps momentum conserved bitwise, and the
+/// order-preserving parallel collect makes the result independent of the
+/// rayon thread count. Returns the number of interacting pairs (each pair
+/// is seen from both sides; the double count is halved).
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_pair_forces_full_par(
+    p: &mut Particles,
+    grid: &CellGrid,
+    bx: &Box3,
+    matrix: &SpeciesMatrix,
+    rc: f64,
+    kbt: f64,
+    dt: f64,
+    seed: u64,
+    step: u64,
+) -> u64 {
+    use rayon::prelude::*;
+    let prm = PairParams::new(rc, kbt, dt, seed, step);
+    let n = p.len();
+    let add: Vec<([f64; 3], u64)> = {
+        let inp = PairInputs::of(p);
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let mut fi = [0.0f64; 3];
+                let mut hits = 0u64;
+                grid.for_each_candidate([inp.x[i], inp.y[i], inp.z[i]], |j| {
+                    if j == i {
+                        return;
+                    }
+                    if let Some(fv) = pair_force(&prm, bx, &inp, matrix, i, j) {
+                        hits += 1;
+                        fi[0] += fv[0];
+                        fi[1] += fv[1];
+                        fi[2] += fv[2];
+                    }
+                });
+                (fi, hits)
+            })
+            .collect()
+    };
+    let mut hits = 0u64;
+    for (i, (a, h)) in add.iter().enumerate() {
+        hits += h;
+        p.fx[i] += a[0];
+        p.fy[i] += a[1];
+        p.fz[i] += a[2];
     }
     hits / 2
 }
@@ -274,6 +585,21 @@ mod tests {
         assert_eq!(z1, z2);
         assert_ne!(pair_noise(42, 11, 3, 7), z1);
         assert_ne!(pair_noise(43, 10, 3, 7), z1);
+    }
+
+    #[test]
+    fn noise_base_hoist_is_bitwise_identical() {
+        // The hoisted-prefix path must reproduce the full chain exactly.
+        for (seed, step) in [(0u64, 0u64), (42, 10), (u64::MAX, 123456789)] {
+            let base = noise_base(seed, step);
+            for (i, j) in [(0usize, 1usize), (7, 3), (1000, 999), (5, 5)] {
+                assert_eq!(
+                    pair_noise(seed, step, i, j).to_bits(),
+                    pair_noise_from_base(base, i, j).to_bits(),
+                    "seed={seed} step={step} i={i} j={j}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -315,30 +641,26 @@ mod tests {
         p.push([1.5, 1.0, 1.0], [-0.1, 0.2, 0.0], 0);
         p.push([4.0, 4.0, 4.0], [0.0, 0.0, 0.0], 0); // far away
         let mut grid = CellGrid::new(bx, 1.0);
-        grid.rebuild(&p.pos);
+        grid.rebuild_soa(&p.x, &p.y, &p.z);
         p.clear_forces();
         let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
         let pairs = accumulate_pair_forces(&mut p, &grid, &bx, &m, 1.0, 1.0, 0.01, 9, 0);
         assert_eq!(pairs, 1, "only the close pair interacts");
         // Newton's third law: total force zero.
-        let tot: [f64; 3] = [
-            p.force.iter().map(|f| f[0]).sum(),
-            p.force.iter().map(|f| f[1]).sum(),
-            p.force.iter().map(|f| f[2]).sum(),
-        ];
+        let tot: [f64; 3] = [p.fx.iter().sum(), p.fy.iter().sum(), p.fz.iter().sum()];
         for t in tot {
             assert!(t.abs() < 1e-12);
         }
         // Far particle untouched.
-        assert_eq!(p.force[2], [0.0; 3]);
+        assert_eq!(p.force(2), [0.0; 3]);
     }
 
     #[test]
-    fn parallel_path_matches_serial() {
+    fn parallel_half_path_matches_serial() {
         let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
         let p = random_cloud(200, 5, 6.0);
         let mut grid = CellGrid::new(bx, 1.0);
-        grid.rebuild(&p.pos);
+        grid.rebuild_soa(&p.x, &p.y, &p.z);
         let m = SpeciesMatrix::uniform(2, 25.0, 4.5);
         let mut serial = p.clone();
         serial.clear_forces();
@@ -350,48 +672,82 @@ mod tests {
         for i in 0..p.len() {
             for k in 0..3 {
                 assert!(
-                    (serial.force[i][k] - par.force[i][k]).abs() <= 1e-12,
+                    (serial.force(i)[k] - par.force(i)[k]).abs() <= 1e-12,
                     "particle {i} component {k}: {} vs {}",
-                    serial.force[i][k],
-                    par.force[i][k]
+                    serial.force(i)[k],
+                    par.force(i)[k]
                 );
             }
         }
     }
 
-    /// The parallel sweep must be *bitwise* identical for any thread
-    /// count: the per-particle summation order is fixed by the CSR cell
-    /// order and the collect preserves index order.
     #[test]
-    fn parallel_sweep_bitwise_identical_across_thread_counts() {
+    fn full_sweep_baseline_matches_serial() {
+        let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
+        let p = random_cloud(200, 5, 6.0);
+        let mut grid = CellGrid::new(bx, 1.0);
+        grid.rebuild_soa(&p.x, &p.y, &p.z);
+        let m = SpeciesMatrix::uniform(2, 25.0, 4.5);
+        let mut serial = p.clone();
+        serial.clear_forces();
+        let np = accumulate_pair_forces(&mut serial, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
+        let mut full = p.clone();
+        full.clear_forces();
+        let npf = accumulate_pair_forces_full_par(&mut full, &grid, &bx, &m, 1.0, 1.0, 0.01, 42, 3);
+        assert_eq!(np, npf, "pair counts disagree");
+        for i in 0..p.len() {
+            for k in 0..3 {
+                assert!(
+                    (serial.force(i)[k] - full.force(i)[k]).abs() <= 1e-12,
+                    "particle {i} component {k}: {} vs {}",
+                    serial.force(i)[k],
+                    full.force(i)[k]
+                );
+            }
+        }
+    }
+
+    /// Both parallel sweeps must be *bitwise* identical for any thread
+    /// count: the half sweep reduces fixed chunks in order, the full sweep
+    /// fixes per-particle summation order by the CSR cell order and the
+    /// collect preserves index order.
+    #[test]
+    fn parallel_sweeps_bitwise_identical_across_thread_counts() {
         let bx = Box3::new([0.0; 3], [6.0; 3], [true; 3]);
         let p = random_cloud(300, 17, 6.0);
         let mut grid = CellGrid::new(bx, 1.0);
-        grid.rebuild(&p.pos);
+        grid.rebuild_soa(&p.x, &p.y, &p.z);
         let m = SpeciesMatrix::uniform(2, 25.0, 4.5);
-        let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .unwrap();
-            pool.install(|| {
-                let mut q = p.clone();
-                q.clear_forces();
-                accumulate_pair_forces_par(&mut q, &grid, &bx, &m, 1.0, 1.0, 0.01, 99, 7);
-                q.force
-            })
-        };
-        let f1 = run(1);
-        for threads in [2, 8] {
-            let ft = run(threads);
-            for i in 0..p.len() {
-                for k in 0..3 {
-                    assert!(
-                        f1[i][k].to_bits() == ft[i][k].to_bits(),
-                        "threads={threads} particle {i} component {k}: {} vs {}",
-                        f1[i][k],
-                        ft[i][k]
-                    );
+        type Sweep =
+            fn(&mut Particles, &CellGrid, &Box3, &SpeciesMatrix, f64, f64, f64, u64, u64) -> u64;
+        for (name, sweep) in [
+            ("half", accumulate_pair_forces_par as Sweep),
+            ("full", accumulate_pair_forces_full_par as Sweep),
+        ] {
+            let run = |threads: usize| {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                pool.install(|| {
+                    let mut q = p.clone();
+                    q.clear_forces();
+                    sweep(&mut q, &grid, &bx, &m, 1.0, 1.0, 0.01, 99, 7);
+                    q.force_aos()
+                })
+            };
+            let f1 = run(1);
+            for threads in [2, 4, 8] {
+                let ft = run(threads);
+                for i in 0..p.len() {
+                    for k in 0..3 {
+                        assert!(
+                            f1[i][k].to_bits() == ft[i][k].to_bits(),
+                            "{name} threads={threads} particle {i} component {k}: {} vs {}",
+                            f1[i][k],
+                            ft[i][k]
+                        );
+                    }
                 }
             }
         }
@@ -402,19 +758,14 @@ mod tests {
     #[test]
     fn full_sweep_pair_forces_exactly_antisymmetric() {
         let bx = Box3::new([0.0; 3], [5.0; 3], [true; 3]);
-        let prm = PairParams {
-            rc: 1.0,
-            kbt: 1.0,
-            inv_sqrt_dt: 10.0,
-            seed: 5,
-            step: 21,
-        };
-        let pos = vec![[1.0, 1.0, 1.0], [1.6, 1.3, 0.8]];
-        let vel = vec![[0.2, -0.1, 0.4], [-0.3, 0.0, 0.1]];
-        let species = vec![0u8, 0];
+        let prm = PairParams::new(1.0, 1.0, 0.01, 5, 21);
+        let mut p = Particles::new();
+        p.push([1.0, 1.0, 1.0], [0.2, -0.1, 0.4], 0);
+        p.push([1.6, 1.3, 0.8], [-0.3, 0.0, 0.1], 0);
         let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
-        let fij = pair_force(&prm, &bx, &pos, &vel, &species, &m, 0, 1).unwrap();
-        let fji = pair_force(&prm, &bx, &pos, &vel, &species, &m, 1, 0).unwrap();
+        let inp = PairInputs::of(&p);
+        let fij = pair_force(&prm, &bx, &inp, &m, 0, 1).unwrap();
+        let fji = pair_force(&prm, &bx, &inp, &m, 1, 0).unwrap();
         for k in 0..3 {
             assert_eq!(fij[k].to_bits(), (-fji[k]).to_bits());
         }
@@ -429,14 +780,14 @@ mod tests {
         p.push([5.0, 5.0, 5.0], [0.0; 3], 0);
         p.push([5.5, 5.0, 5.0], [0.0; 3], 0);
         let mut grid = CellGrid::new(bx, 1.0);
-        grid.rebuild(&p.pos);
+        grid.rebuild_soa(&p.x, &p.y, &p.z);
         let m = SpeciesMatrix::uniform(1, 25.0, 4.5);
         let mut fsum = 0.0;
         let reps = 2000;
         for s in 0..reps {
             p.clear_forces();
             accumulate_pair_forces(&mut p, &grid, &bx, &m, 1.0, 1.0, 0.01, 77, s);
-            fsum += p.force[0][0];
+            fsum += p.fx[0];
         }
         let favg = fsum / reps as f64;
         // Expected conservative magnitude: a w = 25 * 0.5 = 12.5 pushing

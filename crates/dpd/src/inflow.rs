@@ -92,7 +92,7 @@ impl OpenBoundaryX {
         let mut removed = 0;
         let mut i = 0;
         while i < p.len() {
-            let x = p.pos[i][0];
+            let x = p.x[i];
             if x < bx.lo[0] || x > bx.hi[0] {
                 p.swap_remove(i);
                 removed += 1;
@@ -241,7 +241,7 @@ mod tests {
         let removed = b.delete_outflow(&mut p, &bx());
         assert_eq!(removed, 2);
         assert_eq!(p.len(), 1);
-        assert_eq!(p.pos[0][0], 5.0);
+        assert_eq!(p.x[0], 5.0);
     }
 
     #[test]
@@ -261,8 +261,8 @@ mod tests {
             "inserted {total}, expected {expect}"
         );
         // All inserted particles sit in the inflow slab.
-        for q in &p.pos {
-            assert!(q[0] >= 0.0 && q[0] <= 1.0);
+        for &x in p.x.iter() {
+            assert!((0.0..=1.0).contains(&x));
         }
     }
 
@@ -279,8 +279,8 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a.len(), b.len());
         for i in 0..a.len() {
-            assert_eq!(a.pos[i], b.pos[i]);
-            assert_eq!(a.vel[i], b.vel[i]);
+            assert_eq!(a.pos(i), b.pos(i));
+            assert_eq!(a.vel(i), b.vel(i));
         }
     }
 
@@ -294,13 +294,11 @@ mod tests {
             b.insert_inflow(&mut p, &bx(), 0.01, 9, s);
         }
         assert!(!p.is_empty());
-        // Every particle must be in the lower-y half.
-        for q in &p.pos {
-            assert!(q[1] < 2.0, "particle in stagnant bin: {q:?}");
-        }
-        // Velocities carry the target (vth = 0 here).
-        for v in &p.vel {
-            assert_eq!(*v, [2.0, 0.0, 0.0]);
+        for i in 0..p.len() {
+            // Every particle must be in the lower-y half.
+            assert!(p.y[i] < 2.0, "particle in stagnant bin: {:?}", p.pos(i));
+            // Velocities carry the target (vth = 0 here).
+            assert_eq!(p.vel(i), [2.0, 0.0, 0.0]);
         }
     }
 
@@ -333,7 +331,7 @@ mod tests {
         let na = b.insert_inflow(&mut pa, &bx(), 0.013, 5, 37);
         let nb = fresh.insert_inflow(&mut pb, &bx(), 0.013, 5, 37);
         assert_eq!(na, nb);
-        assert_eq!(pa.pos, pb.pos);
+        assert_eq!(pa.pos_aos(), pb.pos_aos());
     }
 
     #[test]

@@ -1,4 +1,14 @@
 //! Structure-of-arrays particle storage.
+//!
+//! Every per-particle scalar lives in its own cache-line-aligned
+//! [`AlignedBuf`] component array (`x/y/z`, `vx/vy/vz`, `fx/fy/fz`), the
+//! layout the paper's Table-1 SIMDization assumes: the force sweep streams
+//! each coordinate component contiguously, so the batched distance kernel
+//! in `nkg-simd` vectorizes without gather instructions, and 64-byte
+//! alignment keeps component arrays from false-sharing when per-chunk
+//! force buffers are reduced from different threads.
+
+use nkg_simd::AlignedBuf;
 
 /// Aggregation state of a platelet particle (solvent particles stay
 /// [`PlateletState::NotPlatelet`]).
@@ -17,20 +27,34 @@ pub enum PlateletState {
     Adhered(u32),
 }
 
-/// SoA particle container. Positions/velocities/forces are parallel
-/// arrays; removal is O(1) swap-remove (order is not preserved).
+/// SoA particle container: nine aligned component arrays plus species and
+/// platelet state. Removal is O(1) swap-remove (order is not preserved).
 #[derive(Debug, Clone, Default)]
 pub struct Particles {
-    /// Positions.
-    pub pos: Vec<[f64; 3]>,
-    /// Velocities.
-    pub vel: Vec<[f64; 3]>,
-    /// Accumulated forces.
-    pub force: Vec<[f64; 3]>,
+    /// Position components.
+    pub x: AlignedBuf,
+    /// Position components.
+    pub y: AlignedBuf,
+    /// Position components.
+    pub z: AlignedBuf,
+    /// Velocity components.
+    pub vx: AlignedBuf,
+    /// Velocity components.
+    pub vy: AlignedBuf,
+    /// Velocity components.
+    pub vz: AlignedBuf,
+    /// Accumulated force components.
+    pub fx: AlignedBuf,
+    /// Accumulated force components.
+    pub fy: AlignedBuf,
+    /// Accumulated force components.
+    pub fz: AlignedBuf,
     /// Species index (row into the interaction matrix).
     pub species: Vec<u8>,
     /// Platelet state.
     pub state: Vec<PlateletState>,
+    /// Reusable scratch for `reorder` (kept to avoid reallocation).
+    scratch: Vec<f64>,
 }
 
 impl Particles {
@@ -41,22 +65,121 @@ impl Particles {
 
     /// Number of particles.
     pub fn len(&self) -> usize {
-        self.pos.len()
+        self.x.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.x.is_empty()
+    }
+
+    /// Position of particle `i`.
+    #[inline]
+    pub fn pos(&self, i: usize) -> [f64; 3] {
+        [self.x[i], self.y[i], self.z[i]]
+    }
+
+    /// Velocity of particle `i`.
+    #[inline]
+    pub fn vel(&self, i: usize) -> [f64; 3] {
+        [self.vx[i], self.vy[i], self.vz[i]]
+    }
+
+    /// Accumulated force on particle `i`.
+    #[inline]
+    pub fn force(&self, i: usize) -> [f64; 3] {
+        [self.fx[i], self.fy[i], self.fz[i]]
+    }
+
+    /// Overwrite the position of particle `i`.
+    #[inline]
+    pub fn set_pos(&mut self, i: usize, p: [f64; 3]) {
+        self.x[i] = p[0];
+        self.y[i] = p[1];
+        self.z[i] = p[2];
+    }
+
+    /// Overwrite the velocity of particle `i`.
+    #[inline]
+    pub fn set_vel(&mut self, i: usize, v: [f64; 3]) {
+        self.vx[i] = v[0];
+        self.vy[i] = v[1];
+        self.vz[i] = v[2];
+    }
+
+    /// Overwrite the force on particle `i`.
+    #[inline]
+    pub fn set_force(&mut self, i: usize, f: [f64; 3]) {
+        self.fx[i] = f[0];
+        self.fy[i] = f[1];
+        self.fz[i] = f[2];
+    }
+
+    /// Accumulate `f` onto the force of particle `i`.
+    #[inline]
+    pub fn add_force(&mut self, i: usize, f: [f64; 3]) {
+        self.fx[i] += f[0];
+        self.fy[i] += f[1];
+        self.fz[i] += f[2];
+    }
+
+    /// Positions interleaved back to AoS (checkpoint encode / interop).
+    pub fn pos_aos(&self) -> Vec<[f64; 3]> {
+        (0..self.len()).map(|i| self.pos(i)).collect()
+    }
+
+    /// Velocities interleaved back to AoS.
+    pub fn vel_aos(&self) -> Vec<[f64; 3]> {
+        (0..self.len()).map(|i| self.vel(i)).collect()
+    }
+
+    /// Forces interleaved back to AoS.
+    pub fn force_aos(&self) -> Vec<[f64; 3]> {
+        (0..self.len()).map(|i| self.force(i)).collect()
+    }
+
+    /// Rebuild SoA storage from AoS arrays (checkpoint restore).
+    pub fn from_aos(
+        pos: &[[f64; 3]],
+        vel: &[[f64; 3]],
+        force: &[[f64; 3]],
+        species: Vec<u8>,
+        state: Vec<PlateletState>,
+    ) -> Self {
+        let n = pos.len();
+        assert!(vel.len() == n && force.len() == n && species.len() == n && state.len() == n);
+        let comp =
+            |src: &[[f64; 3]], k: usize| -> AlignedBuf { src.iter().map(|v| v[k]).collect() };
+        Self {
+            x: comp(pos, 0),
+            y: comp(pos, 1),
+            z: comp(pos, 2),
+            vx: comp(vel, 0),
+            vy: comp(vel, 1),
+            vz: comp(vel, 2),
+            fx: comp(force, 0),
+            fy: comp(force, 1),
+            fz: comp(force, 2),
+            species,
+            state,
+            scratch: Vec::new(),
+        }
     }
 
     /// Append a particle; returns its index.
     pub fn push(&mut self, pos: [f64; 3], vel: [f64; 3], species: u8) -> usize {
-        self.pos.push(pos);
-        self.vel.push(vel);
-        self.force.push([0.0; 3]);
+        self.x.push(pos[0]);
+        self.y.push(pos[1]);
+        self.z.push(pos[2]);
+        self.vx.push(vel[0]);
+        self.vy.push(vel[1]);
+        self.vz.push(vel[2]);
+        self.fx.push(0.0);
+        self.fy.push(0.0);
+        self.fz.push(0.0);
         self.species.push(species);
         self.state.push(PlateletState::NotPlatelet);
-        self.pos.len() - 1
+        self.x.len() - 1
     }
 
     /// Append a platelet in the passive state.
@@ -68,27 +191,39 @@ impl Particles {
 
     /// Remove by swap; the last particle takes index `i`.
     pub fn swap_remove(&mut self, i: usize) {
-        self.pos.swap_remove(i);
-        self.vel.swap_remove(i);
-        self.force.swap_remove(i);
+        self.x.swap_remove(i);
+        self.y.swap_remove(i);
+        self.z.swap_remove(i);
+        self.vx.swap_remove(i);
+        self.vy.swap_remove(i);
+        self.vz.swap_remove(i);
+        self.fx.swap_remove(i);
+        self.fy.swap_remove(i);
+        self.fz.swap_remove(i);
         self.species.swap_remove(i);
         self.state.swap_remove(i);
     }
 
     /// Zero all force accumulators.
     pub fn clear_forces(&mut self) {
-        for f in &mut self.force {
-            *f = [0.0; 3];
-        }
+        self.fx.fill(0.0);
+        self.fy.fill(0.0);
+        self.fz.fill(0.0);
     }
 
     /// Total momentum (unit mass).
     pub fn momentum(&self) -> [f64; 3] {
+        // Per-component accumulator chains match the pre-SoA loop order
+        // (each component was already an independent accumulator).
         let mut p = [0.0; 3];
-        for v in &self.vel {
-            for k in 0..3 {
-                p[k] += v[k];
-            }
+        for &v in self.vx.iter() {
+            p[0] += v;
+        }
+        for &v in self.vy.iter() {
+            p[1] += v;
+        }
+        for &v in self.vz.iter() {
+            p[2] += v;
         }
         p
     }
@@ -103,9 +238,9 @@ impl Particles {
         let p = self.momentum();
         let vbar = [p[0] / n as f64, p[1] / n as f64, p[2] / n as f64];
         let mut ke = 0.0;
-        for v in &self.vel {
-            for k in 0..3 {
-                let dv = v[k] - vbar[k];
+        for i in 0..n {
+            for (k, &vk) in [self.vx[i], self.vy[i], self.vz[i]].iter().enumerate() {
+                let dv = vk - vbar[k];
                 ke += 0.5 * dv * dv;
             }
         }
@@ -124,11 +259,29 @@ impl Particles {
     ///
     /// Renumbers particles: anything holding particle indices externally
     /// (e.g. membrane bead lists) becomes stale and must be remapped.
+    /// Reuses an internal scratch buffer, so steady-state reordering does
+    /// not allocate.
     pub fn reorder(&mut self, order: &[usize]) {
-        assert_eq!(order.len(), self.len(), "order is not a permutation");
-        self.pos = order.iter().map(|&i| self.pos[i]).collect();
-        self.vel = order.iter().map(|&i| self.vel[i]).collect();
-        self.force = order.iter().map(|&i| self.force[i]).collect();
+        let n = self.len();
+        assert_eq!(order.len(), n, "order is not a permutation");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(n, 0.0);
+        let mut permute = |arr: &mut AlignedBuf| {
+            for (k, &i) in order.iter().enumerate() {
+                scratch[k] = arr[i];
+            }
+            arr.as_mut_slice().copy_from_slice(&scratch);
+        };
+        permute(&mut self.x);
+        permute(&mut self.y);
+        permute(&mut self.z);
+        permute(&mut self.vx);
+        permute(&mut self.vy);
+        permute(&mut self.vz);
+        permute(&mut self.fx);
+        permute(&mut self.fy);
+        permute(&mut self.fz);
+        self.scratch = scratch;
         self.species = order.iter().map(|&i| self.species[i]).collect();
         self.state = order.iter().map(|&i| self.state[i]).collect();
     }
@@ -148,7 +301,7 @@ mod tests {
         p.swap_remove(0);
         assert_eq!(p.len(), 2);
         // Last particle moved into slot 0.
-        assert_eq!(p.pos[0], [2.0; 3]);
+        assert_eq!(p.pos(0), [2.0; 3]);
         assert_eq!(p.count_species(0), 1);
     }
 
@@ -180,12 +333,12 @@ mod tests {
         p.push([0.0; 3], [0.1, 0.0, 0.0], 0);
         p.push([1.0; 3], [0.2, 0.0, 0.0], 1);
         p.push([2.0; 3], [0.3, 0.0, 0.0], 2);
-        p.force[2] = [9.0, 0.0, 0.0];
+        p.set_force(2, [9.0, 0.0, 0.0]);
         p.state[1] = PlateletState::Active;
         p.reorder(&[2, 0, 1]);
-        assert_eq!(p.pos, vec![[2.0; 3], [0.0; 3], [1.0; 3]]);
-        assert_eq!(p.vel[0], [0.3, 0.0, 0.0]);
-        assert_eq!(p.force[0], [9.0, 0.0, 0.0]);
+        assert_eq!(p.pos_aos(), vec![[2.0; 3], [0.0; 3], [1.0; 3]]);
+        assert_eq!(p.vel(0), [0.3, 0.0, 0.0]);
+        assert_eq!(p.force(0), [9.0, 0.0, 0.0]);
         assert_eq!(p.species, vec![2, 0, 1]);
         assert_eq!(p.state[2], PlateletState::Active);
     }
@@ -197,5 +350,26 @@ mod tests {
         let b = p.push_platelet([0.0; 3], [0.0; 3], 1);
         assert_eq!(p.state[a], PlateletState::NotPlatelet);
         assert_eq!(p.state[b], PlateletState::Passive);
+    }
+
+    #[test]
+    fn aos_round_trip_preserves_everything() {
+        let mut p = Particles::new();
+        p.push([1.0, 2.0, 3.0], [0.1, 0.2, 0.3], 0);
+        p.push_platelet([4.0, 5.0, 6.0], [0.4, 0.5, 0.6], 1);
+        p.set_force(0, [7.0, 8.0, 9.0]);
+        let q = Particles::from_aos(
+            &p.pos_aos(),
+            &p.vel_aos(),
+            &p.force_aos(),
+            p.species.clone(),
+            p.state.clone(),
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pos(0), [1.0, 2.0, 3.0]);
+        assert_eq!(q.vel(1), [0.4, 0.5, 0.6]);
+        assert_eq!(q.force(0), [7.0, 8.0, 9.0]);
+        assert_eq!(q.species, p.species);
+        assert_eq!(q.state, p.state);
     }
 }

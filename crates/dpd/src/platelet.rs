@@ -104,23 +104,25 @@ pub fn update_states(
     let mut newly_adhered = 0;
     // Collect active platelet positions first (triggers are based on the
     // state at the beginning of the step).
-    let active_pos: Vec<[f64; 3]> = p
-        .state
-        .iter()
-        .zip(&p.pos)
-        .filter(|(s, _)| matches!(s, PlateletState::Active | PlateletState::Adhered(_)))
-        .map(|(_, &x)| x)
+    let active_pos: Vec<[f64; 3]> = (0..p.len())
+        .filter(|&i| {
+            matches!(
+                p.state[i],
+                PlateletState::Active | PlateletState::Adhered(_)
+            )
+        })
+        .map(|i| p.pos(i))
         .collect();
     for i in 0..p.len() {
         match p.state[i] {
             PlateletState::Passive => {
                 let near_site = sites.pos.iter().any(|&s| {
-                    let d = bx.min_image(p.pos[i], s);
+                    let d = bx.min_image(p.pos(i), s);
                     d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
                         < params.trigger_dist * params.trigger_dist
                 });
                 let near_active = active_pos.iter().any(|&s| {
-                    let d = bx.min_image(p.pos[i], s);
+                    let d = bx.min_image(p.pos(i), s);
                     d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
                         < params.trigger_dist * params.trigger_dist
                 });
@@ -137,7 +139,7 @@ pub fn update_states(
                 // Bond to the nearest site within bonding distance.
                 let mut best: Option<(usize, f64)> = None;
                 for (si, &s) in sites.pos.iter().enumerate() {
-                    let d = bx.min_image(p.pos[i], s);
+                    let d = bx.min_image(p.pos(i), s);
                     let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
                     if r2 < params.bond_dist * params.bond_dist && best.is_none_or(|(_, b)| r2 < b)
                     {
@@ -176,17 +178,15 @@ pub fn adhesion_forces(p: &mut Particles, sites: &WallSites, bx: &Box3, params: 
     for ai in 0..actives.len() {
         for aj in ai + 1..actives.len() {
             let (i, j) = (actives[ai], actives[aj]);
-            let d = bx.min_image(p.pos[i], p.pos[j]);
+            let d = bx.min_image(p.pos(i), p.pos(j));
             let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
             if r >= params.cutoff || r < 1e-12 {
                 continue;
             }
             let f = morse_force(params.de, params.beta, params.r0, r);
-            for k in 0..3 {
-                let dir = d[k] / r;
-                p.force[i][k] += f * dir;
-                p.force[j][k] -= f * dir;
-            }
+            let fv = [f * d[0] / r, f * d[1] / r, f * d[2] / r];
+            p.add_force(i, fv);
+            p.add_force(j, [-fv[0], -fv[1], -fv[2]]);
         }
     }
     // Active-site attraction and adhered anchors.
@@ -194,23 +194,26 @@ pub fn adhesion_forces(p: &mut Particles, sites: &WallSites, bx: &Box3, params: 
         match p.state[i] {
             PlateletState::Active => {
                 for &s in &sites.pos {
-                    let d = bx.min_image(p.pos[i], s);
+                    let d = bx.min_image(p.pos(i), s);
                     let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
                     if r >= params.cutoff || r < 1e-12 {
                         continue;
                     }
                     let f = morse_force(params.de, params.beta, params.r0, r);
-                    for k in 0..3 {
-                        p.force[i][k] += f * d[k] / r;
-                    }
+                    p.add_force(i, [f * d[0] / r, f * d[1] / r, f * d[2] / r]);
                 }
             }
             PlateletState::Adhered(si) => {
                 let s = sites.pos[si as usize];
-                let d = bx.min_image(p.pos[i], s);
-                for k in 0..3 {
-                    p.force[i][k] -= params.spring_k * d[k];
-                }
+                let d = bx.min_image(p.pos(i), s);
+                p.add_force(
+                    i,
+                    [
+                        -params.spring_k * d[0],
+                        -params.spring_k * d[1],
+                        -params.spring_k * d[2],
+                    ],
+                );
             }
             _ => {}
         }
@@ -290,9 +293,9 @@ mod tests {
         p.clear_forces();
         adhesion_forces(&mut p, &sites, &bx, &params);
         assert!(
-            p.force[0][1] < 0.0,
+            p.fy[0] < 0.0,
             "should pull toward the wall: {:?}",
-            p.force[0]
+            p.force(0)
         );
     }
 
@@ -304,7 +307,7 @@ mod tests {
         p.clear_forces();
         adhesion_forces(&mut p, &sites, &bx, &params);
         // Displaced +x from the site: spring pulls −x.
-        assert!(p.force[0][0] < 0.0);
+        assert!(p.fx[0] < 0.0);
     }
 
     #[test]
@@ -317,10 +320,10 @@ mod tests {
         p.clear_forces();
         adhesion_forces(&mut p, &sites, &bx, &params);
         // Separation 0.8 > r0=0.3: attraction pulls them together.
-        assert!(p.force[0][0] > 0.0);
-        assert!(p.force[1][0] < 0.0);
+        assert!(p.fx[0] > 0.0);
+        assert!(p.fx[1] < 0.0);
         // Newton's third law.
-        assert!((p.force[0][0] + p.force[1][0]).abs() < 1e-12);
+        assert!((p.fx[0] + p.fx[1]).abs() < 1e-12);
     }
 
     #[test]

@@ -77,10 +77,10 @@ impl CellModel {
     /// periodic boundaries.
     fn unwrapped(&self, p: &Particles, bx: &Box3) -> Vec<[f64; 3]> {
         let mut out = Vec::with_capacity(self.beads.len());
-        let mut prev = p.pos[self.beads[0]];
+        let mut prev = p.pos(self.beads[0]);
         out.push(prev);
         for &b in &self.beads[1..] {
-            let d = bx.min_image(p.pos[b], prev);
+            let d = bx.min_image(p.pos(b), prev);
             let cur = [prev[0] + d[0], prev[1] + d[1], prev[2] + d[2]];
             out.push(cur);
             prev = cur;
@@ -105,7 +105,7 @@ impl CellModel {
         let n = self.beads.len();
         (0..n)
             .map(|k| {
-                let d = bx.min_image(p.pos[self.beads[(k + 1) % n]], p.pos[self.beads[k]]);
+                let d = bx.min_image(p.pos(self.beads[(k + 1) % n]), p.pos(self.beads[k]));
                 (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
             })
             .collect()
@@ -140,31 +140,30 @@ impl CellModel {
             // For the closing bond (q == 0) the unwrapped difference needs
             // min-image since u[0] was the anchor:
             let d = if q == 0 {
-                bx.min_image(p.pos[self.beads[0]], p.pos[self.beads[k]])
+                bx.min_image(p.pos(self.beads[0]), p.pos(self.beads[k]))
             } else {
                 d
             };
             let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt().max(1e-12);
             let f = self.k_spring * (r - self.r0) / r;
             let (bi, bj) = (self.beads[k], self.beads[q]);
-            for c in 0..3 {
-                p.force[bi][c] += f * d[c];
-                p.force[bj][c] -= f * d[c];
-            }
+            let fv = [f * d[0], f * d[1], f * d[2]];
+            p.add_force(bi, fv);
+            p.add_force(bj, [-fv[0], -fv[1], -fv[2]]);
         }
         // Bending: discrete Laplacian penalty, momentum-conserving
         // (F_j = k (u_{j-1} + u_{j+1} - 2 u_j), reaction split to neighbors).
         for j in 0..n {
             let im = (j + n - 1) % n;
             let ip = (j + 1) % n;
-            let dm = bx.min_image(p.pos[self.beads[im]], p.pos[self.beads[j]]);
-            let dp = bx.min_image(p.pos[self.beads[ip]], p.pos[self.beads[j]]);
-            for c in 0..3 {
-                let lap = dm[c] + dp[c];
-                p.force[self.beads[j]][c] += self.k_bend * lap;
-                p.force[self.beads[im]][c] -= 0.5 * self.k_bend * lap;
-                p.force[self.beads[ip]][c] -= 0.5 * self.k_bend * lap;
-            }
+            let dm = bx.min_image(p.pos(self.beads[im]), p.pos(self.beads[j]));
+            let dp = bx.min_image(p.pos(self.beads[ip]), p.pos(self.beads[j]));
+            let lap = [dm[0] + dp[0], dm[1] + dp[1], dm[2] + dp[2]];
+            let kb = self.k_bend;
+            p.add_force(self.beads[j], [kb * lap[0], kb * lap[1], kb * lap[2]]);
+            let half = [-0.5 * kb * lap[0], -0.5 * kb * lap[1], -0.5 * kb * lap[2]];
+            p.add_force(self.beads[im], half);
+            p.add_force(self.beads[ip], half);
         }
         // Area conservation: F_j = -k_area (A - A0) ∂A/∂x_j.
         let a = {
@@ -183,8 +182,8 @@ impl CellModel {
             // ∂A/∂x_j = (y_{j+1} - y_{j-1})/2 ; ∂A/∂y_j = (x_{j-1} - x_{j+1})/2.
             let dax = 0.5 * (u[ip][1] - u[im][1]);
             let day = 0.5 * (u[im][0] - u[ip][0]);
-            p.force[self.beads[j]][0] += coef * dax;
-            p.force[self.beads[j]][1] += coef * day;
+            p.fx[self.beads[j]] += coef * dax;
+            p.fy[self.beads[j]] += coef * day;
         }
     }
 }
@@ -223,11 +222,7 @@ mod tests {
         // Bonds at rest; bending Laplacian ≈ small inward; area penalty small
         // (polygon vs circle). Total force per bead stays small and the NET
         // force is exactly zero (momentum conservation).
-        let net: [f64; 3] = [
-            p.force.iter().map(|f| f[0]).sum(),
-            p.force.iter().map(|f| f[1]).sum(),
-            p.force.iter().map(|f| f[2]).sum(),
-        ];
+        let net: [f64; 3] = [p.fx.iter().sum(), p.fy.iter().sum(), p.fz.iter().sum()];
         for c in net {
             assert!(c.abs() < 1e-9, "net membrane force {net:?}");
         }
@@ -237,14 +232,14 @@ mod tests {
     fn stretched_bond_pulls_back() {
         let (mut p, cell, bx) = setup(1.0, 8);
         // Move bead 0 radially outward.
-        p.pos[cell.beads[0]][0] += 0.5;
+        p.x[cell.beads[0]] += 0.5;
         p.clear_forces();
         cell.accumulate_forces(&mut p, &bx);
         // Restoring force points back toward the ring (-x).
         assert!(
-            p.force[cell.beads[0]][0] < 0.0,
+            p.fx[cell.beads[0]] < 0.0,
             "force {:?}",
-            p.force[cell.beads[0]]
+            p.force(cell.beads[0])
         );
     }
 
@@ -253,16 +248,15 @@ mod tests {
         let (mut p, cell, bx) = setup(1.0, 16);
         // Shrink the ring uniformly by 20%: area penalty should push out.
         for &b in &cell.beads {
-            for c in 0..2 {
-                p.pos[b][c] = 5.0 + (p.pos[b][c] - 5.0) * 0.8;
-            }
+            p.x[b] = 5.0 + (p.x[b] - 5.0) * 0.8;
+            p.y[b] = 5.0 + (p.y[b] - 5.0) * 0.8;
         }
         p.clear_forces();
         cell.accumulate_forces(&mut p, &bx);
         // Radial component of force on bead 0 (at +x) should be positive
         // (outward): bonds are compressed (pushing out) and area deficit
         // pushes out.
-        let f = p.force[cell.beads[0]];
+        let f = p.force(cell.beads[0]);
         assert!(f[0] > 0.0, "outward restoring force expected: {f:?}");
     }
 

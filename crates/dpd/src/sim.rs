@@ -3,7 +3,10 @@
 
 use crate::cells::CellGrid;
 use crate::domain::Box3;
-use crate::force::{accumulate_pair_forces, accumulate_pair_forces_par, SpeciesMatrix};
+use crate::force::{
+    accumulate_pair_forces, accumulate_pair_forces_full_par, accumulate_pair_forces_par,
+    SpeciesMatrix,
+};
 use crate::inflow::OpenBoundaryX;
 use crate::particles::{Particles, PlateletState};
 use crate::platelet::{adhesion_forces, update_states, PlateletParams, WallSites};
@@ -14,11 +17,11 @@ use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 
 /// Which pair-force sweep [`DpdSim::step`] runs.
 ///
-/// Both backends evaluate the identical pair kernel with counter-based
+/// All backends evaluate the identical pair kernel with counter-based
 /// symmetric noise, so they integrate the same physics; they differ only
 /// in floating-point summation order (agreement ≤ 1e-12 per component)
-/// and in parallelism. The parallel full sweep is bitwise deterministic
-/// for a given particle ordering regardless of the rayon thread count.
+/// and in parallelism. Both parallel sweeps are bitwise deterministic for
+/// a given particle ordering regardless of the rayon thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ForceBackend {
     /// Pick [`ForceBackend::Parallel`] when more than one rayon thread is
@@ -27,8 +30,12 @@ pub enum ForceBackend {
     Auto,
     /// Serial half sweep: each unordered pair evaluated once.
     Serial,
-    /// Rayon-parallel full-neighborhood sweep (write-conflict-free).
+    /// Rayon-parallel half sweep: each pair evaluated once per step, `±F`
+    /// scattered through deterministic chunk-ordered accumulation.
     Parallel,
+    /// Rayon-parallel full-neighborhood sweep (write-conflict-free
+    /// baseline; twice the pair work of [`ForceBackend::Parallel`]).
+    ParallelFull,
 }
 
 impl ForceBackend {
@@ -126,10 +133,20 @@ pub struct DpdSim {
     /// Pair-force sweep selection (default [`ForceBackend::Auto`]).
     pub force_backend: ForceBackend,
     /// Spatially reorder the particle arrays into cell-sorted (CSR) order
-    /// every this many steps (0 = never). Reordering renumbers particles,
-    /// which re-keys the counter-based noise — physically equivalent but a
-    /// different random stream. Skipped while explicit cell membranes are
-    /// present (they hold particle indices).
+    /// every this many steps (0 = never, the default). Reordering
+    /// renumbers particles, which re-keys the counter-based noise —
+    /// physically equivalent but a different random stream. Skipped while
+    /// explicit cell membranes are present (they hold particle indices).
+    ///
+    /// Benchmarks (`BENCH_dpd.json`, N = 1e5) show the half-list sweep
+    /// already recovers most locality by gathering coordinates in CSR
+    /// cell-visit order, so the permutation only starts to pay once the
+    /// particle order has drifted far from cell order (~8% step-rate gain
+    /// after hundreds of undisturbed steps, a net loss before that).
+    /// Default 0: the modest gain does not justify silently switching
+    /// the noise stream mid-run. Opt in for long, strongly diffusive
+    /// runs where reproducibility against un-reordered runs is not
+    /// required.
     pub reorder_every: u64,
     body_force: BodyForceFn,
     /// Steps taken.
@@ -189,10 +206,10 @@ impl DpdSim {
         // Remove any net momentum so measured flow is purely forced.
         let mom = self.particles.momentum();
         let n = self.particles.len().max(1) as f64;
-        for v in &mut self.particles.vel {
-            for k in 0..3 {
-                v[k] -= mom[k] / n;
-            }
+        for i in 0..self.particles.len() {
+            self.particles.vx[i] -= mom[0] / n;
+            self.particles.vy[i] -= mom[1] / n;
+            self.particles.vz[i] -= mom[2] / n;
         }
     }
 
@@ -285,9 +302,21 @@ impl DpdSim {
     /// positions and velocities.
     pub fn compute_forces(&mut self) {
         self.particles.clear_forces();
-        self.grid.rebuild(&self.particles.pos);
+        self.grid
+            .rebuild_soa(&self.particles.x, &self.particles.y, &self.particles.z);
         self.last_pair_count = match self.force_backend.resolved() {
             ForceBackend::Parallel => accumulate_pair_forces_par(
+                &mut self.particles,
+                &self.grid,
+                &self.bx,
+                &self.matrix,
+                self.cfg.rc,
+                self.cfg.kbt,
+                self.cfg.dt,
+                self.cfg.seed,
+                self.step_count,
+            ),
+            ForceBackend::ParallelFull => accumulate_pair_forces_full_par(
                 &mut self.particles,
                 &self.grid,
                 &self.bx,
@@ -313,10 +342,10 @@ impl DpdSim {
         // Body force.
         let fb = (self.body_force)(self.time);
         if fb != [0.0; 3] {
-            for f in &mut self.particles.force {
-                for k in 0..3 {
-                    f[k] += fb[k];
-                }
+            for i in 0..self.particles.len() {
+                self.particles.fx[i] += fb[0];
+                self.particles.fy[i] += fb[1];
+                self.particles.fz[i] += fb[2];
             }
         }
         // Wall forces.
@@ -325,15 +354,16 @@ impl DpdSim {
                 WallGeometry::SlabY => {
                     let (ylo, yhi) = (self.bx.lo[1], self.bx.hi[1]);
                     for i in 0..self.particles.len() {
-                        let y = self.particles.pos[i][1];
-                        let v = self.particles.vel[i];
+                        let y = self.particles.y[i];
+                        let v = self.particles.vel(i);
+                        let mut f = self.particles.force(i);
                         wall_force(
                             eff,
                             self.cfg.gamma_wall,
                             y - ylo,
                             [0.0, 1.0, 0.0],
                             v,
-                            &mut self.particles.force[i],
+                            &mut f,
                         );
                         wall_force(
                             eff,
@@ -341,28 +371,23 @@ impl DpdSim {
                             yhi - y,
                             [0.0, -1.0, 0.0],
                             v,
-                            &mut self.particles.force[i],
+                            &mut f,
                         );
+                        self.particles.set_force(i, f);
                     }
                 }
                 WallGeometry::CylinderX(r0) => {
                     let (cy, cz) = self.cyl_center();
                     for i in 0..self.particles.len() {
-                        let p = self.particles.pos[i];
-                        let dy = p[1] - cy;
-                        let dz = p[2] - cz;
+                        let dy = self.particles.y[i] - cy;
+                        let dz = self.particles.z[i] - cz;
                         let r = (dy * dy + dz * dz).sqrt().max(1e-12);
                         let h = r0 - r;
                         let normal = [0.0, -dy / r, -dz / r]; // inward
-                        let v = self.particles.vel[i];
-                        wall_force(
-                            eff,
-                            self.cfg.gamma_wall,
-                            h,
-                            normal,
-                            v,
-                            &mut self.particles.force[i],
-                        );
+                        let v = self.particles.vel(i);
+                        let mut f = self.particles.force(i);
+                        wall_force(eff, self.cfg.gamma_wall, h, normal, v, &mut f);
+                        self.particles.set_force(i, f);
                     }
                 }
                 WallGeometry::None => {}
@@ -374,9 +399,9 @@ impl DpdSim {
             let (xlo, xhi) = (self.bx.lo[0], self.bx.hi[0]);
             if let Some(eff) = &self.eff_wall {
                 for i in 0..self.particles.len() {
-                    let x = self.particles.pos[i][0];
-                    self.particles.force[i][0] += eff.force(x - xlo);
-                    self.particles.force[i][0] -= eff.force(xhi - x);
+                    let x = self.particles.x[i];
+                    self.particles.fx[i] += eff.force(x - xlo);
+                    self.particles.fx[i] -= eff.force(xhi - x);
                 }
             }
             if ob.control_gain > 0.0 {
@@ -387,13 +412,14 @@ impl DpdSim {
                 let mut cnts = vec![0usize; nbins];
                 let mut in_buffer = vec![usize::MAX; self.particles.len()];
                 for i in 0..self.particles.len() {
-                    let p = self.particles.pos[i];
+                    let p = self.particles.pos(i);
                     if p[0] < xlo + buf || p[0] > xhi - buf {
                         let b = ob.bin_of(&self.bx, p[1], p[2]);
                         in_buffer[i] = b;
                         cnts[b] += 1;
+                        let v = self.particles.vel(i);
                         for k in 0..3 {
-                            sums[b][k] += self.particles.vel[i][k];
+                            sums[b][k] += v[k];
                         }
                     }
                 }
@@ -402,10 +428,12 @@ impl DpdSim {
                     if b == usize::MAX || cnts[b] == 0 {
                         continue;
                     }
+                    let mut f = self.particles.force(i);
                     for k in 0..3 {
                         let mean = sums[b][k] / cnts[b] as f64;
-                        self.particles.force[i][k] += ob.control_gain * (ob.target[b][k] - mean);
+                        f[k] += ob.control_gain * (ob.target[b][k] - mean);
                     }
+                    self.particles.set_force(i, f);
                 }
             }
         }
@@ -438,7 +466,8 @@ impl DpdSim {
             && self.step_count.is_multiple_of(self.reorder_every)
             && self.cells.is_empty()
         {
-            self.grid.rebuild(&self.particles.pos);
+            self.grid
+                .rebuild_soa(&self.particles.x, &self.particles.y, &self.particles.z);
             let order = self.grid.sorted_order().to_vec();
             self.particles.reorder(&order);
         }
@@ -459,37 +488,32 @@ impl DpdSim {
             self.compute_forces();
         }
         let n = self.particles.len();
-        let f_old: Vec<[f64; 3]> = self.particles.force.clone();
-        let v_old: Vec<[f64; 3]> = self.particles.vel.clone();
+        let f_old: Vec<[f64; 3]> = self.particles.force_aos();
+        let v_old: Vec<[f64; 3]> = self.particles.vel_aos();
         // Position update + velocity prediction.
         for i in 0..n {
+            let mut pos = self.particles.pos(i);
+            let mut vel = self.particles.vel(i);
             for k in 0..3 {
-                self.particles.pos[i][k] +=
-                    dt * self.particles.vel[i][k] + 0.5 * dt * dt * f_old[i][k];
-                self.particles.vel[i][k] = v_old[i][k] + lambda * dt * f_old[i][k];
+                pos[k] += dt * vel[k] + 0.5 * dt * dt * f_old[i][k];
+                vel[k] = v_old[i][k] + lambda * dt * f_old[i][k];
             }
-            self.bx.wrap(&mut self.particles.pos[i]);
+            self.bx.wrap(&mut pos);
+            self.particles.set_pos(i, pos);
+            self.particles.set_vel(i, vel);
         }
         // Wall reflection (flips both predicted and saved velocities).
         let mut v_old = v_old;
         match self.walls {
             WallGeometry::SlabY => {
                 for i in 0..n {
-                    let b1 = bounce_back_plane(
-                        &mut self.particles.pos[i],
-                        &mut self.particles.vel[i],
-                        1,
-                        self.bx.lo[1],
-                        1.0,
-                    );
-                    let b2 = bounce_back_plane(
-                        &mut self.particles.pos[i],
-                        &mut self.particles.vel[i],
-                        1,
-                        self.bx.hi[1],
-                        -1.0,
-                    );
+                    let mut pos = self.particles.pos(i);
+                    let mut vel = self.particles.vel(i);
+                    let b1 = bounce_back_plane(&mut pos, &mut vel, 1, self.bx.lo[1], 1.0);
+                    let b2 = bounce_back_plane(&mut pos, &mut vel, 1, self.bx.hi[1], -1.0);
                     if b1 || b2 {
+                        self.particles.set_pos(i, pos);
+                        self.particles.set_vel(i, vel);
                         for v in v_old[i].iter_mut() {
                             *v = -*v;
                         }
@@ -499,13 +523,11 @@ impl DpdSim {
             WallGeometry::CylinderX(r0) => {
                 let (cy, cz) = self.cyl_center();
                 for i in 0..n {
-                    if bounce_back_cylinder(
-                        &mut self.particles.pos[i],
-                        &mut self.particles.vel[i],
-                        r0,
-                        cy,
-                        cz,
-                    ) {
+                    let mut pos = self.particles.pos(i);
+                    let mut vel = self.particles.vel(i);
+                    if bounce_back_cylinder(&mut pos, &mut vel, r0, cy, cz) {
+                        self.particles.set_pos(i, pos);
+                        self.particles.set_vel(i, vel);
                         for v in v_old[i].iter_mut() {
                             *v = -*v;
                         }
@@ -519,10 +541,12 @@ impl DpdSim {
         self.compute_forces();
         // Velocity correction.
         for i in 0..n {
+            let f = self.particles.force(i);
+            let mut vel = [0.0; 3];
             for k in 0..3 {
-                self.particles.vel[i][k] =
-                    v_old[i][k] + 0.5 * dt * (f_old[i][k] + self.particles.force[i][k]);
+                vel[k] = v_old[i][k] + 0.5 * dt * (f_old[i][k] + f[k]);
             }
+            self.particles.set_vel(i, vel);
         }
         // Platelet state machine.
         if !self.sites.pos.is_empty() {
@@ -544,7 +568,9 @@ impl DpdSim {
         let h = (self.bx.hi[axis] - lo) / bins as f64;
         let mut sums = vec![[0.0f64; 3]; bins];
         let mut counts = vec![0usize; bins];
-        for (p, v) in self.particles.pos.iter().zip(&self.particles.vel) {
+        for i in 0..self.particles.len() {
+            let p = self.particles.pos(i);
+            let v = self.particles.vel(i);
             let b = (((p[axis] - lo) / h) as isize).clamp(0, bins as isize - 1) as usize;
             for k in 0..3 {
                 sums[b][k] += v[k];
@@ -620,6 +646,7 @@ fn backend_to_wire(b: ForceBackend) -> u8 {
         ForceBackend::Auto => 0,
         ForceBackend::Serial => 1,
         ForceBackend::Parallel => 2,
+        ForceBackend::ParallelFull => 3,
     }
 }
 
@@ -658,9 +685,12 @@ impl Snapshot for DpdSim {
         enc.put(self.step_count);
         enc.put(self.time);
         enc.put(self.last_pair_count);
-        enc.put_slice(&self.particles.pos);
-        enc.put_slice(&self.particles.vel);
-        enc.put_slice(&self.particles.force);
+        // Particle storage is SoA in memory; the snapshot keeps the
+        // original interleaved AoS byte layout (format-stable across the
+        // SoA refactor — old checkpoints restore unchanged).
+        enc.put_slice(&self.particles.pos_aos());
+        enc.put_slice(&self.particles.vel_aos());
+        enc.put_slice(&self.particles.force_aos());
         enc.put_slice(&self.particles.species);
         let (tags, args): (Vec<u8>, Vec<u64>) = self
             .particles
@@ -767,13 +797,7 @@ impl Snapshot for DpdSim {
         for (&t, &a) in tags.iter().zip(&args) {
             state.push(state_from_wire(t, a)?);
         }
-        self.particles = Particles {
-            pos,
-            vel,
-            force,
-            species,
-            state,
-        };
+        self.particles = Particles::from_aos(&pos, &vel, &force, species, state);
         self.sites.pos = dec.take_vec::<[f64; 3]>()?;
         self.platelet_params.trigger_dist = dec.take()?;
         self.platelet_params.de = dec.take()?;
@@ -841,7 +865,9 @@ impl BinSampler {
     pub fn accumulate(&mut self, sim: &DpdSim) -> Option<Vec<f64>> {
         let lo = sim.bx.lo[self.axis];
         let h = (sim.bx.hi[self.axis] - lo) / self.bins as f64;
-        for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
+        for i in 0..sim.particles.len() {
+            let p = sim.particles.pos(i);
+            let v = sim.particles.vel(i);
             let b = (((p[self.axis] - lo) / h) as isize).clamp(0, self.bins as isize - 1) as usize;
             self.acc[b] += v[self.component];
             self.cnt[b] += 1.0;
@@ -998,17 +1024,24 @@ mod tests {
     fn backends_agree_over_short_trajectory() {
         let mut a = periodic_box(10);
         a.force_backend = ForceBackend::Serial;
-        let mut b = periodic_box(10);
-        b.force_backend = ForceBackend::Parallel;
         for _ in 0..10 {
             a.step();
-            b.step();
         }
-        assert_eq!(a.last_pair_count, b.last_pair_count);
-        for i in 0..a.particles.len() {
-            for k in 0..3 {
-                let d = (a.particles.pos[i][k] - b.particles.pos[i][k]).abs();
-                assert!(d < 1e-9, "particle {i} axis {k} diverged by {d}");
+        for backend in [ForceBackend::Parallel, ForceBackend::ParallelFull] {
+            let mut b = periodic_box(10);
+            b.force_backend = backend;
+            for _ in 0..10 {
+                b.step();
+            }
+            assert_eq!(a.last_pair_count, b.last_pair_count);
+            for i in 0..a.particles.len() {
+                for k in 0..3 {
+                    let d = (a.particles.pos(i)[k] - b.particles.pos(i)[k]).abs();
+                    assert!(
+                        d < 1e-9,
+                        "{backend:?} particle {i} axis {k} diverged by {d}"
+                    );
+                }
             }
         }
     }
@@ -1043,9 +1076,9 @@ mod tests {
     fn temperature_equilibrates_to_kbt() {
         let mut sim = periodic_box(3);
         // Start cold: the thermostat must heat the system to kT = 1.
-        for v in &mut sim.particles.vel {
-            *v = [0.0; 3];
-        }
+        sim.particles.vx.fill(0.0);
+        sim.particles.vy.fill(0.0);
+        sim.particles.vz.fill(0.0);
         for _ in 0..400 {
             sim.step();
         }
@@ -1136,8 +1169,7 @@ mod tests {
         let samples = 200;
         for _ in 0..samples {
             sim.step();
-            mean_u +=
-                sim.particles.vel.iter().map(|v| v[0]).sum::<f64>() / sim.particles.len() as f64;
+            mean_u += sim.particles.vx.iter().sum::<f64>() / sim.particles.len() as f64;
         }
         mean_u /= samples as f64;
         let n1 = sim.particles.len();
@@ -1170,13 +1202,14 @@ mod tests {
         let samples = 200;
         for _ in 0..samples {
             sim.step();
-            for (p, v) in sim.particles.pos.iter().zip(&sim.particles.vel) {
-                let r = ((p[1] - cy).powi(2) + (p[2] - cz).powi(2)).sqrt();
+            for i in 0..sim.particles.len() {
+                let r =
+                    ((sim.particles.y[i] - cy).powi(2) + (sim.particles.z[i] - cz).powi(2)).sqrt();
                 if r < 1.0 {
-                    u_in += v[0];
+                    u_in += sim.particles.vx[i];
                     n_in += 1;
                 } else if r > 2.4 {
-                    u_out += v[0];
+                    u_out += sim.particles.vx[i];
                     n_out += 1;
                 }
             }
@@ -1252,13 +1285,13 @@ mod tests {
         for i in 0..reference.particles.len() {
             for k in 0..3 {
                 assert_eq!(
-                    reference.particles.pos[i][k].to_bits(),
-                    resumed.particles.pos[i][k].to_bits(),
+                    reference.particles.pos(i)[k].to_bits(),
+                    resumed.particles.pos(i)[k].to_bits(),
                     "position diverged at particle {i} axis {k}"
                 );
                 assert_eq!(
-                    reference.particles.vel[i][k].to_bits(),
-                    resumed.particles.vel[i][k].to_bits(),
+                    reference.particles.vel(i)[k].to_bits(),
+                    resumed.particles.vel(i)[k].to_bits(),
                     "velocity diverged at particle {i} axis {k}"
                 );
             }

@@ -34,8 +34,9 @@ pub mod aligned;
 pub mod kernels;
 pub mod par;
 
-pub use aligned::AlignedVec;
+pub use aligned::{AlignedBuf, AlignedVec};
 pub use kernels::{
-    axpy, dot, mul_scalar, mul_vec, norm2, triple_dot_scalar, triple_dot_vec, wdot_scalar, wdot_vec,
+    axpy, dot, min_image_dist2_batch, mul_scalar, mul_vec, norm2, triple_dot_scalar,
+    triple_dot_vec, wdot_scalar, wdot_vec,
 };
 pub use par::{par_axpy, par_dot, par_norm2, par_xpby};

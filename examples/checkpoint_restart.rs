@@ -97,9 +97,9 @@ fn main() {
         .atomistic
         .sim
         .particles
-        .pos
+        .pos_aos()
         .iter()
-        .zip(&resumed.atomistic.sim.particles.pos)
+        .zip(&resumed.atomistic.sim.particles.pos_aos())
         .all(|(a, b)| (0..3).all(|k| a[k].to_bits() == b[k].to_bits()));
     assert!(bitwise, "final particle state differs");
     println!(

@@ -23,6 +23,16 @@ echo "== thread invariance: overlap suite, 1 rayon thread vs default pool =="
 RAYON_NUM_THREADS=1 cargo test -q -p nkg-coupling --test integration_overlap
 cargo test -q -p nkg-coupling --test integration_overlap
 
+echo "== DPD bitwise thread invariance: parallel half sweep, 1 vs 4 rayon threads =="
+hash1=$(RAYON_NUM_THREADS=1 cargo run --release -q -p nkg-bench --bin dpd_force_hash | grep -o 'force_hash=0x[0-9a-f]*')
+hash4=$(RAYON_NUM_THREADS=4 cargo run --release -q -p nkg-bench --bin dpd_force_hash | grep -o 'force_hash=0x[0-9a-f]*')
+echo "  1 thread:  $hash1"
+echo "  4 threads: $hash4"
+if [ "$hash1" != "$hash4" ]; then
+  echo "FAIL: DPD parallel half-sweep forces differ across thread counts" >&2
+  exit 1
+fi
+
 echo "== elliptic engine smoke (ladder shape + JSON emitter) =="
 cargo run --release -q -p nkg-bench --bin ablation_precon -- --smoke
 cargo run --release -q -p nkg-bench --bin bench_sem -- --smoke

@@ -103,7 +103,7 @@ fn killed_coupled_run_resumes_bitwise() {
         &resumed.atomistic.sim.particles,
     );
     assert_eq!(a.len(), b.len());
-    for (p, q) in a.pos.iter().zip(&b.pos) {
+    for (p, q) in a.pos_aos().iter().zip(&b.pos_aos()) {
         for k in 0..3 {
             assert_eq!(p[k].to_bits(), q[k].to_bits(), "positions diverged");
         }

@@ -58,7 +58,7 @@ proptest! {
         assert_round_trip(&sim, &mut fresh)?;
         sim.step();
         fresh.step();
-        for (a, b) in sim.particles.pos.iter().zip(&fresh.particles.pos) {
+        for (a, b) in sim.particles.pos_aos().iter().zip(&fresh.particles.pos_aos()) {
             for k in 0..3 {
                 prop_assert_eq!(a[k].to_bits(), b[k].to_bits());
             }

@@ -8,11 +8,13 @@
 //! [`ThreadPool::install`] scopes an explicit thread count.
 //!
 //! Execution model: each consumer call splits its producer into
-//! `current_num_threads()` contiguous parts and runs them on scoped OS
-//! threads (inline when one thread). Splits are always contiguous and
-//! in-order, so order-preserving consumers (`collect`) return exactly the
-//! sequential result ordering regardless of thread count — the property
-//! the DPD/SEM deterministic parallel paths rely on.
+//! `current_num_threads()` contiguous parts and dispatches them to a
+//! lazily-spawned persistent worker pool (inline when one thread). Splits
+//! are always contiguous and in-order, so order-preserving consumers
+//! (`collect`) return exactly the sequential result ordering regardless of
+//! thread count — the property the DPD/SEM deterministic parallel paths
+//! rely on. Set `NKG_RAYON_POOL=scoped` to fall back to the historical
+//! spawn-per-call `std::thread::scope` dispatch (baseline for benches).
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -335,8 +337,217 @@ impl<P: Producer> Producer for EnumerateProducer<P> {
 }
 
 // ---------------------------------------------------------------------------
-// Execution: contiguous in-order splits onto scoped threads.
+// Execution: contiguous in-order splits onto a persistent worker pool.
 // ---------------------------------------------------------------------------
+
+/// Persistent parked worker pool.
+///
+/// Workers are OS threads spawned lazily on first parallel call and parked
+/// on a condvar between jobs, so steady-state parallel sweeps pay only a
+/// queue push + wakeup instead of a thread spawn/join per call. Jobs are
+/// lifetime-erased `FnOnce` boxes; soundness rests on the batch protocol:
+/// the submitting call *always* blocks until every job it enqueued has
+/// finished (helping to drain the queue while it waits), so borrows inside
+/// a job never outlive the call that created them. Queued jobs never block
+/// — only batch callers wait on latches — so caller-helping can never
+/// deadlock, even with nested parallelism or zero workers.
+mod pool {
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    struct Injector {
+        queue: Mutex<VecDeque<Job>>,
+        ready: Condvar,
+        /// Number of worker threads spawned so far.
+        workers: Mutex<usize>,
+    }
+
+    /// Hard cap on pool size; `install(n)` may request more parts than
+    /// cores, and the caller-helps protocol keeps any excess correct.
+    const MAX_WORKERS: usize = 64;
+
+    fn injector() -> &'static Injector {
+        static INJECTOR: OnceLock<Injector> = OnceLock::new();
+        INJECTOR.get_or_init(|| Injector {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            workers: Mutex::new(0),
+        })
+    }
+
+    fn worker_loop() {
+        let inj = injector();
+        loop {
+            let job = {
+                let mut q = inj.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = inj.ready.wait(q).expect("pool queue poisoned");
+                }
+            };
+            job();
+        }
+    }
+
+    /// Make sure at least `target` workers exist (capped at [`MAX_WORKERS`]).
+    /// Spawn failure is tolerated: the submitting caller helps drain the
+    /// queue, so fewer workers only reduces parallelism, never progress.
+    pub(crate) fn ensure_workers(target: usize) {
+        let inj = injector();
+        let mut count = inj.workers.lock().expect("pool worker count poisoned");
+        while *count < target.min(MAX_WORKERS) {
+            let name = format!("nkg-rayon-{}", *count);
+            if std::thread::Builder::new()
+                .name(name)
+                .spawn(worker_loop)
+                .is_err()
+            {
+                break;
+            }
+            *count += 1;
+        }
+    }
+
+    /// Number of live pool workers (for diagnostics/tests).
+    #[allow(dead_code)]
+    pub(crate) fn worker_count() -> usize {
+        *injector()
+            .workers
+            .lock()
+            .expect("pool worker count poisoned")
+    }
+
+    /// Enqueue a job and wake one parked worker.
+    pub(crate) fn submit(job: Job) {
+        let inj = injector();
+        inj.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
+        inj.ready.notify_one();
+    }
+
+    /// Pop a queued job without blocking (used by helping callers).
+    pub(crate) fn try_pop() -> Option<Job> {
+        injector()
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_front()
+    }
+}
+
+/// Raw pointer that may cross threads; the batch protocol guarantees each
+/// job writes a distinct slot and the owner only reads after the latch.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+/// Completion latch for one batch of pool jobs. The submitting caller
+/// helps drain the global queue while waiting, which both recycles idle
+/// cycles and guarantees progress under nested parallelism.
+struct Latch {
+    remaining: std::sync::atomic::AtomicUsize,
+    lock: std::sync::Mutex<()>,
+    done: std::sync::Condvar,
+    poison: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Self {
+            remaining: std::sync::atomic::AtomicUsize::new(jobs),
+            lock: std::sync::Mutex::new(()),
+            done: std::sync::Condvar::new(),
+            poison: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Record a payload from a panicking job (first panic wins).
+    fn poison(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.poison.lock().expect("latch poison poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    fn take_poison(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.poison.lock().expect("latch poison poisoned").take()
+    }
+
+    /// Mark one job complete; wakes the waiting caller on the last one.
+    fn complete_one(&self) {
+        use std::sync::atomic::Ordering;
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock().expect("latch lock poisoned");
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until every job in this batch has completed, running queued
+    /// jobs (ours or another batch's — all are non-blocking) meanwhile.
+    fn wait_helping(&self) {
+        use std::sync::atomic::Ordering;
+        loop {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = pool::try_pop() {
+                job();
+                continue;
+            }
+            let guard = self.lock.lock().expect("latch lock poisoned");
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            drop(self.done.wait(guard).expect("latch lock poisoned"));
+        }
+    }
+}
+
+/// True when `NKG_RAYON_POOL=scoped` requests the historical
+/// spawn-per-call dispatch (kept as a benchmarkable baseline).
+fn scoped_dispatch() -> bool {
+    static SCOPED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SCOPED.get_or_init(|| {
+        std::env::var("NKG_RAYON_POOL")
+            .map(|v| v.eq_ignore_ascii_case("scoped"))
+            .unwrap_or(false)
+    })
+}
+
+/// Name of the active dispatch backend: `"persistent"` or `"scoped"`.
+pub fn pool_mode() -> &'static str {
+    if scoped_dispatch() {
+        "scoped"
+    } else {
+        "persistent"
+    }
+}
+
+/// Split `producer` into contiguous in-order parts. The split sequence
+/// depends only on `current_num_threads()` and `len`, never on the pool
+/// state, which is what the bitwise thread-invariance contract pins.
+fn split_parts<P: Producer>(producer: P, parts: usize) -> Vec<P> {
+    let mut queue = Vec::with_capacity(parts);
+    let mut rest = producer;
+    let mut remaining = rest.len();
+    for k in 0..parts {
+        let take = remaining.div_ceil(parts - k);
+        let (head, tail) = rest.split_at(take);
+        queue.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    queue
+}
 
 fn execute<P, R, F>(producer: P, per_part: F) -> Vec<R>
 where
@@ -350,17 +561,21 @@ where
         return vec![per_part(producer)];
     }
     let parts = threads.min(n);
-    let mut queue = Vec::with_capacity(parts);
-    let mut rest = producer;
-    let mut remaining = n;
-    for k in 0..parts {
-        let take = remaining.div_ceil(parts - k);
-        let (head, tail) = rest.split_at(take);
-        queue.push(head);
-        rest = tail;
-        remaining -= take;
+    let queue = split_parts(producer, parts);
+    if scoped_dispatch() {
+        return execute_scoped(queue, &per_part);
     }
-    let f = &per_part;
+    execute_pooled(queue, &per_part)
+}
+
+/// Historical dispatch: one scoped OS thread per part, spawned and joined
+/// on every call.
+fn execute_scoped<P, R, F>(queue: Vec<P>, f: &F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
     std::thread::scope(|scope| {
         let handles: Vec<_> = queue
             .into_iter()
@@ -371,6 +586,65 @@ where
             .map(|h| h.join().expect("rayon worker panicked"))
             .collect()
     })
+}
+
+/// Pool dispatch: parts 1.. are enqueued as lifetime-erased jobs, the
+/// caller runs part 0 inline, then helps drain the queue until the batch
+/// latch opens. Results land in pre-sized slots through raw pointers; a
+/// panicking part is re-thrown on the caller after the batch completes.
+fn execute_pooled<P, R, F>(queue: Vec<P>, f: &F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    let nparts = queue.len();
+    pool::ensure_workers(nparts - 1);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(nparts);
+    results.resize_with(nparts, || None);
+    let latch = Latch::new(nparts - 1);
+    let res_ptr = SendPtr(results.as_mut_ptr());
+    let mut iter = queue.into_iter();
+    let first = iter.next().expect("split produced no parts");
+    for (k, part) in iter.enumerate() {
+        let latch_ref = &latch;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // Capture the whole SendPtr (not its raw field) for Send-ness.
+            let res_ptr = res_ptr;
+            match catch_unwind(AssertUnwindSafe(|| f(part))) {
+                // SAFETY: slot k+1 is written by exactly this job, and the
+                // owner reads it only after `wait_helping` returns.
+                Ok(r) => unsafe { *res_ptr.0.add(k + 1) = Some(r) },
+                Err(payload) => latch_ref.poison(payload),
+            }
+            latch_ref.complete_one();
+        });
+        // SAFETY: lifetime erasure is sound because this call waits for
+        // every submitted job (wait_helping below) before any borrow the
+        // job captures (f, latch, results) can go out of scope.
+        let job: pool::Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        pool::submit(job);
+    }
+    let first_result = catch_unwind(AssertUnwindSafe(|| f(first)));
+    latch.wait_helping();
+    // From here no job references our stack; safe to unwind or return.
+    match first_result {
+        Ok(r) => results[0] = Some(r),
+        Err(payload) => resume_unwind(payload),
+    }
+    if let Some(payload) = latch.take_poison() {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("pool job skipped a result slot"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -626,14 +900,51 @@ where
     RA: Send,
     RB: Send,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
     if current_num_threads() <= 1 {
-        (a(), b())
-    } else {
-        std::thread::scope(|s| {
+        return (a(), b());
+    }
+    if scoped_dispatch() {
+        return std::thread::scope(|s| {
             let hb = s.spawn(b);
             let ra = a();
             (ra, hb.join().expect("rayon join worker panicked"))
-        })
+        });
+    }
+    pool::ensure_workers(1);
+    let mut rb: Option<RB> = None;
+    let latch = Latch::new(1);
+    let rb_ptr = SendPtr(&mut rb as *mut Option<RB>);
+    {
+        let latch_ref = &latch;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let rb_ptr = rb_ptr;
+            match catch_unwind(AssertUnwindSafe(b)) {
+                // SAFETY: sole writer of the slot; owner reads post-latch.
+                Ok(r) => unsafe { *rb_ptr.0 = Some(r) },
+                Err(payload) => latch_ref.poison(payload),
+            }
+            latch_ref.complete_one();
+        });
+        // SAFETY: as in `execute_pooled` — we wait for the job below.
+        let job: pool::Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        pool::submit(job);
+    }
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    latch.wait_helping();
+    match ra {
+        Ok(r) => {
+            if let Some(payload) = latch.take_poison() {
+                resume_unwind(payload);
+            }
+            (r, rb.expect("join closure skipped its result slot"))
+        }
+        Err(payload) => resume_unwind(payload),
     }
 }
 
@@ -709,5 +1020,78 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        if pool_mode() != "persistent" {
+            return; // scoped fallback requested via env; nothing to check
+        }
+        with_threads(4, || {
+            let _: Vec<usize> = (0..100).into_par_iter().map(|i| i).collect();
+        });
+        let before = pool::worker_count();
+        assert!(before >= 1, "no workers spawned by first parallel call");
+        for _ in 0..50 {
+            with_threads(4, || {
+                let _: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+            });
+        }
+        assert_eq!(
+            pool::worker_count(),
+            before,
+            "worker count grew on repeated same-width calls"
+        );
+    }
+
+    #[test]
+    fn pool_handles_more_parts_than_cores() {
+        // install(8) on any machine: caller-helps keeps this correct even
+        // if fewer than 7 workers ever spawn.
+        let expect: Vec<usize> = (0..10_000).map(|i| i ^ 0x5a).collect();
+        for t in [2, 4, 8, 16] {
+            let got: Vec<usize> = with_threads(t, || {
+                (0..10_000).into_par_iter().map(|i| i ^ 0x5a).collect()
+            });
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn pool_nested_parallelism_completes() {
+        let got: Vec<usize> = with_threads(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| with_threads(2, || (0..100).into_par_iter().map(|j| i * j).sum::<usize>()))
+                .collect()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| i * 4950).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    assert!(i != 777, "boom at {i}");
+                });
+            });
+        });
+        assert!(result.is_err(), "panic in a pool job must reach the caller");
+        // The pool must remain usable after a panicked batch.
+        let v: Vec<usize> = with_threads(4, || (0..100).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn sum_is_thread_count_deterministic() {
+        // Same splits → same partial-sum association for a fixed count.
+        let data: Vec<f64> = (0..10_001).map(|i| (i as f64).sin()).collect();
+        for t in [1, 2, 4, 8] {
+            let a: f64 = with_threads(t, || data.par_iter().map(|x| x * x).sum());
+            let b: f64 = with_threads(t, || data.par_iter().map(|x| x * x).sum());
+            assert_eq!(a.to_bits(), b.to_bits(), "threads={t}");
+        }
     }
 }
