@@ -1,11 +1,13 @@
-//! Fault-tolerance overhead of the MCI runtime: latency of the plain
-//! three-step exchange vs the retrying [`InterfaceLink::exchange_ft`] on a
-//! clean network and on a lossy one, plus the wall-clock time-to-recover
-//! of a replica failover (master killed mid-exchange, slave promoted,
-//! resumed from the dead master's checkpoint).
+//! Fault-tolerance overhead of the MCI runtime, measured per transport
+//! backend: latency of the plain three-step exchange vs the retrying
+//! [`InterfaceLink::exchange_ft`] on a clean network and on a lossy one,
+//! plus the wall-clock time-to-recover of a replica failover (master
+//! killed mid-exchange, slave promoted, resumed from the dead master's
+//! checkpoint) — on the in-process mailbox, the shared-memory ring, and
+//! the framed UDS/TCP sockets alike.
 //!
-//! Appends one JSON record per run to `BENCH_mci.json` (JSON Lines) and
-//! prints the same numbers to stdout.
+//! Appends one JSON record per transport per run to `BENCH_mci.json`
+//! (JSON Lines) and prints the same numbers to stdout.
 
 use nkg_bench::{append_jsonl, header, time_median};
 use nkg_coupling::atomistic::{AtomisticDomain, Embedding};
@@ -16,7 +18,9 @@ use nkg_coupling::{TimeProgression, UnitScaling};
 use nkg_dpd::inflow::OpenBoundaryX;
 use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
 use nkg_dpd::Box3;
-use nkg_mci::{FaultPlan, InterfaceLink, MsgAction, MsgMatcher, Pick, RetryPolicy, Universe};
+use nkg_mci::{
+    Backend, FaultPlan, InterfaceLink, MsgAction, MsgMatcher, Pick, RetryPolicy, Universe,
+};
 use std::time::{Duration, Instant};
 
 const PAYLOAD: usize = 1024; // f64 values per side per exchange
@@ -24,10 +28,12 @@ const EXCHANGES: usize = 500;
 const REPS: usize = 3;
 
 /// Seconds per exchange for one 2-rank universe performing `EXCHANGES`
-/// root-to-root exchanges of `PAYLOAD` values each way.
-fn seconds_per_exchange(ft: bool, plan: Option<FaultPlan>) -> f64 {
+/// root-to-root exchanges of `PAYLOAD` values each way over `backend`.
+fn seconds_per_exchange(backend: Backend, ft: bool, plan: Option<FaultPlan>) -> f64 {
     let total = time_median(REPS, || {
-        let mut u = Universe::new(2).with_recv_timeout(Duration::from_secs(60));
+        let mut u = Universe::new(2)
+            .with_backend(backend)
+            .with_recv_timeout(Duration::from_secs(60));
         if let Some(p) = plan.clone() {
             u = u.with_fault_plan(p);
         }
@@ -88,13 +94,36 @@ fn make_metasolver() -> NektarG {
     )
 }
 
+/// Failover drill on `backend`: 3 replicas, master killed posting its
+/// window-2 report. Returns (time-to-recover, whole-run wall time).
+fn failover_drill(backend: Backend) -> (f64, f64) {
+    let dir = std::env::temp_dir().join("nkg_bench_mci");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let cfg = FailoverConfig {
+        status_deadline: Duration::from_secs(5),
+        ctrl_deadline: Duration::from_secs(120),
+        ..FailoverConfig::new(3, 12, dir.join(format!("bench_{}.nkgc", backend.name())))
+    };
+    let u = Universe::new(4)
+        .with_backend(backend)
+        .with_fault_plan(FaultPlan::new().kill_rank(1, 2));
+    let t0 = Instant::now();
+    let run = run_replicated(&u, cfg, make_metasolver);
+    let total = t0.elapsed().as_secs_f64();
+    let driver = driver_outcome(&run);
+    let recover = driver
+        .time_to_recover
+        .expect("the kill plan must force a failover")
+        .as_secs_f64();
+    (recover, total)
+}
+
 fn main() {
     header(&format!(
-        "MCI fault tolerance: {PAYLOAD} f64 per side, {EXCHANGES} exchanges, median of {REPS}"
+        "MCI fault tolerance per transport: {PAYLOAD} f64 per side, {EXCHANGES} exchanges, \
+         median of {REPS}"
     ));
 
-    let plain = seconds_per_exchange(false, None);
-    let ft_clean = seconds_per_exchange(true, None);
     // A lossy network dropping 1 in 8 of one side's root-to-root frames:
     // every loss costs at least one 5 ms attempt timeout before the
     // retransmission protocol repairs the window.
@@ -107,55 +136,38 @@ fn main() {
         },
         MsgAction::Drop,
     );
-    let ft_lossy = seconds_per_exchange(true, Some(drop_plan));
 
-    println!("exchange path                      µs per exchange");
-    for (name, t) in [
-        ("plain exchange", plain),
-        ("exchange_ft, clean network", ft_clean),
-        ("exchange_ft, 1/8 frames dropped", ft_lossy),
-    ] {
-        println!("{name:<34} {:>10.1}", t * 1e6);
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "transport", "plain µs/exch", "ft-clean µs", "ft-lossy µs", "recover s", "ft ovhd %"
+    );
+    for backend in Backend::ALL {
+        let plain = seconds_per_exchange(backend, false, None);
+        let ft_clean = seconds_per_exchange(backend, true, None);
+        let ft_lossy = seconds_per_exchange(backend, true, Some(drop_plan.clone()));
+        let (recover, run_total) = failover_drill(backend);
+        let overhead_pct = (ft_clean / plain - 1.0) * 100.0;
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>14.1} {:>12.4} {:>+12.1}",
+            backend.name(),
+            plain * 1e6,
+            ft_clean * 1e6,
+            ft_lossy * 1e6,
+            recover,
+            overhead_pct
+        );
+
+        let record = format!(
+            "{{\"bench\":\"mci_fault_tolerance\",\"transport\":\"{}\",\
+             \"payload_f64\":{PAYLOAD},\"exchanges\":{EXCHANGES},\"reps\":{REPS},\
+             \"plain_seconds_per_exchange\":{plain:.9},\
+             \"ft_clean_seconds_per_exchange\":{ft_clean:.9},\
+             \"ft_lossy_seconds_per_exchange\":{ft_lossy:.9},\
+             \"failover_time_to_recover_seconds\":{recover:.6},\
+             \"failover_run_seconds\":{run_total:.6}}}",
+            backend.name()
+        );
+        append_jsonl("BENCH_mci.json", &record);
     }
-    println!(
-        "retry-layer overhead on a clean network: {:+.1}%",
-        (ft_clean / plain - 1.0) * 100.0
-    );
-
-    // Failover: 3 replicas, master killed posting its window-2 report.
-    let dir = std::env::temp_dir().join("nkg_bench_mci");
-    std::fs::create_dir_all(&dir).expect("create bench temp dir");
-    let cfg = FailoverConfig {
-        status_deadline: Duration::from_secs(5),
-        ctrl_deadline: Duration::from_secs(120),
-        ..FailoverConfig::new(3, 12, dir.join("bench.nkgc"))
-    };
-    let u = Universe::new(4).with_fault_plan(FaultPlan::new().kill_rank(1, 2));
-    let t0 = Instant::now();
-    let run = run_replicated(&u, cfg, make_metasolver);
-    let total = t0.elapsed().as_secs_f64();
-    let driver = driver_outcome(&run);
-    let recover = driver
-        .time_to_recover
-        .expect("the kill plan must force a failover")
-        .as_secs_f64();
-    println!(
-        "\nfailover (3 replicas, master killed mid-exchange):\n\
-         time to recover (promotion + checkpoint resume + re-exchange)  {:.4} s\n\
-         whole 12-step replicated run                                   {total:.4} s\n\
-         events: {:?}",
-        recover, driver.events
-    );
-
-    let record = format!(
-        "{{\"bench\":\"mci_fault_tolerance\",\"payload_f64\":{PAYLOAD},\
-         \"exchanges\":{EXCHANGES},\"reps\":{REPS},\
-         \"plain_seconds_per_exchange\":{plain:.9},\
-         \"ft_clean_seconds_per_exchange\":{ft_clean:.9},\
-         \"ft_lossy_seconds_per_exchange\":{ft_lossy:.9},\
-         \"failover_time_to_recover_seconds\":{recover:.6},\
-         \"failover_run_seconds\":{total:.6}}}"
-    );
-    append_jsonl("BENCH_mci.json", &record);
-    println!("\nappended record to BENCH_mci.json");
+    println!("\nappended one record per transport to BENCH_mci.json");
 }

@@ -171,13 +171,28 @@ pub fn run_replicated(
     );
     assert!(cfg.n_replicas >= 1, "need at least one replica");
     let make = Arc::new(make);
-    universe.run_surviving(move |world| {
-        if world.rank() == 0 {
-            RankOutcome::Driver(drive(&world, &cfg, &*make))
-        } else {
-            RankOutcome::Replica(Box::new(replicate(&world, &cfg, &*make)))
-        }
-    })
+    universe.run_surviving(move |world| run_role(&world, &cfg, &*make))
+}
+
+/// Play this rank's part — driver on rank 0, replica elsewhere — of a
+/// replicated run on an already-established communicator.
+///
+/// This is the per-rank body of [`run_replicated`], split out so
+/// process-mode workers (the `nkg-rank` binary) can join a replicated run
+/// from their own OS process: every rank calls `run_role` on its world
+/// communicator with an identical `cfg` and an identical deterministic
+/// `make`, regardless of which transport carried it there.
+pub fn run_role(world: &Comm, cfg: &FailoverConfig, make: impl Fn() -> NektarG) -> RankOutcome {
+    assert_eq!(
+        world.size(),
+        cfg.n_replicas + 1,
+        "world must have one driver rank plus one rank per replica"
+    );
+    if world.rank() == 0 {
+        RankOutcome::Driver(drive(world, cfg, &make))
+    } else {
+        RankOutcome::Replica(Box::new(replicate(world, cfg, &make)))
+    }
 }
 
 fn status_tag(replica: usize) -> Tag {

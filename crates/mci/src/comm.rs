@@ -2,12 +2,11 @@
 
 use crate::envelope::{Envelope, Mailbox, RecvError};
 use crate::liveness::LivenessView;
-use crate::universe::Inner;
+use crate::universe::RankNet;
 use crate::wire::{decode, encode, Wire};
 use crate::{Tag, RESERVED_TAG_BASE};
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Internal tags (at or above [`RESERVED_TAG_BASE`]).
@@ -34,22 +33,22 @@ pub(crate) mod itag {
 /// stay on the thread of the rank that created it, exactly like an MPI
 /// communicator handle belongs to one process.
 pub struct Comm {
-    inner: Arc<Inner>,
+    net: Rc<dyn RankNet>,
     mailbox: Rc<RefCell<Mailbox>>,
     ctx: u64,
-    ranks: Arc<[usize]>,
+    ranks: std::sync::Arc<[usize]>,
     my_index: usize,
 }
 
 impl Comm {
     pub(crate) fn world(
-        inner: Arc<Inner>,
+        net: Rc<dyn RankNet>,
         mailbox: Rc<RefCell<Mailbox>>,
         my_world_rank: usize,
-        ranks: Arc<[usize]>,
+        ranks: std::sync::Arc<[usize]>,
     ) -> Self {
         Self {
-            inner,
+            net,
             mailbox,
             ctx: 0,
             my_index: my_world_rank,
@@ -118,7 +117,7 @@ impl Comm {
             // The transport stamps the real sequence number on post.
             seq: 0,
         };
-        self.inner.post(self.ranks[dst], env);
+        self.net.post(self.ranks[dst], env);
     }
 
     /// Blocking typed receive from communicator index `src`.
@@ -165,7 +164,7 @@ impl Comm {
         if let Some(env) = mb.try_match(self.ctx, world_src, tag) {
             return Ok(Some(decode(&env.data)));
         }
-        if self.inner.liveness.is_dead(world_src) {
+        if self.net.liveness().is_dead(world_src) {
             // Re-drain once: the death flag may postdate a final message.
             if let Some(env) = mb.try_match(self.ctx, world_src, tag) {
                 return Ok(Some(decode(&env.data)));
@@ -202,17 +201,17 @@ impl Comm {
     /// receipts beat implicitly; long compute phases that neither send nor
     /// receive should call this so peers can see progress.
     pub fn heartbeat(&self) {
-        self.inner.liveness.beat(self.my_world_rank());
+        self.net.beat();
     }
 
     /// Whether communicator index `i` has not been declared dead.
     pub fn is_alive(&self, i: usize) -> bool {
-        self.inner.liveness.is_alive(self.ranks[i])
+        self.net.liveness().is_alive(self.ranks[i])
     }
 
     /// Snapshot of the whole machine's liveness, indexed by **world** rank.
     pub fn liveness(&self) -> LivenessView {
-        self.inner.liveness.view()
+        self.net.liveness().view()
     }
 
     // ------------------------------------------------------------------
@@ -245,7 +244,7 @@ impl Comm {
                 .collect();
             colors.sort_unstable();
             colors.dedup();
-            let base = self.inner.alloc_ctx(colors.len() as u64);
+            let base = self.net.alloc_ctx(colors.len() as u64);
             // reply to each member: [ctx, member world ranks...] or [] if undefined
             let mut replies: Vec<Vec<u64>> = vec![Vec::new(); self.size()];
             for (ci, &c) in colors.iter().enumerate() {
@@ -281,14 +280,14 @@ impl Comm {
             return None;
         }
         let ctx = reply[0];
-        let ranks: Arc<[usize]> = reply[1..].iter().map(|&r| r as usize).collect();
+        let ranks: std::sync::Arc<[usize]> = reply[1..].iter().map(|&r| r as usize).collect();
         let me = self.my_world_rank();
         let my_index = ranks
             .iter()
             .position(|&r| r == me)
             .expect("split: my rank missing from my own group");
         Some(Comm {
-            inner: Arc::clone(&self.inner),
+            net: Rc::clone(&self.net),
             mailbox: Rc::clone(&self.mailbox),
             ctx,
             ranks,

@@ -1,4 +1,8 @@
 //! Message envelopes and per-rank mailboxes.
+//!
+//! The [`Envelope`] struct itself lives in `nkg-net` (every transport
+//! backend carries it); the receive-side machinery — matching, dedup,
+//! liveness-aware blocking — stays here with the communicator layer.
 
 use crate::liveness::Liveness;
 use crate::Tag;
@@ -7,22 +11,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One message in flight on the virtual network.
-#[derive(Debug, Clone)]
-pub struct Envelope {
-    /// Communicator context the message belongs to.
-    pub ctx: u64,
-    /// World rank of the sender.
-    pub src: usize,
-    /// Message tag.
-    pub tag: Tag,
-    /// Encoded payload bytes.
-    pub data: Vec<u8>,
-    /// Universe-unique transport sequence number. A duplicated message
-    /// (fault-injected or retried at the transport) carries the *same*
-    /// number as the original, so receivers can discard the copy.
-    pub seq: u64,
-}
+pub use nkg_net::envelope::Envelope;
 
 /// Why a fallible receive did not produce a message.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -46,6 +46,18 @@
 //! [`RecvError`]), the per-universe liveness view ([`Comm::liveness`]),
 //! and the retrying [`InterfaceLink::exchange_ft`]. See DESIGN.md §11.
 //!
+//! ## Transports
+//!
+//! The machine runs on a pluggable transport (`nkg-net`): in-process
+//! channels (default), Unix-domain/TCP sockets, or a same-host
+//! shared-memory ring — selected per run with `NKG_TRANSPORT=inproc|uds|
+//! tcp|shm` or [`Universe::with_backend`]. Fault plans, liveness, dedup
+//! and `exchange_ft` retry/failover behave identically on every backend
+//! because all traffic is judged by one shared router. Process-mode runs
+//! ([`Universe::spawn_processes`] + the `nkg-rank` worker binary) put
+//! each rank in its own OS process over the socket backends. See
+//! DESIGN.md §15.
+//!
 //! ```
 //! use nkg_mci::Universe;
 //!
@@ -61,11 +73,14 @@
 pub mod collectives;
 pub mod comm;
 pub mod envelope;
-pub mod fault;
 pub mod hierarchy;
-pub mod liveness;
 pub mod universe;
-pub mod wire;
+pub mod worker;
+
+// The transport primitives (wire encoding, fault plans, liveness, the
+// envelope) moved down into `nkg-net` so every backend shares them;
+// re-exported as modules here so historical paths keep resolving.
+pub use nkg_net::{fault, liveness, wire};
 
 pub use comm::Comm;
 pub use envelope::RecvError;
@@ -74,11 +89,8 @@ pub use hierarchy::{
     ExchangeError, Hierarchy, HierarchySpec, InterfaceLink, ReplicaSet, RetryPolicy,
 };
 pub use liveness::{Liveness, LivenessView};
-pub use universe::{FaultRun, MsgStats, Universe};
+pub use nkg_net::Backend;
+pub use universe::{FaultRun, MsgStats, ProcessOptions, ProcessRun, Universe};
 pub use wire::Wire;
 
-/// Message tag type (user tags must stay below [`RESERVED_TAG_BASE`]).
-pub type Tag = u32;
-
-/// Tags at or above this value are reserved for internal collectives.
-pub const RESERVED_TAG_BASE: Tag = 0xFFFF_0000;
+pub use nkg_net::{Tag, RESERVED_TAG_BASE};

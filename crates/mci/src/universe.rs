@@ -1,16 +1,33 @@
-//! The virtual machine: rank launch, routing tables, traffic statistics,
-//! and the transport-level fault layer.
+//! The virtual machine: rank launch, transport selection, traffic
+//! statistics, and the process-mode launcher.
+//!
+//! Every backend funnels traffic through one `nkg-net` [`RouterCore`], so
+//! fault judging, sequence stamping, liveness and statistics behave
+//! identically whether ranks are threads wired by channels (in-proc),
+//! threads wired by framed sockets or shared-memory rings, or whole OS
+//! processes connected over Unix-domain/TCP sockets
+//! ([`Universe::spawn_processes`]).
 
 use crate::comm::Comm;
 use crate::envelope::{Envelope, Mailbox};
-use crate::fault::{Decision, FaultPlan, FaultState, FaultStats, MsgAction, ScriptedKill};
+use crate::fault::{FaultPlan, FaultStats, ScriptedKill};
 use crate::liveness::Liveness;
 use crossbeam_channel::{unbounded, Sender};
+use nkg_net::endpoint::{
+    split_tcp, split_unix, Endpoint, ENV_CONNECT, ENV_PROGRAM, ENV_RANK, ENV_TIMEOUT_MS, ENV_WORLD,
+    EXIT_OK, EXIT_SCRIPTED_KILL,
+};
+use nkg_net::hub::{Hub, HubConfig};
+use nkg_net::port::RemotePort;
+use nkg_net::ring;
+use nkg_net::router::{RouterCore, Verdict};
+use nkg_net::Backend;
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Once};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
 
 /// Aggregate traffic counters for one run. Collectives are implemented with
 /// point-to-point messages, so these counters capture *all* traffic.
@@ -22,133 +39,105 @@ pub struct MsgStats {
     pub bytes: u64,
 }
 
-/// A fault-delayed message parked at the transport until enough later
-/// traffic on the same `src → dst` flow has been delivered.
-struct Delayed {
-    dst: usize,
-    remaining: u64,
-    env: Envelope,
+/// What one rank's communicator needs from its transport. The in-proc
+/// backend satisfies it with a shared router; the framed backends with a
+/// per-rank connection ([`RemotePort`]). `Comm` never learns which.
+pub(crate) trait RankNet {
+    /// Post one envelope to world rank `dst`. Panics `ScriptedKill` if the
+    /// fault plan kills the sender at this post.
+    fn post(&self, dst: usize, env: Envelope);
+    /// Allocate `n` consecutive communicator contexts.
+    fn alloc_ctx(&self, n: u64) -> u64;
+    /// The liveness table this rank consults (shared in-proc; a local
+    /// replica fed by death broadcasts on the framed backends).
+    fn liveness(&self) -> &Arc<Liveness>;
+    /// Record a heartbeat for this rank.
+    fn beat(&self);
+    /// Announce this rank's death (genuine panic unwinding).
+    fn report_death(&self);
 }
 
-pub(crate) struct Inner {
-    pub senders: Vec<Sender<Envelope>>,
-    pub ctx_counter: AtomicU64,
-    pub msg_count: AtomicU64,
-    pub byte_count: AtomicU64,
-    pub seq_counter: AtomicU64,
-    pub liveness: Arc<Liveness>,
-    pub fault: Option<FaultState>,
-    delayed: Mutex<Vec<Delayed>>,
+/// In-process backend: every rank shares one router; posts are judged and
+/// delivered synchronously on the sender's thread.
+pub(crate) struct InProcNet {
+    core: Arc<RouterCore<Sender<Envelope>>>,
+    rank: usize,
 }
 
-impl Inner {
-    /// Post one message. This is the single chokepoint all traffic passes
-    /// through, so it is where the fault plan judges every message and
-    /// where heartbeats and sequence numbers are stamped.
-    pub fn post(&self, dst: usize, mut env: Envelope) {
-        self.liveness.beat(env.src);
-        env.seq = self.seq_counter.fetch_add(1, Ordering::Relaxed);
-        self.msg_count.fetch_add(1, Ordering::Relaxed);
-        self.byte_count
-            .fetch_add(env.data.len() as u64, Ordering::Relaxed);
-        match self
-            .fault
-            .as_ref()
-            .map_or(Decision::Deliver, |f| f.on_post(&env, dst))
-        {
-            Decision::Kill => {
-                let rank = env.src;
-                self.liveness.mark_dead(rank);
-                std::panic::panic_any(ScriptedKill { rank });
-            }
-            Decision::Act(MsgAction::Drop) => {}
-            Decision::Act(MsgAction::Duplicate) => {
-                let src = env.src;
-                self.deliver(dst, env.clone());
-                // The extra copy is a transport artifact: a real network may
-                // deliver a duplicate after the receiver has finalized, so a
-                // closed mailbox just swallows it.
-                self.deliver_one(dst, env, true);
-                if self.fault.is_some() {
-                    self.tick_delayed(src, dst);
-                }
-            }
-            Decision::Act(MsgAction::Delay { after_flow_msgs }) => {
-                if after_flow_msgs == 0 {
-                    self.deliver(dst, env);
-                } else {
-                    self.delayed.lock().unwrap().push(Delayed {
-                        dst,
-                        remaining: after_flow_msgs,
-                        env,
-                    });
-                }
-            }
-            Decision::Deliver => self.deliver(dst, env),
+impl RankNet for InProcNet {
+    fn post(&self, dst: usize, env: Envelope) {
+        match self.core.route(dst, env) {
+            Verdict::Posted => {}
+            Verdict::Killed => std::panic::panic_any(ScriptedKill { rank: self.rank }),
         }
     }
-
-    /// Hand one envelope to the destination mailbox, releasing any parked
-    /// delayed messages on the same flow whose counters reach zero.
-    fn deliver(&self, dst: usize, env: Envelope) {
-        let src = env.src;
-        self.deliver_one(dst, env, false);
-        if self.fault.is_some() {
-            self.tick_delayed(src, dst);
-        }
+    fn alloc_ctx(&self, n: u64) -> u64 {
+        self.core.alloc_ctx(n)
     }
-
-    /// `best_effort` marks transport-generated extras (duplicate copies,
-    /// delayed releases): a real network may deliver those after the
-    /// receiver has finalized, so a closed mailbox swallows them silently
-    /// instead of flagging a protocol error.
-    fn deliver_one(&self, dst: usize, env: Envelope, best_effort: bool) {
-        if self.senders[dst].send(env).is_err() {
-            if best_effort {
-                return;
-            }
-            // The destination's channel is closed: its thread has exited.
-            // If it died by scripted kill the flag may lag the disconnect
-            // by an instant, so give it a moment before concluding this is
-            // a genuine protocol error.
-            if self.liveness.is_dead(dst) {
-                return;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-            if self.liveness.is_dead(dst) {
-                return;
-            }
-            panic!("virtual network: destination rank has exited");
-        }
+    fn liveness(&self) -> &Arc<Liveness> {
+        self.core.liveness()
     }
-
-    /// A message on `src → dst` was just delivered: decrement parked
-    /// delayed messages on that flow and flush the ones that come due.
-    /// Flushed messages do not re-enter the countdown (no cascades).
-    fn tick_delayed(&self, src: usize, dst: usize) {
-        let due: Vec<Delayed> = {
-            let mut parked = self.delayed.lock().unwrap();
-            let mut due = Vec::new();
-            let mut i = 0;
-            while i < parked.len() {
-                if parked[i].env.src == src && parked[i].dst == dst {
-                    parked[i].remaining -= 1;
-                    if parked[i].remaining == 0 {
-                        due.push(parked.swap_remove(i));
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-            due
-        };
-        for d in due {
-            self.deliver_one(d.dst, d.env, true);
-        }
+    fn beat(&self) {
+        self.core.liveness().beat(self.rank);
     }
+    fn report_death(&self) {
+        self.core.liveness().mark_dead(self.rank);
+    }
+}
 
-    pub fn alloc_ctx(&self, n: u64) -> u64 {
-        self.ctx_counter.fetch_add(n, Ordering::Relaxed)
+/// Framed backend: the rank talks to the hub through its [`RemotePort`].
+pub(crate) struct RemoteNet {
+    pub(crate) port: Rc<RemotePort>,
+}
+
+impl RankNet for RemoteNet {
+    fn post(&self, dst: usize, env: Envelope) {
+        self.port.post(dst, env);
+    }
+    fn alloc_ctx(&self, n: u64) -> u64 {
+        self.port.alloc_ctx(n)
+    }
+    fn liveness(&self) -> &Arc<Liveness> {
+        self.port.liveness()
+    }
+    fn beat(&self) {
+        self.port.beat();
+    }
+    fn report_death(&self) {
+        self.port.report_death();
+    }
+}
+
+/// Run one rank's program over an established transport: build the world
+/// communicator, run `f`, and on an unwind report the death (scripted
+/// kills are already announced by the transport itself). The caller
+/// handles the success side (goodbye/result) because its protocol differs
+/// between thread and process mode.
+pub(crate) fn run_rank<R>(
+    net: Rc<dyn RankNet>,
+    mailbox: Rc<RefCell<Mailbox>>,
+    rank: usize,
+    world_size: usize,
+    f: impl FnOnce(Comm) -> R,
+) -> Result<R, Box<dyn std::any::Any + Send + 'static>> {
+    let world = Comm::world(
+        Rc::clone(&net),
+        mailbox,
+        rank,
+        (0..world_size).collect::<Vec<_>>().into(),
+    );
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(world))) {
+        Ok(r) => Ok(r),
+        Err(e) => {
+            // Any unwind marks this rank dead so peers blocked on it
+            // resolve to PeerDead promptly instead of waiting out the full
+            // receive timeout. Scripted kills were already marked and
+            // announced inside `post`.
+            if e.downcast_ref::<ScriptedKill>().is_none() {
+                net.report_death();
+            }
+            Err(e)
+        }
     }
 }
 
@@ -168,7 +157,7 @@ pub struct FaultRun<R> {
 /// Install (once per process) a panic hook that stays silent for scripted
 /// kills — they are the *plan*, not a bug — while delegating every other
 /// panic to the previous hook.
-fn install_quiet_kill_hook() {
+pub(crate) fn install_quiet_kill_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
@@ -179,6 +168,35 @@ fn install_quiet_kill_hook() {
             prev(info);
         }));
     });
+}
+
+/// How a worker process is launched in [`Universe::spawn_processes`].
+#[derive(Debug, Clone)]
+pub struct ProcessOptions {
+    /// Path to the worker binary (typically `nkg-rank`).
+    pub worker: PathBuf,
+    /// Name of the registered program the workers run.
+    pub program: String,
+    /// Extra environment variables passed to every worker.
+    pub env: Vec<(String, String)>,
+}
+
+/// Outcome of one process-mode run. Unlike the thread backends, genuine
+/// worker failures are *reported*, not propagated as panics — the launcher
+/// is supervising foreign processes, and tests assert on the report.
+#[derive(Debug)]
+pub struct ProcessRun {
+    /// Per-rank decoded results; `None` where the worker died.
+    pub results: Vec<Option<Vec<f64>>>,
+    /// World ranks that did not complete cleanly, in rank order.
+    pub dead: Vec<usize>,
+    /// Ranks that failed for reasons other than a scripted kill, with a
+    /// description (exit code, signal, missing result).
+    pub failures: Vec<(usize, String)>,
+    /// Traffic counters for the run.
+    pub stats: MsgStats,
+    /// Fault-plan counters for the run.
+    pub fault_stats: FaultStats,
 }
 
 /// A virtual parallel machine with a fixed number of ranks.
@@ -195,15 +213,22 @@ fn install_quiet_kill_hook() {
 /// deterministic disasters — rank kills and message drop/delay/duplicate —
 /// at the transport; run such programs with [`Universe::run_surviving`],
 /// which reports killed ranks instead of panicking.
+///
+/// The transport [`Backend`] defaults to the `NKG_TRANSPORT` environment
+/// variable (in-proc when unset); [`Universe::with_backend`] overrides it
+/// per machine. All backends run the same router, so programs, fault
+/// plans, and assertions carry across unchanged.
 pub struct Universe {
     size: usize,
     recv_timeout: Duration,
     stats: Arc<(AtomicU64, AtomicU64)>,
     fault_plan: Option<FaultPlan>,
+    backend: Backend,
 }
 
 impl Universe {
-    /// Create a machine with `size` ranks.
+    /// Create a machine with `size` ranks, on the backend named by
+    /// `NKG_TRANSPORT` (in-proc when unset).
     ///
     /// # Panics
     /// Panics if `size == 0`.
@@ -214,6 +239,7 @@ impl Universe {
             recv_timeout: Duration::from_secs(120),
             stats: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
             fault_plan: None,
+            backend: Backend::from_env(),
         }
     }
 
@@ -229,6 +255,17 @@ impl Universe {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Select the transport backend explicitly (overrides `NKG_TRANSPORT`).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The transport backend this machine runs on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Number of ranks.
@@ -278,9 +315,6 @@ impl Universe {
         R: Send + 'static,
         F: Fn(Comm) -> R + Send + Sync + 'static,
     {
-        let n = self.size;
-        let liveness = Arc::new(Liveness::new(n));
-        let dedup = self.fault_plan.is_some();
         if self
             .fault_plan
             .as_ref()
@@ -288,22 +322,32 @@ impl Universe {
         {
             install_quiet_kill_hook();
         }
+        match self.backend {
+            Backend::InProc => self.run_inproc(f),
+            Backend::Uds | Backend::Tcp | Backend::Shm => self.run_hubbed(f),
+        }
+    }
+
+    /// The in-proc backend: one shared router, rank mailboxes wired
+    /// directly to it by channels.
+    fn run_inproc<R, F>(&self, f: F) -> FaultRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let n = self.size;
+        let liveness = Arc::new(Liveness::new(n));
+        let dedup = self.fault_plan.is_some();
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded()).unzip();
-        let inner = Arc::new(Inner {
+        let core = Arc::new(RouterCore::new(
             senders,
-            // ctx 0 is the world communicator of this run.
-            ctx_counter: AtomicU64::new(1),
-            msg_count: AtomicU64::new(0),
-            byte_count: AtomicU64::new(0),
-            seq_counter: AtomicU64::new(0),
-            liveness: Arc::clone(&liveness),
-            fault: self.fault_plan.clone().map(|plan| FaultState::new(plan, n)),
-            delayed: Mutex::new(Vec::new()),
-        });
+            Arc::clone(&liveness),
+            self.fault_plan.clone(),
+        ));
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(n);
         for (rank, rx) in receivers.into_iter().enumerate() {
-            let inner = Arc::clone(&inner);
+            let core = Arc::clone(&core);
             let liveness = Arc::clone(&liveness);
             let f = Arc::clone(&f);
             let timeout = self.recv_timeout;
@@ -321,71 +365,377 @@ impl Universe {
                             Arc::clone(&liveness),
                             dedup,
                         )));
-                        let world =
-                            Comm::world(inner, mailbox, rank, (0..n).collect::<Vec<_>>().into());
-                        // Any unwind — scripted kill or genuine panic — marks
-                        // this rank dead so peers blocked on it resolve to
-                        // PeerDead promptly instead of waiting out the full
-                        // receive timeout.
-                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(world))) {
+                        let net: Rc<dyn RankNet> = Rc::new(InProcNet { core, rank });
+                        match run_rank(net, mailbox, rank, n, |world| f(world)) {
                             Ok(r) => r,
-                            Err(e) => {
-                                liveness.mark_dead(rank);
-                                std::panic::resume_unwind(e);
-                            }
+                            Err(e) => std::panic::resume_unwind(e),
                         }
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
-        let mut results = Vec::with_capacity(n);
-        let mut dead = Vec::new();
-        let mut failures: Vec<(usize, String)> = Vec::new();
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(r) => results.push(Some(r)),
-                Err(e) => {
-                    results.push(None);
-                    if e.downcast_ref::<ScriptedKill>().is_some() {
-                        dead.push(rank);
-                    } else {
-                        failures.push((rank, payload_string(e.as_ref())));
-                    }
-                }
-            }
-        }
-        // Fold this run's traffic into the universe-level counters.
-        self.stats
-            .0
-            .fetch_add(inner.msg_count.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.stats
-            .1
-            .fetch_add(inner.byte_count.load(Ordering::Relaxed), Ordering::Relaxed);
-        let stats = inner
-            .fault
-            .as_ref()
-            .map(|fs| fs.stats())
-            .unwrap_or_default();
-        if !failures.is_empty() {
-            let ranks: Vec<usize> = failures.iter().map(|(r, _)| *r).collect();
-            let detail: Vec<String> = failures
-                .iter()
-                .map(|(r, msg)| format!("rank {r}: {msg}"))
-                .collect();
-            panic!(
-                "{}/{} ranks panicked (failed ranks {:?}) — {}",
-                failures.len(),
-                n,
-                ranks,
-                detail.join("; ")
-            );
-        }
+        let (results, dead, failures) = join_ranks(handles);
+        self.fold_traffic(core.messages(), core.bytes());
+        let stats = core.fault_stats();
+        raise_combined(n, failures);
         FaultRun {
             results,
             dead,
             stats,
         }
     }
+
+    /// The framed thread backends (UDS / TCP / shared-memory ring): ranks
+    /// are still threads, but every byte travels the same framed protocol
+    /// a multi-process run uses, through a hub that owns the router.
+    fn run_hubbed<R, F>(&self, f: F) -> FaultRun<R>
+    where
+        R: Send + 'static,
+        F: Fn(Comm) -> R + Send + Sync + 'static,
+    {
+        let n = self.size;
+        let hub = Hub::new(HubConfig {
+            world: n,
+            plan: self.fault_plan.clone(),
+            deliver_grace: self.recv_timeout,
+        });
+        // One duplex connection per rank; the hub adopts its half now, the
+        // rank half rides into the rank thread and handshakes there.
+        let mut rank_conns: Vec<(
+            Box<dyn std::io::Read + Send>,
+            Box<dyn std::io::Write + Send>,
+        )> = Vec::with_capacity(n);
+        match self.backend {
+            Backend::Uds => {
+                for _ in 0..n {
+                    let (a, b) = std::os::unix::net::UnixStream::pair().expect("socketpair failed");
+                    let (hr, hw) = split_unix(a).expect("split hub stream");
+                    hub.adopt(hr, hw);
+                    let (rr, rw) = split_unix(b).expect("split rank stream");
+                    rank_conns.push((rr, rw));
+                }
+            }
+            Backend::Shm => {
+                for _ in 0..n {
+                    let (a, b) = ring::duplex(ring::DEFAULT_RING_CAPACITY);
+                    hub.adopt(Box::new(a.rx), Box::new(a.tx));
+                    rank_conns.push((Box::new(b.rx), Box::new(b.tx)));
+                }
+            }
+            Backend::Tcp => {
+                let listener =
+                    std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+                let addr = listener.local_addr().expect("listener address");
+                for _ in 0..n {
+                    // The OS backlog completes the connect before accept.
+                    let c = std::net::TcpStream::connect(addr).expect("loopback connect");
+                    let (s, _) = listener.accept().expect("loopback accept");
+                    let (hr, hw) = split_tcp(s).expect("split hub stream");
+                    hub.adopt(hr, hw);
+                    let (rr, rw) = split_tcp(c).expect("split rank stream");
+                    rank_conns.push((rr, rw));
+                }
+            }
+            Backend::InProc => unreachable!("in-proc runs never build a hub"),
+        }
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(n);
+        for (rank, (reader, writer)) in rank_conns.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let timeout = self.recv_timeout;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(8 << 20)
+                    .spawn(move || {
+                        let (port, env_rx) = RemotePort::connect(reader, writer, rank, n, timeout)
+                            .unwrap_or_else(|e| panic!("rank {rank}: handshake failed: {e}"));
+                        let port = Rc::new(port);
+                        let mailbox = Rc::new(RefCell::new(Mailbox::new(
+                            env_rx,
+                            timeout,
+                            rank,
+                            Arc::clone(port.liveness()),
+                            port.dedup(),
+                        )));
+                        let net: Rc<dyn RankNet> = Rc::new(RemoteNet {
+                            port: Rc::clone(&port),
+                        });
+                        match run_rank(net, mailbox, rank, n, |world| f(world)) {
+                            Ok(r) => {
+                                port.goodbye();
+                                r
+                            }
+                            Err(e) => std::panic::resume_unwind(e),
+                        }
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        let (results, dead, failures) = join_ranks(handles);
+        let report = hub.shutdown();
+        self.fold_traffic(report.messages, report.bytes);
+        raise_combined(n, failures);
+        assert!(
+            report.panics.is_empty(),
+            "transport hub failed: {}",
+            report.panics.join("; ")
+        );
+        FaultRun {
+            results,
+            dead,
+            stats: report.fault_stats,
+        }
+    }
+
+    /// Launch one OS process per rank over a real socket (UDS or TCP) and
+    /// supervise them to completion.
+    ///
+    /// Each worker is `opts.worker` (typically the `nkg-rank` binary),
+    /// told its rank, the hub endpoint, and the registered program to run
+    /// through environment variables. The same hub, router, fault plan and
+    /// liveness protocol as the thread backends apply; a worker that exits
+    /// without a `Goodbye` — panic, abort, or death before it ever said
+    /// `Hello` — is declared dead to its blocked peers immediately.
+    ///
+    /// # Panics
+    /// Panics if the backend is not a socket backend, or if workers cannot
+    /// be spawned at all. Worker *failures* do not panic; they are
+    /// reported in [`ProcessRun::failures`].
+    pub fn spawn_processes(&self, opts: &ProcessOptions) -> ProcessRun {
+        let n = self.size;
+        let hub = Arc::new(Hub::new(HubConfig {
+            world: n,
+            plan: self.fault_plan.clone(),
+            deliver_grace: self.recv_timeout,
+        }));
+
+        enum Listener {
+            Uds(std::os::unix::net::UnixListener),
+            Tcp(std::net::TcpListener),
+        }
+        static SOCK_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let (listener, endpoint) = match self.backend {
+            Backend::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "nkg-hub-{}-{}.sock",
+                    std::process::id(),
+                    SOCK_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let l = std::os::unix::net::UnixListener::bind(&path)
+                    .unwrap_or_else(|e| panic!("bind {}: {e}", path.display()));
+                l.set_nonblocking(true).expect("nonblocking listener");
+                (Listener::Uds(l), Endpoint::Uds(path))
+            }
+            Backend::Tcp => {
+                let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+                l.set_nonblocking(true).expect("nonblocking listener");
+                let addr = l.local_addr().expect("listener address");
+                (Listener::Tcp(l), Endpoint::Tcp(addr.to_string()))
+            }
+            other => panic!(
+                "spawn_processes needs a socket backend (uds or tcp), not {}",
+                other.name()
+            ),
+        };
+
+        // Acceptor: adopt every connection until told to stop. Workers
+        // self-identify in the handshake, so accept order is irrelevant.
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let hub = Arc::clone(&hub);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("nkg-acceptor".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let adopted = match &listener {
+                            Listener::Uds(l) => match l.accept() {
+                                Ok((s, _)) => {
+                                    s.set_nonblocking(false).expect("blocking stream");
+                                    let (r, w) = split_unix(s).expect("split worker stream");
+                                    hub.adopt(r, w);
+                                    true
+                                }
+                                Err(_) => false,
+                            },
+                            Listener::Tcp(l) => match l.accept() {
+                                Ok((s, _)) => {
+                                    s.set_nonblocking(false).expect("blocking stream");
+                                    let (r, w) = split_tcp(s).expect("split worker stream");
+                                    hub.adopt(r, w);
+                                    true
+                                }
+                                Err(_) => false,
+                            },
+                        };
+                        if !adopted {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                })
+                .expect("failed to spawn acceptor thread")
+        };
+
+        let children: Vec<std::process::Child> = (0..n)
+            .map(|rank| {
+                let mut cmd = std::process::Command::new(&opts.worker);
+                cmd.env(ENV_RANK, rank.to_string())
+                    .env(ENV_WORLD, n.to_string())
+                    .env(ENV_CONNECT, endpoint.to_string())
+                    .env(ENV_PROGRAM, &opts.program)
+                    .env(ENV_TIMEOUT_MS, self.recv_timeout.as_millis().to_string());
+                for (k, v) in &opts.env {
+                    cmd.env(k, v);
+                }
+                cmd.spawn()
+                    .unwrap_or_else(|e| panic!("spawn worker {}: {e}", opts.worker.display()))
+            })
+            .collect();
+
+        // One watcher per worker: the *instant* a worker exits without a
+        // Goodbye it is declared dead, so peers blocked on it unblock even
+        // if it died before ever reaching the hub (no Hello, no pump).
+        let watchers: Vec<_> = children
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut child)| {
+                let hub = Arc::clone(&hub);
+                std::thread::Builder::new()
+                    .name(format!("nkg-watch-{rank}"))
+                    .spawn(move || {
+                        let status = child.wait().expect("wait on worker");
+                        if !hub.connected(rank) {
+                            // The worker died before completing a
+                            // handshake: no pump owns this rank, so only
+                            // the launcher can declare it dead.
+                            hub.force_dead(rank);
+                        } else if status.success() {
+                            // A successful exit wrote Result + Goodbye
+                            // before exiting — but `wait()` can win the
+                            // race against the pump still draining those
+                            // frames from the socket buffer. Grant a
+                            // grace window before treating the silence
+                            // as death (a worker that exits 0 *without*
+                            // a Goodbye is still caught after it).
+                            let deadline = Instant::now() + Duration::from_secs(10);
+                            while !hub.finished(rank) && Instant::now() < deadline {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            if !hub.finished(rank) {
+                                hub.force_dead(rank);
+                            }
+                        }
+                        // Connected + non-success exit: the pump drains
+                        // the rank's in-flight frames in order and
+                        // announces death at EOF/Dying; forcing death
+                        // here would overtake messages the rank sent
+                        // before dying.
+                        (rank, status)
+                    })
+                    .expect("failed to spawn watcher thread")
+            })
+            .collect();
+        let mut statuses: Vec<Option<std::process::ExitStatus>> = (0..n).map(|_| None).collect();
+        for w in watchers {
+            let (rank, status) = w.join().expect("watcher thread panicked");
+            statuses[rank] = Some(status);
+        }
+
+        stop.store(true, Ordering::Release);
+        acceptor.join().expect("acceptor thread panicked");
+        let report = Arc::try_unwrap(hub)
+            .unwrap_or_else(|_| unreachable!("all hub holders joined"))
+            .shutdown();
+        if let Endpoint::Uds(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+
+        let mut results: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+        let mut dead = Vec::new();
+        let mut failures = Vec::new();
+        for (rank, status) in statuses.iter().enumerate() {
+            let status = status.expect("every worker has a status");
+            match status.code() {
+                Some(EXIT_OK) => match &report.results[rank] {
+                    Some(data) => results[rank] = Some(crate::wire::decode(data)),
+                    None => {
+                        dead.push(rank);
+                        failures.push((rank, "worker exited 0 without reporting a result".into()));
+                    }
+                },
+                Some(EXIT_SCRIPTED_KILL) => dead.push(rank),
+                Some(code) => {
+                    dead.push(rank);
+                    failures.push((rank, format!("worker exited with code {code}")));
+                }
+                None => {
+                    dead.push(rank);
+                    failures.push((rank, format!("worker killed by signal ({status})")));
+                }
+            }
+        }
+        self.fold_traffic(report.messages, report.bytes);
+        ProcessRun {
+            results,
+            dead,
+            failures,
+            stats: MsgStats {
+                messages: report.messages,
+                bytes: report.bytes,
+            },
+            fault_stats: report.fault_stats,
+        }
+    }
+
+    /// Fold one run's traffic into the universe-level counters.
+    fn fold_traffic(&self, messages: u64, bytes: u64) {
+        self.stats.0.fetch_add(messages, Ordering::Relaxed);
+        self.stats.1.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Join all rank threads, sorting outcomes into results / scripted-kill
+/// deaths / genuine failures.
+type Joined<R> = (Vec<Option<R>>, Vec<usize>, Vec<(usize, String)>);
+fn join_ranks<R>(handles: Vec<std::thread::JoinHandle<R>>) -> Joined<R> {
+    let mut results = Vec::with_capacity(handles.len());
+    let mut dead = Vec::new();
+    let mut failures = Vec::new();
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(r) => results.push(Some(r)),
+            Err(e) => {
+                results.push(None);
+                if e.downcast_ref::<ScriptedKill>().is_some() {
+                    dead.push(rank);
+                } else {
+                    failures.push((rank, payload_string(e.as_ref())));
+                }
+            }
+        }
+    }
+    (results, dead, failures)
+}
+
+/// Propagate genuine rank panics as one combined panic naming every
+/// failed rank.
+fn raise_combined(n: usize, failures: Vec<(usize, String)>) {
+    if failures.is_empty() {
+        return;
+    }
+    let ranks: Vec<usize> = failures.iter().map(|(r, _)| *r).collect();
+    let detail: Vec<String> = failures
+        .iter()
+        .map(|(r, msg)| format!("rank {r}: {msg}"))
+        .collect();
+    panic!(
+        "{}/{} ranks panicked (failed ranks {:?}) — {}",
+        failures.len(),
+        n,
+        ranks,
+        detail.join("; ")
+    );
 }
 
 /// Best-effort rendering of a panic payload for the combined error report.
@@ -573,5 +923,13 @@ mod tests {
         assert!(out.dead.is_empty());
         assert_eq!(out.stats.rule_matches, vec![2]);
         assert_eq!(out.stats.rule_fired, vec![1]);
+    }
+
+    #[test]
+    fn explicit_backend_overrides_env() {
+        let u = Universe::new(2).with_backend(Backend::Shm);
+        assert_eq!(u.backend(), Backend::Shm);
+        let out = u.run(|comm| comm.allreduce_sum(&[comm.rank() as f64 + 1.0])[0]);
+        assert_eq!(out, vec![3.0, 3.0]);
     }
 }

@@ -1,0 +1,158 @@
+//! Process-mode bootstrap: connect endpoints, worker environment
+//! variables, stream splitting, and worker exit codes.
+//!
+//! A launcher (the universe's `spawn_processes`) binds a listener, then
+//! starts one `nkg-rank` worker per rank with the environment below; each
+//! worker parses [`WorkerEnv::from_env`], connects, and runs its program.
+//! Exit codes are part of the protocol: the launcher maps them back to
+//! the same outcomes the thread backends report (clean result, scripted
+//! kill, genuine panic).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Worker env var: this rank's world rank.
+pub const ENV_RANK: &str = "NKG_RANK";
+/// Worker env var: world size.
+pub const ENV_WORLD: &str = "NKG_WORLD";
+/// Worker env var: hub endpoint, in [`Endpoint`] string form.
+pub const ENV_CONNECT: &str = "NKG_CONNECT";
+/// Worker env var: registered program name to run.
+pub const ENV_PROGRAM: &str = "NKG_PROGRAM";
+/// Worker env var: receive timeout in milliseconds.
+pub const ENV_TIMEOUT_MS: &str = "NKG_TIMEOUT_MS";
+
+/// Worker exit: clean completion, result reported.
+pub const EXIT_OK: i32 = 0;
+/// Worker exit: the fault plan killed this rank (scripted, not a bug).
+pub const EXIT_SCRIPTED_KILL: i32 = 86;
+/// Worker exit: the program panicked.
+pub const EXIT_PANIC: i32 = 101;
+/// Worker exit: required environment missing or malformed.
+pub const EXIT_BAD_ENV: i32 = 64;
+/// Worker exit: the requested program is not in the registry.
+pub const EXIT_UNKNOWN_PROGRAM: i32 = 65;
+/// Worker exit: could not connect or complete the handshake.
+pub const EXIT_CONNECT_FAILED: i32 = 66;
+
+/// Where a worker finds the hub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A named Unix-domain socket.
+    Uds(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse the [`ENV_CONNECT`] string form: `uds:<path>` or `tcp:<addr>`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("uds:") {
+            Ok(Endpoint::Uds(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(format!(
+                "endpoint {s:?} must start with \"uds:\" or \"tcp:\""
+            ))
+        }
+    }
+
+    /// Connect and split into buffered reader/writer halves.
+    pub fn connect(&self) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            Endpoint::Uds(path) => split_unix(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => {
+                let s = std::net::TcpStream::connect(addr.as_str())?;
+                split_tcp(s)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Uds(p) => write!(f, "uds:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Split a Unix stream into independently-owned buffered halves. The
+/// writer half is flushed per frame by the protocol, so buffering only
+/// coalesces one frame's header and body into one syscall.
+pub fn split_unix(s: UnixStream) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    let r = s.try_clone()?;
+    Ok((Box::new(BufReader::new(r)), Box::new(BufWriter::new(s))))
+}
+
+/// Split a TCP stream into buffered halves, with Nagle disabled so a
+/// flushed frame departs immediately (exchange latency, not throughput,
+/// is what couplers feel).
+pub fn split_tcp(
+    s: std::net::TcpStream,
+) -> std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    s.set_nodelay(true)?;
+    let r = s.try_clone()?;
+    Ok((Box::new(BufReader::new(r)), Box::new(BufWriter::new(s))))
+}
+
+/// Everything a worker process needs, parsed from its environment.
+#[derive(Debug, Clone)]
+pub struct WorkerEnv {
+    /// This worker's world rank.
+    pub rank: usize,
+    /// World size.
+    pub world: usize,
+    /// Hub endpoint to connect to.
+    pub endpoint: Endpoint,
+    /// Registered program name to run.
+    pub program: String,
+    /// Receive timeout for the rank's mailbox and hub replies.
+    pub recv_timeout: std::time::Duration,
+}
+
+impl WorkerEnv {
+    /// Parse the worker environment, with a message naming the first
+    /// missing or malformed variable.
+    pub fn from_env() -> Result<WorkerEnv, String> {
+        fn var(name: &str) -> Result<String, String> {
+            std::env::var(name).map_err(|_| format!("missing required env var {name}"))
+        }
+        fn parse_num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("env var {name}={v:?} is not a valid number"))
+        }
+        let rank = parse_num(ENV_RANK, &var(ENV_RANK)?)?;
+        let world: usize = parse_num(ENV_WORLD, &var(ENV_WORLD)?)?;
+        if world == 0 || rank >= world {
+            return Err(format!("rank {rank} out of range for world size {world}"));
+        }
+        let endpoint = Endpoint::parse(&var(ENV_CONNECT)?)?;
+        let program = var(ENV_PROGRAM)?;
+        let timeout_ms: u64 = parse_num(ENV_TIMEOUT_MS, &var(ENV_TIMEOUT_MS)?)?;
+        Ok(WorkerEnv {
+            rank,
+            world,
+            endpoint,
+            program,
+            recv_timeout: std::time::Duration::from_millis(timeout_ms),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_string_round_trip() {
+        for s in ["uds:/tmp/hub.sock", "tcp:127.0.0.1:4567"] {
+            let e = Endpoint::parse(s).unwrap();
+            assert_eq!(e.to_string(), s);
+        }
+        assert!(Endpoint::parse("carrier:pigeon").is_err());
+    }
+}

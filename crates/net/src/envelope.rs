@@ -1,0 +1,20 @@
+//! The message envelope: the unit of traffic every backend carries.
+
+use crate::Tag;
+
+/// One message in flight on the virtual network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Communicator context the message belongs to.
+    pub ctx: u64,
+    /// World rank of the sender.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Encoded payload bytes.
+    pub data: Vec<u8>,
+    /// Universe-unique transport sequence number. A duplicated message
+    /// (fault-injected or retried at the transport) carries the *same*
+    /// number as the original, so receivers can discard the copy.
+    pub seq: u64,
+}

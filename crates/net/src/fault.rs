@@ -186,9 +186,8 @@ impl FaultPlan {
     }
 }
 
-/// Per-run fired/match counters, reported back by
-/// [`crate::Universe::run_surviving`] so tests can assert that a plan
-/// replayed identically.
+/// Per-run fired/match counters, reported back by the universe runner so
+/// tests can assert that a plan replayed identically.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Messages each rule matched (fired or not), in rule order.
@@ -199,16 +198,17 @@ pub struct FaultStats {
     pub sends_per_rank: Vec<u64>,
 }
 
-/// The panic payload of a scripted kill. [`crate::Universe`] recognizes it
-/// and records the rank as dead instead of propagating a test failure.
+/// The panic payload of a scripted kill. The universe runner recognizes it
+/// and records the rank as dead instead of propagating a test failure; the
+/// process worker maps it to a dedicated exit code.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct ScriptedKill {
-    #[allow(dead_code)] // carried for debug formatting of stray payloads
+pub struct ScriptedKill {
+    /// The rank the plan killed.
     pub rank: usize,
 }
 
 /// What the transport should do with one posted message.
-pub(crate) enum Decision {
+pub enum Decision {
     /// The sending rank dies now; the message is lost.
     Kill,
     /// Apply a rule's action.
@@ -218,7 +218,7 @@ pub(crate) enum Decision {
 }
 
 /// Live counters instantiated from a [`FaultPlan`] for one run.
-pub(crate) struct FaultState {
+pub struct FaultState {
     plan: FaultPlan,
     send_counts: Vec<AtomicU64>,
     rule_matches: Vec<AtomicU64>,
@@ -226,6 +226,7 @@ pub(crate) struct FaultState {
 }
 
 impl FaultState {
+    /// Instantiate live counters for one run over `n_ranks` world ranks.
     pub fn new(plan: FaultPlan, n_ranks: usize) -> Self {
         let n_rules = plan.rules.len();
         Self {
@@ -257,6 +258,7 @@ impl FaultState {
         Decision::Deliver
     }
 
+    /// Snapshot of the per-rule and per-rank counters.
     pub fn stats(&self) -> FaultStats {
         FaultStats {
             rule_matches: self

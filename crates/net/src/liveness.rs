@@ -4,10 +4,11 @@
 //! layer that cannot *observe* a lost peer can only hang. This module is
 //! the observation side of the MCI fault model: every rank owns one
 //! heartbeat counter (bumped on every message it posts or receives, plus
-//! explicit [`crate::Comm::heartbeat`] calls) and one death flag (set by
-//! the transport when a scripted fault kills the rank). Receives consult
-//! the flags so a blocked receive on a dead peer resolves to
-//! [`crate::RecvError::PeerDead`] instead of a timeout, and failover
+//! explicit `Comm::heartbeat` calls) and one death flag (set by the
+//! transport when a scripted fault kills the rank, or by death detection
+//! when a socket peer vanishes). Receives consult the flags so a blocked
+//! receive on a dead peer resolves to `RecvError::PeerDead`
+//! instead of a timeout, and failover
 //! logic consults the [`LivenessView`] to pick the lowest live replica.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,7 +20,9 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    pub(crate) fn new(n: usize) -> Self {
+    /// Fresh all-alive table for `n` ranks. Constructed by the transport
+    /// (one per universe run); ranks receive shared references.
+    pub fn new(n: usize) -> Self {
         Self {
             beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
@@ -32,12 +35,12 @@ impl Liveness {
     }
 
     /// Record one heartbeat for `rank`.
-    pub(crate) fn beat(&self, rank: usize) {
+    pub fn beat(&self, rank: usize) {
         self.beats[rank].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark `rank` dead (scripted kill or observed loss).
-    pub(crate) fn mark_dead(&self, rank: usize) {
+    pub fn mark_dead(&self, rank: usize) {
         self.dead[rank].store(true, Ordering::SeqCst);
     }
 

@@ -1,0 +1,265 @@
+//! Same-host shared-memory fast path: a lock-free SPSC byte ring speaking
+//! `Read`/`Write`, so the frame protocol runs over it unchanged.
+//!
+//! One [`RingTx`]/[`RingRx`] pair shares a power-of-two byte buffer with
+//! monotonically increasing head/tail counters (masked on access), the
+//! classic single-producer single-consumer design: the producer publishes
+//! bytes with a `Release` store of `tail`, the consumer acknowledges with
+//! a `Release` store of `head`, and each side reads the other's counter
+//! with `Acquire`. Frames larger than the capacity stream through in
+//! chunks — `write` blocks for *space*, not for the whole message.
+//!
+//! Scope: same address space only. A cross-process variant needs `mmap`d
+//! shared memory, which the workspace's no-external-deps rule puts out of
+//! reach; process ranks use the socket backends instead (see the backend
+//! matrix in DESIGN.md §15).
+
+use std::cell::UnsafeCell;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default ring capacity (64 KiB): comfortably above the typical exchange
+/// frame, small enough that a universe of rings stays cache-friendly.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+struct ByteRing {
+    buf: Box<[UnsafeCell<u8>]>,
+    mask: usize,
+    /// Consumer position; only [`RingRx`] advances it.
+    head: AtomicUsize,
+    /// Producer position; only [`RingTx`] advances it.
+    tail: AtomicUsize,
+    tx_closed: AtomicBool,
+    rx_closed: AtomicBool,
+}
+
+// SAFETY: SPSC discipline. The producer only writes buffer slots in
+// [tail, tail+free) before publishing them with a Release store of tail;
+// the consumer only reads slots in [head, tail) after an Acquire load of
+// tail, and releases them with a Release store of head. A slot is never
+// accessed by both sides at once, so sharing the UnsafeCells is sound.
+unsafe impl Sync for ByteRing {}
+
+/// Producer half of one ring.
+pub struct RingTx {
+    ring: Arc<ByteRing>,
+}
+
+/// Consumer half of one ring.
+pub struct RingRx {
+    ring: Arc<ByteRing>,
+}
+
+/// Both halves of a bidirectional shared-memory connection.
+pub struct RingDuplex {
+    /// Outgoing bytes.
+    pub tx: RingTx,
+    /// Incoming bytes.
+    pub rx: RingRx,
+}
+
+/// One unidirectional ring of at least `capacity` bytes (rounded up to a
+/// power of two, minimum 8).
+pub fn ring(capacity: usize) -> (RingTx, RingRx) {
+    let cap = capacity.max(8).next_power_of_two();
+    let ring = Arc::new(ByteRing {
+        buf: (0..cap).map(|_| UnsafeCell::new(0)).collect(),
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        tx_closed: AtomicBool::new(false),
+        rx_closed: AtomicBool::new(false),
+    });
+    (
+        RingTx {
+            ring: Arc::clone(&ring),
+        },
+        RingRx { ring },
+    )
+}
+
+/// A bidirectional connection: two rings, crossed. The returned ends are
+/// symmetric — hand one to each side.
+pub fn duplex(capacity: usize) -> (RingDuplex, RingDuplex) {
+    let (a_tx, a_rx) = ring(capacity);
+    let (b_tx, b_rx) = ring(capacity);
+    (
+        RingDuplex { tx: a_tx, rx: b_rx },
+        RingDuplex { tx: b_tx, rx: a_rx },
+    )
+}
+
+/// Progressive backoff for a full/empty ring: spin briefly, then yield,
+/// then sleep. On a loaded single-core host the yield tier is what lets
+/// the peer run at all.
+fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else if *spins < 256 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+impl Write for RingTx {
+    /// Write up to `data.len()` bytes, blocking until at least one byte of
+    /// space frees up. Returns the number of bytes accepted (callers use
+    /// `write_all`, which loops).
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let r = &*self.ring;
+        let mut spins = 0u32;
+        loop {
+            if r.rx_closed.load(Ordering::Acquire) {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "ring consumer dropped",
+                ));
+            }
+            let head = r.head.load(Ordering::Acquire);
+            let tail = r.tail.load(Ordering::Relaxed);
+            let free = r.buf.len() - tail.wrapping_sub(head);
+            if free == 0 {
+                backoff(&mut spins);
+                continue;
+            }
+            let n = free.min(data.len());
+            for (i, &b) in data[..n].iter().enumerate() {
+                // SAFETY: slots [tail, tail+free) are unpublished and thus
+                // exclusively ours; see the Sync impl.
+                unsafe { *r.buf[tail.wrapping_add(i) & r.mask].get() = b };
+            }
+            r.tail.store(tail.wrapping_add(n), Ordering::Release);
+            return Ok(n);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for RingTx {
+    fn drop(&mut self) {
+        self.ring.tx_closed.store(true, Ordering::Release);
+    }
+}
+
+impl Read for RingRx {
+    /// Read up to `buf.len()` bytes, blocking until at least one byte is
+    /// available. Returns `Ok(0)` (EOF) once the producer has dropped and
+    /// the ring is drained.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let r = &*self.ring;
+        let mut spins = 0u32;
+        loop {
+            let tail = r.tail.load(Ordering::Acquire);
+            let head = r.head.load(Ordering::Relaxed);
+            let avail = tail.wrapping_sub(head);
+            if avail == 0 {
+                if r.tx_closed.load(Ordering::Acquire) {
+                    // Re-check after the closed flag: the producer may have
+                    // published final bytes between our tail load and its
+                    // drop.
+                    if r.tail.load(Ordering::Acquire) == head {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                backoff(&mut spins);
+                continue;
+            }
+            let n = avail.min(buf.len());
+            for (i, slot) in buf[..n].iter_mut().enumerate() {
+                // SAFETY: slots [head, tail) are published and not yet
+                // released; see the Sync impl.
+                *slot = unsafe { *r.buf[head.wrapping_add(i) & r.mask].get() };
+            }
+            r.head.store(head.wrapping_add(n), Ordering::Release);
+            return Ok(n);
+        }
+    }
+}
+
+impl Drop for RingRx {
+    fn drop(&mut self) {
+        self.ring.rx_closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let (mut tx, mut rx) = ring(64);
+        tx.write_all(b"hello ring").unwrap();
+        let mut got = [0u8; 10];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello ring");
+    }
+
+    #[test]
+    fn wrap_around_preserves_order() {
+        let (mut tx, mut rx) = ring(8);
+        // Push more than the capacity through in small steps, forcing the
+        // indices to wrap several times.
+        for round in 0..10u8 {
+            let chunk: Vec<u8> = (0..5).map(|i| round * 10 + i).collect();
+            tx.write_all(&chunk).unwrap();
+            let mut got = [0u8; 5];
+            rx.read_exact(&mut got).unwrap();
+            assert_eq!(got[..], chunk[..]);
+        }
+    }
+
+    #[test]
+    fn larger_than_capacity_streams_through() {
+        let (mut tx, mut rx) = ring(16);
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let writer = std::thread::spawn(move || tx.write_all(&payload).unwrap());
+        let mut got = vec![0u8; expect.len()];
+        rx.read_exact(&mut got).unwrap();
+        writer.join().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn producer_drop_is_eof_after_drain() {
+        let (mut tx, mut rx) = ring(64);
+        tx.write_all(b"tail").unwrap();
+        drop(tx);
+        let mut got = Vec::new();
+        rx.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"tail");
+    }
+
+    #[test]
+    fn consumer_drop_breaks_the_pipe() {
+        let (mut tx, rx) = ring(8);
+        drop(rx);
+        let err = tx.write_all(b"too late").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn frames_cross_a_duplex_pair() {
+        use crate::frame::{read_frame, write_frame, Frame};
+        let (mut a, mut b) = duplex(64);
+        write_frame(&mut a.tx, &Frame::CtxReq { n: 2 }).unwrap();
+        assert_eq!(read_frame(&mut b.rx).unwrap(), Frame::CtxReq { n: 2 });
+        write_frame(&mut b.tx, &Frame::CtxRep { base: 40 }).unwrap();
+        assert_eq!(read_frame(&mut a.rx).unwrap(), Frame::CtxRep { base: 40 });
+    }
+}

@@ -1,0 +1,130 @@
+//! Replica failover with every rank its own OS process: the driver and
+//! three hot-standby replicas of the coupled metasolver each run in a
+//! separate `nkg-rank` worker connected to a Unix-domain-socket hub. A
+//! scripted fault kills the master replica's *process* while it posts
+//! its second exchange window; the driver holds the boundary for one τ
+//! window, promotes the lowest live slave, and the promotee resumes
+//! from the dead master's checkpoint — the same recovery the thread-mode
+//! `failover_demo` shows, now across genuine process boundaries and
+//! exit codes.
+//!
+//! ```bash
+//! cargo run --release --example multiprocess_failover
+//! ```
+
+use nektarg::mci::{Backend, FaultPlan, ProcessOptions, Universe};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const N_REPLICAS: usize = 3;
+const TOTAL_STEPS: usize = 12; // 3 exchange windows at exchange_every = 4
+const TRACE_WIDTH: usize = 6; // values per window in the driver's trace
+
+/// The worker binary is built alongside this example:
+/// `target/<profile>/examples/multiprocess_failover` → `target/<profile>/nkg-rank`.
+fn worker_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let bin = exe
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("nkg-rank"))
+        .filter(|p| p.exists());
+    bin.unwrap_or_else(|| {
+        panic!(
+            "nkg-rank worker not found next to {}; build it first: \
+             cargo build --release --bin nkg-rank",
+            exe.display()
+        )
+    })
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("nkg_multiprocess_failover");
+    std::fs::create_dir_all(&dir).expect("create demo temp dir");
+    let ckpt_base = dir.join("demo.nkgc");
+
+    // The disaster: world rank 1 (master replica 0) is killed attempting
+    // its second post — the window-2 status report, i.e. mid-exchange.
+    // The fault plan is judged at the hub; the victim's process dies with
+    // the scripted-kill exit code at exactly that post.
+    let universe = Universe::new(N_REPLICAS + 1)
+        .with_backend(Backend::Uds)
+        .with_recv_timeout(Duration::from_secs(120))
+        .with_fault_plan(FaultPlan::new().kill_rank(1, 2));
+
+    println!(
+        "multi-process replicated run: 1 driver + {N_REPLICAS} replicas over a UDS hub,\n\
+         {TOTAL_STEPS} continuum steps, master process killed posting window 2\n"
+    );
+    let run = universe.spawn_processes(&ProcessOptions {
+        worker: worker_bin(),
+        program: "coupled_failover".to_string(),
+        env: vec![
+            (
+                "NKG_CKPT_BASE".to_string(),
+                ckpt_base.to_string_lossy().into_owned(),
+            ),
+            ("NKG_TOTAL_STEPS".to_string(), TOTAL_STEPS.to_string()),
+        ],
+    });
+
+    println!("dead ranks: {:?}", run.dead);
+    assert_eq!(run.dead, vec![1], "the kill plan names world rank 1");
+    assert!(
+        run.failures.is_empty(),
+        "a scripted kill is a plan, not a failure: {:?}",
+        run.failures
+    );
+    println!(
+        "traffic through the hub: {} messages, {} bytes",
+        run.stats.messages, run.stats.bytes
+    );
+
+    // Driver result frame: [0, windows, n_events, active_master, trace...]
+    let driver = run.results[0]
+        .as_ref()
+        .expect("the driver process completed");
+    assert_eq!(driver[0], 0.0, "rank 0 reports as the driver");
+    let windows = driver[1] as usize;
+    let n_events = driver[2] as usize;
+    let active_master = driver[3] as usize;
+    println!(
+        "degradation events: {n_events}; active master at end of run: replica {active_master}"
+    );
+    assert!(
+        active_master != 0,
+        "the dead master (replica 0) must have been replaced"
+    );
+
+    println!("\nper-window interface trace (continuity, patch mismatch, platelet census):");
+    for w in 0..windows {
+        let vals = &driver[4 + w * TRACE_WIDTH..4 + (w + 1) * TRACE_WIDTH];
+        println!(
+            "  window {}: continuity {:.3e}  mismatch {:.3e}  census {:?}",
+            w + 1,
+            vals[0],
+            vals[1],
+            (
+                vals[2] as u64,
+                vals[3] as u64,
+                vals[4] as u64,
+                vals[5] as u64
+            ),
+        );
+    }
+
+    // Replica result frames: [1, held, failovers].
+    for rank in 1..=N_REPLICAS {
+        match run.results[rank].as_ref() {
+            Some(r) => {
+                assert_eq!(r[0], 1.0, "rank {rank} reports as a replica");
+                println!(
+                    "replica on rank {rank}: held {} window(s), {} failover(s)",
+                    r[1], r[2]
+                );
+            }
+            None => println!("replica on rank {rank}: killed (no result)"),
+        }
+    }
+    println!("\nfailover across real process boundaries complete.");
+}

@@ -19,6 +19,12 @@ cargo test --workspace -q
 echo "== fault-injection integration suite =="
 cargo test -q --test integration_fault
 
+echo "== fault-injection suite over framed Unix sockets (NKG_TRANSPORT=uds) =="
+NKG_TRANSPORT=uds cargo test -q --test integration_fault
+
+echo "== multi-process smoke: real ranks over a UDS hub, one killed mid-run =="
+cargo test -q --test integration_process
+
 echo "== thread invariance: overlap suite, 1 rayon thread vs default pool =="
 RAYON_NUM_THREADS=1 cargo test -q -p nkg-coupling --test integration_overlap
 cargo test -q -p nkg-coupling --test integration_overlap

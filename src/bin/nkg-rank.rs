@@ -1,0 +1,99 @@
+//! `nkg-rank`: one rank of a multi-process MCI run.
+//!
+//! Launched by `Universe::spawn_processes`, which passes the rank, world
+//! size, hub endpoint, and program name through `NKG_*` environment
+//! variables (see `nkg_net::endpoint`). Carries the built-in smoke and
+//! fault-scenario programs plus `coupled_failover`: a full replicated
+//! metasolver run — driver on rank 0, hot-standby replicas elsewhere —
+//! so the paper's failover path can be exercised with every rank in its
+//! own OS process.
+//!
+//! Extra knobs (all optional):
+//! * `NKG_CKPT_BASE` — shared checkpoint base path for `coupled_failover`
+//!   (must be identical across ranks; promotion restores the dead
+//!   master's rank-scoped snapshot from it).
+//! * `NKG_TOTAL_STEPS` — continuum steps for `coupled_failover`
+//!   (default 12 → 3 exchange windows).
+//! * `NKG_VICTIM` / `NKG_CRASH_BEFORE_CONNECT` — see `nkg_mci::worker`.
+
+use nektarg::coupling::atomistic::{AtomisticDomain, Embedding};
+use nektarg::coupling::failover::{run_role, FailoverConfig, RankOutcome};
+use nektarg::coupling::metasolver::NektarG;
+use nektarg::coupling::multipatch::poiseuille_multipatch;
+use nektarg::coupling::{TimeProgression, UnitScaling};
+use nektarg::dpd::inflow::OpenBoundaryX;
+use nektarg::dpd::sim::{DpdConfig, DpdSim, WallGeometry};
+use nektarg::dpd::Box3;
+use nektarg::mci::worker::{worker_main, Registry};
+use nektarg::mci::Comm;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The same small coupled system the fault-integration suite drives:
+/// deterministic, so every replica process reconstructs a bitwise clone.
+fn small_metasolver() -> NektarG {
+    let mp = poiseuille_multipatch(6.0, 1.0, 12, 2, 2, 3, 0.5, 0.4, 5e-3);
+    let cfg = DpdConfig {
+        seed: 31,
+        ..Default::default()
+    };
+    let bx = Box3::new([0.0; 3], [6.0, 6.0, 3.0], [false, false, true]);
+    let mut sim = DpdSim::new(cfg, bx, WallGeometry::SlabY);
+    sim.fill_solvent();
+    let mut ob = OpenBoundaryX::new(3, 1, 3.0, 1.0, [0.0; 3], 0);
+    ob.target_count = Some(sim.particles.len());
+    sim.set_open_x(ob);
+    let embedding = Embedding {
+        origin_ns: [2.5, 0.35],
+        scaling: UnitScaling {
+            unit_ns: 1.0,
+            unit_dpd: 0.05,
+            nu_ns: 0.5,
+            nu_dpd: 0.85,
+        },
+    };
+    let atom = AtomisticDomain::new(sim, embedding);
+    NektarG::new(mp, atom, TimeProgression::new(5, 4))
+}
+
+/// Replicated metasolver run across processes. Result frame layout:
+/// driver → `[0, windows, n_events, active_master, trace...]` (row-major
+/// `TRACE_WIDTH`-wide windows); replica → `[1, held, failovers]`.
+fn coupled_failover(comm: Comm) -> Vec<f64> {
+    let total_steps: usize = std::env::var("NKG_TOTAL_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let ckpt_base = PathBuf::from(
+        std::env::var("NKG_CKPT_BASE")
+            .expect("coupled_failover needs NKG_CKPT_BASE (shared across ranks)"),
+    );
+    let cfg = FailoverConfig {
+        status_deadline: Duration::from_secs(5),
+        ctrl_deadline: Duration::from_secs(120),
+        ..FailoverConfig::new(comm.size() - 1, total_steps, ckpt_base)
+    };
+    match run_role(&comm, &cfg, small_metasolver) {
+        RankOutcome::Driver(d) => {
+            let mut out = vec![
+                0.0,
+                d.trace.len() as f64,
+                d.events.len() as f64,
+                d.active_master as f64,
+            ];
+            for window in &d.trace {
+                out.extend(window.iter().copied());
+            }
+            out
+        }
+        RankOutcome::Replica(r) => {
+            vec![1.0, r.held_exchanges.len() as f64, r.failovers.len() as f64]
+        }
+    }
+}
+
+fn main() {
+    let mut reg = Registry::with_builtins();
+    reg.register("coupled_failover", coupled_failover);
+    std::process::exit(worker_main(&reg));
+}

@@ -1,0 +1,137 @@
+//! Multi-process integration suite: real OS processes, real sockets.
+//!
+//! Each test launches `nkg-rank` workers with `Universe::spawn_processes`
+//! and asserts the transport-boundary guarantees the thread backends
+//! already prove: collectives complete, scripted kills land at the exact
+//! post, and — hardest of all — ranks that die *before ever speaking*
+//! (panic before first post, crash before connecting) are still reported
+//! dead to their blocked peers instead of hanging the run.
+
+use nektarg::mci::{Backend, FaultPlan, ProcessOptions, Universe};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_nkg-rank"))
+}
+
+fn opts(program: &str, env: Vec<(String, String)>) -> ProcessOptions {
+    ProcessOptions {
+        worker: worker_bin(),
+        program: program.to_string(),
+        env,
+    }
+}
+
+fn universe(n: usize, backend: Backend) -> Universe {
+    Universe::new(n)
+        .with_backend(backend)
+        .with_recv_timeout(Duration::from_secs(60))
+}
+
+/// Three processes allreduce their ranks over a Unix socket.
+#[test]
+fn ring_allreduce_across_three_processes() {
+    let u = universe(3, Backend::Uds);
+    let run = u.spawn_processes(&opts("ring", vec![]));
+    assert!(run.failures.is_empty(), "failures: {:?}", run.failures);
+    assert!(run.dead.is_empty());
+    for rank in 0..3 {
+        let r = run.results[rank].as_ref().expect("rank completed");
+        assert_eq!(r[0], 3.0, "sum of ranks 0+1+2");
+        assert_eq!(r[1], rank as f64);
+    }
+    assert!(run.stats.messages > 0, "collectives route real messages");
+}
+
+/// Same program over TCP loopback: identical results, different wire.
+#[test]
+fn ring_allreduce_over_tcp() {
+    let u = universe(3, Backend::Tcp);
+    let run = u.spawn_processes(&opts("ring", vec![]));
+    assert!(run.failures.is_empty(), "failures: {:?}", run.failures);
+    for rank in 0..3 {
+        assert_eq!(run.results[rank].as_ref().unwrap()[0], 3.0);
+    }
+}
+
+/// A rank that panics before its first post must still be reported dead:
+/// its peer blocks on `recv_deadline` and must resolve to `PeerDead`
+/// (returning 13.0), not time out.
+#[test]
+fn panic_before_first_post_unblocks_peers() {
+    let u = universe(2, Backend::Uds);
+    let run = u.spawn_processes(&opts(
+        "panic_early",
+        vec![("NKG_VICTIM".into(), "1".into())],
+    ));
+    assert_eq!(run.dead, vec![1]);
+    assert_eq!(
+        run.results[0].as_ref().expect("peer completed"),
+        &vec![13.0],
+        "peer resolved to PeerDead, not a timeout"
+    );
+    assert_eq!(
+        run.failures.len(),
+        1,
+        "the panic is reported: {:?}",
+        run.failures
+    );
+    assert_eq!(run.failures[0].0, 1);
+}
+
+/// Harder: the victim dies before it even *connects* — no Hello, no pump,
+/// nothing on the wire. Only the launcher's exit watcher can see it; the
+/// peer must still unblock promptly.
+#[test]
+fn crash_before_connect_unblocks_peers() {
+    let u = universe(2, Backend::Uds);
+    let run = u.spawn_processes(&opts(
+        "panic_early",
+        vec![
+            ("NKG_VICTIM".into(), "1".into()),
+            ("NKG_CRASH_BEFORE_CONNECT".into(), "1".into()),
+        ],
+    ));
+    assert_eq!(run.dead, vec![1]);
+    assert_eq!(run.results[0].as_ref().unwrap(), &vec![13.0]);
+}
+
+/// Scripted kill across a process boundary: the fault plan (judged at the
+/// hub) kills rank 1 at its second post; the worker must exit with the
+/// scripted-kill code (a *plan*, not a failure) and the survivor's count
+/// shows exactly one delivered post.
+#[test]
+fn scripted_kill_maps_to_exit_code() {
+    let u = universe(2, Backend::Uds).with_fault_plan(FaultPlan::new().kill_rank(1, 2));
+    let run = u.spawn_processes(&opts("sender", vec![]));
+    assert_eq!(run.dead, vec![1]);
+    assert!(
+        run.failures.is_empty(),
+        "scripted kill is not a failure: {:?}",
+        run.failures
+    );
+    assert_eq!(run.results[1], None);
+    assert_eq!(
+        run.results[0].as_ref().unwrap(),
+        &vec![1.0],
+        "exactly one post survived before the kill"
+    );
+    assert_eq!(run.fault_stats.sends_per_rank[1], 2);
+}
+
+/// The check.sh smoke scenario: two processes, one killed mid-run with a
+/// hard abort (no unwinding, no goodbye), and the survivor completes by
+/// holding the last received window value — failover semantics across a
+/// real process death.
+#[test]
+fn survivor_holds_after_peer_abort() {
+    let u = universe(2, Backend::Uds);
+    let run = u.spawn_processes(&opts("survivor", vec![("NKG_VICTIM".into(), "1".into())]));
+    assert_eq!(run.dead, vec![1]);
+    assert_eq!(
+        run.results[0].as_ref().expect("survivor completed"),
+        &vec![1.0, 11.0, 11.0, 11.0, 11.0, 11.0, 4.0],
+        "one good window, then held through four dead ones"
+    );
+}
