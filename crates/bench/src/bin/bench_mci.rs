@@ -6,8 +6,14 @@
 //! checkpoint) — on the in-process mailbox, the shared-memory ring, and
 //! the framed UDS/TCP sockets alike.
 //!
-//! Appends one JSON record per transport per run to `BENCH_mci.json`
-//! (JSON Lines) and prints the same numbers to stdout.
+//! Also measures the supervised **restart-in-place** path (UDS process
+//! mode): a zero-standby sharded run with one scripted worker death,
+//! healed by respawn + rejoin + resume — reporting the wall-clock
+//! time-to-recover and the respawn count.
+//!
+//! Appends one JSON record per transport per run (plus one
+//! `mci_restart_in_place` record) to `BENCH_mci.json` (JSON Lines) and
+//! prints the same numbers to stdout.
 
 use nkg_bench::{append_jsonl, header, time_median};
 use nkg_coupling::atomistic::{AtomisticDomain, Embedding};
@@ -19,7 +25,8 @@ use nkg_dpd::inflow::OpenBoundaryX;
 use nkg_dpd::sim::{DpdConfig, DpdSim, WallGeometry};
 use nkg_dpd::Box3;
 use nkg_mci::{
-    Backend, FaultPlan, InterfaceLink, MsgAction, MsgMatcher, Pick, RetryPolicy, Universe,
+    Backend, FaultPlan, InterfaceLink, MsgAction, MsgMatcher, Pick, ProcessOptions, RestartPolicy,
+    RetryPolicy, Universe,
 };
 use std::time::{Duration, Instant};
 
@@ -118,6 +125,66 @@ fn failover_drill(backend: Backend) -> (f64, f64) {
     (recover, total)
 }
 
+/// One `coupled_restart` process-mode run over UDS: a driver plus
+/// `shards` single-master workers, each rank its own OS process. Returns
+/// (wall seconds, respawn count, summed backoff seconds).
+fn sharded_run_seconds(worker: &std::path::Path, die_at: &str) -> (f64, u64, f64) {
+    let dir = std::env::temp_dir().join("nkg_bench_mci");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let base = dir.join("bench_restart.nkgc");
+    for s in 0..3 {
+        let p = nkg_ckpt::rank_path(&base, s);
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(nkg_ckpt::prev_path(&p));
+    }
+    let mut env = vec![
+        (
+            "NKG_CKPT_BASE".to_string(),
+            base.to_string_lossy().into_owned(),
+        ),
+        ("NKG_RESTART_GRACE_MS".to_string(), "20000".to_string()),
+    ];
+    if !die_at.is_empty() {
+        env.push(("NKG_DIE_AT".to_string(), die_at.to_string()));
+    }
+    let u = Universe::new(4)
+        .with_backend(Backend::Uds)
+        .with_recv_timeout(Duration::from_secs(120))
+        .with_restart_policy(RestartPolicy::default());
+    let t0 = Instant::now();
+    let run = u.spawn_processes(&ProcessOptions {
+        worker: worker.to_path_buf(),
+        program: "coupled_restart".to_string(),
+        env,
+    });
+    let total = t0.elapsed().as_secs_f64();
+    assert!(
+        run.dead.is_empty() && run.failures.is_empty(),
+        "restart drill must heal: dead {:?} failures {:?}",
+        run.dead,
+        run.failures
+    );
+    let backoff: f64 = run.restarts.iter().map(|r| r.delay.as_secs_f64()).sum();
+    (total, run.restarts.len() as u64, backoff)
+}
+
+/// Restart-in-place drill: zero-standby sharded run, one worker scripted
+/// to die after computing window 2, supervised respawn + rejoin + resume.
+/// Time-to-recover is the wall-clock cost of the death: faulty run minus
+/// an identical clean run (includes backoff, relaunch, replay to the lost
+/// window, and the re-exchange).
+fn restart_drill() -> Option<(f64, u64, f64, f64, f64)> {
+    let worker = std::env::current_exe().ok()?.with_file_name("nkg-rank");
+    if !worker.is_file() {
+        return None;
+    }
+    let (clean, clean_respawns, _) = sharded_run_seconds(&worker, "");
+    assert_eq!(clean_respawns, 0, "clean run must not respawn anyone");
+    let (faulty, respawns, backoff) = sharded_run_seconds(&worker, "1:2:0");
+    let recover = (faulty - clean).max(0.0);
+    Some((recover, respawns, backoff, clean, faulty))
+}
+
 fn main() {
     header(&format!(
         "MCI fault tolerance per transport: {PAYLOAD} f64 per side, {EXCHANGES} exchanges, \
@@ -168,6 +235,29 @@ fn main() {
             backend.name()
         );
         append_jsonl("BENCH_mci.json", &record);
+    }
+    match restart_drill() {
+        Some((recover, respawns, backoff, clean, faulty)) => {
+            println!(
+                "\nrestart_in_place (uds, 3 shards, 1 scripted death): \
+                 recover {recover:.3} s ({respawns} respawn, {backoff:.3} s backoff; \
+                 clean {clean:.3} s, faulty {faulty:.3} s)"
+            );
+            let record = format!(
+                "{{\"bench\":\"mci_restart_in_place\",\"transport\":\"uds\",\
+                 \"shards\":3,\"scripted_deaths\":1,\
+                 \"respawns\":{respawns},\
+                 \"restart_backoff_seconds\":{backoff:.6},\
+                 \"clean_run_seconds\":{clean:.6},\
+                 \"faulty_run_seconds\":{faulty:.6},\
+                 \"time_to_recover_seconds\":{recover:.6}}}"
+            );
+            append_jsonl("BENCH_mci.json", &record);
+        }
+        None => println!(
+            "\nrestart_in_place drill skipped: nkg-rank binary not found next to bench_mci \
+             (build the workspace bins first)"
+        ),
     }
     println!("\nappended one record per transport to BENCH_mci.json");
 }

@@ -6,26 +6,45 @@
 //! [`NektarG`] (hot standby) and writes rotating rank-scoped checkpoints;
 //! the *master* replica additionally reports each exchange window's
 //! interface physics to the driver. The driver is the continuum-side
-//! consumer of those windows and applies the degradation policy:
+//! consumer of those windows and applies the degradation ladder:
 //!
 //! 1. **Hold-last-value** — when the master misses its window deadline but
 //!    is still alive, the driver re-uses the previous window's boundary
 //!    values for one `τ` window and records the degradation.
-//! 2. **Failover** — when the master is dead (or misses twice running),
-//!    the driver promotes the lowest live replica. The promoted replica
-//!    resumes from the *dead master's* last `nkg-ckpt` snapshot
-//!    ([`nkg_ckpt::rank_path`]-scoped restore, falling back to a fresh
-//!    deterministic rebuild when the master never checkpointed),
-//!    re-establishes the reporting link, re-runs the missed window and
-//!    re-exchanges it. Because checkpoints are taken at the top of an
-//!    exchange-boundary step and every stochastic stream is counter-based,
-//!    the recovered window is bitwise identical to the fault-free run —
-//!    the held value is overwritten and the final trace carries no trace
-//!    of the disaster.
+//! 2. **Restart-in-place** — when the universe runs under a supervision
+//!    policy (`Universe::with_restart_policy`), a dead master is being
+//!    respawned by its exit watcher. The driver waits up to
+//!    [`FailoverConfig::restart_grace`] for the new incarnation to rejoin,
+//!    then orders it to resume from *its own* rank-scoped checkpoint,
+//!    replay forward, and re-exchange the held window. No standby replica
+//!    is consumed.
+//! 3. **Failover** — when no resurrection arrives in time (or none is
+//!    configured), the driver promotes the lowest live replica. The
+//!    promoted replica resumes from the *dead master's* last `nkg-ckpt`
+//!    snapshot ([`nkg_ckpt::rank_path`]-scoped restore, falling back to a
+//!    fresh deterministic rebuild when the master never checkpointed or
+//!    its snapshot is corrupt — the fallback is recorded as a
+//!    [`DegradationEvent::CorruptSnapshotFallback`]), re-establishes the
+//!    reporting link, re-runs the missed window and re-exchanges it.
+//!
+//! Because checkpoints are taken at the top of an exchange-boundary step
+//! and every stochastic stream is counter-based, a recovered window —
+//! whether by restart or by promotion — is bitwise identical to the
+//! fault-free run: the held value is overwritten and the final trace
+//! carries no trace of the disaster. When the ladder bottoms out the run
+//! is *lost*, which is a typed outcome ([`FailoverError::RunLost`] in
+//! [`DriverOutcome::error`]), not a panic: the trace is padded with the
+//! last held values so downstream consumers keep their length invariants.
+//!
+//! [`run_shard_role`] is the zero-standby variant: rank `1 + s` computes
+//! shard `s` of the problem and is the sole master of its own flow, so a
+//! clean run needs no idle replicas at all and the ladder per flow is
+//! hold → restart-in-place → lost.
 //!
 //! Degradations are recorded twice: in the driver's
 //! [`DriverOutcome::events`] and in the affected replica's
-//! [`RunReport::held_exchanges`] / [`RunReport::failovers`].
+//! [`RunReport::held_exchanges`] / [`RunReport::failovers`] /
+//! [`RunReport::rejoins`] / [`RunReport::snapshot_fallbacks`].
 
 use crate::metasolver::{CheckpointPolicy, NektarG, RunReport};
 use nkg_ckpt::rank_path;
@@ -43,11 +62,16 @@ const TAG_CTRL_BASE: Tag = 0x4100;
 /// mismatch, 4-component platelet census).
 const TRACE_WIDTH: usize = 6;
 
+/// Status-frame flag: the reporting replica's resume found its snapshot
+/// corrupt and silently rebuilt the solver from scratch.
+const FLAG_CKPT_FALLBACK: u64 = 1;
+
 /// Configuration of a replicated run.
 #[derive(Debug, Clone)]
 pub struct FailoverConfig {
     /// Number of replicas (the universe must have `n_replicas + 1` ranks:
-    /// rank 0 drives, rank `1 + i` hosts replica `i`).
+    /// rank 0 drives, rank `1 + i` hosts replica `i`). In sharded mode
+    /// ([`run_shard_role`]) this is the number of shards.
     pub n_replicas: usize,
     /// Continuum steps to advance in total.
     pub total_ns_steps: usize,
@@ -62,6 +86,14 @@ pub struct FailoverConfig {
     /// How long a replica waits for the driver's control frame before
     /// declaring the run lost.
     pub ctrl_deadline: Duration,
+    /// How long the driver waits for a dead master's supervised respawn
+    /// to rejoin before falling through to promotion. `None` (the
+    /// default) disables the restart rung entirely — the PR-3 ladder.
+    pub restart_grace: Option<Duration>,
+    /// Scripted deaths for fault drills: a replica whose
+    /// `(replica_index, window, incarnation)` appears here aborts the
+    /// process after computing that window, before reporting it.
+    pub die_at: Vec<(usize, u64, u64)>,
 }
 
 impl FailoverConfig {
@@ -77,6 +109,8 @@ impl FailoverConfig {
             // `PeerDead` long before the deadline.
             status_deadline: Duration::from_secs(2),
             ctrl_deadline: Duration::from_secs(60),
+            restart_grace: None,
+            die_at: Vec::new(),
         }
     }
 }
@@ -90,6 +124,16 @@ pub enum DegradationEvent {
         /// The 1-based exchange window that was held.
         window: u64,
     },
+    /// A dead master's supervised respawn rejoined and was ordered to
+    /// resume in place — no standby replica was consumed.
+    RestartInPlace {
+        /// The 1-based exchange window where the restart was ordered.
+        window: u64,
+        /// Replica index of the restarted master.
+        replica: u64,
+        /// The incarnation that rejoined.
+        incarnation: u64,
+    },
     /// The master was replaced at window `window`.
     Failover {
         /// The 1-based exchange window where the failover happened.
@@ -99,13 +143,55 @@ pub enum DegradationEvent {
         /// Replica index of the promoted replica.
         to: u64,
     },
-    /// A failover's re-exchange arrived and overwrote the held value —
+    /// A resuming replica found the snapshot it was ordered to restore
+    /// corrupt and silently rebuilt the solver from scratch instead. The
+    /// recovered physics is still bitwise exact (the rebuild replays the
+    /// whole deterministic history), but the recovery cost the full
+    /// replay rather than a restore.
+    CorruptSnapshotFallback {
+        /// The window whose recovery hit the fallback.
+        window: u64,
+        /// The replica that reported it.
+        replica: u64,
+    },
+    /// A recovery's re-exchange arrived and overwrote the held value —
     /// the trace for `window` is exact again.
     Recovered {
         /// The re-exchanged window.
         window: u64,
     },
 }
+
+/// Typed failure of the degradation ladder — the run could not be kept
+/// exact and could not even be kept degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverError {
+    /// Every rung of the ladder was exhausted: the master is gone, no
+    /// resurrection arrived within the grace, and no live replica
+    /// remained to promote (or the promoted one never re-exchanged).
+    RunLost {
+        /// The 1-based window where the run was lost.
+        window: u64,
+        /// The master replica index at the point of loss.
+        master: u64,
+        /// Human-readable cause chain.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailoverError::RunLost {
+                window,
+                master,
+                detail,
+            } => write!(f, "run lost at window {window} (master {master}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
 
 /// What the driver rank saw.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,16 +205,21 @@ pub struct DriverOutcome {
     pub events: Vec<DegradationEvent>,
     /// Replica index acting as master at the end of the run.
     pub active_master: usize,
-    /// Wall-clock time from declaring failover to the promoted replica's
-    /// re-exchange landing, if a failover happened.
+    /// Wall-clock time from declaring a recovery (restart or failover) to
+    /// the re-exchange landing, if one happened.
     pub time_to_recover: Option<Duration>,
+    /// `Some` when the degradation ladder bottomed out and the run was
+    /// lost; the trace is padded with held values from that window on.
+    pub error: Option<FailoverError>,
 }
 
-/// Per-rank result of [`run_replicated`].
+/// Per-rank result of [`run_replicated`] / [`run_shard_role`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum RankOutcome {
     /// Rank 0: the driver's view of the run.
     Driver(DriverOutcome),
+    /// Rank 0 in sharded mode: one driver view per independent flow.
+    ShardedDriver(Vec<DriverOutcome>),
     /// Ranks `1 + i`: replica `i`'s final run report.
     Replica(Box<RunReport>),
 }
@@ -144,11 +235,22 @@ pub fn driver_outcome(run: &FaultRun<RankOutcome>) -> &DriverOutcome {
     }
 }
 
+/// The per-flow driver views of a sharded run.
+///
+/// # Panics
+/// Panics if rank 0 died or ran in replicated (non-sharded) mode.
+pub fn sharded_outcomes(run: &FaultRun<RankOutcome>) -> &[DriverOutcome] {
+    match run.results[0].as_ref() {
+        Some(RankOutcome::ShardedDriver(flows)) => flows,
+        _ => panic!("rank 0 did not produce a sharded driver outcome"),
+    }
+}
+
 /// Replica `i`'s final report, `None` if that rank died.
 pub fn replica_report(run: &FaultRun<RankOutcome>, replica: usize) -> Option<&RunReport> {
     match run.results[1 + replica].as_ref() {
         Some(RankOutcome::Replica(r)) => Some(r),
-        Some(RankOutcome::Driver(_)) => panic!("rank {} is the driver", 1 + replica),
+        Some(_) => panic!("rank {} is the driver", 1 + replica),
         None => None,
     }
 }
@@ -183,6 +285,20 @@ pub fn run_replicated(
 /// communicator with an identical `cfg` and an identical deterministic
 /// `make`, regardless of which transport carried it there.
 pub fn run_role(world: &Comm, cfg: &FailoverConfig, make: impl Fn() -> NektarG) -> RankOutcome {
+    run_role_resumed(world, cfg, 0, make)
+}
+
+/// [`run_role`] for a possibly-respawned rank: a worker relaunched by the
+/// supervisor passes its incarnation (from `NKG_INCARNATION`), which
+/// routes a replica through the rejoin branch — resume from its *own*
+/// rank-scoped checkpoint, learn the current window from the driver's
+/// control frame, replay forward, and re-exchange if it is the master.
+pub fn run_role_resumed(
+    world: &Comm,
+    cfg: &FailoverConfig,
+    incarnation: u64,
+    make: impl Fn() -> NektarG,
+) -> RankOutcome {
     assert_eq!(
         world.size(),
         cfg.n_replicas + 1,
@@ -191,7 +307,33 @@ pub fn run_role(world: &Comm, cfg: &FailoverConfig, make: impl Fn() -> NektarG) 
     if world.rank() == 0 {
         RankOutcome::Driver(drive(world, cfg, &make))
     } else {
-        RankOutcome::Replica(Box::new(replicate(world, cfg, &make)))
+        RankOutcome::Replica(Box::new(replicate(world, cfg, incarnation, 0, &make)))
+    }
+}
+
+/// Play this rank's part of a *sharded* run: rank 0 drives
+/// `cfg.n_replicas` independent flows; rank `1 + s` computes shard `s`
+/// and is the sole master of its own flow — zero standby replicas. `make`
+/// receives the shard index and must be deterministic per shard. The
+/// per-flow degradation ladder is hold-last-value → restart-in-place →
+/// run lost; there is no promotion rung because nobody else holds a
+/// shard's state.
+pub fn run_shard_role(
+    world: &Comm,
+    cfg: &FailoverConfig,
+    incarnation: u64,
+    make: impl Fn(usize) -> NektarG,
+) -> RankOutcome {
+    assert_eq!(
+        world.size(),
+        cfg.n_replicas + 1,
+        "world must have one driver rank plus one rank per shard"
+    );
+    if world.rank() == 0 {
+        RankOutcome::ShardedDriver(drive_sharded(world, cfg, &make))
+    } else {
+        let s = world.rank() - 1;
+        RankOutcome::Replica(Box::new(replicate(world, cfg, incarnation, s, &|| make(s))))
     }
 }
 
@@ -203,12 +345,14 @@ fn ctrl_tag(replica: usize) -> Tag {
     TAG_CTRL_BASE + replica as Tag
 }
 
-/// Build the `[window, gen, physics...]` status frame for window `w`.
-fn status_frame(w: u64, gen: u64, ng: &NektarG) -> Vec<f64> {
+/// Build the `[window, gen, flags, physics...]` status frame for window
+/// `w`.
+fn status_frame(w: u64, gen: u64, flags: u64, ng: &NektarG) -> Vec<f64> {
     let r = &ng.report;
-    let mut f = Vec::with_capacity(2 + TRACE_WIDTH);
+    let mut f = Vec::with_capacity(3 + TRACE_WIDTH);
     f.push(f64::from_bits(w));
     f.push(f64::from_bits(gen));
+    f.push(f64::from_bits(flags));
     f.push(r.continuity.last().copied().unwrap_or(0.0));
     f.push(r.patch_mismatch.last().copied().unwrap_or(0.0));
     let census = r.platelet_census.last().copied().unwrap_or((0, 0, 0, 0));
@@ -219,8 +363,38 @@ fn status_frame(w: u64, gen: u64, ng: &NektarG) -> Vec<f64> {
     f
 }
 
+/// Build a `[window, master, resume, held, gen]` control frame.
+fn ctrl_frame(w: u64, master: usize, resume: bool, held: bool, gen: u64) -> [f64; 5] {
+    [
+        f64::from_bits(w),
+        f64::from_bits(master as u64),
+        if resume { 1.0 } else { 0.0 },
+        if held { 1.0 } else { 0.0 },
+        f64::from_bits(gen),
+    ]
+}
+
+/// Poll the liveness view until world-rank `rank` is alive under an
+/// incarnation newer than `after` — i.e. its supervised respawn has
+/// rejoined — or `grace` runs out.
+fn wait_resurrect(world: &Comm, rank: usize, after: u64, grace: Duration) -> Option<u64> {
+    let deadline = Instant::now() + grace;
+    loop {
+        let view = world.liveness();
+        let inc = view.incarnations[rank];
+        if inc > after && view.alive[rank] {
+            return Some(inc);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// The driver: consume one status frame per exchange window from the
-/// active master, applying hold-last-value and failover on misses.
+/// active master, applying the hold → restart → failover ladder on
+/// misses.
 fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> DriverOutcome {
     // One construction just to read the exchange schedule.
     let progression = make().progression;
@@ -231,35 +405,42 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
     let mut events = Vec::new();
     let mut time_to_recover = None;
     let mut consecutive_misses = 0u32;
+    let mut error: Option<FailoverError> = None;
+    // The incarnation this driver last acknowledged per replica. A
+    // replica whose *current* incarnation is ahead of this died and
+    // rejoined without us noticing — its new process is blocked waiting
+    // for a control frame, so a missed window must route to the restart
+    // rung, not to transient hold.
+    let mut last_inc: Vec<u64> = {
+        let view = world.liveness();
+        (0..cfg.n_replicas)
+            .map(|r| view.incarnations[1 + r])
+            .collect()
+    };
 
     // Receive the frame for window `w` at generation `gen` from `replica`,
     // skipping stale retransmissions of earlier windows or generations.
+    // Returns the frame's flags word and its physics values.
     let await_window = |replica: usize, w: u64, gen: u64, deadline: Duration| loop {
         match world.recv_deadline::<f64>(1 + replica, status_tag(replica), deadline) {
             Ok(frame) => {
                 let (sw, sgen) = (frame[0].to_bits(), frame[1].to_bits());
                 if sw < w || sgen < gen {
-                    continue; // stale window or pre-failover generation
+                    continue; // stale window or pre-recovery generation
                 }
                 assert_eq!((sw, sgen), (w, gen), "master ahead of driver");
-                return Ok(frame[2..].to_vec());
+                return Ok((frame[2].to_bits(), frame[3..].to_vec()));
             }
             Err(e) => return Err(e),
         }
     };
 
-    for w in 1..=windows {
+    'windows: for w in 1..=windows {
         match await_window(master, w, gen, cfg.status_deadline) {
-            Ok(values) => {
+            Ok((_flags, values)) => {
                 consecutive_misses = 0;
                 trace.push(values);
-                let ctrl = [
-                    f64::from_bits(w),
-                    f64::from_bits(master as u64),
-                    0.0, // no resume
-                    0.0, // not held
-                    f64::from_bits(gen),
-                ];
+                let ctrl = ctrl_frame(w, master, false, false, gen);
                 for r in 0..cfg.n_replicas {
                     if world.is_alive(1 + r) {
                         world.send(&ctrl, 1 + r, ctrl_tag(r));
@@ -267,7 +448,7 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
                 }
             }
             Err(err) => {
-                // Degradation step 1: hold the previous window's values.
+                // Degradation rung 1: hold the previous window's values.
                 consecutive_misses += 1;
                 let held = trace
                     .last()
@@ -275,18 +456,14 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
                     .unwrap_or_else(|| vec![0.0; TRACE_WIDTH]);
                 trace.push(held);
                 events.push(DegradationEvent::HeldLastValue { window: w });
+                let view = world.liveness();
+                let rejoined_unnoticed = view.incarnations[1 + master] > last_inc[master];
                 let master_dead =
-                    matches!(err, RecvError::PeerDead { .. }) || !world.is_alive(1 + master);
-                if !master_dead && consecutive_misses < 2 {
+                    matches!(err, RecvError::PeerDead { .. }) || !view.alive[1 + master];
+                if !master_dead && !rejoined_unnoticed && consecutive_misses < 2 {
                     // Transient lateness: degrade for this one τ window and
                     // move on; the late frame will be skipped as stale.
-                    let ctrl = [
-                        f64::from_bits(w),
-                        f64::from_bits(master as u64),
-                        0.0,
-                        1.0, // held
-                        f64::from_bits(gen),
-                    ];
+                    let ctrl = ctrl_frame(w, master, false, true, gen);
                     for r in 0..cfg.n_replicas {
                         if world.is_alive(1 + r) {
                             world.send(&ctrl, 1 + r, ctrl_tag(r));
@@ -294,14 +471,67 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
                     }
                     continue;
                 }
-                // Degradation step 2: failover to the lowest live replica.
+                // Degradation rung 2: restart in place. Under supervision
+                // the dead master is being respawned; wait for the new
+                // incarnation to rejoin and order it to resume itself.
+                if let Some(grace) = cfg.restart_grace {
+                    let resurrected = if rejoined_unnoticed {
+                        Some(view.incarnations[1 + master])
+                    } else {
+                        wait_resurrect(world, 1 + master, last_inc[master], grace)
+                    };
+                    if let Some(new_inc) = resurrected {
+                        last_inc[master] = new_inc;
+                        let recover_started = Instant::now();
+                        gen += 1;
+                        consecutive_misses = 0;
+                        events.push(DegradationEvent::RestartInPlace {
+                            window: w,
+                            replica: master as u64,
+                            incarnation: new_inc,
+                        });
+                        for r in 0..cfg.n_replicas {
+                            if world.is_alive(1 + r) {
+                                let ctrl = ctrl_frame(w, master, r == master, true, gen);
+                                world.send(&ctrl, 1 + r, ctrl_tag(r));
+                            }
+                        }
+                        match await_window(master, w, gen, cfg.ctrl_deadline) {
+                            Ok((flags, values)) => {
+                                if flags & FLAG_CKPT_FALLBACK != 0 {
+                                    events.push(DegradationEvent::CorruptSnapshotFallback {
+                                        window: w,
+                                        replica: master as u64,
+                                    });
+                                }
+                                // Exact again: overwrite the held entry.
+                                *trace.last_mut().unwrap() = values;
+                                events.push(DegradationEvent::Recovered { window: w });
+                                time_to_recover.get_or_insert_with(|| recover_started.elapsed());
+                                let ack = ctrl_frame(w, master, false, false, gen);
+                                world.send(&ack, 1 + master, ctrl_tag(master));
+                                continue 'windows;
+                            }
+                            Err(_) => {
+                                // The resurrected master never re-exchanged
+                                // (died again, or its replay stalled). Fall
+                                // through to promotion.
+                            }
+                        }
+                    }
+                }
+                // Degradation rung 3: failover to the lowest live replica.
                 let recover_started = Instant::now();
                 let liveness = world.liveness();
-                let promoted = (0..cfg.n_replicas)
-                    .find(|&r| r != master && liveness.alive[1 + r])
-                    .unwrap_or_else(|| {
-                        panic!("window {w}: master {master} lost and no live replica remains")
+                let promoted = (0..cfg.n_replicas).find(|&r| r != master && liveness.alive[1 + r]);
+                let Some(promoted) = promoted else {
+                    error = Some(FailoverError::RunLost {
+                        window: w,
+                        master: master as u64,
+                        detail: format!("no resurrection and no live replica remains ({err})"),
                     });
+                    break 'windows;
+                };
                 let from = master;
                 master = promoted;
                 gen += 1;
@@ -311,43 +541,51 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
                     from: from as u64,
                     to: master as u64,
                 });
-                let ctrl = |resume: bool| {
-                    [
-                        f64::from_bits(w),
-                        f64::from_bits(master as u64),
-                        if resume { 1.0 } else { 0.0 },
-                        1.0, // this window was held
-                        f64::from_bits(gen),
-                    ]
-                };
                 for r in 0..cfg.n_replicas {
                     if world.is_alive(1 + r) {
-                        world.send(&ctrl(r == master), 1 + r, ctrl_tag(r));
+                        let ctrl = ctrl_frame(w, master, r == master, true, gen);
+                        world.send(&ctrl, 1 + r, ctrl_tag(r));
                     }
                 }
                 // Await the promoted replica's re-exchange of window `w`.
                 // The ctrl deadline applies: resuming includes a restore
                 // plus a window re-run, which dwarfs a status round-trip.
                 match await_window(master, w, gen, cfg.ctrl_deadline) {
-                    Ok(values) => {
+                    Ok((flags, values)) => {
+                        if flags & FLAG_CKPT_FALLBACK != 0 {
+                            events.push(DegradationEvent::CorruptSnapshotFallback {
+                                window: w,
+                                replica: master as u64,
+                            });
+                        }
                         // Exact again: overwrite the held entry.
                         *trace.last_mut().unwrap() = values;
                         events.push(DegradationEvent::Recovered { window: w });
                         time_to_recover.get_or_insert_with(|| recover_started.elapsed());
-                        let ack = [
-                            f64::from_bits(w),
-                            f64::from_bits(master as u64),
-                            0.0,
-                            0.0,
-                            f64::from_bits(gen),
-                        ];
+                        let ack = ctrl_frame(w, master, false, false, gen);
                         world.send(&ack, 1 + master, ctrl_tag(master));
                     }
                     Err(e) => {
-                        panic!("window {w}: promoted replica {master} never re-exchanged: {e}")
+                        error = Some(FailoverError::RunLost {
+                            window: w,
+                            master: master as u64,
+                            detail: format!("promoted replica never re-exchanged: {e}"),
+                        });
+                        break 'windows;
                     }
                 }
             }
+        }
+    }
+    if error.is_some() {
+        // Lost run: pad the trace with the last held values so consumers
+        // keep their windows-long length invariant.
+        let held = trace
+            .last()
+            .cloned()
+            .unwrap_or_else(|| vec![0.0; TRACE_WIDTH]);
+        while (trace.len() as u64) < windows {
+            trace.push(held.clone());
         }
     }
     DriverOutcome {
@@ -355,30 +593,272 @@ fn drive(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> Driv
         events,
         active_master: master,
         time_to_recover,
+        error,
     }
+}
+
+/// Per-flow driver state of a sharded run.
+struct FlowState {
+    gen: u64,
+    misses: u32,
+    last_inc: u64,
+    trace: Vec<Vec<f64>>,
+    events: Vec<DegradationEvent>,
+    time_to_recover: Option<Duration>,
+    error: Option<FailoverError>,
+}
+
+/// The sharded driver: each of the `cfg.n_replicas` flows has exactly one
+/// master (shard `s` on rank `1 + s`) and its own generation counter,
+/// trace and event log. The recovery ladder per flow is hold →
+/// restart-in-place → lost; flows are independent, so one lost flow never
+/// takes the run down.
+fn drive_sharded(
+    world: &Comm,
+    cfg: &FailoverConfig,
+    make: &dyn Fn(usize) -> NektarG,
+) -> Vec<DriverOutcome> {
+    let progression = make(0).progression;
+    let windows = progression.num_exchanges(cfg.total_ns_steps) as u64;
+    let n = cfg.n_replicas;
+    let mut flows: Vec<FlowState> = {
+        let view = world.liveness();
+        (0..n)
+            .map(|s| FlowState {
+                gen: 0,
+                misses: 0,
+                last_inc: view.incarnations[1 + s],
+                trace: Vec::with_capacity(windows as usize),
+                events: Vec::new(),
+                time_to_recover: None,
+                error: None,
+            })
+            .collect()
+    };
+
+    let await_window = |s: usize, w: u64, gen: u64, deadline: Duration| loop {
+        match world.recv_deadline::<f64>(1 + s, status_tag(s), deadline) {
+            Ok(frame) => {
+                let (sw, sgen) = (frame[0].to_bits(), frame[1].to_bits());
+                if sw < w || sgen < gen {
+                    continue; // stale window or pre-recovery generation
+                }
+                assert_eq!((sw, sgen), (w, gen), "shard ahead of driver");
+                return Ok((frame[2].to_bits(), frame[3..].to_vec()));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    for w in 1..=windows {
+        for (s, flow) in flows.iter_mut().enumerate() {
+            if flow.error.is_some() {
+                // Lost flow: keep padding so every trace stays
+                // windows-long.
+                let held = flow
+                    .trace
+                    .last()
+                    .cloned()
+                    .unwrap_or_else(|| vec![0.0; TRACE_WIDTH]);
+                flow.trace.push(held);
+                continue;
+            }
+            match await_window(s, w, flow.gen, cfg.status_deadline) {
+                Ok((_flags, values)) => {
+                    flow.misses = 0;
+                    flow.trace.push(values);
+                    if world.is_alive(1 + s) {
+                        let ctrl = ctrl_frame(w, s, false, false, flow.gen);
+                        world.send(&ctrl, 1 + s, ctrl_tag(s));
+                    }
+                }
+                Err(err) => {
+                    flow.misses += 1;
+                    let held = flow
+                        .trace
+                        .last()
+                        .cloned()
+                        .unwrap_or_else(|| vec![0.0; TRACE_WIDTH]);
+                    flow.trace.push(held);
+                    flow.events
+                        .push(DegradationEvent::HeldLastValue { window: w });
+                    let view = world.liveness();
+                    let rejoined_unnoticed = view.incarnations[1 + s] > flow.last_inc;
+                    let dead = matches!(err, RecvError::PeerDead { .. }) || !view.alive[1 + s];
+                    if !dead && !rejoined_unnoticed && flow.misses < 2 {
+                        if world.is_alive(1 + s) {
+                            let ctrl = ctrl_frame(w, s, false, true, flow.gen);
+                            world.send(&ctrl, 1 + s, ctrl_tag(s));
+                        }
+                        continue;
+                    }
+                    // Restart in place — the only recovery rung: nobody
+                    // else holds this shard's state.
+                    let grace = cfg.restart_grace.unwrap_or(Duration::ZERO);
+                    let resurrected = if rejoined_unnoticed {
+                        Some(view.incarnations[1 + s])
+                    } else {
+                        wait_resurrect(world, 1 + s, flow.last_inc, grace)
+                    };
+                    let Some(new_inc) = resurrected else {
+                        flow.error = Some(FailoverError::RunLost {
+                            window: w,
+                            master: s as u64,
+                            detail: format!("shard dead and never resurrected ({err})"),
+                        });
+                        continue;
+                    };
+                    flow.last_inc = new_inc;
+                    let recover_started = Instant::now();
+                    flow.gen += 1;
+                    flow.misses = 0;
+                    flow.events.push(DegradationEvent::RestartInPlace {
+                        window: w,
+                        replica: s as u64,
+                        incarnation: new_inc,
+                    });
+                    let ctrl = ctrl_frame(w, s, true, true, flow.gen);
+                    world.send(&ctrl, 1 + s, ctrl_tag(s));
+                    match await_window(s, w, flow.gen, cfg.ctrl_deadline) {
+                        Ok((flags, values)) => {
+                            if flags & FLAG_CKPT_FALLBACK != 0 {
+                                flow.events.push(DegradationEvent::CorruptSnapshotFallback {
+                                    window: w,
+                                    replica: s as u64,
+                                });
+                            }
+                            *flow.trace.last_mut().unwrap() = values;
+                            flow.events.push(DegradationEvent::Recovered { window: w });
+                            flow.time_to_recover
+                                .get_or_insert_with(|| recover_started.elapsed());
+                            let ack = ctrl_frame(w, s, false, false, flow.gen);
+                            world.send(&ack, 1 + s, ctrl_tag(s));
+                        }
+                        Err(e) => {
+                            flow.error = Some(FailoverError::RunLost {
+                                window: w,
+                                master: s as u64,
+                                detail: format!("restarted shard never re-exchanged: {e}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flows
+        .into_iter()
+        .enumerate()
+        .map(|(s, f)| DriverOutcome {
+            trace: f.trace,
+            events: f.events,
+            active_master: s,
+            time_to_recover: f.time_to_recover,
+            error: f.error,
+        })
+        .collect()
 }
 
 /// One replica: advance the metasolver window by window, checkpointing to
 /// a rank-scoped snapshot; report windows while master; obey control
 /// frames (adopting promotions, resuming from the dead master's
-/// checkpoint when promoted).
-fn replicate(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> RunReport {
+/// checkpoint when promoted). A respawned incarnation first resumes from
+/// its *own* snapshot and replays forward to wherever the driver says the
+/// run is.
+fn replicate(
+    world: &Comm,
+    cfg: &FailoverConfig,
+    incarnation: u64,
+    initial_master: usize,
+    make: &dyn Fn() -> NektarG,
+) -> RunReport {
     let my_index = world.rank() - 1;
     let my_ckpt = rank_path(&cfg.ckpt_base, my_index);
     let policy = CheckpointPolicy::new(&my_ckpt, cfg.every_k_exchanges);
-    let mut ng = make();
-    let mut master: usize = 0;
+    let mut master: usize = initial_master;
     let mut gen: u64 = 0;
+    let mut start_w: u64 = 1;
+    let mut ng;
+    if incarnation > 0 {
+        // Rejoin branch: this process is a supervised respawn of a dead
+        // rank. Resume from our own rank-scoped snapshot (falling back to
+        // a fresh deterministic rebuild if it is missing or corrupt),
+        // learn where the run is from the driver's next control frame,
+        // and replay forward to it.
+        let mut fallback = false;
+        ng = if my_ckpt.exists() {
+            match NektarG::resume_latest(make, &my_ckpt) {
+                Ok((resumed, _)) => resumed,
+                Err(_) => {
+                    fallback = true;
+                    make()
+                }
+            }
+        } else {
+            make()
+        };
+        let ctrl = world
+            .recv_deadline::<f64>(0, ctrl_tag(my_index), cfg.ctrl_deadline)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "rejoined replica {my_index} (incarnation {incarnation}): \
+                     no control frame from driver: {e}"
+                )
+            });
+        let cw = ctrl[0].to_bits();
+        master = ctrl[1].to_bits() as usize;
+        let resume = ctrl[2] != 0.0;
+        let held = ctrl[3] != 0.0;
+        gen = ctrl[4].to_bits();
+        let target = (cw as usize * ng.progression.exchange_every).min(cfg.total_ns_steps);
+        ng.run_to(target, Some(&policy), None)
+            .expect("rejoin replay cannot fail");
+        ng.report.rejoins.push(cw);
+        if fallback {
+            ng.report.snapshot_fallbacks.push(cw);
+        }
+        if resume && my_index == master {
+            // We are the restarted master: re-exchange the held window
+            // and wait for the driver's acknowledgement.
+            if held {
+                ng.report.held_exchanges.push(cw);
+            }
+            let flags = if fallback { FLAG_CKPT_FALLBACK } else { 0 };
+            world.send(&status_frame(cw, gen, flags, &ng), 0, status_tag(my_index));
+            loop {
+                let ack = world
+                    .recv_deadline::<f64>(0, ctrl_tag(my_index), cfg.ctrl_deadline)
+                    .unwrap_or_else(|e| {
+                        panic!("rejoined replica {my_index}: no ack for window {cw}: {e}")
+                    });
+                if ack[0].to_bits() < cw {
+                    continue; // stale control frame
+                }
+                assert_eq!(ack[0].to_bits(), cw, "driver ahead of rejoined replica");
+                gen = ack[4].to_bits();
+                break;
+            }
+        }
+        start_w = cw + 1;
+    } else {
+        ng = make();
+    }
     let windows = ng.progression.num_exchanges(cfg.total_ns_steps) as u64;
     let exchange_every = ng.progression.exchange_every;
-    for w in 1..=windows {
+    for w in start_w..=windows {
         let target = (w as usize * exchange_every).min(cfg.total_ns_steps);
         ng.run_to(target, Some(&policy), None)
             .expect("replica advance cannot fail without a file-level fault plan");
+        if cfg.die_at.contains(&(my_index, w, incarnation)) {
+            // Scripted mid-run death: crash hard after the window compute
+            // but before reporting it — no Goodbye, no unwinding. Exactly
+            // the failure the supervision layer exists to heal.
+            std::process::abort();
+        }
         // The window compute phase sends nothing; let peers see progress.
         world.heartbeat();
         if my_index == master {
-            world.send(&status_frame(w, gen, &ng), 0, status_tag(my_index));
+            world.send(&status_frame(w, gen, 0, &ng), 0, status_tag(my_index));
         }
         // Await the driver's verdict for this window (twice when promoted:
         // once to order the resume, once to acknowledge the re-exchange).
@@ -403,12 +883,18 @@ fn replicate(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> 
                 // Promoted: resume from the dead master's rank-scoped
                 // snapshot (its state at the top of the last checkpointed
                 // exchange boundary), falling back to a fresh deterministic
-                // rebuild if the master died before its first checkpoint.
+                // rebuild if the master never checkpointed or its snapshot
+                // is corrupt. The fallback is reported to the driver via
+                // the status flags so the degradation is visible.
                 let dead_ckpt = rank_path(&cfg.ckpt_base, old_master);
+                let mut fallback = false;
                 ng = if dead_ckpt.exists() {
                     match NektarG::resume_latest(make, &dead_ckpt) {
                         Ok((resumed, _)) => resumed,
-                        Err(_) => make(),
+                        Err(_) => {
+                            fallback = true;
+                            make()
+                        }
                     }
                 } else {
                     make()
@@ -418,10 +904,14 @@ fn replicate(world: &Comm, cfg: &FailoverConfig, make: &dyn Fn() -> NektarG) -> 
                 if held {
                     ng.report.held_exchanges.push(w);
                 }
+                if fallback {
+                    ng.report.snapshot_fallbacks.push(w);
+                }
                 ng.report
                     .failovers
                     .push((w, old_master as u64, my_index as u64));
-                world.send(&status_frame(w, gen, &ng), 0, status_tag(my_index));
+                let flags = if fallback { FLAG_CKPT_FALLBACK } else { 0 };
+                world.send(&status_frame(w, gen, flags, &ng), 0, status_tag(my_index));
                 continue; // wait for the acknowledging control frame
             }
             if held && my_index == master {

@@ -104,8 +104,11 @@ pub struct TelemetrySummary {
 /// restored checkpoint's origin, not since the last `run` call).
 ///
 /// Equality compares the *physics and solver telemetry* — everything
-/// except [`window_timings`](Self::window_timings), which is wall-clock
-/// measurement and legitimately differs between bitwise-identical runs.
+/// except [`window_timings`](Self::window_timings) (wall-clock
+/// measurement), [`rejoins`](Self::rejoins) and
+/// [`snapshot_fallbacks`](Self::snapshot_fallbacks) (supervision
+/// bookkeeping), all of which legitimately differ between
+/// bitwise-identical runs.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Continuum steps taken.
@@ -127,6 +130,14 @@ pub struct RunReport {
     pub held_exchanges: Vec<u64>,
     /// Replica failovers as `(exchange_window, from_replica, to_replica)`.
     pub failovers: Vec<(u64, u64, u64)>,
+    /// Exchange windows (1-based) where this rank rejoined a replicated
+    /// run after a supervised respawn, resuming from its own checkpoint.
+    /// Degradation bookkeeping: excluded from equality and checkpoints.
+    pub rejoins: Vec<u64>,
+    /// Exchange windows (1-based) where a resume found its checkpoint
+    /// corrupt and silently rebuilt the solver from scratch instead.
+    /// Degradation bookkeeping: excluded from equality and checkpoints.
+    pub snapshot_fallbacks: Vec<u64>,
     /// Per continuum step: pressure-Poisson CG iterations summed over the
     /// patches.
     pub pressure_iters_per_step: Vec<u64>,
@@ -272,10 +283,12 @@ impl Snapshot for RunReport {
         self.viscous_iters_per_step = dec.take_vec::<u64>()?;
         self.elliptic_residual_per_step = dec.take_vec::<f64>()?;
         self.breakdown_steps = dec.take_vec::<u64>()?;
-        // Wall-clock timings are measurement, not state: never serialized
-        // (the format predates them and stays compatible) and meaningless
-        // across a restore boundary.
+        // Wall-clock timings and supervision bookkeeping are measurement,
+        // not state: never serialized (the format predates them and stays
+        // compatible) and meaningless across a restore boundary.
         self.window_timings.clear();
+        self.rejoins.clear();
+        self.snapshot_fallbacks.clear();
         Ok(())
     }
 }

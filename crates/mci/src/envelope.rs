@@ -7,7 +7,7 @@
 use crate::liveness::Liveness;
 use crate::Tag;
 use crossbeam_channel::Receiver;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,7 +75,12 @@ const LIVENESS_POLL: Duration = Duration::from_millis(2);
 /// When a fault plan is installed on the universe, the mailbox also
 /// deduplicates by transport sequence number: a message whose `seq` has
 /// already been accepted is discarded on intake, which makes duplicated
-/// and retried deliveries idempotent.
+/// and retried deliveries idempotent. The dedup table is kept per source
+/// rank and keyed by that source's *incarnation*: when a peer dies and
+/// rejoins, its seen-set is reset so the new incarnation's re-exchanged
+/// traffic is not mistaken for replays of the old one. (Sequence numbers
+/// are globally unique — the router stamps them from one counter — so a
+/// per-source split never creates false negatives.)
 pub struct Mailbox {
     rx: Receiver<Envelope>,
     pending: Vec<Envelope>,
@@ -83,7 +88,9 @@ pub struct Mailbox {
     my_rank: usize,
     liveness: Arc<Liveness>,
     dedup: bool,
-    seen: HashSet<u64>,
+    /// Per-source dedup state: `(incarnation the set was built under,
+    /// sequence numbers accepted from that incarnation)`.
+    seen: HashMap<usize, (u64, HashSet<u64>)>,
 }
 
 impl Mailbox {
@@ -101,15 +108,29 @@ impl Mailbox {
             my_rank,
             liveness,
             dedup,
-            seen: HashSet::new(),
+            seen: HashMap::new(),
         }
     }
 
     /// Accept one arrived envelope into the pending buffer, unless dedup
-    /// recognizes its sequence number as already accepted.
+    /// recognizes its sequence number as already accepted from the
+    /// sender's current incarnation.
     fn intake(&mut self, env: Envelope) {
-        if self.dedup && !self.seen.insert(env.seq) {
-            return;
+        if self.dedup {
+            let inc = self.liveness.incarnation(env.src);
+            let (set_inc, set) = self
+                .seen
+                .entry(env.src)
+                .or_insert_with(|| (inc, HashSet::new()));
+            if *set_inc != inc {
+                // The sender rejoined under a new incarnation: its dedup
+                // history belongs to the dead one. Start fresh.
+                *set_inc = inc;
+                set.clear();
+            }
+            if !set.insert(env.seq) {
+                return;
+            }
         }
         self.liveness.beat(self.my_rank);
         self.pending.push(env);

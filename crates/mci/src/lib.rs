@@ -74,13 +74,14 @@ pub mod collectives;
 pub mod comm;
 pub mod envelope;
 pub mod hierarchy;
+pub mod supervisor;
 pub mod universe;
 pub mod worker;
 
 // The transport primitives (wire encoding, fault plans, liveness, the
 // envelope) moved down into `nkg-net` so every backend shares them;
 // re-exported as modules here so historical paths keep resolving.
-pub use nkg_net::{fault, liveness, wire};
+pub use nkg_net::{endpoint, fault, liveness, wire};
 
 pub use comm::Comm;
 pub use envelope::RecvError;
@@ -90,6 +91,7 @@ pub use hierarchy::{
 };
 pub use liveness::{Liveness, LivenessView};
 pub use nkg_net::Backend;
+pub use supervisor::{RestartCause, RestartEvent, RestartPolicy};
 pub use universe::{FaultRun, MsgStats, ProcessOptions, ProcessRun, Universe};
 pub use wire::Wire;
 

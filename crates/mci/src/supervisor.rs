@@ -1,0 +1,150 @@
+//! Restart policy for supervised rank resurrection.
+//!
+//! When a process-mode universe is given a [`RestartPolicy`], each rank's
+//! exit watcher becomes a small supervisor: a worker that dies without a
+//! `Goodbye` (and not by scripted kill — exit 86 is a *plan*, never
+//! respawned) is relaunched in place under a capped exponential backoff
+//! with deterministic seeded jitter, up to a per-rank restart budget. The
+//! respawned worker reconnects with `NKG_INCARNATION` set to the attempt
+//! number, which turns its handshake into a rejoin at the hub: peers flip
+//! its liveness back to alive and the application layer resumes it from
+//! its own rank-scoped checkpoint.
+//!
+//! Determinism matters here the same way it does everywhere else in this
+//! codebase: with a fixed `jitter_seed` the backoff schedule is a pure
+//! function of `(rank, attempt)`, so a run that survives K kills is
+//! replayable delay-for-delay.
+
+use nkg_net::fault::splitmix64;
+use std::time::Duration;
+
+/// How (and whether) the universe respawns genuinely-failed ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Maximum respawns per rank; a rank that exhausts the budget stays
+    /// dead and is reported as a failure.
+    pub max_restarts: u64,
+    /// Backoff before the first respawn; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on the doubled backoff (jitter may still add up to 25%).
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Floor on any respawn delay: death detection (hub EOF, broadcast,
+/// peer-side liveness flips) must win the race against the respawned
+/// worker's Hello, or peers would never observe the death at all.
+const MIN_DELAY: Duration = Duration::from_millis(20);
+
+impl RestartPolicy {
+    /// Whether `attempt` (1-based) is within the restart budget.
+    pub fn allows(&self, attempt: u64) -> bool {
+        attempt <= self.max_restarts
+    }
+
+    /// The delay before respawn `attempt` (1-based) of `rank`: capped
+    /// exponential backoff plus up to +25% deterministic jitter. Integer
+    /// math only, so the schedule is exactly reproducible under a seed.
+    pub fn delay(&self, rank: usize, attempt: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20) as u32;
+        let backed = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let quarter = backed.as_nanos() as u64 / 4;
+        let roll = splitmix64(self.jitter_seed ^ ((rank as u64) << 32) ^ attempt) % 256;
+        let jitter = Duration::from_nanos(quarter * roll / 256);
+        (backed + jitter).max(MIN_DELAY)
+    }
+}
+
+/// Why the supervisor respawned a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartCause {
+    /// The worker exited with a non-zero, non-scripted exit code.
+    ExitCode(i32),
+    /// The worker was terminated by a signal (abort, kill -9, segfault).
+    Signal,
+}
+
+/// One supervised respawn, recorded in the run's restart log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartEvent {
+    /// The respawned world rank.
+    pub rank: usize,
+    /// The incarnation the respawn launched as (== the attempt number).
+    pub incarnation: u64,
+    /// The backoff the supervisor slept before respawning.
+    pub delay: Duration,
+    /// What killed the previous incarnation.
+    pub cause: RestartCause,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_floors() {
+        let p = RestartPolicy {
+            max_restarts: 10,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(400),
+            jitter_seed: 7,
+        };
+        // Deterministic: the same (rank, attempt) always yields the same
+        // delay, and distinct seeds shift it.
+        assert_eq!(p.delay(1, 1), p.delay(1, 1));
+        let p2 = RestartPolicy {
+            jitter_seed: 8,
+            ..p.clone()
+        };
+        assert_ne!(p.delay(1, 1), p2.delay(1, 1));
+        // Base grows monotonically with attempt until the cap; jitter is
+        // bounded by +25%, so attempt k's delay is within [base_k, 1.25*base_k].
+        for (attempt, base_ms) in [(1u64, 50u64), (2, 100), (3, 200), (4, 400), (5, 400)] {
+            let d = p.delay(0, attempt);
+            assert!(
+                d >= Duration::from_millis(base_ms),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(
+                d <= Duration::from_millis(base_ms + base_ms / 4),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_never_undercuts_death_detection() {
+        let p = RestartPolicy {
+            base_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::from_nanos(1),
+            ..Default::default()
+        };
+        assert!(p.delay(0, 1) >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = RestartPolicy {
+            max_restarts: 2,
+            ..Default::default()
+        };
+        assert!(p.allows(1));
+        assert!(p.allows(2));
+        assert!(!p.allows(3));
+    }
+}

@@ -12,10 +12,11 @@ use crate::comm::Comm;
 use crate::envelope::{Envelope, Mailbox};
 use crate::fault::{FaultPlan, FaultStats, ScriptedKill};
 use crate::liveness::Liveness;
+use crate::supervisor::{RestartCause, RestartEvent, RestartPolicy};
 use crossbeam_channel::{unbounded, Sender};
 use nkg_net::endpoint::{
-    split_tcp, split_unix, Endpoint, ENV_CONNECT, ENV_PROGRAM, ENV_RANK, ENV_TIMEOUT_MS, ENV_WORLD,
-    EXIT_OK, EXIT_SCRIPTED_KILL,
+    split_tcp, split_unix, Endpoint, ENV_CONNECT, ENV_INCARNATION, ENV_PROGRAM, ENV_RANK,
+    ENV_TIMEOUT_MS, ENV_WORLD, EXIT_OK, EXIT_SCRIPTED_KILL,
 };
 use nkg_net::hub::{Hub, HubConfig};
 use nkg_net::port::RemotePort;
@@ -26,7 +27,7 @@ use std::cell::RefCell;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Once};
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// Aggregate traffic counters for one run. Collectives are implemented with
@@ -66,7 +67,10 @@ pub(crate) struct InProcNet {
 
 impl RankNet for InProcNet {
     fn post(&self, dst: usize, env: Envelope) {
-        match self.core.route(dst, env) {
+        // In-proc ranks are never respawned mid-run, so the posting
+        // incarnation is always the current one.
+        let inc = self.core.liveness().incarnation(self.rank);
+        match self.core.route(dst, env, inc) {
             Verdict::Posted => {}
             Verdict::Killed => std::panic::panic_any(ScriptedKill { rank: self.rank }),
         }
@@ -197,6 +201,9 @@ pub struct ProcessRun {
     pub stats: MsgStats,
     /// Fault-plan counters for the run.
     pub fault_stats: FaultStats,
+    /// Supervised respawns performed during the run, in the order they
+    /// happened (empty without a [`RestartPolicy`]).
+    pub restarts: Vec<RestartEvent>,
 }
 
 /// A virtual parallel machine with a fixed number of ranks.
@@ -224,6 +231,7 @@ pub struct Universe {
     stats: Arc<(AtomicU64, AtomicU64)>,
     fault_plan: Option<FaultPlan>,
     backend: Backend,
+    restart_policy: Option<RestartPolicy>,
 }
 
 impl Universe {
@@ -240,6 +248,7 @@ impl Universe {
             stats: Arc::new((AtomicU64::new(0), AtomicU64::new(0))),
             fault_plan: None,
             backend: Backend::from_env(),
+            restart_policy: None,
         }
     }
 
@@ -260,6 +269,16 @@ impl Universe {
     /// Select the transport backend explicitly (overrides `NKG_TRANSPORT`).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Supervise process-mode workers under `policy`: a worker that dies
+    /// for a genuine reason (non-zero exit, signal — never a scripted
+    /// kill) is respawned in place with the next incarnation number, up
+    /// to the policy's per-rank budget. Only [`Universe::spawn_processes`]
+    /// consults this; thread backends cannot respawn a rank.
+    pub fn with_restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = Some(policy);
         self
     }
 
@@ -448,8 +467,9 @@ impl Universe {
                     .name(format!("rank-{rank}"))
                     .stack_size(8 << 20)
                     .spawn(move || {
-                        let (port, env_rx) = RemotePort::connect(reader, writer, rank, n, timeout)
-                            .unwrap_or_else(|e| panic!("rank {rank}: handshake failed: {e}"));
+                        let (port, env_rx) =
+                            RemotePort::connect(reader, writer, rank, n, 0, timeout)
+                                .unwrap_or_else(|e| panic!("rank {rank}: handshake failed: {e}"));
                         let port = Rc::new(port);
                         let mailbox = Rc::new(RefCell::new(Mailbox::new(
                             env_rx,
@@ -577,61 +597,111 @@ impl Universe {
                 .expect("failed to spawn acceptor thread")
         };
 
-        let children: Vec<std::process::Child> = (0..n)
-            .map(|rank| {
-                let mut cmd = std::process::Command::new(&opts.worker);
-                cmd.env(ENV_RANK, rank.to_string())
-                    .env(ENV_WORLD, n.to_string())
-                    .env(ENV_CONNECT, endpoint.to_string())
-                    .env(ENV_PROGRAM, &opts.program)
-                    .env(ENV_TIMEOUT_MS, self.recv_timeout.as_millis().to_string());
-                for (k, v) in &opts.env {
-                    cmd.env(k, v);
-                }
-                cmd.spawn()
-                    .unwrap_or_else(|e| panic!("spawn worker {}: {e}", opts.worker.display()))
-            })
-            .collect();
+        // One spawner shared by the initial launch and supervised
+        // respawns: only the incarnation env var differs per attempt.
+        let spawn_worker = {
+            let opts = opts.clone();
+            let endpoint_str = endpoint.to_string();
+            let timeout_ms = self.recv_timeout.as_millis().to_string();
+            Arc::new(
+                move |rank: usize, incarnation: u64| -> std::process::Child {
+                    let mut cmd = std::process::Command::new(&opts.worker);
+                    cmd.env(ENV_RANK, rank.to_string())
+                        .env(ENV_WORLD, n.to_string())
+                        .env(ENV_CONNECT, &endpoint_str)
+                        .env(ENV_PROGRAM, &opts.program)
+                        .env(ENV_TIMEOUT_MS, &timeout_ms)
+                        .env(ENV_INCARNATION, incarnation.to_string());
+                    for (k, v) in &opts.env {
+                        cmd.env(k, v);
+                    }
+                    cmd.spawn()
+                        .unwrap_or_else(|e| panic!("spawn worker {}: {e}", opts.worker.display()))
+                },
+            )
+        };
+        let children: Vec<std::process::Child> = (0..n).map(|rank| spawn_worker(rank, 0)).collect();
 
-        // One watcher per worker: the *instant* a worker exits without a
-        // Goodbye it is declared dead, so peers blocked on it unblock even
-        // if it died before ever reaching the hub (no Hello, no pump).
+        // One supervisor per worker: the *instant* a worker exits without
+        // a Goodbye it is declared dead, so peers blocked on it unblock
+        // even if it died before ever reaching the hub (no Hello, no
+        // pump). Under a restart policy the supervisor then respawns
+        // genuinely-failed workers in place — backoff, next incarnation —
+        // until the rank completes or its restart budget is spent.
+        let restart_log: Arc<Mutex<Vec<RestartEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let watchers: Vec<_> = children
             .into_iter()
             .enumerate()
-            .map(|(rank, mut child)| {
+            .map(|(rank, child)| {
                 let hub = Arc::clone(&hub);
+                let policy = self.restart_policy.clone();
+                let spawn_worker = Arc::clone(&spawn_worker);
+                let restart_log = Arc::clone(&restart_log);
                 std::thread::Builder::new()
                     .name(format!("nkg-watch-{rank}"))
                     .spawn(move || {
-                        let status = child.wait().expect("wait on worker");
-                        if !hub.connected(rank) {
-                            // The worker died before completing a
-                            // handshake: no pump owns this rank, so only
-                            // the launcher can declare it dead.
-                            hub.force_dead(rank);
-                        } else if status.success() {
-                            // A successful exit wrote Result + Goodbye
-                            // before exiting — but `wait()` can win the
-                            // race against the pump still draining those
-                            // frames from the socket buffer. Grant a
-                            // grace window before treating the silence
-                            // as death (a worker that exits 0 *without*
-                            // a Goodbye is still caught after it).
-                            let deadline = Instant::now() + Duration::from_secs(10);
-                            while !hub.finished(rank) && Instant::now() < deadline {
-                                std::thread::sleep(Duration::from_millis(1));
+                        let mut child = child;
+                        let mut incarnation: u64 = 0;
+                        loop {
+                            let status = child.wait().expect("wait on worker");
+                            if !hub.handshaken(rank, incarnation) {
+                                // This incarnation died before completing
+                                // a handshake: no pump owns it, so only
+                                // the launcher can declare it dead.
+                                hub.force_dead(rank, incarnation);
+                            } else if status.success() {
+                                // A successful exit wrote Result + Goodbye
+                                // before exiting — but `wait()` can win
+                                // the race against the pump still draining
+                                // those frames from the socket buffer.
+                                // Grant a grace window before treating the
+                                // silence as death (a worker that exits 0
+                                // *without* a Goodbye is still caught
+                                // after it).
+                                let deadline = Instant::now() + Duration::from_secs(10);
+                                while !hub.finished(rank) && Instant::now() < deadline {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                if !hub.finished(rank) {
+                                    hub.force_dead(rank, incarnation);
+                                }
                             }
-                            if !hub.finished(rank) {
-                                hub.force_dead(rank);
+                            // Connected + non-success exit: the pump
+                            // drains the rank's in-flight frames in order
+                            // and announces death at EOF/Dying; forcing
+                            // death here would overtake messages the rank
+                            // sent before dying.
+
+                            // Restart decision. A scripted kill (exit 86)
+                            // is a *plan*, never respawned; a clean exit
+                            // needs no help.
+                            let cause = match status.code() {
+                                Some(EXIT_OK) | Some(EXIT_SCRIPTED_KILL) => None,
+                                Some(code) => Some(RestartCause::ExitCode(code)),
+                                None => Some(RestartCause::Signal),
+                            };
+                            let (Some(cause), Some(policy)) = (cause, policy.as_ref()) else {
+                                return (rank, status);
+                            };
+                            let attempt = incarnation + 1;
+                            if !policy.allows(attempt) {
+                                return (rank, status);
                             }
+                            let delay = policy.delay(rank, attempt);
+                            // The backoff (floored above death-detection
+                            // latency) must elapse *before* the respawn,
+                            // so the old incarnation's death is observed
+                            // everywhere before the new one says Hello.
+                            std::thread::sleep(delay);
+                            incarnation = attempt;
+                            restart_log.lock().unwrap().push(RestartEvent {
+                                rank,
+                                incarnation,
+                                delay,
+                                cause,
+                            });
+                            child = spawn_worker(rank, incarnation);
                         }
-                        // Connected + non-success exit: the pump drains
-                        // the rank's in-flight frames in order and
-                        // announces death at EOF/Dying; forcing death
-                        // here would overtake messages the rank sent
-                        // before dying.
-                        (rank, status)
                     })
                     .expect("failed to spawn watcher thread")
             })
@@ -676,6 +746,10 @@ impl Universe {
             }
         }
         self.fold_traffic(report.messages, report.bytes);
+        let restarts = Arc::try_unwrap(restart_log)
+            .unwrap_or_else(|_| unreachable!("all watchers joined"))
+            .into_inner()
+            .unwrap();
         ProcessRun {
             results,
             dead,
@@ -685,6 +759,7 @@ impl Universe {
                 bytes: report.bytes,
             },
             fault_stats: report.fault_stats,
+            restarts,
         }
     }
 

@@ -121,14 +121,20 @@ pub fn worker_main(reg: &Registry) -> i32 {
             return EXIT_CONNECT_FAILED;
         }
     };
-    let (port, env_rx) =
-        match RemotePort::connect(reader, writer, env.rank, env.world, env.recv_timeout) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("nkg-rank: handshake with {}: {e}", env.endpoint);
-                return EXIT_CONNECT_FAILED;
-            }
-        };
+    let (port, env_rx) = match RemotePort::connect(
+        reader,
+        writer,
+        env.rank,
+        env.world,
+        env.incarnation,
+        env.recv_timeout,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("nkg-rank: handshake with {}: {e}", env.endpoint);
+            return EXIT_CONNECT_FAILED;
+        }
+    };
     let port = Rc::new(port);
     let mailbox = Rc::new(RefCell::new(Mailbox::new(
         env_rx,

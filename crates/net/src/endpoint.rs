@@ -22,6 +22,9 @@ pub const ENV_CONNECT: &str = "NKG_CONNECT";
 pub const ENV_PROGRAM: &str = "NKG_PROGRAM";
 /// Worker env var: receive timeout in milliseconds.
 pub const ENV_TIMEOUT_MS: &str = "NKG_TIMEOUT_MS";
+/// Worker env var: this rank's incarnation (0 or unset for a first
+/// launch; the supervisor sets the attempt number on respawn).
+pub const ENV_INCARNATION: &str = "NKG_INCARNATION";
 
 /// Worker exit: clean completion, result reported.
 pub const EXIT_OK: i32 = 0;
@@ -112,6 +115,8 @@ pub struct WorkerEnv {
     pub program: String,
     /// Receive timeout for the rank's mailbox and hub replies.
     pub recv_timeout: std::time::Duration,
+    /// Incarnation this worker connects as (0 = first launch).
+    pub incarnation: u64,
 }
 
 impl WorkerEnv {
@@ -133,12 +138,17 @@ impl WorkerEnv {
         let endpoint = Endpoint::parse(&var(ENV_CONNECT)?)?;
         let program = var(ENV_PROGRAM)?;
         let timeout_ms: u64 = parse_num(ENV_TIMEOUT_MS, &var(ENV_TIMEOUT_MS)?)?;
+        let incarnation = match std::env::var(ENV_INCARNATION) {
+            Ok(v) => parse_num(ENV_INCARNATION, &v)?,
+            Err(_) => 0,
+        };
         Ok(WorkerEnv {
             rank,
             world,
             endpoint,
             program,
             recv_timeout: std::time::Duration::from_millis(timeout_ms),
+            incarnation,
         })
     }
 }

@@ -282,7 +282,9 @@ impl FaultState {
 
 /// SplitMix64 mixing step — the same counter-based generator family the
 /// DPD stochastic streams use, so seeded picks are cheap and replayable.
-fn splitmix64(x: u64) -> u64 {
+/// Public because the supervisor's restart backoff derives its
+/// deterministic jitter from the same stream.
+pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -22,8 +22,10 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"NKGF";
 
 /// Protocol version carried in [`Frame::Hello`]; bumped on any change to
-/// the frame grammar or body encodings.
-pub const PROTO_VERSION: u32 = 1;
+/// the frame grammar or body encodings. v2 added incarnation-numbered
+/// identities (`Hello`/`Dead` carry an incarnation, plus the `Rejoined`
+/// broadcast) for supervised rank restart.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one frame body (256 MiB). Far above any real exchange;
 /// a length beyond it means a corrupt or hostile stream, not a message.
@@ -41,6 +43,7 @@ const K_DEAD: u8 = 9;
 const K_DYING: u8 = 10;
 const K_GOODBYE: u8 = 11;
 const K_RESULT: u8 = 12;
+const K_REJOINED: u8 = 13;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +56,10 @@ pub enum Frame {
         world: u32,
         /// World rank the sender claims.
         rank: u32,
+        /// Incarnation of the claim: 0 for a first launch, `k` for the
+        /// `k`-th supervised respawn of this rank. A higher incarnation
+        /// than the hub's current one is a rejoin; a lower one is fenced.
+        incarnation: u32,
     },
     /// Hub's handshake acceptance, carrying run configuration.
     Welcome {
@@ -102,6 +109,9 @@ pub enum Frame {
     Dead {
         /// The dead world rank.
         rank: u32,
+        /// The incarnation that died. Receivers ignore the announcement
+        /// when they have already observed a newer incarnation rejoin.
+        incarnation: u32,
     },
     /// Rank→hub: this rank is dying (panic unwinding); declare it dead.
     Dying {
@@ -118,6 +128,14 @@ pub enum Frame {
     Result {
         /// Encoded result bytes.
         data: Vec<u8>,
+    },
+    /// Hub→rank broadcast: `rank` completed a rejoin handshake under a new
+    /// incarnation — flip it back to alive and fence its older incarnations.
+    Rejoined {
+        /// The resurrected world rank.
+        rank: u32,
+        /// Its new (strictly higher) incarnation.
+        incarnation: u32,
     },
 }
 
@@ -137,6 +155,7 @@ impl Frame {
             Frame::Dying { .. } => "Dying",
             Frame::Goodbye { .. } => "Goodbye",
             Frame::Result { .. } => "Result",
+            Frame::Rejoined { .. } => "Rejoined",
         }
     }
 }
@@ -170,6 +189,16 @@ pub enum RejectReason {
         /// Hub's world size.
         world: u32,
     },
+    /// A reconnect claimed an incarnation the hub has already superseded
+    /// (a zombie of an earlier respawn attempt); the rank must be fenced.
+    StaleIncarnation {
+        /// The contested rank.
+        rank: u32,
+        /// The hub's current incarnation for that rank.
+        ours: u32,
+        /// The stale incarnation the connector claimed.
+        theirs: u32,
+    },
 }
 
 impl RejectReason {
@@ -187,7 +216,9 @@ impl RejectReason {
                 ours: theirs as u64,
                 theirs: ours as u64,
             },
-            RejectReason::RankTaken { rank } | RejectReason::RankRange { rank, .. } => {
+            RejectReason::RankTaken { rank }
+            | RejectReason::RankRange { rank, .. }
+            | RejectReason::StaleIncarnation { rank, .. } => {
                 NetError::Rejected { reason: self, rank }
             }
         }
@@ -395,10 +426,12 @@ fn encode_body(frame: &Frame) -> (u8, Vec<u8>) {
             version,
             world,
             rank,
+            incarnation,
         } => {
             put_u32(&mut b, *version);
             put_u32(&mut b, *world);
             put_u32(&mut b, *rank);
+            put_u32(&mut b, *incarnation);
             K_HELLO
         }
         Frame::Welcome {
@@ -412,15 +445,36 @@ fn encode_body(frame: &Frame) -> (u8, Vec<u8>) {
             K_WELCOME
         }
         Frame::Reject { reason } => {
-            let (code, a, c) = match *reason {
-                RejectReason::Version { ours, theirs } => (0u8, ours, theirs),
-                RejectReason::WorldSize { ours, theirs } => (1, ours, theirs),
-                RejectReason::RankTaken { rank } => (2, rank, 0),
-                RejectReason::RankRange { rank, world } => (3, rank, world),
-            };
-            b.push(code);
-            put_u32(&mut b, a);
-            put_u32(&mut b, c);
+            // StaleIncarnation carries three u32s after the code byte;
+            // every other reason keeps the original two-u32 body.
+            match *reason {
+                RejectReason::Version { ours, theirs } => {
+                    b.push(0u8);
+                    put_u32(&mut b, ours);
+                    put_u32(&mut b, theirs);
+                }
+                RejectReason::WorldSize { ours, theirs } => {
+                    b.push(1);
+                    put_u32(&mut b, ours);
+                    put_u32(&mut b, theirs);
+                }
+                RejectReason::RankTaken { rank } => {
+                    b.push(2);
+                    put_u32(&mut b, rank);
+                    put_u32(&mut b, 0);
+                }
+                RejectReason::RankRange { rank, world } => {
+                    b.push(3);
+                    put_u32(&mut b, rank);
+                    put_u32(&mut b, world);
+                }
+                RejectReason::StaleIncarnation { rank, ours, theirs } => {
+                    b.push(4);
+                    put_u32(&mut b, rank);
+                    put_u32(&mut b, ours);
+                    put_u32(&mut b, theirs);
+                }
+            }
             K_REJECT
         }
         Frame::Data { dst, env } => {
@@ -448,8 +502,9 @@ fn encode_body(frame: &Frame) -> (u8, Vec<u8>) {
             put_u64(&mut b, *base);
             K_CTX_REP
         }
-        Frame::Dead { rank } => {
+        Frame::Dead { rank, incarnation } => {
             put_u32(&mut b, *rank);
+            put_u32(&mut b, *incarnation);
             K_DEAD
         }
         Frame::Dying { rank } => {
@@ -464,6 +519,11 @@ fn encode_body(frame: &Frame) -> (u8, Vec<u8>) {
             b.extend_from_slice(data);
             K_RESULT
         }
+        Frame::Rejoined { rank, incarnation } => {
+            put_u32(&mut b, *rank);
+            put_u32(&mut b, *incarnation);
+            K_REJOINED
+        }
     };
     (kind, b)
 }
@@ -476,6 +536,7 @@ fn decode_body(kind: u8, buf: &[u8]) -> Result<Frame, NetError> {
                 version: b.u32()?,
                 world: b.u32()?,
                 rank: b.u32()?,
+                incarnation: b.u32()?,
             };
             b.finish()?;
             f
@@ -495,12 +556,16 @@ fn decode_body(kind: u8, buf: &[u8]) -> Result<Frame, NetError> {
             let code = b.u8()?;
             let a = b.u32()?;
             let c = b.u32()?;
-            b.finish()?;
             let reason = match code {
                 0 => RejectReason::Version { ours: a, theirs: c },
                 1 => RejectReason::WorldSize { ours: a, theirs: c },
                 2 => RejectReason::RankTaken { rank: a },
                 3 => RejectReason::RankRange { rank: a, world: c },
+                4 => RejectReason::StaleIncarnation {
+                    rank: a,
+                    ours: c,
+                    theirs: b.u32()?,
+                },
                 _ => {
                     return Err(NetError::Garbled {
                         context: "Reject",
@@ -508,6 +573,7 @@ fn decode_body(kind: u8, buf: &[u8]) -> Result<Frame, NetError> {
                     })
                 }
             };
+            b.finish()?;
             Frame::Reject { reason }
         }
         K_DATA => {
@@ -557,7 +623,10 @@ fn decode_body(kind: u8, buf: &[u8]) -> Result<Frame, NetError> {
         }
         K_DEAD => {
             let mut b = Body::new(buf, "Dead");
-            let f = Frame::Dead { rank: b.u32()? };
+            let f = Frame::Dead {
+                rank: b.u32()?,
+                incarnation: b.u32()?,
+            };
             b.finish()?;
             f
         }
@@ -574,6 +643,15 @@ fn decode_body(kind: u8, buf: &[u8]) -> Result<Frame, NetError> {
             f
         }
         K_RESULT => Frame::Result { data: buf.to_vec() },
+        K_REJOINED => {
+            let mut b = Body::new(buf, "Rejoined");
+            let f = Frame::Rejoined {
+                rank: b.u32()?,
+                incarnation: b.u32()?,
+            };
+            b.finish()?;
+            f
+        }
         k => return Err(NetError::UnknownKind(k)),
     };
     Ok(frame)
@@ -673,6 +751,7 @@ mod tests {
             version: PROTO_VERSION,
             world: 4,
             rank: 2,
+            incarnation: 3,
         });
         round_trip(Frame::Welcome {
             world: 4,
@@ -684,6 +763,13 @@ mod tests {
         });
         round_trip(Frame::Reject {
             reason: RejectReason::RankRange { rank: 9, world: 4 },
+        });
+        round_trip(Frame::Reject {
+            reason: RejectReason::StaleIncarnation {
+                rank: 1,
+                ours: 5,
+                theirs: 2,
+            },
         });
         round_trip(Frame::Data {
             dst: 3,
@@ -699,11 +785,18 @@ mod tests {
         round_trip(Frame::Heartbeat { rank: 0 });
         round_trip(Frame::CtxReq { n: 3 });
         round_trip(Frame::CtxRep { base: 17 });
-        round_trip(Frame::Dead { rank: 1 });
+        round_trip(Frame::Dead {
+            rank: 1,
+            incarnation: 0,
+        });
         round_trip(Frame::Dying { rank: 2 });
         round_trip(Frame::Goodbye { rank: 3 });
         round_trip(Frame::Result {
             data: vec![0; 1024],
+        });
+        round_trip(Frame::Rejoined {
+            rank: 1,
+            incarnation: 2,
         });
     }
 
@@ -826,6 +919,15 @@ mod tests {
         assert!(matches!(
             RejectReason::RankTaken { rank: 2 }.into_error(),
             NetError::Rejected { rank: 2, .. }
+        ));
+        assert!(matches!(
+            RejectReason::StaleIncarnation {
+                rank: 1,
+                ours: 3,
+                theirs: 1
+            }
+            .into_error(),
+            NetError::Rejected { rank: 1, .. }
         ));
     }
 }

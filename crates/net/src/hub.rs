@@ -38,7 +38,7 @@ use crate::frame::{read_frame, write_frame, Frame, NetError, RejectReason, PROTO
 use crate::liveness::Liveness;
 use crate::router::{RouterCore, Sink, SinkClosed, Verdict};
 use std::io::{Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,21 +65,25 @@ struct Peer {
     ready: Condvar,
     /// `Goodbye` seen: the rank completed cleanly.
     finished: AtomicBool,
-    /// Set once this rank's death has been announced (mark + broadcast),
-    /// so racing detectors (Dying frame, EOF, process exit) announce once.
-    death_announced: AtomicBool,
+    /// `incarnation + 1` of the newest death announced for this rank
+    /// (0 = none), so racing detectors (Dying frame, EOF, process exit)
+    /// broadcast once per incarnation — and a later incarnation's death
+    /// is announced even though an earlier one already was.
+    death_announced: AtomicU64,
     /// A `Hello` already claimed this rank.
     hello_seen: AtomicBool,
-    /// The handshake completed and the writer was published: from here
-    /// on the pump owns this rank's death detection (every exit path of
-    /// its steady-state loop announces death or records `finished`).
-    connected: AtomicBool,
+    /// `incarnation + 1` of the most recent completed handshake, 0 while
+    /// no handshake has finished. Once nonzero, that incarnation's pump
+    /// owns the rank's death detection (every exit path of its
+    /// steady-state loop announces death or records `finished`).
+    connected: AtomicU64,
     /// Result payload reported by a process-mode worker.
     result: Mutex<Option<Vec<u8>>>,
 }
 
 struct HubInner {
     peers: Vec<Peer>,
+    liveness: Arc<Liveness>,
     deliver_grace: Duration,
 }
 
@@ -113,9 +117,10 @@ impl Sink for HubSink {
             // A finished, dead, or never-arriving rank behaves like the
             // in-proc closed channel: SinkClosed, and the router's grace
             // logic decides whether that is expected (dead rank) or a
-            // protocol error.
-            if peer.finished.load(Ordering::Acquire) || peer.death_announced.load(Ordering::Acquire)
-            {
+            // protocol error. Live liveness (not a sticky announcement
+            // flag) is consulted so a delivery racing a resurrection keeps
+            // waiting for the rejoining rank's writer instead of bailing.
+            if peer.finished.load(Ordering::Acquire) || self.inner.liveness.is_dead(self.dst) {
                 return Err(SinkClosed);
             }
             let now = Instant::now();
@@ -148,6 +153,9 @@ pub struct HubReport {
     pub messages: u64,
     /// Total payload bytes routed.
     pub bytes: u64,
+    /// Posts fenced at the router because they came from a superseded
+    /// incarnation (zombies of respawned ranks).
+    pub stale_drops: u64,
     /// Fault-plan counters.
     pub fault_stats: crate::fault::FaultStats,
     /// Per-rank result payloads (process-mode `Result` frames).
@@ -174,18 +182,20 @@ impl Hub {
         let n = cfg.world;
         let dedup = cfg.plan.is_some();
         let ack_posts = cfg.plan.as_ref().is_some_and(|p| !p.kills.is_empty());
+        let liveness = Arc::new(Liveness::new(n));
         let inner = Arc::new(HubInner {
             peers: (0..n)
                 .map(|_| Peer {
                     writer: Mutex::new(None),
                     ready: Condvar::new(),
                     finished: AtomicBool::new(false),
-                    death_announced: AtomicBool::new(false),
+                    death_announced: AtomicU64::new(0),
                     hello_seen: AtomicBool::new(false),
-                    connected: AtomicBool::new(false),
+                    connected: AtomicU64::new(0),
                     result: Mutex::new(None),
                 })
                 .collect(),
+            liveness: Arc::clone(&liveness),
             deliver_grace: cfg.deliver_grace,
         });
         let sinks = (0..n)
@@ -194,7 +204,7 @@ impl Hub {
                 dst,
             })
             .collect();
-        let core = Arc::new(RouterCore::new(sinks, Arc::new(Liveness::new(n)), cfg.plan));
+        let core = Arc::new(RouterCore::new(sinks, liveness, cfg.plan));
         Self {
             inner,
             core,
@@ -234,20 +244,29 @@ impl Hub {
         self.inner.peers[rank].finished.load(Ordering::Acquire)
     }
 
-    /// Whether `rank` ever completed its handshake. Once true, the rank's
-    /// pump owns death detection: it drains in-flight frames *in order*
-    /// and announces death at EOF/`Dying` — an external [`Hub::force_dead`]
-    /// would race ahead of messages the rank sent before dying.
+    /// Whether `rank` ever completed a handshake. Once true, that
+    /// connection's pump owns death detection: it drains in-flight frames
+    /// *in order* and announces death at EOF/`Dying` — an external
+    /// [`Hub::force_dead`] would race ahead of messages the rank sent
+    /// before dying.
     pub fn connected(&self, rank: usize) -> bool {
-        self.inner.peers[rank].connected.load(Ordering::Acquire)
+        self.inner.peers[rank].connected.load(Ordering::Acquire) != 0
     }
 
-    /// Declare `rank` dead from outside the protocol — the process
-    /// launcher calls this when a worker exits without a `Goodbye`
-    /// (covering death *before* the rank ever said `Hello`, which no pump
-    /// can observe).
-    pub fn force_dead(&self, rank: usize) {
-        announce_death(&self.inner, &self.core, rank);
+    /// Whether `rank` completed a handshake at `incarnation` (or newer).
+    /// The supervisor's per-attempt exit watcher uses this instead of
+    /// [`Hub::connected`], which stays sticky-true across respawns.
+    pub fn handshaken(&self, rank: usize, incarnation: u64) -> bool {
+        self.inner.peers[rank].connected.load(Ordering::Acquire) > incarnation
+    }
+
+    /// Declare `rank`'s `incarnation` dead from outside the protocol —
+    /// the process launcher calls this when a worker exits without a
+    /// `Goodbye` (covering death *before* the rank ever said `Hello`,
+    /// which no pump can observe). Fenced if a newer incarnation has
+    /// already rejoined.
+    pub fn force_dead(&self, rank: usize, incarnation: u64) {
+        announce_death(&self.inner, &self.core, rank, incarnation);
     }
 
     /// Wait for all pump threads (they exit at stream EOF) and report.
@@ -268,6 +287,7 @@ impl Hub {
         HubReport {
             messages: self.core.messages(),
             bytes: self.core.bytes(),
+            stale_drops: self.core.stale_drops(),
             fault_stats: self.core.fault_stats(),
             results,
             panics,
@@ -275,16 +295,25 @@ impl Hub {
     }
 }
 
-/// Mark `rank` dead and broadcast `Dead` to every other connected rank,
-/// exactly once per rank no matter how many detectors fire.
-fn announce_death(inner: &Arc<HubInner>, core: &Arc<RouterCore<HubSink>>, rank: usize) {
-    if inner.peers[rank]
-        .death_announced
-        .swap(true, Ordering::AcqRel)
-    {
+/// Mark `rank`'s `incarnation` dead and broadcast `Dead` to every other
+/// connected rank, exactly once per incarnation no matter how many
+/// detectors fire. A death announcement for an incarnation that has
+/// already been superseded by a rejoin is fenced entirely.
+fn announce_death(
+    inner: &Arc<HubInner>,
+    core: &Arc<RouterCore<HubSink>>,
+    rank: usize,
+    incarnation: u64,
+) {
+    if !core.liveness().mark_dead_if(rank, incarnation) {
         return;
     }
-    core.liveness().mark_dead(rank);
+    let prev = inner.peers[rank]
+        .death_announced
+        .fetch_max(incarnation + 1, Ordering::AcqRel);
+    if prev > incarnation {
+        return;
+    }
     // Wake deliveries parked on the dead rank's writer slot: the flag is
     // checked under the same mutex the waiters hold, so this cannot race.
     {
@@ -292,7 +321,10 @@ fn announce_death(inner: &Arc<HubInner>, core: &Arc<RouterCore<HubSink>>, rank: 
         let _slot = peer.writer.lock().unwrap();
         peer.ready.notify_all();
     }
-    let frame = Frame::Dead { rank: rank as u32 };
+    let frame = Frame::Dead {
+        rank: rank as u32,
+        incarnation: incarnation as u32,
+    };
     for r in 0..inner.peers.len() {
         if r != rank {
             inner.write_to(r, &frame);
@@ -311,12 +343,14 @@ fn pump(
 ) {
     // ---- Handshake: the first frame must be Hello. ----
     let world = inner.peers.len() as u32;
-    let rank = match read_frame(&mut *reader) {
+    let (rank, incarnation) = match read_frame(&mut *reader) {
         Ok(Frame::Hello {
             version,
             world: their_world,
             rank,
+            incarnation,
         }) => {
+            let inc = incarnation as u64;
             let reject = if version != PROTO_VERSION {
                 Some(RejectReason::Version {
                     ours: PROTO_VERSION,
@@ -333,7 +367,22 @@ fn pump(
                 .hello_seen
                 .swap(true, Ordering::AcqRel)
             {
-                Some(RejectReason::RankTaken { rank })
+                // A reclaim of an already-seen rank is legal only as a
+                // *rejoin*: a strictly newer incarnation. An equal
+                // incarnation is a duplicate claim (the original
+                // semantics); an older one is a zombie to fence.
+                let cur = core.liveness().incarnation(rank as usize);
+                if inc < cur {
+                    Some(RejectReason::StaleIncarnation {
+                        rank,
+                        ours: cur as u32,
+                        theirs: incarnation,
+                    })
+                } else if inc == cur {
+                    Some(RejectReason::RankTaken { rank })
+                } else {
+                    None
+                }
             } else {
                 None
             };
@@ -341,7 +390,7 @@ fn pump(
                 let _ = write_frame(&mut *writer, &Frame::Reject { reason });
                 return;
             }
-            rank as usize
+            (rank as usize, inc)
         }
         // A connection that never says Hello (or dies mid-handshake) is
         // dropped: it claimed no rank, so there is nothing to declare dead
@@ -367,25 +416,67 @@ fn pump(
     {
         let peer = &inner.peers[rank];
         let mut slot = peer.writer.lock().unwrap();
+        if incarnation > 0 {
+            // A rejoin: revive the rank *before* publishing the writer so
+            // nothing can replay its own stale death to it. The death-
+            // announcement dedup is incarnation-scoped and needs no reset.
+            core.liveness().resurrect(rank, incarnation);
+            peer.finished.store(false, Ordering::Release);
+        }
         *slot = Some(writer);
-        // Replay deaths that predate this connection: the live `Dead`
-        // broadcast only reaches ranks whose writer was installed at the
-        // time. Scanning under our own writer lock closes the race — a
-        // concurrent announcement either marked the death before this scan
-        // (we replay it) or will block on this lock in its broadcast and
-        // find the writer installed (it delivers). Duplicates are
-        // idempotent at the port.
+        // Replay liveness state that predates this connection: the live
+        // `Dead`/`Rejoined` broadcasts only reach ranks whose writer was
+        // installed at the time. Scanning under our own writer lock closes
+        // the race — a concurrent announcement either updated liveness
+        // before this scan (we replay it) or will block on this lock in
+        // its broadcast and find the writer installed (it delivers).
+        // Duplicates are idempotent at the port.
         for r in 0..inner.peers.len() {
-            if r != rank && core.liveness().is_dead(r) {
+            if r == rank {
+                continue;
+            }
+            let r_inc = core.liveness().incarnation(r) as u32;
+            let replay = if core.liveness().is_dead(r) {
+                Some(Frame::Dead {
+                    rank: r as u32,
+                    incarnation: r_inc,
+                })
+            } else if r_inc > 0 {
+                // The peer died and rejoined while we were away: without
+                // this replay our local incarnation table would lag and
+                // we would fence its current-incarnation announcements.
+                Some(Frame::Rejoined {
+                    rank: r as u32,
+                    incarnation: r_inc,
+                })
+            } else {
+                None
+            };
+            if let Some(frame) = replay {
                 let w = slot.as_mut().expect("writer just installed");
-                if write_frame(w, &Frame::Dead { rank: r as u32 }).is_err() {
+                if write_frame(w, &frame).is_err() {
                     *slot = None;
                     break;
                 }
             }
         }
         peer.ready.notify_all();
-        peer.connected.store(true, Ordering::Release);
+        peer.connected.store(incarnation + 1, Ordering::Release);
+    }
+    if incarnation > 0 {
+        // Tell everyone else the rank is back. Outside our own writer
+        // lock: write_to takes each peer's writer mutex, and holding ours
+        // while taking theirs invites an ABBA deadlock with their own
+        // broadcasts (same discipline as announce_death).
+        let frame = Frame::Rejoined {
+            rank: rank as u32,
+            incarnation: incarnation as u32,
+        };
+        for r in 0..inner.peers.len() {
+            if r != rank {
+                inner.write_to(r, &frame);
+            }
+        }
     }
 
     // ---- Steady state: dispatch frames until the stream ends. ----
@@ -393,9 +484,10 @@ fn pump(
         match read_frame(&mut *reader) {
             Ok(Frame::Data { dst, mut env }) => {
                 // The connection is the identity authority: a rank cannot
-                // post on another rank's behalf.
+                // post on another rank's behalf, nor smuggle traffic from
+                // an incarnation this connection did not handshake as.
                 env.src = rank;
-                let verdict = core.route(dst as usize, env);
+                let verdict = core.route(dst as usize, env, incarnation);
                 let killed = matches!(verdict, Verdict::Killed);
                 if ack_posts {
                     inner.write_to(rank, &Frame::PostAck { killed });
@@ -403,7 +495,7 @@ fn pump(
                 if killed {
                     // The rank is unwinding with `ScriptedKill`; nothing
                     // meaningful follows on this stream.
-                    announce_death(&inner, &core, rank);
+                    announce_death(&inner, &core, rank, incarnation);
                     break;
                 }
             }
@@ -417,7 +509,7 @@ fn pump(
             // even while the rank side's pump still holds its stream half
             // open blocked on reads.
             Ok(Frame::Dying { .. }) => {
-                announce_death(&inner, &core, rank);
+                announce_death(&inner, &core, rank, incarnation);
                 break;
             }
             Ok(Frame::Goodbye { .. }) => {
@@ -441,7 +533,7 @@ fn pump(
     // lets peers blocked on a rank that panicked before its first post
     // resolve to PeerDead).
     if !inner.peers[rank].finished.load(Ordering::Acquire) {
-        announce_death(&inner, &core, rank);
+        announce_death(&inner, &core, rank, incarnation);
     }
 }
 

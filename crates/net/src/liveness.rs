@@ -10,13 +10,26 @@
 //! receive on a dead peer resolves to `RecvError::PeerDead`
 //! instead of a timeout, and failover
 //! logic consults the [`LivenessView`] to pick the lowest live replica.
+//!
+//! Since supervised restart landed, death is no longer final: each rank
+//! also carries an *incarnation* number. A respawned rank rejoins at a
+//! strictly higher incarnation via [`Liveness::resurrect`], which clears
+//! the death flag, and late death announcements for an already-superseded
+//! incarnation are ignored by [`Liveness::mark_dead_if`] — the table can
+//! only ever move forward in incarnation order.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Shared liveness state of one universe run, indexed by world rank.
 pub struct Liveness {
     beats: Vec<AtomicU64>,
     dead: Vec<AtomicBool>,
+    incarnations: Vec<AtomicU64>,
+    /// Serializes incarnation transitions (resurrect / conditional death)
+    /// so a stale `mark_dead_if` cannot interleave with a resurrection.
+    /// Beats and plain death reads stay lock-free.
+    gate: Mutex<()>,
 }
 
 impl Liveness {
@@ -26,6 +39,8 @@ impl Liveness {
         Self {
             beats: (0..n).map(|_| AtomicU64::new(0)).collect(),
             dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            incarnations: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            gate: Mutex::new(()),
         }
     }
 
@@ -39,9 +54,41 @@ impl Liveness {
         self.beats[rank].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Mark `rank` dead (scripted kill or observed loss).
+    /// Mark `rank` dead (scripted kill or observed loss), unconditionally.
     pub fn mark_dead(&self, rank: usize) {
         self.dead[rank].store(true, Ordering::SeqCst);
+    }
+
+    /// Current incarnation of `rank` (0 until its first resurrection).
+    pub fn incarnation(&self, rank: usize) -> u64 {
+        self.incarnations[rank].load(Ordering::SeqCst)
+    }
+
+    /// Resurrect `rank` at `incarnation`. Succeeds (clears the death flag
+    /// and advances the incarnation) only when `incarnation` is strictly
+    /// newer than the current one; a replayed or out-of-order rejoin
+    /// announcement is a no-op.
+    pub fn resurrect(&self, rank: usize, incarnation: u64) -> bool {
+        let _g = self.gate.lock().unwrap();
+        if incarnation <= self.incarnations[rank].load(Ordering::SeqCst) {
+            return false;
+        }
+        self.incarnations[rank].store(incarnation, Ordering::SeqCst);
+        self.dead[rank].store(false, Ordering::SeqCst);
+        true
+    }
+
+    /// Mark `rank` dead only if the death belongs to `incarnation` (or a
+    /// newer one): a `Dead{rank, k}` that arrives after the rank already
+    /// rejoined at `k+1` must not kill the new incarnation. Returns
+    /// whether the flag was set.
+    pub fn mark_dead_if(&self, rank: usize, incarnation: u64) -> bool {
+        let _g = self.gate.lock().unwrap();
+        if incarnation < self.incarnations[rank].load(Ordering::SeqCst) {
+            return false;
+        }
+        self.dead[rank].store(true, Ordering::SeqCst);
+        true
     }
 
     /// Whether `rank` has been declared dead.
@@ -64,6 +111,7 @@ impl Liveness {
         LivenessView {
             alive: (0..self.size()).map(|r| self.is_alive(r)).collect(),
             beats: (0..self.size()).map(|r| self.beats(r)).collect(),
+            incarnations: (0..self.size()).map(|r| self.incarnation(r)).collect(),
         }
     }
 }
@@ -75,6 +123,8 @@ pub struct LivenessView {
     pub alive: Vec<bool>,
     /// Heartbeat count observed from each world rank.
     pub beats: Vec<u64>,
+    /// Incarnation of each world rank (0 = original launch).
+    pub incarnations: Vec<u64>,
 }
 
 impl LivenessView {
@@ -113,5 +163,27 @@ mod tests {
         assert_eq!(v.dead_ranks(), vec![2]);
         assert!(!v.all_alive());
         assert_eq!(v.beats[1], 2);
+    }
+
+    #[test]
+    fn resurrection_moves_forward_only() {
+        let lv = Liveness::new(2);
+        lv.mark_dead(1);
+        assert!(lv.is_dead(1));
+        // Rejoin at incarnation 1 revives the rank.
+        assert!(lv.resurrect(1, 1));
+        assert!(lv.is_alive(1));
+        assert_eq!(lv.incarnation(1), 1);
+        // A replay of the same rejoin is a no-op.
+        assert!(!lv.resurrect(1, 1));
+        // A late death announcement for the superseded incarnation 0 is
+        // fenced: the new incarnation stays alive.
+        assert!(!lv.mark_dead_if(1, 0));
+        assert!(lv.is_alive(1));
+        // Death of the *current* incarnation lands.
+        assert!(lv.mark_dead_if(1, 1));
+        assert!(lv.is_dead(1));
+        // And the view reports incarnations.
+        assert_eq!(lv.view().incarnations, vec![0, 1]);
     }
 }

@@ -41,11 +41,16 @@ impl RemotePort {
     /// Sends `Hello`, awaits `Welcome` (or a typed rejection), then spawns
     /// the demultiplexing pump. Returns the port plus the channel the pump
     /// feeds delivered envelopes into — the rank's mailbox intake.
+    ///
+    /// `incarnation` is 0 for a first launch; a supervised respawn
+    /// connects with the attempt number, turning the handshake into a
+    /// rejoin at the hub.
     pub fn connect(
         mut reader: Box<dyn Read + Send>,
         mut writer: Box<dyn Write + Send>,
         rank: usize,
         world: usize,
+        incarnation: u64,
         reply_timeout: Duration,
     ) -> Result<(RemotePort, Receiver<Envelope>), NetError> {
         write_frame(
@@ -54,6 +59,7 @@ impl RemotePort {
                 version: PROTO_VERSION,
                 world: world as u32,
                 rank: rank as u32,
+                incarnation: incarnation as u32,
             },
         )?;
         let (dedup, ack_posts) = match read_frame(&mut *reader)? {
@@ -80,6 +86,12 @@ impl RemotePort {
             }
         };
         let liveness = Arc::new(Liveness::new(world));
+        if incarnation > 0 {
+            // Our own slot in the local replica must reflect the rejoin
+            // incarnation, so replayed `Dead` frames for our *previous*
+            // incarnation are fenced instead of killing us locally.
+            liveness.resurrect(rank, incarnation);
+        }
         let (env_tx, env_rx) = unbounded();
         let (ack_tx, ack_rx) = unbounded();
         let (ctx_tx, ctx_rx) = unbounded();
@@ -229,7 +241,14 @@ fn pump(
             Ok(Frame::CtxRep { base }) => {
                 let _ = ctx_tx.send(base);
             }
-            Ok(Frame::Dead { rank }) => liveness.mark_dead(rank as usize),
+            Ok(Frame::Dead { rank, incarnation }) => {
+                // Conditional: a death announcement for an incarnation we
+                // have already seen rejoin must not kill the new one.
+                liveness.mark_dead_if(rank as usize, incarnation as u64);
+            }
+            Ok(Frame::Rejoined { rank, incarnation }) => {
+                liveness.resurrect(rank as usize, incarnation as u64);
+            }
             Ok(Frame::Heartbeat { rank }) => liveness.beat(rank as usize),
             // Anything else is protocol confusion or the end of the
             // stream; either way this connection is done.

@@ -61,6 +61,7 @@ pub struct RouterCore<S: Sink> {
     msg_count: AtomicU64,
     byte_count: AtomicU64,
     seq_counter: AtomicU64,
+    stale_count: AtomicU64,
     liveness: Arc<Liveness>,
     fault: Option<FaultState>,
     delayed: Mutex<Vec<Delayed>>,
@@ -79,6 +80,7 @@ impl<S: Sink> RouterCore<S> {
             msg_count: AtomicU64::new(0),
             byte_count: AtomicU64::new(0),
             seq_counter: AtomicU64::new(0),
+            stale_count: AtomicU64::new(0),
             liveness,
             fault: plan.map(|p| FaultState::new(p, n)),
             delayed: Mutex::new(Vec::new()),
@@ -86,9 +88,21 @@ impl<S: Sink> RouterCore<S> {
     }
 
     /// Route one posted message. This is the single chokepoint all traffic
-    /// passes through, so it is where the fault plan judges every message
-    /// and where heartbeats and sequence numbers are stamped.
-    pub fn route(&self, dst: usize, mut env: Envelope) -> Verdict {
+    /// passes through, so it is where the fault plan judges every message,
+    /// where stale incarnations are fenced, and where heartbeats and
+    /// sequence numbers are stamped.
+    ///
+    /// `src_incarnation` is the incarnation the *sender's connection*
+    /// handshook under (always the current one for in-proc ranks, which
+    /// cannot be respawned mid-run). A post from a superseded incarnation
+    /// — a zombie of a rank that has already been respawned — is silently
+    /// discarded before it can beat the heartbeat table or consume a
+    /// sequence number, identically on every transport.
+    pub fn route(&self, dst: usize, mut env: Envelope, src_incarnation: u64) -> Verdict {
+        if src_incarnation < self.liveness.incarnation(env.src) {
+            self.stale_count.fetch_add(1, Ordering::Relaxed);
+            return Verdict::Posted;
+        }
         self.liveness.beat(env.src);
         env.seq = self.seq_counter.fetch_add(1, Ordering::Relaxed);
         self.msg_count.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +224,11 @@ impl<S: Sink> RouterCore<S> {
         self.byte_count.load(Ordering::Relaxed)
     }
 
+    /// Posts fenced because they arrived from a superseded incarnation.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_count.load(Ordering::Relaxed)
+    }
+
     /// Fault-plan counters (all-zero defaults when no plan is installed).
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.as_ref().map(|f| f.stats()).unwrap_or_default()
@@ -236,7 +255,7 @@ mod tests {
     fn routes_and_counts() {
         let (tx, rx) = unbounded();
         let core = RouterCore::new(vec![tx], Arc::new(Liveness::new(1)), None);
-        assert_eq!(core.route(0, env(0, 1, vec![0; 16])), Verdict::Posted);
+        assert_eq!(core.route(0, env(0, 1, vec![0; 16]), 0), Verdict::Posted);
         let got = rx.try_recv().unwrap();
         assert_eq!(got.seq, 0);
         assert_eq!((core.messages(), core.bytes()), (1, 16));
@@ -248,7 +267,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let plan = FaultPlan::new().kill_rank(0, 1);
         let core = RouterCore::new(vec![tx], Arc::new(Liveness::new(1)), Some(plan));
-        assert_eq!(core.route(0, env(0, 1, vec![1])), Verdict::Killed);
+        assert_eq!(core.route(0, env(0, 1, vec![1]), 0), Verdict::Killed);
         assert!(core.liveness().is_dead(0));
         assert!(rx.try_recv().is_err(), "killed post must not deliver");
         assert_eq!(core.fault_stats().sends_per_rank, vec![1]);
@@ -260,10 +279,27 @@ mod tests {
         let plan =
             FaultPlan::new().with_rule(MsgMatcher::any(), Pick::Always, MsgAction::Duplicate);
         let core = RouterCore::new(vec![tx], Arc::new(Liveness::new(1)), Some(plan));
-        core.route(0, env(0, 7, vec![9]));
+        core.route(0, env(0, 7, vec![9]), 0);
         let a = rx.try_recv().unwrap();
         let b = rx.try_recv().unwrap();
         assert_eq!(a.seq, b.seq);
         assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn stale_incarnation_posts_are_fenced() {
+        let (tx, rx) = unbounded();
+        let core = RouterCore::new(vec![tx], Arc::new(Liveness::new(1)), None);
+        core.liveness().mark_dead(0);
+        assert!(core.liveness().resurrect(0, 1));
+        // A zombie of incarnation 0 posts after the respawn: discarded
+        // without beating the heartbeat or consuming a sequence number.
+        assert_eq!(core.route(0, env(0, 1, vec![7]), 0), Verdict::Posted);
+        assert!(rx.try_recv().is_err(), "stale post must not deliver");
+        assert_eq!(core.stale_drops(), 1);
+        assert_eq!(core.liveness().beats(0), 0);
+        // The new incarnation's traffic flows normally.
+        assert_eq!(core.route(0, env(0, 1, vec![8]), 1), Verdict::Posted);
+        assert_eq!(rx.try_recv().unwrap().seq, 0);
     }
 }

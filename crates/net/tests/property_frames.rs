@@ -143,6 +143,7 @@ fn handshake_rejects_version_skew() {
             version: PROTO_VERSION + 1,
             world: 1,
             rank: 0,
+            incarnation: 0,
         },
     )
     .unwrap();
@@ -179,7 +180,7 @@ fn handshake_rejects_world_size_skew() {
     let reader = Box::new(BufReader::new(ours.try_clone().unwrap()));
     let writer = Box::new(BufWriter::new(ours));
     // The connector believes the world has 3 ranks; the hub says 4.
-    let err = match RemotePort::connect(reader, writer, 0, 3, Duration::from_secs(1)) {
+    let err = match RemotePort::connect(reader, writer, 0, 3, 0, Duration::from_secs(1)) {
         Err(e) => e,
         Ok(_) => panic!("handshake must fail"),
     };
@@ -221,6 +222,7 @@ fn handshake_rejects_taken_rank() {
             Box::new(BufWriter::new(ours)),
             0,
             1,
+            0,
             Duration::from_secs(1),
         );
         match (attempt, res) {

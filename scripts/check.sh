@@ -25,6 +25,12 @@ NKG_TRANSPORT=uds cargo test -q --test integration_fault
 echo "== multi-process smoke: real ranks over a UDS hub, one killed mid-run =="
 cargo test -q --test integration_process
 
+echo "== supervised respawn suite: dead ranks resurrected in place (NKG_TRANSPORT=uds) =="
+NKG_TRANSPORT=uds cargo test -q --test integration_respawn
+
+echo "== composed chaos: drop + dup + kill + corrupt checkpoint in one run =="
+cargo test -q --test integration_chaos
+
 echo "== thread invariance: overlap suite, 1 rayon thread vs default pool =="
 RAYON_NUM_THREADS=1 cargo test -q -p nkg-coupling --test integration_overlap
 cargo test -q -p nkg-coupling --test integration_overlap

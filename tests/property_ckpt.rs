@@ -140,6 +140,10 @@ proptest! {
             wpod_windows: ns_steps / 7,
             held_exchanges: (0..(ns_steps % 4) as u64).collect(),
             failovers: vec![(ns_steps as u64 % 5, 0, 1); ns_steps % 3],
+            // Supervision bookkeeping: excluded from snapshots and
+            // equality, so it must not survive the round trip.
+            rejoins: (0..(ns_steps % 3) as u64).collect(),
+            snapshot_fallbacks: (0..(ns_steps % 2) as u64).collect(),
             pressure_iters_per_step: (0..(ns_steps % 6) as u64).collect(),
             viscous_iters_per_step: (0..(ns_steps % 5) as u64).map(|i| i * 3).collect(),
             elliptic_residual_per_step: vec![1e-11; ns_steps % 4],
