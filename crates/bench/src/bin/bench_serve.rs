@@ -1,0 +1,211 @@
+//! Ensemble serving benchmark: cold vs warm setup under the artifact
+//! cache.
+//!
+//! Runs K parameterized multipatch jobs (same discretization, swept body
+//! force — the clinical parameter-sweep shape) twice: once with
+//! `CacheMode::Off` (every job cold-builds its GLL tables, low-energy
+//! factorizations and interface interpolation tables) and once sharing a
+//! `CacheMode::Process` cache through [`nkg_coupling::Ensemble`]. Emits
+//! one consolidated record to `BENCH_serve.json`: cold vs warm
+//! time-to-first-step, batch jobs/hour, per-artifact-kind hit/miss/bytes
+//! counters, and the golden hash over every job's field bits, which must
+//! be identical between the two runs (cache hits are bitwise equal to
+//! cold builds).
+//!
+//! Flags: `--smoke` shrinks sizes for CI (schema unchanged, asserts
+//! hit-rate > 0); `--bitwise` runs smoke-sized and only enforces the
+//! cold-vs-warm bitwise gate. The full run additionally enforces the
+//! acceptance target: warm setup ≥ 5× faster than cold at P=8.
+
+use nkg_artifact::{CacheMode, KeyHasher};
+use nkg_bench::{header, write_json};
+use nkg_coupling::multipatch::{poiseuille_multipatch, Multipatch2d};
+use nkg_coupling::Ensemble;
+use std::time::Instant;
+
+struct Config {
+    nx: usize,
+    ny: usize,
+    np: usize,
+    p: usize,
+    k: usize,
+    steps: usize,
+}
+
+/// One parameter point: construct the patched solver. Construction is
+/// where the cacheable work lives — GLL tables, the pressure engines'
+/// low-energy factorizations, interface interpolation tables. (The
+/// lazily-assembled viscous engines land in the run phase but draw on
+/// the same cache.)
+fn setup(cfg: &Config, force: f64) -> Multipatch2d {
+    poiseuille_multipatch(6.0, 1.0, cfg.nx, cfg.ny, cfg.np, cfg.p, 0.5, force, 5e-3)
+}
+
+/// Golden hash over every patch's u/v/p field bits after the run.
+fn field_hash(mp: &Multipatch2d) -> u64 {
+    let mut h = KeyHasher::new("serve-golden");
+    for s in &mp.patches {
+        h.f64s(&s.u);
+        h.f64s(&s.v);
+        h.f64s(&s.p);
+    }
+    h.finish().0[0]
+}
+
+struct Batch {
+    setups: Vec<f64>,
+    hashes: Vec<u64>,
+    wall: f64,
+    stats: Vec<(&'static str, nkg_artifact::KindStats)>,
+    hit_rate: f64,
+}
+
+fn run_batch(cfg: &Config, mode: CacheMode, forces: &[f64]) -> Batch {
+    let ens = Ensemble::new(mode);
+    let t0 = Instant::now();
+    let out = ens.run_jobs(
+        forces,
+        |&f| setup(cfg, f),
+        |mp, _| {
+            for _ in 0..cfg.steps {
+                mp.step();
+            }
+            field_hash(mp)
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    Batch {
+        setups: out.iter().map(|(r, _)| r.setup_seconds).collect(),
+        hashes: out.iter().map(|&(_, h)| h).collect(),
+        wall,
+        stats: ens.stats(),
+        hit_rate: ens.cache().totals().hit_rate(),
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let bitwise_only = std::env::args().any(|a| a == "--bitwise");
+    let cfg = if smoke || bitwise_only {
+        Config {
+            nx: 8,
+            ny: 2,
+            np: 2,
+            p: 4,
+            k: 3,
+            steps: 2,
+        }
+    } else {
+        Config {
+            nx: 24,
+            ny: 4,
+            np: 2,
+            p: 8,
+            k: 8,
+            steps: 3,
+        }
+    };
+    let forces: Vec<f64> = (0..cfg.k).map(|i| 0.3 + 0.05 * i as f64).collect();
+
+    header(&format!(
+        "ensemble serving: K={} multipatch jobs, P={}, {}x{} elems, {} patches",
+        cfg.k, cfg.p, cfg.nx, cfg.ny, cfg.np
+    ));
+    let cold = run_batch(&cfg, CacheMode::Off, &forces);
+    let warm = run_batch(&cfg, CacheMode::Process, &forces);
+
+    // Bitwise gate: cached artifacts must not perturb a single bit of any
+    // job's physics.
+    assert_eq!(
+        cold.hashes, warm.hashes,
+        "cold and warm batches diverged bitwise"
+    );
+    assert_eq!(cold.hit_rate, 0.0, "CacheMode::Off must never hit");
+
+    // Warm setup: jobs after the first, which pay only cache lookups.
+    let cold_setup = median(&cold.setups);
+    let warm_setup = median(&warm.setups[1..]);
+    let speedup = cold_setup / warm_setup;
+    let jph = |b: &Batch| cfg.k as f64 * 3600.0 / b.wall;
+
+    println!("cold setup (median of {}): {:.4} s", cfg.k, cold_setup);
+    println!(
+        "warm setup (median of jobs 2..{}): {:.4} s  ({speedup:.1}x)",
+        cfg.k, warm_setup
+    );
+    println!(
+        "batch wall: cold {:.3} s ({:.0} jobs/h), warm {:.3} s ({:.0} jobs/h)",
+        cold.wall,
+        jph(&cold),
+        warm.wall,
+        jph(&warm)
+    );
+    println!("warm cache hit rate: {:.3}", warm.hit_rate);
+    let mut kinds = String::new();
+    for (kind, st) in &warm.stats {
+        println!(
+            "  kind {kind:16} hits {:4}  misses {:3}  bytes {:9}  build {:.4} s",
+            st.hits,
+            st.misses,
+            st.bytes,
+            st.build_ns as f64 / 1e9
+        );
+        if !kinds.is_empty() {
+            kinds.push(',');
+        }
+        kinds.push_str(&format!(
+            "{{\"kind\":\"{kind}\",\"hits\":{},\"misses\":{},\"disk_hits\":{},\"bytes\":{},\"build_seconds\":{:.6}}}",
+            st.hits, st.misses, st.disk_hits, st.bytes, st.build_ns as f64 / 1e9
+        ));
+    }
+
+    let record = format!(
+        "{{\"bench\":\"ensemble_serve\",\"k\":{},\"p\":{},\"elems\":[{},{}],\"patches\":{},\"steps\":{},\
+         \"cold_setup_seconds\":{:.6},\"warm_setup_seconds\":{:.6},\"warm_speedup\":{:.3},\
+         \"cold_batch_seconds\":{:.6},\"warm_batch_seconds\":{:.6},\
+         \"cold_jobs_per_hour\":{:.1},\"warm_jobs_per_hour\":{:.1},\
+         \"warm_hit_rate\":{:.4},\"golden_hash\":\"{:016x}\",\"bitwise_equal\":true,\
+         \"kinds\":[{kinds}]}}",
+        cfg.k,
+        cfg.p,
+        cfg.nx,
+        cfg.ny,
+        cfg.np,
+        cfg.steps,
+        cold_setup,
+        warm_setup,
+        speedup,
+        cold.wall,
+        warm.wall,
+        jph(&cold),
+        jph(&warm),
+        warm.hit_rate,
+        warm.hashes[0],
+    );
+    // Only the full run owns BENCH_serve.json: smoke sizes would
+    // overwrite the committed P=8 record with CI-container noise.
+    if !smoke && !bitwise_only {
+        write_json("BENCH_serve.json", &record);
+        println!("\nwrote consolidated record to BENCH_serve.json");
+    }
+
+    if smoke || bitwise_only {
+        assert!(warm.hit_rate > 0.0, "smoke ensemble produced no cache hits");
+        println!(
+            "smoke gates passed: hit rate {:.3} > 0, bitwise equal",
+            warm.hit_rate
+        );
+    } else {
+        assert!(
+            speedup >= 5.0,
+            "warm setup speedup {speedup:.2}x below the 5x acceptance target"
+        );
+        println!("acceptance gate passed: {speedup:.1}x >= 5x");
+    }
+}

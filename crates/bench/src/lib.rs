@@ -36,9 +36,43 @@ pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[reps / 2]
 }
 
+/// Number of logical cores on this host (1 if undeterminable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Effective worker count of the current rayon pool — what the element
+/// loops and particle sweeps actually ran on, after `RAYON_NUM_THREADS`
+/// / `NKG_POOL_WIDTH` placement took effect.
+pub fn effective_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Prefix a single-object JSON record with the host facts every benchmark
+/// row must carry: logical core count and effective thread count. Records
+/// not shaped like a JSON object pass through unchanged.
+fn stamp_host(record: &str) -> String {
+    match record.strip_prefix('{') {
+        Some(rest) => {
+            let sep = if rest.trim_start().starts_with('}') {
+                ""
+            } else {
+                ","
+            };
+            format!(
+                "{{\"host_cores\":{},\"threads\":{}{sep}{rest}",
+                host_cores(),
+                effective_threads()
+            )
+        }
+        None => record.to_string(),
+    }
+}
+
 /// Append one compact JSON record as a single line to `path` (JSON Lines:
 /// repeated benchmark invocations accumulate a history instead of
-/// overwriting the previous run's numbers).
+/// overwriting the previous run's numbers). The record is stamped with
+/// `host_cores` and `threads` so every row says where it ran.
 pub fn append_jsonl(path: &str, record: &str) {
     use std::io::Write as _;
     debug_assert!(!record.contains('\n'), "JSONL records must be single-line");
@@ -47,13 +81,16 @@ pub fn append_jsonl(path: &str, record: &str) {
         .append(true)
         .open(path)
         .unwrap_or_else(|e| panic!("open {path}: {e}"));
+    let record = stamp_host(record);
     writeln!(f, "{record}").unwrap_or_else(|e| panic!("append to {path}: {e}"));
 }
 
-/// Overwrite `path` with a single consolidated JSON document. Use for
-/// benchmarks whose output is one self-contained record per run (the
-/// latest run is the only one that matters, e.g. `BENCH_dpd.json`).
+/// Overwrite `path` with a single consolidated JSON document, stamped
+/// like [`append_jsonl`] rows. Use for benchmarks whose output is one
+/// self-contained record per run (the latest run is the only one that
+/// matters, e.g. `BENCH_dpd.json`).
 pub fn write_json(path: &str, document: &str) {
+    let document = stamp_host(document);
     std::fs::write(path, format!("{document}\n")).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
@@ -82,5 +119,17 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.923), "92.3%");
+    }
+
+    #[test]
+    fn stamp_injects_host_facts() {
+        let s = stamp_host("{\"bench\":\"x\",\"secs\":1.0}");
+        assert!(s.starts_with("{\"host_cores\":"), "{s}");
+        assert!(s.contains("\"threads\":"), "{s}");
+        assert!(s.ends_with(",\"bench\":\"x\",\"secs\":1.0}"), "{s}");
+        // Empty object gets no trailing comma; non-objects pass through.
+        let empty = stamp_host("{}");
+        assert!(empty.ends_with("}") && !empty.contains(",}"), "{empty}");
+        assert_eq!(stamp_host("[1,2]"), "[1,2]");
     }
 }

@@ -16,9 +16,55 @@
 
 use crate::multipatch::Multipatch2d;
 use crate::scaling::UnitScaling;
+use nkg_artifact::{cached, Artifact, KeyHasher};
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_dpd::sim::DpdSim;
 use nkg_sem::interp::InterpTable;
+use nkg_sem::precon::EllipticSpace;
+use std::sync::Arc;
+
+/// The preprocessing product of §3.3 step 2 as one immutable artifact:
+/// per interface bin midpoint, the donor patch id (first containing
+/// patch) and the donor-element Lagrange row. Cached under kind
+/// `"midpoint-interp"` keyed by the continuum patch fingerprints and the
+/// exact midpoint coordinate bits.
+#[derive(Debug, Clone)]
+struct MidpointInterp {
+    /// Donor patch per midpoint.
+    pids: Vec<usize>,
+    /// Interpolation rows, one per midpoint, against the donor's space.
+    table: InterpTable,
+}
+
+impl Artifact for MidpointInterp {
+    fn approx_bytes(&self) -> usize {
+        self.pids.len() * 8 + self.table.approx_bytes()
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        let mut e = Enc::new();
+        let pids: Vec<u64> = self.pids.iter().map(|&p| p as u64).collect();
+        e.put_slice(&pids);
+        e.put_slice(&self.table.encode()?);
+        Some(e.into_bytes())
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut d = Dec::new(bytes);
+        let pids: Vec<usize> = d
+            .take_vec::<u64>()
+            .ok()?
+            .into_iter()
+            .map(|p| p as usize)
+            .collect();
+        let table = InterpTable::decode(&d.take_vec::<u8>().ok()?)?;
+        d.finish().ok()?;
+        if table.len() != pids.len() {
+            return None;
+        }
+        Some(Self { pids, table })
+    }
+}
 
 /// The embedding of a DPD box into continuum coordinates.
 #[derive(Debug, Clone, Copy)]
@@ -60,8 +106,9 @@ pub struct AtomisticDomain {
     /// per midpoint, the donor patch (first containing patch, matching
     /// [`Multipatch2d::eval_velocity`]'s scan order) and the donor-element
     /// Lagrange row. Derived from static configuration — never
-    /// checkpointed, rebuilt on first exchange after construction.
-    interp: Option<(Vec<usize>, InterpTable)>,
+    /// checkpointed, rebuilt (or cache-fetched) on first exchange after
+    /// construction.
+    interp: Option<Arc<MidpointInterp>>,
 }
 
 impl AtomisticDomain {
@@ -103,18 +150,32 @@ impl AtomisticDomain {
     /// the donor element and Lagrange weights.
     fn build_interp(&mut self, continuum: &Multipatch2d) {
         let nloc = continuum.patches[0].space.nloc();
-        let mut pids = Vec::with_capacity(self.bin_midpoints_ns.len());
-        let mut table = InterpTable::with_capacity(nloc, self.bin_midpoints_ns.len());
-        for &[x, y] in &self.bin_midpoints_ns {
-            let pid = continuum
-                .patches
-                .iter()
-                .position(|s| s.space.locate(x, y).is_some())
-                .expect("interface midpoint outside continuum domain");
-            table.push(&continuum.patches[pid].space, x, y);
-            pids.push(pid);
-        }
-        self.interp = Some((pids, table));
+        let key = {
+            let mut h = KeyHasher::new("midpoint-interp");
+            h.usize(nloc);
+            for s in &continuum.patches {
+                h.key(s.space.fingerprint().expect("Space2d fp"));
+            }
+            for &[x, y] in &self.bin_midpoints_ns {
+                h.f64(x);
+                h.f64(y);
+            }
+            h.finish()
+        };
+        self.interp = Some(cached("midpoint-interp", key, || {
+            let mut pids = Vec::with_capacity(self.bin_midpoints_ns.len());
+            let mut table = InterpTable::with_capacity(nloc, self.bin_midpoints_ns.len());
+            for &[x, y] in &self.bin_midpoints_ns {
+                let pid = continuum
+                    .patches
+                    .iter()
+                    .position(|s| s.space.locate(x, y).is_some())
+                    .expect("interface midpoint outside continuum domain");
+                table.push(&continuum.patches[pid].space, x, y);
+                pids.push(pid);
+            }
+            MidpointInterp { pids, table }
+        }));
     }
 
     /// The exchange: interpolate the continuum velocity at each interface
@@ -127,11 +188,11 @@ impl AtomisticDomain {
         }
         let mut targets = Vec::with_capacity(self.bin_midpoints_ns.len());
         if self.use_interp_tables {
-            let (pids, table) = self.interp.as_ref().expect("table just built");
-            for (q, &pid) in pids.iter().enumerate() {
+            let mi = self.interp.as_ref().expect("table just built");
+            for (q, &pid) in mi.pids.iter().enumerate() {
                 let donor = &continuum.patches[pid];
-                let u = table.eval(&donor.space, &donor.u, q).expect("table row");
-                let v = table.eval(&donor.space, &donor.v, q).expect("table row");
+                let u = mi.table.eval(&donor.space, &donor.u, q).expect("table row");
+                let v = mi.table.eval(&donor.space, &donor.v, q).expect("table row");
                 targets.push([u * vf, v * vf, 0.0]);
             }
         } else {

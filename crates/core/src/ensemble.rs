@@ -1,0 +1,187 @@
+//! Ensemble batch runner: many parameterized jobs over one artifact cache.
+//!
+//! The paper's clinical use case is not one simulation but a *sweep* —
+//! the same arterial geometry solved under many inflow waveforms, viscosity
+//! estimates or resistance parameters. Setup (GLL tables, low-energy
+//! preconditioner factorizations, interface interpolation tables) depends
+//! only on the discretization, not on the swept parameters, so every job
+//! after the first can reuse the first job's artifacts byte for byte. An
+//! [`Ensemble`] owns one [`ArtifactCache`] and runs each job's *entire*
+//! lifetime — construction and stepping — inside that cache's ambient
+//! scope, so even lazily-built artifacts (e.g. the viscous Helmholtz
+//! engine a solver assembles on its first step) land in the shared cache.
+//!
+//! Jobs execute sequentially; intra-job parallelism (per-patch fan-out,
+//! rayon element loops) is unaffected. Determinism: a cache hit returns
+//! the identical immutable artifact, so a warm job is bitwise identical
+//! to the same job run cold — see `warm_jobs_bitwise_match_cold` below
+//! and the acceptance gate in `bench_serve`.
+
+use nkg_artifact::{with_cache, ArtifactCache, CacheMode, KindStats};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock account of one ensemble job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobReport {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Seconds inside the job's `build` closure (solver construction).
+    pub setup_seconds: f64,
+    /// Seconds inside the job's `run` closure (time stepping etc.).
+    pub run_seconds: f64,
+}
+
+/// A batch runner holding the shared artifact cache.
+pub struct Ensemble {
+    cache: Arc<ArtifactCache>,
+}
+
+impl Ensemble {
+    /// Ensemble with an in-memory cache of the given mode
+    /// ([`CacheMode::Off`] makes every job a cold build — the baseline).
+    pub fn new(mode: CacheMode) -> Self {
+        Self {
+            cache: Arc::new(ArtifactCache::new(mode)),
+        }
+    }
+
+    /// Ensemble whose cache also persists encodable artifacts under `dir`,
+    /// so a *later process* (or a resumed batch) warm-starts from disk.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            cache: Arc::new(ArtifactCache::on_disk(dir)),
+        }
+    }
+
+    /// The shared cache (for stats inspection or nesting via
+    /// [`with_cache`]).
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Per-kind cache counters accumulated over all jobs so far.
+    pub fn stats(&self) -> Vec<(&'static str, KindStats)> {
+        self.cache.stats()
+    }
+
+    /// Run every job: `build` constructs the solver for a parameter point,
+    /// `run` advances it and returns the job's result. Both run inside the
+    /// shared cache scope. Returns one `(report, result)` per job, in
+    /// submission order.
+    pub fn run_jobs<J, S, R>(
+        &self,
+        jobs: &[J],
+        mut build: impl FnMut(&J) -> S,
+        mut run: impl FnMut(&mut S, &J) -> R,
+    ) -> Vec<(JobReport, R)> {
+        jobs.iter()
+            .enumerate()
+            .map(|(job, params)| {
+                with_cache(&self.cache, || {
+                    let t0 = Instant::now();
+                    let mut solver = build(params);
+                    let setup_seconds = t0.elapsed().as_secs_f64();
+                    let t1 = Instant::now();
+                    let result = run(&mut solver, params);
+                    let run_seconds = t1.elapsed().as_secs_f64();
+                    (
+                        JobReport {
+                            job,
+                            setup_seconds,
+                            run_seconds,
+                        },
+                        result,
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multipatch::{poiseuille_multipatch, Multipatch2d};
+
+    fn job(force: f64) -> Multipatch2d {
+        poiseuille_multipatch(4.0, 1.0, 8, 2, 2, 3, 0.5, force, 5e-3)
+    }
+
+    fn run_bits(mp: &mut Multipatch2d) -> Vec<u64> {
+        for _ in 0..4 {
+            mp.step();
+        }
+        mp.patches
+            .iter()
+            .flat_map(|s| s.u.iter().chain(&s.p).map(|x| x.to_bits()))
+            .collect()
+    }
+
+    /// K=3 parameter sweep under a process cache: later jobs hit on every
+    /// kind the first job populated, and every job's physics is bitwise
+    /// identical to a cold (cache-off) run of the same parameters.
+    #[test]
+    fn warm_jobs_bitwise_match_cold() {
+        let forces = [0.3, 0.4, 0.5];
+        let warm = Ensemble::new(CacheMode::Process);
+        let warm_out = warm.run_jobs(&forces, |&f| job(f), |mp, _| run_bits(mp));
+        let cold = Ensemble::new(CacheMode::Off);
+        let cold_out = cold.run_jobs(&forces, |&f| job(f), |mp, _| run_bits(mp));
+
+        let totals = warm.cache().totals();
+        assert!(
+            totals.hits > 0,
+            "3-job sweep produced no cache hits: {totals:?}"
+        );
+        assert_eq!(cold.cache().totals().hits, 0, "Off mode must never hit");
+        for ((_, w), (_, c)) in warm_out.iter().zip(&cold_out) {
+            assert_eq!(w, c, "warm job diverged bitwise from cold job");
+        }
+    }
+
+    /// The jobs' setup reuse shows up in the per-kind counters: the sweep
+    /// shares one GLL table, one preconditioner factorization per engine
+    /// and one interface table set across all jobs.
+    #[test]
+    fn sweep_reuses_setup_artifacts() {
+        let forces = [0.25, 0.35, 0.45, 0.55];
+        let ens = Ensemble::new(CacheMode::Process);
+        ens.run_jobs(&forces, |&f| job(f), |mp, _| run_bits(mp));
+        for (kind, st) in ens.stats() {
+            assert!(
+                st.hits > 0,
+                "kind {kind:?} never hit across a 4-job sweep: {st:?}"
+            );
+            assert!(st.bytes > 0, "kind {kind:?} reported no bytes");
+        }
+        // At least the big three artifact kinds must be in play.
+        let kinds: Vec<_> = ens.stats().iter().map(|&(k, _)| k).collect();
+        for expect in ["gll", "precon", "interp"] {
+            assert!(kinds.contains(&expect), "missing kind {expect}: {kinds:?}");
+        }
+    }
+
+    /// Disk tier: a second ensemble pointed at the same directory decodes
+    /// the persisted artifacts instead of rebuilding, and its physics is
+    /// still bitwise identical.
+    #[test]
+    fn disk_tier_warm_starts_a_second_batch() {
+        let dir = std::env::temp_dir().join(format!("nkg-ens-{}", std::process::id()));
+        let forces = [0.4, 0.5];
+        let first = Ensemble::with_disk(&dir);
+        let first_out = first.run_jobs(&forces, |&f| job(f), |mp, _| run_bits(mp));
+        let second = Ensemble::with_disk(&dir);
+        let second_out = second.run_jobs(&forces, |&f| job(f), |mp, _| run_bits(mp));
+        let totals = second.cache().totals();
+        assert!(
+            totals.disk_hits > 0,
+            "second batch never hit the disk tier: {totals:?}"
+        );
+        for ((_, a), (_, b)) in first_out.iter().zip(&second_out) {
+            assert_eq!(a, b, "disk-warmed job diverged bitwise");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

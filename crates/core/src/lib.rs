@@ -35,6 +35,7 @@
 
 pub mod atomistic;
 pub mod dist;
+pub mod ensemble;
 pub mod failover;
 pub mod metasolver;
 pub mod multipatch;
@@ -42,6 +43,7 @@ pub mod oned_coupling;
 pub mod progression;
 pub mod scaling;
 
+pub use ensemble::{Ensemble, JobReport};
 pub use metasolver::NektarG;
 pub use progression::TimeProgression;
 pub use scaling::UnitScaling;

@@ -10,6 +10,18 @@
 //! `(seed, step)` (see `nkg_dpd::streams`), a run restored from such a
 //! snapshot replays the remaining steps bitwise — same particle
 //! trajectories, same fields, same [`RunReport`].
+//!
+//! Setup caching: everything a metasolver builds flows through
+//! constructors that consult the ambient [`nkg_artifact`] cache — GLL
+//! bases and preconditioner factorizations inside each patch's solvers,
+//! interface interpolation tables in [`Multipatch2d::from_channel`], the
+//! midpoint registration in the atomistic exchange. Construct (and step)
+//! a [`NektarG`] inside [`nkg_artifact::with_cache`] — most conveniently
+//! via [`crate::ensemble::Ensemble`] — and repeated setups of the same
+//! discretization are served from the cache, bitwise identical to a cold
+//! build. Checkpoint interaction: snapshots never contain cached
+//! artifacts (they are derived, immutable data), so resume first rebuilds
+//! or cache-fetches setup, then restores evolving state on top.
 
 use crate::atomistic::AtomisticDomain;
 use crate::multipatch::Multipatch2d;

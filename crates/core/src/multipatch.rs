@@ -22,13 +22,16 @@
 //! both sides over-constrains the patch and drifts. The continuity of the
 //! resulting fields across interfaces is the paper's Fig. 9 check.
 
+use nkg_artifact::{cached, KeyHasher};
 use nkg_ckpt::{CkptError, Dec, Enc, Snapshot};
 use nkg_mesh::quad::{BoundaryTag, QuadMesh};
 use nkg_sem::interp::InterpTable;
 use nkg_sem::ns2d::{NsConfig, NsSolver2d, StepSolveStats};
+use nkg_sem::precon::EllipticSpace;
 use nkg_sem::space2d::Space2d;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A multipatch 2D Navier–Stokes solver over overlapping patches.
 pub struct Multipatch2d {
@@ -40,9 +43,11 @@ pub struct Multipatch2d {
     p_links: Vec<Vec<(usize, usize)>>,
     /// Per patch: precomputed interpolation rows for `vel_links` (row `q`
     /// pairs with `vel_links[pi][q]`, built against the donor's space).
-    vel_interp: Vec<InterpTable>,
+    /// `Arc`-shared so an ambient [`nkg_artifact`] cache can hand the same
+    /// table to every job of an ensemble.
+    vel_interp: Vec<Arc<InterpTable>>,
     /// Per patch: precomputed interpolation rows for `p_links`.
-    p_interp: Vec<InterpTable>,
+    p_interp: Vec<Arc<InterpTable>>,
     /// Whether interface evaluations use the precomputed tables (bitwise
     /// identical to the historical element scan; off = the scan, kept as
     /// the benchmark baseline).
@@ -112,22 +117,38 @@ impl Multipatch2d {
         }
         // Interface interpolation tables: every link's query point is
         // static (the receiving DoF's coordinates), so the donor element
-        // and Lagrange weights are resolved once here.
-        let build_tables = |links: &[Vec<(usize, usize)>]| -> Vec<InterpTable> {
+        // and Lagrange weights are resolved once here — or, under an
+        // ambient artifact cache, fetched from a previous identical build.
+        // The key covers everything a row depends on: each donor space's
+        // content fingerprint and the exact query-point bits.
+        let build_tables = |links: &[Vec<(usize, usize)>]| -> Vec<Arc<InterpTable>> {
             links
                 .iter()
                 .enumerate()
                 .map(|(pi, ll)| {
                     let nloc = patches[pi].space.nloc();
-                    let mut t = InterpTable::with_capacity(nloc, ll.len());
-                    for &(dof, donor) in ll {
-                        let [x, y] = patches[pi].space.coords[dof];
-                        assert!(
-                            t.push(&patches[donor].space, x, y),
-                            "interface DoF outside donor patch"
-                        );
-                    }
-                    t
+                    let key = {
+                        let mut h = KeyHasher::new("interp");
+                        h.usize(nloc);
+                        for &(dof, donor) in ll {
+                            h.key(patches[donor].space.fingerprint().expect("Space2d fp"));
+                            let [x, y] = patches[pi].space.coords[dof];
+                            h.f64(x);
+                            h.f64(y);
+                        }
+                        h.finish()
+                    };
+                    cached("interp", key, || {
+                        let mut t = InterpTable::with_capacity(nloc, ll.len());
+                        for &(dof, donor) in ll {
+                            let [x, y] = patches[pi].space.coords[dof];
+                            assert!(
+                                t.push(&patches[donor].space, x, y),
+                                "interface DoF outside donor patch"
+                            );
+                        }
+                        t
+                    })
                 })
                 .collect()
         };

@@ -15,8 +15,8 @@ use crate::liveness::Liveness;
 use crate::supervisor::{RestartCause, RestartEvent, RestartPolicy};
 use crossbeam_channel::{unbounded, Sender};
 use nkg_net::endpoint::{
-    split_tcp, split_unix, Endpoint, ENV_CONNECT, ENV_INCARNATION, ENV_PROGRAM, ENV_RANK,
-    ENV_TIMEOUT_MS, ENV_WORLD, EXIT_OK, EXIT_SCRIPTED_KILL,
+    split_tcp, split_unix, Endpoint, ENV_CONNECT, ENV_INCARNATION, ENV_POOL_WIDTH, ENV_PROGRAM,
+    ENV_RANK, ENV_TIMEOUT_MS, ENV_WORLD, EXIT_OK, EXIT_SCRIPTED_KILL,
 };
 use nkg_net::hub::{Hub, HubConfig};
 use nkg_net::port::RemotePort;
@@ -603,6 +603,14 @@ impl Universe {
             let opts = opts.clone();
             let endpoint_str = endpoint.to_string();
             let timeout_ms = self.recv_timeout.as_millis().to_string();
+            // Topology placement: all n ranks are co-scheduled on this
+            // host, so each gets an equal share of its cores as rayon
+            // pool width. Callers override via `opts.env` (set after).
+            let pool_width = nkg_topo::rank_pool_width(
+                std::thread::available_parallelism().map_or(1, |c| c.get()),
+                n,
+            )
+            .to_string();
             Arc::new(
                 move |rank: usize, incarnation: u64| -> std::process::Child {
                     let mut cmd = std::process::Command::new(&opts.worker);
@@ -611,7 +619,8 @@ impl Universe {
                         .env(ENV_CONNECT, &endpoint_str)
                         .env(ENV_PROGRAM, &opts.program)
                         .env(ENV_TIMEOUT_MS, &timeout_ms)
-                        .env(ENV_INCARNATION, incarnation.to_string());
+                        .env(ENV_INCARNATION, incarnation.to_string())
+                        .env(ENV_POOL_WIDTH, &pool_width);
                     for (k, v) in &opts.env {
                         cmd.env(k, v);
                     }

@@ -97,6 +97,15 @@ pub fn worker_main(reg: &Registry) -> i32 {
             return EXIT_BAD_ENV;
         }
     };
+    // Honor the launcher's placement before any program code can touch a
+    // rayon pool (the global pool snapshots RAYON_NUM_THREADS on first
+    // use). An explicit RAYON_NUM_THREADS in the worker's environment
+    // always wins over the placement.
+    if let Some(w) = env.pool_width {
+        if std::env::var("RAYON_NUM_THREADS").is_err() {
+            std::env::set_var("RAYON_NUM_THREADS", w.to_string());
+        }
+    }
     let program = match reg.lookup(&env.program) {
         Some(p) => p,
         None => {

@@ -25,6 +25,11 @@ pub const ENV_TIMEOUT_MS: &str = "NKG_TIMEOUT_MS";
 /// Worker env var: this rank's incarnation (0 or unset for a first
 /// launch; the supervisor sets the attempt number on respawn).
 pub const ENV_INCARNATION: &str = "NKG_INCARNATION";
+/// Worker env var (optional): compute-pool width for this rank, from the
+/// launcher's topology placement (host cores ÷ co-located ranks). The
+/// worker honors it as its rayon thread count unless `RAYON_NUM_THREADS`
+/// is already set explicitly.
+pub const ENV_POOL_WIDTH: &str = "NKG_POOL_WIDTH";
 
 /// Worker exit: clean completion, result reported.
 pub const EXIT_OK: i32 = 0;
@@ -117,6 +122,9 @@ pub struct WorkerEnv {
     pub recv_timeout: std::time::Duration,
     /// Incarnation this worker connects as (0 = first launch).
     pub incarnation: u64,
+    /// Compute-pool width assigned by the launcher's placement (`None`
+    /// when the launcher predates the knob or placement is disabled).
+    pub pool_width: Option<usize>,
 }
 
 impl WorkerEnv {
@@ -142,6 +150,10 @@ impl WorkerEnv {
             Ok(v) => parse_num(ENV_INCARNATION, &v)?,
             Err(_) => 0,
         };
+        let pool_width = match std::env::var(ENV_POOL_WIDTH) {
+            Ok(v) => Some(parse_num::<usize>(ENV_POOL_WIDTH, &v)?).filter(|&w| w > 0),
+            Err(_) => None,
+        };
         Ok(WorkerEnv {
             rank,
             world,
@@ -149,6 +161,7 @@ impl WorkerEnv {
             program,
             recv_timeout: std::time::Duration::from_millis(timeout_ms),
             incarnation,
+            pool_width,
         })
     }
 }

@@ -146,7 +146,19 @@ pub struct GllBasis {
 
 impl GllBasis {
     /// Build the basis of order `p ≥ 1`.
+    ///
+    /// Routed through the ambient `nkg-artifact` cache (kind `"gll"`): the
+    /// Newton solve for the points runs once per order per cache scope,
+    /// and a hit clones the table — `Vec<f64>` clones preserve bits, so
+    /// the result is bitwise identical to a cold build. With no ambient
+    /// cache installed this *is* the cold build.
     pub fn new(p: usize) -> Self {
+        let mut h = nkg_artifact::KeyHasher::new("gll");
+        h.usize(p);
+        (*nkg_artifact::cached("gll", h.finish(), || Self::build(p))).clone()
+    }
+
+    fn build(p: usize) -> Self {
         let (points, weights) = gll(p);
         let d = diff_matrix(p, &points);
         Self {
@@ -182,6 +194,14 @@ impl GllBasis {
             .zip(u)
             .map(|(l, v)| l * v)
             .sum()
+    }
+}
+
+/// Memory-tier artifact only: the tables are a few hundred bytes, so the
+/// win is skipping the Newton solve within a process, not disk reuse.
+impl nkg_artifact::Artifact for GllBasis {
+    fn approx_bytes(&self) -> usize {
+        (self.points.len() + self.weights.len() + self.d.len()) * 8 + 8
     }
 }
 

@@ -17,6 +17,7 @@
 //! is identical to the scanning path.
 
 use crate::space2d::Space2d;
+use nkg_ckpt::{Dec, Enc};
 
 /// Precomputed interpolation rows: one donor element id plus `(P+1)²`
 /// tensor-product Lagrange weights per query point.
@@ -101,6 +102,52 @@ impl InterpTable {
             val += wk * u[g];
         }
         Some(val)
+    }
+}
+
+/// Tables opt into the artifact disk tier: pure data (donor element ids
+/// plus weight rows), independent of which space the rows point at, with
+/// every weight round-tripping through its exact bit pattern. Locating a
+/// point is an O(elements) Newton scan per row, so an ensemble sharing one
+/// cache skips the entire scan on a hit.
+impl nkg_artifact::Artifact for InterpTable {
+    fn approx_bytes(&self) -> usize {
+        self.elems.len() * 8 + self.weights.len() * 8
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        let mut e = Enc::new();
+        e.put(self.nloc as u64);
+        // `u64::MAX` marks an unlocated point (donor ids are u32-sized).
+        let elems: Vec<u64> = self
+            .elems
+            .iter()
+            .map(|o| o.map_or(u64::MAX, |e| e as u64))
+            .collect();
+        e.put_slice(&elems);
+        e.put_slice(&self.weights);
+        Some(e.into_bytes())
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut d = Dec::new(bytes);
+        let nloc = d.take::<u64>().ok()? as usize;
+        let elems: Vec<Option<u32>> = d
+            .take_vec::<u64>()
+            .ok()?
+            .into_iter()
+            .map(|v| if v == u64::MAX { None } else { Some(v as u32) })
+            .collect();
+        let weights = d.take_vec::<f64>().ok()?;
+        d.finish().ok()?;
+        if weights.len() != elems.len() * nloc {
+            return None;
+        }
+        Some(Self {
+            nloc,
+            elems,
+            weights,
+        })
     }
 }
 

@@ -35,8 +35,11 @@
 //! serial kernels at `RAYON_NUM_THREADS=1`.
 
 use crate::cg::{pcg_ws, CgResult, CgWorkspace};
+use nkg_artifact::{cached, Artifact, ArtifactKey, KeyHasher};
+use nkg_ckpt::{Dec, Enc};
 use nkg_simd::par::{par_axpy, par_dot};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Reusable scratch for matrix-free Helmholtz applications (2D and 3D).
 ///
@@ -180,6 +183,14 @@ pub trait EllipticSpace {
     /// (bi/trilinear) hat values `hats[c][k]` of corner `c` at local node
     /// `k` — the element prolongation of the coarse vertex space.
     fn corner_hats(&self) -> (Vec<usize>, Vec<Vec<f64>>);
+    /// Content fingerprint of the discretization (mesh geometry,
+    /// connectivity and order), if the space can produce one. Feeds the
+    /// `nkg-artifact` keys under which setup factorizations are shared;
+    /// `None` (the default) opts the space out of caching — every build
+    /// stays cold, which is always correct.
+    fn fingerprint(&self) -> Option<ArtifactKey> {
+        None
+    }
 }
 
 /// The preconditioner rungs of the ablation ladder.
@@ -260,33 +271,47 @@ struct Block {
     chol: Vec<f64>,
 }
 
-/// Cached coarse vertex-space solve `P A_c⁻¹ Pᵀ`.
+/// Factored coarse vertex-space solve `P A_c⁻¹ Pᵀ` (immutable part).
 #[derive(Debug, Clone)]
-struct Coarse {
+struct CoarseFactors {
     nc: usize,
     chol: Vec<f64>,
     /// Sparse prolongation by coarse column: `cols[c]` lists the
     /// `(global DoF, hat value)` support of coarse vertex `c`.
     cols: Vec<Vec<(usize, f64)>>,
-    rc: Vec<f64>,
+}
+
+/// The immutable product of low-energy preconditioner assembly: block
+/// Cholesky factors, the vertex diagonal and the optional coarse solve.
+///
+/// This is the expensive part of [`LowEnergyPrecon`] construction (element
+/// matrix probing plus the factorizations), split from the per-solver
+/// apply scratch so [`EllipticSolver`]s with the same (space, λ, mask) key
+/// can `Arc`-share one copy through the `nkg-artifact` cache.
+#[derive(Debug, Clone)]
+pub struct LowEnergyFactors {
+    blocks: Vec<Block>,
+    /// `(gid, diag)` of unmasked vertex DoFs; applied as `r/diag`.
+    vertex_diag: Vec<(usize, f64)>,
+    coarse: Option<CoarseFactors>,
+    max_block: usize,
 }
 
 /// Additive two-level low-energy preconditioner:
 /// `z = Σ_g R_gᵀ A_g⁻¹ R_g r  +  D_v⁻¹ r  +  P A_c⁻¹ Pᵀ r`
-/// (the last term only for [`PreconKind::LowEnergyCoarse`]).
+/// (the last term only for [`PreconKind::LowEnergyCoarse`]). Holds shared
+/// immutable factors plus its own gather/coarse-residual scratch.
 #[derive(Debug, Clone)]
 pub struct LowEnergyPrecon {
-    blocks: Vec<Block>,
-    /// `(gid, diag)` of unmasked vertex DoFs; applied as `r/diag`.
-    vertex_diag: Vec<(usize, f64)>,
-    coarse: Option<Coarse>,
+    factors: Arc<LowEnergyFactors>,
     gather: Vec<f64>,
+    rc: Vec<f64>,
 }
 
-impl LowEnergyPrecon {
+impl LowEnergyFactors {
     /// Assemble the blocks (and optionally the coarse problem) for `space`
     /// at shift `lambda` with the given Dirichlet mask.
-    pub fn new<S: EllipticSpace + ?Sized>(
+    pub fn build<S: EllipticSpace + ?Sized>(
         space: &S,
         lambda: f64,
         mask: &DirichletMask,
@@ -492,11 +517,10 @@ impl LowEnergyPrecon {
                     v.sort_by_key(|&(g, _)| g);
                     coarse_cols[ci] = v;
                 }
-                Some(Coarse {
+                Some(CoarseFactors {
                     nc,
                     chol: coarse_mat,
                     cols: coarse_cols,
-                    rc: vec![0.0; nc],
                 })
             } else {
                 None
@@ -510,20 +534,151 @@ impl LowEnergyPrecon {
             blocks,
             vertex_diag,
             coarse,
-            gather: vec![0.0; max_block],
+            max_block,
+        }
+    }
+}
+
+/// The factors opt into the artifact disk tier: every `f64` round-trips
+/// through its exact bit pattern, so a disk-hit preconditioner applies
+/// bitwise identically to a cold-built one.
+impl Artifact for LowEnergyFactors {
+    fn approx_bytes(&self) -> usize {
+        let blocks: usize = self
+            .blocks
+            .iter()
+            .map(|b| b.gids.len() * 8 + b.chol.len() * 8)
+            .sum();
+        let coarse = self.coarse.as_ref().map_or(0, |c| {
+            c.chol.len() * 8 + c.cols.iter().map(|col| col.len() * 16).sum::<usize>()
+        });
+        blocks + coarse + self.vertex_diag.len() * 16
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        let mut e = Enc::new();
+        e.put(self.blocks.len() as u64);
+        for b in &self.blocks {
+            let gids: Vec<u64> = b.gids.iter().map(|&g| g as u64).collect();
+            e.put_slice(&gids);
+            e.put_slice(&b.chol);
+        }
+        let vg: Vec<u64> = self.vertex_diag.iter().map(|&(g, _)| g as u64).collect();
+        let vd: Vec<f64> = self.vertex_diag.iter().map(|&(_, d)| d).collect();
+        e.put_slice(&vg);
+        e.put_slice(&vd);
+        e.put_bool(self.coarse.is_some());
+        if let Some(c) = &self.coarse {
+            e.put(c.nc as u64);
+            e.put_slice(&c.chol);
+            e.put(c.cols.len() as u64);
+            for col in &c.cols {
+                let gs: Vec<u64> = col.iter().map(|&(g, _)| g as u64).collect();
+                let vs: Vec<f64> = col.iter().map(|&(_, v)| v).collect();
+                e.put_slice(&gs);
+                e.put_slice(&vs);
+            }
+        }
+        Some(e.into_bytes())
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut d = Dec::new(bytes);
+        let nb = d.take::<u64>().ok()? as usize;
+        let mut blocks = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let gids: Vec<usize> = d
+                .take_vec::<u64>()
+                .ok()?
+                .into_iter()
+                .map(|g| g as usize)
+                .collect();
+            let chol = d.take_vec::<f64>().ok()?;
+            let n = gids.len();
+            if chol.len() != n * n {
+                return None;
+            }
+            blocks.push(Block { gids, n, chol });
+        }
+        let vg = d.take_vec::<u64>().ok()?;
+        let vd = d.take_vec::<f64>().ok()?;
+        if vg.len() != vd.len() {
+            return None;
+        }
+        let vertex_diag = vg
+            .into_iter()
+            .map(|g| g as usize)
+            .zip(vd)
+            .collect::<Vec<_>>();
+        let coarse = if d.take_bool().ok()? {
+            let nc = d.take::<u64>().ok()? as usize;
+            let chol = d.take_vec::<f64>().ok()?;
+            if chol.len() != nc * nc {
+                return None;
+            }
+            let ncols = d.take::<u64>().ok()? as usize;
+            let mut cols = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let gs = d.take_vec::<u64>().ok()?;
+                let vs = d.take_vec::<f64>().ok()?;
+                if gs.len() != vs.len() {
+                    return None;
+                }
+                cols.push(gs.into_iter().map(|g| g as usize).zip(vs).collect());
+            }
+            Some(CoarseFactors { nc, chol, cols })
+        } else {
+            None
+        };
+        d.finish().ok()?;
+        let max_block = blocks.iter().map(|b| b.n).max().unwrap_or(0);
+        Some(Self {
+            blocks,
+            vertex_diag,
+            coarse,
+            max_block,
+        })
+    }
+}
+
+impl LowEnergyPrecon {
+    /// Assemble the blocks (and optionally the coarse problem) for `space`
+    /// at shift `lambda` with the given Dirichlet mask.
+    pub fn new<S: EllipticSpace + ?Sized>(
+        space: &S,
+        lambda: f64,
+        mask: &DirichletMask,
+        with_coarse: bool,
+    ) -> Self {
+        Self::from_factors(Arc::new(LowEnergyFactors::build(
+            space,
+            lambda,
+            mask,
+            with_coarse,
+        )))
+    }
+
+    /// Wrap shared (possibly cached) factors with fresh apply scratch.
+    pub fn from_factors(factors: Arc<LowEnergyFactors>) -> Self {
+        let gather = vec![0.0; factors.max_block];
+        let rc = vec![0.0; factors.coarse.as_ref().map_or(0, |c| c.nc)];
+        Self {
+            factors,
+            gather,
+            rc,
         }
     }
 
     /// Whether the coarse vertex solve is active.
     pub fn has_coarse(&self) -> bool {
-        self.coarse.is_some()
+        self.factors.coarse.is_some()
     }
 }
 
 impl Preconditioner for LowEnergyPrecon {
     fn apply(&mut self, r: &[f64], z: &mut [f64]) {
         z.iter_mut().for_each(|v| *v = 0.0);
-        for b in &self.blocks {
+        for b in &self.factors.blocks {
             let g = &mut self.gather[..b.n];
             for (i, &gid) in b.gids.iter().enumerate() {
                 g[i] = r[gid];
@@ -533,20 +688,20 @@ impl Preconditioner for LowEnergyPrecon {
                 z[gid] += g[i];
             }
         }
-        for &(g, d) in &self.vertex_diag {
+        for &(g, d) in &self.factors.vertex_diag {
             z[g] += r[g] / d;
         }
-        if let Some(c) = &mut self.coarse {
+        if let Some(c) = &self.factors.coarse {
             for (ci, col) in c.cols.iter().enumerate() {
                 let mut s = 0.0;
                 for &(g, v) in col {
                     s += v * r[g];
                 }
-                c.rc[ci] = s;
+                self.rc[ci] = s;
             }
-            cholesky_solve(&c.chol, c.nc, &mut c.rc);
+            cholesky_solve(&c.chol, c.nc, &mut self.rc);
             for (ci, col) in c.cols.iter().enumerate() {
-                let y = c.rc[ci];
+                let y = self.rc[ci];
                 for &(g, v) in col {
                     z[g] += v * y;
                 }
@@ -729,11 +884,27 @@ impl EllipticSolver {
                 diag: space.helmholtz_diag(lambda),
                 is_bc: mask.flags().to_vec(),
             },
-            PreconKind::LowEnergy => {
-                PreconImpl::LowEnergy(Box::new(LowEnergyPrecon::new(space, lambda, &mask, false)))
-            }
-            PreconKind::LowEnergyCoarse => {
-                PreconImpl::LowEnergy(Box::new(LowEnergyPrecon::new(space, lambda, &mask, true)))
+            PreconKind::LowEnergy | PreconKind::LowEnergyCoarse => {
+                // Cache-first: engines over the same (space, λ, mask, rung)
+                // Arc-share one set of factors through the ambient
+                // `nkg-artifact` cache. Without an ambient cache, or for a
+                // space with no fingerprint, this is exactly the cold
+                // build — and a cache hit is the *same* immutable object,
+                // so the apply arithmetic is bitwise unchanged.
+                let with_coarse = kind == PreconKind::LowEnergyCoarse;
+                let build = || LowEnergyFactors::build(space, lambda, &mask, with_coarse);
+                let factors = match space.fingerprint() {
+                    Some(fp) => {
+                        let mut h = KeyHasher::new("precon");
+                        h.key(fp);
+                        h.f64(lambda);
+                        h.bool(with_coarse);
+                        h.usizes(dirichlet);
+                        cached("precon", h.finish(), build)
+                    }
+                    None => Arc::new(build()),
+                };
+                PreconImpl::LowEnergy(Box::new(LowEnergyPrecon::from_factors(factors)))
             }
         };
         Self {
@@ -1421,6 +1592,80 @@ mod tests {
                 );
                 let pos = par_dot(&r1, &z1);
                 prop_assert!(pos > 0.0, "{:?} not positive: {}", kind, pos);
+            }
+
+            /// Cache-hit preconditioners are bitwise identical to
+            /// cold-built ones across random meshes, orders, shifts and
+            /// Dirichlet masks: one solver built with no ambient cache,
+            /// two built inside the same cache scope (the second is a
+            /// hit), all applied to the same masked probe vector.
+            #[test]
+            fn cached_precon_bitwise_equals_cold(
+                seed in 0u64..1_000_000,
+                p in 2usize..6,
+                nx in 1usize..4,
+                ny in 1usize..4,
+                lambda in 0.0f64..50.0,
+                coarse in proptest::prelude::any::<bool>(),
+                mask_idx in 0usize..3,
+            ) {
+                use nkg_artifact::{with_cache, ArtifactCache, CacheMode};
+                use nkg_mesh::quad::BoundaryTag;
+                let kind = if coarse {
+                    PreconKind::LowEnergyCoarse
+                } else {
+                    PreconKind::LowEnergy
+                };
+                let s = space2(nx, ny, p);
+                let bnd = match mask_idx {
+                    0 => s.boundary_dofs(|_| true),
+                    1 => s.boundary_dofs(|t| matches!(t, BoundaryTag::Wall)),
+                    _ => s.boundary_dofs(|t| !matches!(t, BoundaryTag::Wall)),
+                };
+                let mask = DirichletMask::new(s.nglobal, &bnd);
+                let mut r = pseudo(s.nglobal, seed);
+                mask.zero_masked(&mut r);
+
+                let build = || EllipticSolver::new(&s, lambda, &bnd, kind, 1e-10, 100, 0, 0);
+                let mut cold = build();
+                let cache = std::sync::Arc::new(ArtifactCache::new(CacheMode::Process));
+                let (mut warm1, mut warm2) = with_cache(&cache, || (build(), build()));
+
+                let mut z_cold = vec![0.0; s.nglobal];
+                let mut z1 = vec![0.0; s.nglobal];
+                let mut z2 = vec![0.0; s.nglobal];
+                cold.precon.apply(&r, &mut z_cold);
+                warm1.precon.apply(&r, &mut z1);
+                warm2.precon.apply(&r, &mut z2);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&z_cold), bits(&z1), "miss-path diverged from cold");
+                prop_assert_eq!(bits(&z_cold), bits(&z2), "hit-path diverged from cold");
+                prop_assert!(cache.totals().hits > 0, "second build was not a cache hit");
+            }
+        }
+    }
+
+    /// The on-disk codec for low-energy factors must round-trip every
+    /// bit: a decoded factor set applies identically to the original.
+    #[test]
+    fn low_energy_factors_codec_roundtrip_bitwise() {
+        let s = space2(3, 2, 5);
+        let bnd = s.boundary_dofs(|_| true);
+        let mask = DirichletMask::new(s.nglobal, &bnd);
+        for with_coarse in [false, true] {
+            let factors = LowEnergyFactors::build(&s, 2.7, &mask, with_coarse);
+            let bytes = factors.encode().expect("factors encode");
+            let back = LowEnergyFactors::decode(&bytes).expect("factors decode");
+            let mut a = LowEnergyPrecon::from_factors(Arc::new(factors));
+            let mut b = LowEnergyPrecon::from_factors(Arc::new(back));
+            let mut r = pseudo(s.nglobal, 7);
+            mask.zero_masked(&mut r);
+            let mut za = vec![0.0; s.nglobal];
+            let mut zb = vec![0.0; s.nglobal];
+            a.apply(&r, &mut za);
+            b.apply(&r, &mut zb);
+            for (x, y) in za.iter().zip(&zb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "decoded factors diverged");
             }
         }
     }

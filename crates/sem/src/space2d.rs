@@ -5,6 +5,7 @@
 use crate::basis::{lagrange_at, GllBasis};
 use crate::cg::CgResult;
 use crate::precon::{ApplyScratch, EllipticSolver, EllipticSpace, NodeRole, PreconKind};
+use nkg_artifact::{ArtifactKey, KeyHasher};
 use nkg_mesh::quad::{BoundaryTag, QuadMesh};
 use std::collections::HashMap;
 
@@ -51,6 +52,10 @@ pub struct Space2d {
     pub mult: Vec<f64>,
     /// Global coordinates of each DoF.
     pub coords: Vec<[f64; 2]>,
+    /// Content fingerprint of (mesh geometry, connectivity, order,
+    /// periodicity) — the `nkg-artifact` key component under which setup
+    /// factorizations over this discretization are shared.
+    fp: ArtifactKey,
 }
 
 #[derive(Hash, PartialEq, Eq, Clone, Copy)]
@@ -119,6 +124,32 @@ impl Space2d {
                 coords[g] = [geom[e].x[k], geom[e].y[k]];
             }
         }
+        // Content fingerprint: exact vertex-coordinate bits, element
+        // connectivity, order and the (periodicity-aware) assembled
+        // numbering. Everything the elliptic setup products depend on is a
+        // pure function of these inputs, so equal fingerprints mean
+        // bitwise-interchangeable factorizations. Hashing is O(DoF) — noise
+        // next to the geometry build above.
+        let fp = {
+            let mut h = KeyHasher::new("space2d");
+            h.usize(p);
+            h.bool(periodic_x);
+            h.usize(nglobal);
+            h.usize(mesh.num_elems());
+            for verts in &mesh.elems {
+                for &v in verts {
+                    h.usize(v);
+                }
+            }
+            for c in &mesh.coords {
+                h.f64(c[0]);
+                h.f64(c[1]);
+            }
+            for map in &gmap {
+                h.usizes(map);
+            }
+            h.finish()
+        };
         Self {
             mesh,
             basis,
@@ -127,6 +158,7 @@ impl Space2d {
             geom,
             mult,
             coords,
+            fp,
         }
     }
 
@@ -554,6 +586,10 @@ impl EllipticSpace for Space2d {
             }
         }
         roles
+    }
+
+    fn fingerprint(&self) -> Option<ArtifactKey> {
+        Some(self.fp)
     }
 
     fn corner_hats(&self) -> (Vec<usize>, Vec<Vec<f64>>) {

@@ -31,3 +31,28 @@ pub use fattree::FatTree;
 pub use machine::{Machine, MachineKind};
 pub use schedule::{schedule_rounds, Direction};
 pub use torus::{LinkLoads, Routing, Torus3D};
+
+/// Placement rule for per-rank compute pools: `world` ranks co-scheduled
+/// on a host of `host_cores` logical cores each get an equal share of the
+/// cores, never less than one thread. This is the width
+/// `Universe::spawn_processes` exports to every worker as
+/// `NKG_POOL_WIDTH`, so co-located ranks don't oversubscribe the host
+/// with `world × host_cores` rayon threads.
+pub fn rank_pool_width(host_cores: usize, world: usize) -> usize {
+    (host_cores / world.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::rank_pool_width;
+
+    #[test]
+    fn pool_width_shares_cores_without_oversubscribing() {
+        assert_eq!(rank_pool_width(16, 4), 4);
+        assert_eq!(rank_pool_width(12, 5), 2);
+        // Never zero, even oversubscribed or with a degenerate world.
+        assert_eq!(rank_pool_width(2, 8), 1);
+        assert_eq!(rank_pool_width(0, 3), 1);
+        assert_eq!(rank_pool_width(8, 0), 8);
+    }
+}

@@ -49,4 +49,10 @@ echo "== elliptic engine smoke (ladder shape + JSON emitter) =="
 cargo run --release -q -p nkg-bench --bin ablation_precon -- --smoke
 cargo run --release -q -p nkg-bench --bin bench_sem -- --smoke
 
+echo "== ensemble smoke: K=3 jobs, shared artifact cache, hit rate > 0 =="
+cargo run --release -q -p nkg-bench --bin bench_serve -- --smoke
+
+echo "== artifact-cache bitwise gate: CacheMode::Off vs Process, golden hash =="
+cargo run --release -q -p nkg-bench --bin bench_serve -- --bitwise
+
 echo "All checks passed."

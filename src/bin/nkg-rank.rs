@@ -26,6 +26,10 @@
 //!   comma-separated `replica:window:incarnation` triples; the matching
 //!   worker aborts after computing that window, before reporting it.
 //! * `NKG_VICTIM` / `NKG_CRASH_BEFORE_CONNECT` — see `nkg_mci::worker`.
+//! * `NKG_POOL_WIDTH` — per-rank rayon pool width, set by the launcher's
+//!   topology placement (host cores ÷ co-located ranks); honored unless
+//!   `RAYON_NUM_THREADS` is set explicitly. Probe it with the
+//!   `pool_width` program, which reports the effective thread count.
 
 use nektarg::coupling::atomistic::{AtomisticDomain, Embedding};
 use nektarg::coupling::failover::{run_role_resumed, run_shard_role, FailoverConfig, RankOutcome};
@@ -224,9 +228,17 @@ fn coupled_restart(comm: Comm) -> Vec<f64> {
     }
 }
 
+/// Placement probe: the effective rayon pool width this rank computes
+/// with, as the launcher's `NKG_POOL_WIDTH` placement (or an explicit
+/// `RAYON_NUM_THREADS`) resolved it.
+fn pool_width(_comm: Comm) -> Vec<f64> {
+    vec![rayon::current_num_threads() as f64]
+}
+
 fn main() {
     let mut reg = Registry::with_builtins();
     reg.register("coupled_failover", coupled_failover);
     reg.register("coupled_restart", coupled_restart);
+    reg.register("pool_width", pool_width);
     std::process::exit(worker_main(&reg));
 }

@@ -55,6 +55,34 @@ fn ring_allreduce_over_tcp() {
     }
 }
 
+/// The launcher's topology placement reaches each rank's compute pool:
+/// by default every worker runs with the placed width (host cores ÷
+/// ranks, at least 1); an explicit `NKG_POOL_WIDTH` in the caller's env
+/// overrides the placement and pins the rayon pool to that width.
+#[test]
+fn pool_width_placement_reaches_workers() {
+    let u = universe(2, Backend::Uds);
+    let run = u.spawn_processes(&opts("pool_width", vec![]));
+    assert!(run.failures.is_empty(), "failures: {:?}", run.failures);
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let placed = (cores / 2).max(1) as f64;
+    for rank in 0..2 {
+        let r = run.results[rank].as_ref().expect("rank completed");
+        assert_eq!(r[0], placed, "rank {rank} ignored the placed width");
+    }
+
+    let u = universe(2, Backend::Uds);
+    let run = u.spawn_processes(&opts(
+        "pool_width",
+        vec![("NKG_POOL_WIDTH".into(), "3".into())],
+    ));
+    assert!(run.failures.is_empty(), "failures: {:?}", run.failures);
+    for rank in 0..2 {
+        let r = run.results[rank].as_ref().expect("rank completed");
+        assert_eq!(r[0], 3.0, "rank {rank} ignored the NKG_POOL_WIDTH override");
+    }
+}
+
 /// A rank that panics before its first post must still be reported dead:
 /// its peer blocks on `recv_deadline` and must resolve to `PeerDead`
 /// (returning 13.0), not time out.
