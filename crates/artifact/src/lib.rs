@@ -24,9 +24,17 @@
 //!   bought.
 //!
 //! Entries are **immutable**: once `Ready`, a slot is never replaced or
-//! mutated, only `Arc`-cloned out. There is no eviction — an ensemble's
-//! working set is a handful of factorizations, and the cache lives only as
-//! long as its owner (drop the `ArtifactCache` to free everything).
+//! mutated, only `Arc`-cloned out. By default there is no eviction — an
+//! ensemble's working set is a handful of factorizations, and the cache
+//! lives only as long as its owner (drop the `ArtifactCache` to free
+//! everything). A serving fleet multiplexing *many distinct
+//! discretizations* over one machine can bound the memory tier with
+//! [`ArtifactCache::with_capacity_bytes`]: inserts then evict
+//! least-recently-used entries (never the one just inserted), per-kind
+//! eviction counters tick, and evicted disk-tier kinds are re-served from
+//! disk. Under a capacity bound, *scheduling order* decides the hit rate —
+//! which is exactly the lever the ensemble scheduler's cache-affinity
+//! admission pulls (DESIGN.md §18).
 //!
 //! The headline contract mirrors the rest of the workspace: a cache-hit
 //! artifact is **bitwise identical** to the cold-built one. That holds
@@ -57,6 +65,15 @@ impl ArtifactKey {
     /// file names and golden hashes in benches.
     pub fn hex(&self) -> String {
         format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+
+    /// The key's leading 64-bit lane — the **affinity prefix** the
+    /// ensemble scheduler groups jobs by. Jobs whose setup flows from the
+    /// same configuration words share this prefix for every artifact kind
+    /// they request, so co-scheduling equal-prefix jobs maximizes the
+    /// cache-warm window (DESIGN.md §18).
+    pub fn prefix64(&self) -> u64 {
+        self.0[0]
     }
 }
 
@@ -232,6 +249,9 @@ pub struct KindStats {
     pub bytes: u64,
     /// Nanoseconds spent in cold builds.
     pub build_ns: u64,
+    /// Entries of this kind evicted by the LRU capacity bound (see
+    /// [`ArtifactCache::with_capacity_bytes`]); 0 on unbounded caches.
+    pub evictions: u64,
 }
 
 impl KindStats {
@@ -252,25 +272,39 @@ impl KindStats {
         self.disk_hits += o.disk_hits;
         self.bytes += o.bytes;
         self.build_ns += o.build_ns;
+        self.evictions += o.evictions;
     }
 }
 
 enum Slot {
     /// Some thread owns the (unlocked) build; waiters park on the condvar.
     Building,
-    /// Immutable forever after.
-    Ready(Arc<dyn Any + Send + Sync>),
+    /// An immutable resident entry. `tick` is the logical time of its last
+    /// touch (insert or hit) — the LRU axis when a capacity bound is set.
+    Ready {
+        val: Arc<dyn Any + Send + Sync>,
+        bytes: u64,
+        tick: u64,
+    },
 }
 
 struct Inner {
     map: HashMap<(&'static str, ArtifactKey), Slot>,
     stats: BTreeMap<&'static str, KindStats>,
+    /// Logical clock: bumps on every touch, so LRU order is total.
+    tick: u64,
+    /// Bytes of `Ready` entries currently resident.
+    resident: u64,
 }
 
 /// Content-addressed, thread-safe cache of immutable setup artifacts.
 pub struct ArtifactCache {
     mode: CacheMode,
     dir: Option<PathBuf>,
+    /// `None` = unbounded (the default — an ensemble's working set is
+    /// normally a handful of factorizations). `Some(b)` = evict
+    /// least-recently-used `Ready` entries once resident bytes exceed `b`.
+    capacity: Option<u64>,
     inner: Mutex<Inner>,
     cv: Condvar,
 }
@@ -310,9 +344,12 @@ impl ArtifactCache {
         Self {
             mode,
             dir: None,
+            capacity: None,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 stats: BTreeMap::new(),
+                tick: 0,
+                resident: 0,
             }),
             cv: Condvar::new(),
         }
@@ -326,9 +363,33 @@ impl ArtifactCache {
         c
     }
 
+    /// Bound the memory tier to roughly `max_bytes` of resident artifacts
+    /// (by each artifact's `approx_bytes`). When an insert pushes the
+    /// resident total past the bound, least-recently-used `Ready` entries
+    /// are dropped (the newest entry itself is never evicted, so a single
+    /// oversized artifact still serves its own job). Outstanding `Arc`s
+    /// keep working — eviction only forgets the map entry; entries with a
+    /// disk tier are re-served from disk after eviction. This is the
+    /// capacity pressure that makes scheduling order matter: see the
+    /// cache-affinity admission policy in `nkg-coupling::ensemble`.
+    pub fn with_capacity_bytes(mut self, max_bytes: u64) -> Self {
+        self.capacity = Some(max_bytes);
+        self
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> CacheMode {
         self.mode
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Bytes of `Ready` entries currently resident in the memory tier.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident
     }
 
     /// Disk-tier path for one entry.
@@ -371,9 +432,12 @@ impl ArtifactCache {
         let id = (kind, key);
         let mut g = self.inner.lock().unwrap();
         loop {
-            match g.map.get(&id) {
-                Some(Slot::Ready(a)) => {
-                    let a = a.clone();
+            g.tick += 1;
+            let now = g.tick;
+            match g.map.get_mut(&id) {
+                Some(Slot::Ready { val, tick, .. }) => {
+                    *tick = now;
+                    let a = val.clone();
                     g.stats.entry(kind).or_default().hits += 1;
                     drop(g);
                     return a
@@ -422,11 +486,50 @@ impl ArtifactCache {
             s.build_ns += build_ns;
         }
         s.bytes += nbytes;
-        g.map.insert(id, Slot::Ready(any));
+        g.tick += 1;
+        let now = g.tick;
+        g.map.insert(
+            id,
+            Slot::Ready {
+                val: any,
+                bytes: nbytes,
+                tick: now,
+            },
+        );
+        g.resident += nbytes;
+        self.evict_to_capacity(&mut g, now);
         guard.id = None;
         drop(g);
         self.cv.notify_all();
         arc
+    }
+
+    /// Drop least-recently-used `Ready` entries until the resident total
+    /// fits the capacity bound. The entry touched at `keep_tick` (the one
+    /// just inserted or hit) is never evicted, and `Building` slots are
+    /// untouched — their builder still owns them.
+    fn evict_to_capacity(&self, g: &mut Inner, keep_tick: u64) {
+        let Some(cap) = self.capacity else {
+            return;
+        };
+        while g.resident > cap {
+            let victim = g
+                .map
+                .iter()
+                .filter_map(|(id, slot)| match slot {
+                    Slot::Ready { tick, bytes, .. } if *tick != keep_tick => {
+                        Some((*tick, *id, *bytes))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|&(tick, ..)| tick);
+            let Some((_, id, bytes)) = victim else {
+                return; // only the protected entry (and builders) remain
+            };
+            g.map.remove(&id);
+            g.resident -= bytes;
+            g.stats.entry(id.0).or_default().evictions += 1;
+        }
     }
 
     /// Try the disk tier. Any failure — absent file, bad magic, CRC
@@ -734,6 +837,70 @@ mod tests {
         assert_eq!(r.xs, vec![7.0]);
         assert_eq!(c3.totals().misses, 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_but_never_the_newest() {
+        // Each Table below is 16 bytes; capacity fits two entries.
+        let c = ArtifactCache::new(CacheMode::Process).with_capacity_bytes(32);
+        let mk = |v: f64| Table { xs: vec![v, v] };
+        c.get_or_build("tab", key_of(1), || mk(1.0));
+        c.get_or_build("tab", key_of(2), || mk(2.0));
+        assert_eq!(c.resident_bytes(), 32);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        c.get_or_build("tab", key_of(1), || -> Table { panic!("must hit") });
+        c.get_or_build("tab", key_of(3), || mk(3.0));
+        assert_eq!(c.resident_bytes(), 32);
+        assert_eq!(c.totals().evictions, 1);
+        // Key 1 survived (hit), key 2 was evicted (rebuilds).
+        c.get_or_build("tab", key_of(1), || -> Table {
+            panic!("lru-protected entry lost")
+        });
+        let rebuilt = std::sync::atomic::AtomicUsize::new(0);
+        c.get_or_build("tab", key_of(2), || {
+            rebuilt.fetch_add(1, Ordering::SeqCst);
+            mk(2.0)
+        });
+        assert_eq!(rebuilt.load(Ordering::SeqCst), 1);
+        // An artifact bigger than the whole bound still serves its build
+        // (the newest entry is never evicted by its own insert).
+        let big = c.get_or_build("tab", key_of(9), || Table { xs: vec![0.0; 32] });
+        assert_eq!(big.xs.len(), 32);
+        assert!(c.totals().evictions >= 2, "{:?}", c.totals());
+    }
+
+    #[test]
+    fn evicted_disk_tier_entry_is_reserved_from_disk() {
+        let dir = tmp_dir("evict-disk");
+        let c = ArtifactCache::on_disk(&dir).with_capacity_bytes(16);
+        c.get_or_build("tab", key_of(1), || Table { xs: vec![1.0, 2.0] });
+        // Second insert evicts the first from memory; its .nkga remains.
+        c.get_or_build("tab", key_of(2), || Table { xs: vec![3.0, 4.0] });
+        let back = c.get_or_build("tab", key_of(1), || -> Table {
+            panic!("disk tier must serve")
+        });
+        assert_eq!(back.xs, vec![1.0, 2.0]);
+        let t = c.totals();
+        assert!(t.disk_hits >= 1, "{t:?}");
+        assert!(t.evictions >= 1, "{t:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let c = ArtifactCache::new(CacheMode::Process);
+        for i in 0..64 {
+            c.get_or_build("tab", key_of(i), || Table { xs: vec![0.0; 64] });
+        }
+        assert_eq!(c.totals().evictions, 0);
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.resident_bytes(), 64 * 64 * 8);
+    }
+
+    #[test]
+    fn prefix64_is_the_leading_lane() {
+        let k = key_of(7);
+        assert_eq!(k.prefix64(), k.0[0]);
     }
 
     #[test]

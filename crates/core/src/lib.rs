@@ -43,7 +43,10 @@ pub mod oned_coupling;
 pub mod progression;
 pub mod scaling;
 
-pub use ensemble::{Ensemble, JobReport};
+pub use ensemble::{
+    admission_order, field_hash, Ensemble, JobFailure, JobOps, JobReport, JobResult, JobSpec,
+    Priority, SchedPolicy, SchedulerConfig, SweepJob, SweepOps,
+};
 pub use metasolver::NektarG;
 pub use progression::TimeProgression;
 pub use scaling::UnitScaling;

@@ -31,6 +31,7 @@ use nkg_ckpt::{
     SnapshotWriter,
 };
 use nkg_dpd::sim::BinSampler;
+use nkg_sem::ns2d::StepSolveStats;
 use nkg_wpod::window::{WindowPod, WindowResult};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -166,6 +167,20 @@ pub struct RunReport {
     /// atomistic task and exchange. Measurement only — excluded from
     /// equality and from checkpoints.
     pub window_timings: Vec<WindowTiming>,
+    /// Ring cap on the per-step telemetry vectors
+    /// (`pressure_iters_per_step`, `viscous_iters_per_step`,
+    /// `elliptic_residual_per_step`) and `window_timings`: `None`
+    /// (default) keeps full history, `Some(n)` retains only the most
+    /// recent `n` entries so multi-hour scheduler jobs run in bounded
+    /// memory. Local configuration — excluded from equality and
+    /// checkpoints (a restore keeps the receiving instance's cap).
+    pub history_cap: Option<usize>,
+    /// Continuum steps whose solver telemetry was ever recorded —
+    /// survives ring eviction, so [`RunReport::solve_summary`] keeps the
+    /// exact step count.
+    pub telemetry_steps: usize,
+    /// Worst elliptic residual ever observed — survives ring eviction.
+    pub worst_residual_seen: f64,
 }
 
 impl PartialEq for RunReport {
@@ -187,17 +202,90 @@ impl PartialEq for RunReport {
 }
 
 impl RunReport {
+    /// Install (or lift) the telemetry ring cap, trimming existing
+    /// history to fit immediately.
+    pub fn set_history_cap(&mut self, cap: Option<usize>) {
+        self.history_cap = cap;
+        Self::trim(cap, &mut self.pressure_iters_per_step);
+        Self::trim(cap, &mut self.viscous_iters_per_step);
+        Self::trim(cap, &mut self.elliptic_residual_per_step);
+        Self::trim(cap, &mut self.window_timings);
+    }
+
+    /// Drop the oldest entries of `v` until it fits `cap`.
+    fn trim<T>(cap: Option<usize>, v: &mut Vec<T>) {
+        if let Some(c) = cap {
+            if v.len() > c {
+                v.drain(..v.len() - c);
+            }
+        }
+    }
+
+    /// Ring-push: evict the oldest entry when the cap is reached. A cap
+    /// of zero keeps no history at all (summaries still stay exact via
+    /// the cumulative counters).
+    fn ring<T>(cap: Option<usize>, v: &mut Vec<T>, x: T) {
+        if let Some(c) = cap {
+            if c == 0 {
+                return;
+            }
+            if v.len() >= c {
+                v.drain(..=v.len() - c);
+            }
+        }
+        v.push(x);
+    }
+
+    /// Record one continuum step's elliptic-solver telemetry (the run
+    /// hook both window orderings call). Per-step vectors honor the
+    /// ring cap; breakdowns are sparse diagnostics and always kept; the
+    /// cumulative step count and worst residual survive eviction.
+    pub(crate) fn push_step_telemetry(&mut self, solve: &StepSolveStats, step: u64) {
+        let cap = self.history_cap;
+        Self::ring(
+            cap,
+            &mut self.pressure_iters_per_step,
+            solve.pressure_iterations as u64,
+        );
+        Self::ring(
+            cap,
+            &mut self.viscous_iters_per_step,
+            solve.viscous_iterations as u64,
+        );
+        let residual = solve.pressure_residual.max(solve.viscous_residual);
+        Self::ring(cap, &mut self.elliptic_residual_per_step, residual);
+        if solve.breakdown {
+            self.breakdown_steps.push(step);
+        }
+        self.telemetry_steps += 1;
+        if residual > self.worst_residual_seen {
+            self.worst_residual_seen = residual;
+        }
+    }
+
+    /// Record one window's wall-clock timing, honoring the ring cap.
+    pub(crate) fn push_window_timing(&mut self, t: WindowTiming) {
+        let cap = self.history_cap;
+        Self::ring(cap, &mut self.window_timings, t);
+    }
+
     /// Compact order statistics of the elliptic-solver telemetry: p50/p95/
     /// max iteration counts, worst residual and breakdown count.
+    ///
+    /// Exact even under a ring cap: the step count and worst residual
+    /// come from cumulative accumulators, the breakdown count from the
+    /// (never-evicted) breakdown list. The iteration percentiles are
+    /// computed over the retained window — the full series when
+    /// unbounded, the most recent `history_cap` steps otherwise.
     pub fn solve_summary(&self) -> TelemetrySummary {
         TelemetrySummary {
-            steps: self.pressure_iters_per_step.len(),
+            steps: self.telemetry_steps.max(self.pressure_iters_per_step.len()),
             pressure: IterStats::of(&self.pressure_iters_per_step),
             viscous: IterStats::of(&self.viscous_iters_per_step),
             worst_residual: self
                 .elliptic_residual_per_step
                 .iter()
-                .fold(0.0_f64, |a, &b| a.max(b)),
+                .fold(self.worst_residual_seen, |a, &b| a.max(b)),
             breakdowns: self.breakdown_steps.len(),
         }
     }
@@ -264,6 +352,8 @@ impl Snapshot for RunReport {
         enc.put_slice(&self.viscous_iters_per_step);
         enc.put_slice(&self.elliptic_residual_per_step);
         enc.put_slice(&self.breakdown_steps);
+        enc.put(self.telemetry_steps as u64);
+        enc.put(self.worst_residual_seen);
     }
 
     fn restore(&mut self, dec: &mut Dec<'_>) -> Result<(), CkptError> {
@@ -295,12 +385,17 @@ impl Snapshot for RunReport {
         self.viscous_iters_per_step = dec.take_vec::<u64>()?;
         self.elliptic_residual_per_step = dec.take_vec::<f64>()?;
         self.breakdown_steps = dec.take_vec::<u64>()?;
+        self.telemetry_steps = dec.take::<u64>()? as usize;
+        self.worst_residual_seen = dec.take::<f64>()?;
         // Wall-clock timings and supervision bookkeeping are measurement,
         // not state: never serialized (the format predates them and stays
         // compatible) and meaningless across a restore boundary.
         self.window_timings.clear();
         self.rejoins.clear();
         self.snapshot_fallbacks.clear();
+        // The ring cap is local configuration: keep this instance's and
+        // re-trim whatever the (possibly uncapped) writer recorded.
+        self.set_history_cap(self.history_cap);
         Ok(())
     }
 }
@@ -427,6 +522,15 @@ impl NektarG {
         self
     }
 
+    /// Bound the report's per-step telemetry history (see
+    /// [`RunReport::set_history_cap`]) so long-running serving jobs hold
+    /// at most `cap` step entries in memory. `None` restores the default
+    /// full-history behavior.
+    pub fn with_history_cap(mut self, cap: Option<usize>) -> Self {
+        self.report.set_history_cap(cap);
+        self
+    }
+
     /// Run `ns_steps` more continuum steps with the full time progression.
     /// Returns the cumulative report.
     pub fn run(&mut self, ns_steps: usize) -> RunReport {
@@ -498,7 +602,7 @@ impl NektarG {
                 ExecutionPolicy::Serial => self.run_window_serial(wend - step),
                 ExecutionPolicy::Overlapped => self.run_window_overlapped(wend - step),
             };
-            self.report.window_timings.push(WindowTiming {
+            self.report.push_window_timing(WindowTiming {
                 continuum_s,
                 atomistic_s,
                 exchange_s,
@@ -518,18 +622,7 @@ impl NektarG {
             self.continuum.step();
             continuum_s += t0.elapsed().as_secs_f64();
             let solve = self.continuum.last_step_stats();
-            self.report
-                .pressure_iters_per_step
-                .push(solve.pressure_iterations as u64);
-            self.report
-                .viscous_iters_per_step
-                .push(solve.viscous_iterations as u64);
-            self.report
-                .elliptic_residual_per_step
-                .push(solve.pressure_residual.max(solve.viscous_residual));
-            if solve.breakdown {
-                self.report.breakdown_steps.push(step as u64);
-            }
+            self.report.push_step_telemetry(&solve, step as u64);
             self.report.ns_steps += 1;
             let t1 = Instant::now();
             for _ in 0..self.progression.substeps {
@@ -607,18 +700,7 @@ impl NektarG {
             cont.join().expect("continuum window task panicked")
         });
         for (i, solve) in stats.iter().enumerate() {
-            report
-                .pressure_iters_per_step
-                .push(solve.pressure_iterations as u64);
-            report
-                .viscous_iters_per_step
-                .push(solve.viscous_iterations as u64);
-            report
-                .elliptic_residual_per_step
-                .push(solve.pressure_residual.max(solve.viscous_residual));
-            if solve.breakdown {
-                report.breakdown_steps.push((base_step + i) as u64);
-            }
+            report.push_step_telemetry(solve, (base_step + i) as u64);
         }
         report.ns_steps += n;
         (continuum_s, atomistic_s)
@@ -872,6 +954,59 @@ mod tests {
         assert!(s.pressure.max > 0, "pressure solves should iterate");
         assert!(s.worst_residual.is_finite());
         assert_eq!(s.breakdowns, 0);
+    }
+
+    /// Satellite: the telemetry ring bounds per-step memory while
+    /// `solve_summary` keeps the exact step count, breakdown count and
+    /// worst residual — even after the worst step was evicted.
+    #[test]
+    fn history_ring_bounds_memory_with_exact_summary() {
+        let full = {
+            let mut ng = small_metasolver();
+            ng.run(12)
+        };
+        let capped = {
+            let mut ng = small_metasolver().with_history_cap(Some(4));
+            ng.run(12)
+        };
+        assert_eq!(capped.pressure_iters_per_step.len(), 4);
+        assert_eq!(capped.viscous_iters_per_step.len(), 4);
+        assert_eq!(capped.elliptic_residual_per_step.len(), 4);
+        assert!(capped.window_timings.len() <= 4);
+        // Retained window = the most recent 4 steps, in order.
+        assert_eq!(
+            capped.pressure_iters_per_step,
+            full.pressure_iters_per_step[8..],
+        );
+        let (fs, cs) = (full.solve_summary(), capped.solve_summary());
+        assert_eq!(cs.steps, 12, "step count must survive eviction");
+        assert_eq!(cs.breakdowns, fs.breakdowns);
+        assert_eq!(
+            cs.worst_residual, fs.worst_residual,
+            "worst residual must survive eviction"
+        );
+        // Physics is untouched by the ring: same trajectory bitwise.
+        assert!(capped.physics_matches(&full));
+
+        // The counters travel through a checkpoint, and a capped
+        // receiver trims an uncapped writer's history on restore.
+        let bytes = nkg_ckpt::snapshot_bytes(&full);
+        let mut restored = RunReport::default();
+        restored.set_history_cap(Some(4));
+        nkg_ckpt::restore_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.pressure_iters_per_step.len(), 4);
+        let rs = restored.solve_summary();
+        assert_eq!(rs.steps, 12);
+        assert_eq!(rs.worst_residual, fs.worst_residual);
+
+        // Cap zero: no history at all, summary still exact on the
+        // cumulative numbers.
+        let none = {
+            let mut ng = small_metasolver().with_history_cap(Some(0));
+            ng.run(6)
+        };
+        assert!(none.pressure_iters_per_step.is_empty());
+        assert_eq!(none.solve_summary().steps, 6);
     }
 
     /// Wall-clock timings must not leak into checkpoints or equality:

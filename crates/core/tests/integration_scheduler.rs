@@ -1,0 +1,212 @@
+//! End-to-end scheduler behavior at test scale: panicking jobs are
+//! isolated without poisoning the shared cache, dispatch order under
+//! cost-affinity admission is deterministic, a capacity-bounded cache
+//! gives affinity batching a strictly better warm hit rate than FIFO on
+//! the same workload, and a simulated process restart warm-starts
+//! bit-exactly from the disk tier.
+
+use std::sync::Arc;
+
+use nkg_artifact::{ArtifactCache, CacheMode};
+use nkg_coupling::ensemble::{
+    admission_order, field_hash, Ensemble, JobFailure, JobOps, SchedPolicy, SchedulerConfig,
+    SweepJob, SweepOps,
+};
+use nkg_coupling::multipatch::Multipatch2d;
+
+const STEPS: usize = 3;
+
+/// `k` jobs round-robin interleaved over `groups` distinct channel
+/// discretizations — the worst case for FIFO cache reuse (reuse
+/// distance == `groups`) and the best case for affinity batching.
+fn interleaved_specs(k: usize, groups: usize) -> Vec<nkg_coupling::JobSpec<SweepJob>> {
+    (0..k)
+        .map(|i| {
+            let g = i % groups;
+            SweepJob::channel(8, 2 + g % 2, 3 + g / 2, 0.25 + 0.005 * i as f64, STEPS).spec()
+        })
+        .collect()
+}
+
+fn hashes(results: &[(nkg_coupling::JobReport, Option<u64>)]) -> Vec<u64> {
+    results
+        .iter()
+        .map(|(r, h)| h.unwrap_or_else(|| panic!("job failed: {:?}", r.failure)))
+        .collect()
+}
+
+/// Total resident bytes of one job per distinct discretization built
+/// into a single shared unbounded cache — the working set the bounded
+/// legs are sized against.
+fn working_set_bytes(groups: usize) -> u64 {
+    let ens = Ensemble::new(CacheMode::Process);
+    let specs: Vec<_> = (0..groups)
+        .map(|g| SweepJob::channel(8, 2 + g % 2, 3 + g / 2, 0.3, 1).spec())
+        .collect();
+    ens.serve(&specs, &SweepOps, &SchedulerConfig::default());
+    ens.cache().resident_bytes()
+}
+
+/// [`SweepOps`] with a scripted build panic on non-finite forces —
+/// the failure-injection vehicle for the isolation test.
+struct PanickyOps;
+
+impl JobOps<SweepJob> for PanickyOps {
+    type State = Multipatch2d;
+    type Out = u64;
+
+    fn build(&self, job: &SweepJob) -> Multipatch2d {
+        assert!(job.force.is_finite(), "scripted build panic");
+        job.build()
+    }
+
+    fn slices(&self, job: &SweepJob) -> usize {
+        job.steps
+    }
+
+    fn run_slice(&self, mp: &mut Multipatch2d, _job: &SweepJob, _slice: usize) {
+        mp.step();
+    }
+
+    fn finish(&self, mp: &mut Multipatch2d, _job: &SweepJob) -> u64 {
+        field_hash(mp)
+    }
+}
+
+#[test]
+fn panicking_job_is_isolated_and_cache_stays_warm() {
+    let ens = Ensemble::new(CacheMode::Process);
+    let mut specs = interleaved_specs(4, 1);
+    // A non-finite force panics inside the job's build; its report must
+    // record the failure while every other job completes normally.
+    specs[1] = SweepJob::channel(8, 2, 3, f64::NAN, STEPS).spec();
+    let cfg = SchedulerConfig {
+        workers: 2,
+        ..SchedulerConfig::default()
+    };
+    let results = ens.serve(&specs, &PanickyOps, &cfg);
+    assert!(
+        matches!(
+            results[1].0.failure,
+            Some(JobFailure::BuildPanicked(_) | JobFailure::RunPanicked { .. })
+        ),
+        "NaN job must record a typed failure, got {:?}",
+        results[1].0.failure
+    );
+    assert!(results[1].1.is_none());
+    for (i, (r, h)) in results.iter().enumerate() {
+        if i == 1 {
+            continue;
+        }
+        assert!(r.failure.is_none(), "job {i} poisoned: {:?}", r.failure);
+        assert!(h.is_some(), "job {i} lost its result");
+    }
+    // The cache survives the panic: re-serving the surviving parameter
+    // points warm-hits and reproduces the same hashes bitwise.
+    let ok: Vec<_> = (0..4)
+        .filter(|&i| i != 1)
+        .map(|i| specs[i].clone())
+        .collect();
+    let rerun = ens.serve(&ok, &SweepOps, &SchedulerConfig::default());
+    let want: Vec<u64> = [0usize, 2, 3]
+        .iter()
+        .map(|&i| results[i].1.unwrap())
+        .collect();
+    assert_eq!(hashes(&rerun), want, "cache poisoned by panicking job");
+    assert!(
+        ens.cache().totals().hits > 0,
+        "rerun after panic never warm-hit the shared cache"
+    );
+}
+
+#[test]
+fn cost_affinity_dispatch_order_is_deterministic() {
+    let specs = interleaved_specs(12, 3);
+    let order = admission_order(&specs, SchedPolicy::CostAffinity);
+    assert_eq!(order, admission_order(&specs, SchedPolicy::CostAffinity));
+    // On the inline engine (workers == 1) dispatch order IS admission
+    // order, recorded per job in its report.
+    let ens = Ensemble::new(CacheMode::Process);
+    let cfg = SchedulerConfig {
+        policy: SchedPolicy::CostAffinity,
+        ..SchedulerConfig::default()
+    };
+    let results = ens.serve(&specs, &SweepOps, &cfg);
+    for (rank, &idx) in order.iter().enumerate() {
+        assert_eq!(
+            results[idx].0.dispatch_order, rank,
+            "job {idx} dispatched out of admission order"
+        );
+    }
+    // Affinity admission is contiguous by group: each affinity key
+    // appears in exactly one run of the order.
+    let mut seen: Vec<u64> = Vec::new();
+    for &idx in &order {
+        let a = specs[idx].affinity;
+        if seen.last() != Some(&a) {
+            assert!(
+                !seen.contains(&a),
+                "affinity group {a:#x} split in admission"
+            );
+            seen.push(a);
+        }
+    }
+}
+
+#[test]
+fn bounded_cache_affinity_strictly_beats_fifo_hit_rate() {
+    let (k, groups) = (18, 3);
+    let specs = interleaved_specs(k, groups);
+    // Capacity below the full working set: FIFO's round-robin reuse
+    // distance thrashes it, affinity's contiguous groups stay resident.
+    let cap = working_set_bytes(groups) * 2 / 5;
+    assert!(cap > 0, "working-set probe measured nothing");
+    let run = |policy| {
+        let cache = Arc::new(ArtifactCache::new(CacheMode::Process).with_capacity_bytes(cap));
+        let ens = Ensemble::from_cache(cache);
+        let cfg = SchedulerConfig {
+            policy,
+            ..SchedulerConfig::default()
+        };
+        let results = ens.serve(&specs, &SweepOps, &cfg);
+        (hashes(&results), ens.cache().totals())
+    };
+    let (fifo_hashes, fifo) = run(SchedPolicy::Fifo);
+    let (aff_hashes, aff) = run(SchedPolicy::CostAffinity);
+    assert_eq!(fifo_hashes, aff_hashes, "admission policy changed physics");
+    assert!(
+        aff.hit_rate() > fifo.hit_rate(),
+        "affinity hit rate {:.3} must strictly beat FIFO {:.3} under a bounded cache",
+        aff.hit_rate(),
+        fifo.hit_rate()
+    );
+    assert!(
+        aff.evictions < fifo.evictions,
+        "affinity evicted {} >= FIFO {} despite contiguous groups",
+        aff.evictions,
+        fifo.evictions
+    );
+}
+
+#[test]
+fn disk_tier_restart_is_bit_exact() {
+    let dir = std::env::temp_dir().join(format!("nkg-sched-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = interleaved_specs(6, 2);
+    let first = {
+        let ens = Ensemble::with_disk(&dir);
+        hashes(&ens.serve(&specs, &SweepOps, &SchedulerConfig::default()))
+    };
+    // Dropping the Ensemble discards the process tier; a fresh one over
+    // the same directory simulates a restarted process that must
+    // warm-start from disk and reproduce the fields bitwise.
+    let ens = Ensemble::with_disk(&dir);
+    let second = hashes(&ens.serve(&specs, &SweepOps, &SchedulerConfig::default()));
+    let totals = ens.cache().totals();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(first, second, "disk warm-start is not bit-exact");
+    assert!(
+        totals.disk_hits > 0,
+        "restarted batch never hit the disk tier"
+    );
+}

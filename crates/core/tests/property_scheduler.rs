@@ -1,0 +1,109 @@
+//! Property tests for the serving scheduler's determinism contract:
+//! scheduling is an optimization layer, never a physics layer. For
+//! arbitrary small sweep workloads the per-job field hashes must be
+//! bitwise identical across admission policies (FIFO vs cost-affinity)
+//! and worker counts {1, 2, 4}, and a job preempted mid-run (snapshot →
+//! sealed requeue → restore on a possibly different worker) must equal
+//! its uninterrupted run bitwise.
+
+use nkg_artifact::CacheMode;
+use nkg_coupling::ensemble::{
+    Ensemble, JobSpec, Priority, SchedPolicy, SchedulerConfig, SweepJob, SweepOps,
+};
+use proptest::prelude::*;
+
+const STEPS: usize = 3;
+const MAX_JOBS: usize = 8;
+
+/// Build a workload from raw draws: job `i` belongs to discretization
+/// group `groups[i]`, sweeps force `forces[i]` and is interactive when
+/// `prio[i]` is odd. Distinct groups get distinct (np, p) channels.
+fn build_specs(groups: &[usize], forces: &[f64], prio: &[u64]) -> Vec<JobSpec<SweepJob>> {
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            let mut spec = SweepJob::channel(8, 2 + g % 2, 3 + g / 2, forces[i], STEPS).spec();
+            if prio[i] & 1 == 1 {
+                spec = spec.priority(Priority::Interactive);
+            }
+            spec
+        })
+        .collect()
+}
+
+fn serve_hashes(specs: &[JobSpec<SweepJob>], cfg: &SchedulerConfig) -> Vec<u64> {
+    let ens = Ensemble::new(CacheMode::Process);
+    ens.serve(specs, &SweepOps, cfg)
+        .into_iter()
+        .map(|(r, h)| h.unwrap_or_else(|| panic!("job failed: {:?}", r.failure)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// {Fifo, CostAffinity} × workers {1, 2, 4} all produce the same
+    /// per-job hashes, in submission order, bitwise.
+    #[test]
+    fn policy_and_worker_count_never_change_physics(
+        groups in prop::collection::vec(0usize..3, 1..MAX_JOBS),
+        forces in prop::collection::vec(0.1f64..0.5, MAX_JOBS),
+        prio in prop::collection::vec(0u64..2, MAX_JOBS),
+    ) {
+        let specs = build_specs(&groups, &forces, &prio);
+        let reference = serve_hashes(&specs, &SchedulerConfig::default());
+        for policy in [SchedPolicy::Fifo, SchedPolicy::CostAffinity] {
+            for workers in [1usize, 2, 4] {
+                let cfg = SchedulerConfig {
+                    workers,
+                    policy,
+                    ..SchedulerConfig::default()
+                };
+                let got = serve_hashes(&specs, &cfg);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "hashes diverged at policy {:?} workers {}", policy, workers
+                );
+            }
+        }
+    }
+
+    /// Preempting one job after a random slice (checkpoint → requeue →
+    /// restore) reproduces the uninterrupted batch bitwise, on both the
+    /// inline and the threaded engine.
+    #[test]
+    fn preempt_resume_equals_uninterrupted(
+        groups in prop::collection::vec(0usize..3, 1..MAX_JOBS),
+        forces in prop::collection::vec(0.1f64..0.5, MAX_JOBS),
+        prio in prop::collection::vec(0u64..2, MAX_JOBS),
+        victim_seed in 0u64..u64::MAX,
+        cut in 1usize..STEPS,
+    ) {
+        let specs = build_specs(&groups, &forces, &prio);
+        let reference = serve_hashes(&specs, &SchedulerConfig::default());
+        let victim = (victim_seed as usize) % specs.len();
+        let mut scripted = specs.clone();
+        scripted[victim] = scripted[victim].clone().preempt_after(cut);
+        for workers in [1usize, 2] {
+            let cfg = SchedulerConfig {
+                workers,
+                ..SchedulerConfig::default()
+            };
+            let ens = Ensemble::new(CacheMode::Process);
+            let results = ens.serve(&scripted, &SweepOps, &cfg);
+            prop_assert!(
+                results[victim].0.preemptions >= 1,
+                "scripted preemption never fired (workers {})", workers
+            );
+            let got: Vec<u64> = results
+                .iter()
+                .map(|(r, h)| h.unwrap_or_else(|| panic!("job failed: {:?}", r.failure)))
+                .collect();
+            prop_assert_eq!(
+                &got, &reference,
+                "preempt→resume diverged from uninterrupted run (workers {})", workers
+            );
+        }
+    }
+}

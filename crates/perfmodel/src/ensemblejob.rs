@@ -1,0 +1,104 @@
+//! Job-cost model for ensemble serving jobs.
+//!
+//! The ensemble scheduler needs a *relative* cost per queued job — enough
+//! to order placement decisions and scale pool widths — before any job
+//! has run. We reuse the calibrated SEM scaling model's structure
+//! ([`crate::SemJobModel`]) specialized to the 2D multipatch jobs the
+//! serving path actually runs: per step, each patch does
+//! `elems · (P+1)² · cg_iters · flops_per_point` matrix-free work, and a
+//! cold job additionally pays a setup term dominated by building the
+//! per-patch operator structures (`∝ elems · (P+1)⁴`, the dense
+//! element-operator assembly).
+//!
+//! Only *ratios* of these estimates matter to the scheduler (sorting and
+//! median-relative pool-width scaling), so the model is deliberately not
+//! calibrated to this host's wall clock; the default rate just puts the
+//! numbers in a human-readable seconds range.
+
+/// Analytic cost model of one ensemble job (a 2D multipatch SEM solve).
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleJobModel {
+    /// Sustained per-core flop rate used to turn flops into seconds.
+    pub rate: f64,
+    /// CG iterations per time step (pressure + 2 velocity solves).
+    pub cg_iters: f64,
+    /// Flops per quadrature point per CG iteration.
+    pub flops_per_point_iter: f64,
+    /// Setup flops per `elems · (P+1)⁴` unit (operator assembly).
+    pub setup_flops_per_mode4: f64,
+}
+
+impl Default for EnsembleJobModel {
+    fn default() -> Self {
+        Self {
+            rate: 1.0e9,
+            cg_iters: 30.0,
+            flops_per_point_iter: 90.0,
+            setup_flops_per_mode4: 12.0,
+        }
+    }
+}
+
+impl EnsembleJobModel {
+    /// Flops of one time step over `elems` 2D elements at order `p`.
+    pub fn step_flops(&self, elems: usize, poly_order: usize) -> f64 {
+        let pts = ((poly_order + 1) * (poly_order + 1)) as f64;
+        elems as f64 * pts * self.cg_iters * self.flops_per_point_iter
+    }
+
+    /// Flops of the cold setup (operator assembly) for `elems` elements
+    /// at order `p` — the part the artifact cache amortizes away.
+    pub fn setup_flops(&self, elems: usize, poly_order: usize) -> f64 {
+        let m = (poly_order + 1) as f64;
+        self.setup_flops_per_mode4 * elems as f64 * m * m * m * m
+    }
+
+    /// Total predicted flops of a job: setup (skipped when `warm`) plus
+    /// `steps` time steps.
+    pub fn job_flops(&self, elems: usize, poly_order: usize, steps: usize, warm: bool) -> f64 {
+        let setup = if warm {
+            0.0
+        } else {
+            self.setup_flops(elems, poly_order)
+        };
+        setup + steps as f64 * self.step_flops(elems, poly_order)
+    }
+
+    /// Predicted single-core seconds of a job — the scheduler's cost
+    /// scalar. Deterministic in the inputs; only ratios are meaningful.
+    pub fn job_seconds(&self, elems: usize, poly_order: usize, steps: usize, warm: bool) -> f64 {
+        self.job_flops(elems, poly_order, steps, warm) / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_monotone_in_every_discretization_knob() {
+        let m = EnsembleJobModel::default();
+        let base = m.job_seconds(64, 3, 10, false);
+        assert!(m.job_seconds(128, 3, 10, false) > base, "more elements");
+        assert!(m.job_seconds(64, 5, 10, false) > base, "higher order");
+        assert!(m.job_seconds(64, 3, 20, false) > base, "more steps");
+        assert!(base > 0.0);
+    }
+
+    #[test]
+    fn warm_jobs_are_strictly_cheaper_and_drop_exactly_the_setup() {
+        let m = EnsembleJobModel::default();
+        let cold = m.job_flops(64, 3, 10, false);
+        let warm = m.job_flops(64, 3, 10, true);
+        assert!(warm < cold);
+        assert_eq!(cold - warm, m.setup_flops(64, 3));
+    }
+
+    #[test]
+    fn step_work_scales_quadratically_with_order_modes() {
+        let m = EnsembleJobModel::default();
+        // (P+1)² points per 2D element: order 7 has 4x the points of order 3.
+        let r = m.step_flops(10, 7) / m.step_flops(10, 3);
+        assert!((r - 4.0).abs() < 1e-12);
+    }
+}

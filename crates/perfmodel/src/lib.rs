@@ -41,11 +41,13 @@
 //! a per-iteration halo-cost term.
 
 pub mod dpdjob;
+pub mod ensemblejob;
 pub mod partition_study;
 pub mod schedule_study;
 pub mod semjob;
 
 pub use dpdjob::DpdJobModel;
+pub use ensemblejob::EnsembleJobModel;
 pub use partition_study::{partitioning_comparison, PartitionRow};
 pub use schedule_study::{schedule_ablation, ScheduleRow};
 pub use semjob::{ScalingRow, SemJobModel};

@@ -55,4 +55,7 @@ cargo run --release -q -p nkg-bench --bin bench_serve -- --smoke
 echo "== artifact-cache bitwise gate: CacheMode::Off vs Process, golden hash =="
 cargo run --release -q -p nkg-bench --bin bench_serve -- --bitwise
 
+echo "== serve-scheduler smoke: 16 jobs, 2 priority classes, scripted preemption, golden hash vs FIFO =="
+cargo run --release -q -p nkg-bench --bin bench_serve -- --sched-smoke
+
 echo "All checks passed."

@@ -1,27 +1,263 @@
 //! Offline drop-in subset of `crossbeam-channel`.
 //!
-//! The workspace only uses unbounded MPSC channels with `send`,
-//! `recv_timeout` and `try_recv`; `std::sync::mpsc` provides exactly those
-//! semantics, so this crate re-exports thin wrappers. (The real crate's
-//! extras — `select!`, bounded rendezvous channels, MPMC receivers — are
-//! not part of the vendored surface.)
+//! The workspace uses two channel shapes and this crate implements both
+//! with one `Mutex<VecDeque>` + two-condvar core:
+//!
+//! * **unbounded** FIFO channels (`nkg-net` hub sinks, `nkg-mci` mailboxes,
+//!   the ensemble scheduler's requeue path) — `send` never blocks;
+//! * **bounded** FIFO channels (the ensemble scheduler's admission queue) —
+//!   `send` blocks while the queue holds `cap` messages, giving the
+//!   producer natural backpressure.
+//!
+//! Unlike `std::sync::mpsc` (and like the real `crossbeam-channel`), both
+//! halves are **cloneable**: any number of producers and any number of
+//! consumers share one FIFO, each message delivered to exactly one
+//! consumer (MPMC). Disconnection is counted per side — a `send` with no
+//! receivers left fails, a receive with no senders left and an empty
+//! queue fails. The real crate's extras (`select!`, zero-capacity
+//! rendezvous channels, `iter()`) are not part of the vendored surface;
+//! `bounded` requires `cap >= 1`.
 
-pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// Sending half of an unbounded channel.
-pub type Sender<T> = std::sync::mpsc::Sender<T>;
+/// Error of [`Sender::send`]: every receiver is gone; the message comes
+/// back to the caller.
+pub struct SendError<T>(pub T);
 
-/// Receiving half of an unbounded channel.
-pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
 
-/// Create an unbounded FIFO channel.
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+/// Error of [`Receiver::recv`]: the queue is empty and every sender is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error of [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived before the deadline; senders may still exist.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error of [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty; senders may still exist.
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    q: VecDeque<T>,
+    /// `None` = unbounded.
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            q: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(chan.clone()), Receiver(chan))
+}
+
+/// Create an unbounded FIFO channel: `send` never blocks.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    std::sync::mpsc::channel()
+    channel(None)
+}
+
+/// Create a bounded FIFO channel holding at most `cap` (≥ 1) messages:
+/// `send` blocks while full, so producers feel backpressure.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded(0) rendezvous channels are not vendored");
+    channel(Some(cap))
+}
+
+/// Sending half; cloneable (multi-producer).
+pub struct Sender<T>(Arc<Chan<T>>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().senders += 1;
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut g = self.0.inner.lock().unwrap();
+        g.senders -= 1;
+        if g.senders == 0 {
+            drop(g);
+            // Wake receivers parked on an empty queue so they observe the
+            // disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `t`, blocking while a bounded channel is full. Fails (and
+    /// returns the message) only when every receiver is gone.
+    pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+        let mut g = self.0.inner.lock().unwrap();
+        loop {
+            if g.receivers == 0 {
+                return Err(SendError(t));
+            }
+            match g.cap {
+                Some(cap) if g.q.len() >= cap => {
+                    g = self.0.not_full.wait(g).unwrap();
+                }
+                _ => {
+                    g.q.push_back(t);
+                    drop(g);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Messages currently queued (racy; for diagnostics only).
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().q.len()
+    }
+
+    /// Whether the queue is momentarily empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Receiving half; cloneable (multi-consumer — each message goes to
+/// exactly one receiver).
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().unwrap().receivers += 1;
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut g = self.0.inner.lock().unwrap();
+        g.receivers -= 1;
+        if g.receivers == 0 {
+            drop(g);
+            // Wake senders parked on a full queue so they observe the
+            // disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    fn pop(&self, g: &mut Inner<T>) -> T {
+        let t = g.q.pop_front().expect("pop on empty queue");
+        self.0.not_full.notify_one();
+        t
+    }
+
+    /// Dequeue, blocking until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut g = self.0.inner.lock().unwrap();
+        loop {
+            if !g.q.is_empty() {
+                return Ok(self.pop(&mut g));
+            }
+            if g.senders == 0 {
+                return Err(RecvError);
+            }
+            g = self.0.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut g = self.0.inner.lock().unwrap();
+        if !g.q.is_empty() {
+            return Ok(self.pop(&mut g));
+        }
+        if g.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Dequeue, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.0.inner.lock().unwrap();
+        loop {
+            if !g.q.is_empty() {
+                return Ok(self.pop(&mut g));
+            }
+            if g.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self.0.not_empty.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+            if res.timed_out() && g.q.is_empty() {
+                return Err(if g.senders == 0 {
+                    RecvTimeoutError::Disconnected
+                } else {
+                    RecvTimeoutError::Timeout
+                });
+            }
+        }
+    }
+
+    /// Messages currently queued (racy; for diagnostics only).
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().unwrap().q.len()
+    }
+
+    /// Whether the queue is momentarily empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
 
     #[test]
@@ -46,5 +282,88 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Disconnected)
         ));
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        let rx2 = rx.clone();
+        drop(rx);
+        drop(rx2);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let unblocked = std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let t0 = Instant::now();
+                tx.send(3).unwrap(); // parks: queue is full
+                t0.elapsed()
+            });
+            std::thread::sleep(Duration::from_millis(25));
+            assert_eq!(rx.recv().unwrap(), 1);
+            h.join().unwrap()
+        });
+        assert!(
+            unblocked >= Duration::from_millis(10),
+            "send returned in {unblocked:?} without ever blocking"
+        );
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        const N: usize = 2000;
+        let (tx, rx) = bounded::<usize>(16);
+        let seen = [(); N].map(|_| AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        seen[v].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for half in 0..2 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for v in (half * N / 2)..((half + 1) * N / 2) {
+                        tx.send(v).unwrap();
+                    }
+                });
+            }
+            drop(tx); // scope joins: producers finish, consumers disconnect
+        });
+        for (v, c) in seen.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "message {v} seen != once");
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_per_channel() {
+        let (tx, rx) = bounded::<usize>(4);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for v in 0..100 {
+                    tx.send(v).unwrap();
+                }
+            });
+            for expect in 0..100 {
+                assert_eq!(rx.recv().unwrap(), expect);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn zero_capacity_is_refused() {
+        let _ = bounded::<u8>(0);
     }
 }
